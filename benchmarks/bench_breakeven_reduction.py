@@ -1,0 +1,128 @@
+"""E7 — reducing the minimum activation speed.
+
+The introduction's stated challenge: *"reduce the minimum speed for the
+monitoring system activation"*.  This benchmark sweeps the two levers the
+designer has — the scavenger size and the architecture / circuit-level
+optimizations — and reports the break-even speed of every design point.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_result
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.evaluator import EnergyEvaluator
+from repro.optimization.apply import apply_assignments
+from repro.optimization.exploration import (
+    ArchitectureCandidate,
+    explore_design_space,
+    scavenger_size_sweep,
+)
+from repro.optimization.selection import select_techniques
+
+SIZE_FACTORS = (0.5, 0.75, 1.0, 1.5, 2.0, 3.0)
+
+
+def test_scavenger_size_sweep(benchmark, node, database, scavenger):
+    """Break-even speed versus scavenger device size."""
+    results = benchmark(
+        scavenger_size_sweep, node, database, scavenger, SIZE_FACTORS
+    )
+
+    rows = [result.as_row() for result in results]
+    emit_result(
+        "breakeven_scavenger_size",
+        rows,
+        title="Minimum activation speed vs scavenger size (baseline node)",
+    )
+    finite = [r.break_even_kmh for r in results if r.break_even_kmh is not None]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_architecture_and_technique_exploration(
+    benchmark, node, optimized, legacy, database, scavenger
+):
+    """Break-even speed of every architecture, before and after the
+    circuit-level optimization step."""
+    point = OperatingPoint(speed_kmh=60.0)
+
+    def build_candidates():
+        candidates = []
+        for architecture in (legacy, node, optimized):
+            candidates.append(
+                ArchitectureCandidate(
+                    node=architecture,
+                    database=database,
+                    scavenger=scavenger,
+                    label=f"{architecture.name} (as characterized)",
+                )
+            )
+            duty = EnergyEvaluator(architecture, database).duty_cycles(point)
+            outcome = apply_assignments(
+                architecture,
+                database,
+                select_techniques(duty, database=database),
+                point=point,
+            )
+            candidates.append(
+                ArchitectureCandidate(
+                    node=architecture,
+                    database=outcome.database,
+                    scavenger=scavenger,
+                    label=f"{architecture.name} + techniques",
+                )
+            )
+        return explore_design_space(candidates)
+
+    results = benchmark(build_candidates)
+
+    rows = [result.as_row() for result in results]
+    emit_result(
+        "breakeven_architectures",
+        rows,
+        title="Minimum activation speed across architectures and circuit-level techniques",
+    )
+
+    by_label = {result.label: result.break_even_kmh for result in results}
+    assert (
+        by_label["baseline + techniques"] < by_label["baseline (as characterized)"]
+    )
+    assert (
+        by_label["optimized + techniques"] < by_label["baseline (as characterized)"]
+    )
+
+
+def test_scavenger_technology_comparison(benchmark, node, database):
+    """Break-even speed of the three harvester technologies at equal size."""
+    from repro.scavenger import (
+        ElectromagneticScavenger,
+        ElectrostaticScavenger,
+        PiezoelectricScavenger,
+    )
+
+    technologies = (
+        PiezoelectricScavenger(),
+        ElectromagneticScavenger(),
+        ElectrostaticScavenger(),
+    )
+
+    def explore():
+        candidates = [
+            ArchitectureCandidate(
+                node=node, database=database, scavenger=technology,
+                label=technology.technology,
+            )
+            for technology in technologies
+        ]
+        return explore_design_space(candidates)
+
+    results = benchmark(explore)
+
+    rows = [result.as_row() for result in results]
+    emit_result(
+        "breakeven_scavenger_technology",
+        rows,
+        title="Minimum activation speed per scavenger technology (baseline node)",
+    )
+    by_label = {result.label: result for result in results}
+    assert by_label["piezoelectric"].activates
+    assert not by_label["electrostatic"].activates

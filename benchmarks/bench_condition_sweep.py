@@ -1,0 +1,132 @@
+"""E6 — working-condition sweeps of the dynamic spreadsheet.
+
+The paper's tools must expose the dependence of the energy figures on
+temperature, supply voltage and process variation.  This benchmark sweeps all
+three and reports the energy per wheel round across the spreadsheet's
+condition space.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_result
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.spreadsheet import Spreadsheet
+
+TEMPERATURES_C = (-40.0, -20.0, 0.0, 25.0, 50.0, 85.0, 105.0, 125.0)
+SUPPLIES_V = (1.0, 1.1, 1.2, 1.3, 1.4)
+SPEEDS_KMH = (20.0, 40.0, 60.0, 90.0, 120.0, 160.0, 200.0)
+
+
+def _sweep_rows(rows):
+    return [
+        {
+            "condition": row.condition,
+            "value": row.value,
+            "energy_per_rev_uj": row.energy_per_rev_j * 1e6,
+            "average_power_uw": row.average_power_w * 1e6,
+            "static_share_pct": row.static_fraction * 100.0,
+        }
+        for row in rows
+    ]
+
+
+def test_temperature_sweep(benchmark, node, database):
+    """Energy per wheel round from -40 to +125 degC (leakage dependence)."""
+    sheet = Spreadsheet(node, database)
+
+    rows = benchmark(sheet.temperature_sweep, TEMPERATURES_C)
+
+    emit_result(
+        "condition_sweep_temperature",
+        _sweep_rows(rows),
+        title="Spreadsheet sweep — junction temperature vs energy per wheel round (60 km/h)",
+    )
+    energies = [row.energy_per_rev_j for row in rows]
+    assert energies == sorted(energies)
+
+
+def test_supply_sweep(benchmark, node, database):
+    """Energy per wheel round across core supply voltages (dynamic dependence)."""
+    sheet = Spreadsheet(node, database)
+
+    rows = benchmark(sheet.supply_sweep, SUPPLIES_V)
+
+    emit_result(
+        "condition_sweep_supply",
+        _sweep_rows(rows),
+        title="Spreadsheet sweep — core supply voltage vs energy per wheel round (60 km/h)",
+    )
+    energies = [row.energy_per_rev_j for row in rows]
+    assert energies == sorted(energies)
+
+
+def test_speed_sweep(benchmark, node, database):
+    """Energy per wheel round and average power across cruising speeds."""
+    sheet = Spreadsheet(node, database)
+
+    rows = benchmark(sheet.speed_sweep, SPEEDS_KMH)
+
+    emit_result(
+        "condition_sweep_speed",
+        _sweep_rows(rows),
+        title="Spreadsheet sweep — cruising speed vs energy per wheel round",
+    )
+    energies = [row.energy_per_rev_j for row in rows]
+    assert energies == sorted(energies, reverse=True)
+
+
+def test_process_monte_carlo(benchmark, node, database):
+    """Monte-Carlo spread of the per-revolution energy across process variation."""
+    sheet = Spreadsheet(node, database)
+
+    stats = benchmark(sheet.process_monte_carlo, 128, OperatingPoint(speed_kmh=60.0), 11)
+
+    rows = [
+        {"statistic": key, "value": value * 1e6 if key.endswith("_j") else value}
+        for key, value in stats.items()
+    ]
+    emit_result(
+        "condition_sweep_process",
+        rows,
+        title="Spreadsheet sweep — process Monte-Carlo of energy per wheel round (uJ where applicable)",
+    )
+    assert stats["min_j"] <= stats["mean_j"] <= stats["max_j"]
+
+
+def test_corner_matrix(benchmark, node, database):
+    """Cross product of temperature corners and process corners."""
+    from repro.conditions.process import ProcessCorner, ProcessVariation
+    from repro.core.evaluator import EnergyEvaluator
+
+    evaluator = EnergyEvaluator(node, database)
+
+    def sweep():
+        results = []
+        for temperature in (-40.0, 25.0, 125.0):
+            for corner in ProcessCorner:
+                point = OperatingPoint(
+                    speed_kmh=60.0,
+                    temperature_c=temperature,
+                    process=ProcessVariation(corner=corner),
+                )
+                energy = evaluator.energy_per_revolution_j(point)
+                results.append((temperature, corner.name, energy))
+        return results
+
+    results = benchmark(sweep)
+
+    rows = [
+        {
+            "temperature_c": temperature,
+            "process_corner": corner,
+            "energy_per_rev_uj": energy * 1e6,
+        }
+        for temperature, corner, energy in results
+    ]
+    emit_result(
+        "condition_sweep_corner_matrix",
+        rows,
+        title="Spreadsheet sweep — temperature x process corner matrix (60 km/h)",
+    )
+    by_key = {(row["temperature_c"], row["process_corner"]): row["energy_per_rev_uj"] for row in rows}
+    assert by_key[(125.0, "FAST")] > by_key[(25.0, "TYPICAL")] > by_key[(-40.0, "SLOW")]

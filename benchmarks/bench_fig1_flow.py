@@ -1,0 +1,90 @@
+"""E1 / Fig. 1 — the end-to-end energy analysis flow.
+
+Runs the whole Fig. 1 pipeline (estimate, evaluate, select techniques,
+optimize, re-estimate, integrate the source model, emulate) on the baseline
+architecture and reports the headline figures of every step.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_result
+from repro.core.flow import EnergyAnalysisFlow
+from repro.scavenger import supercapacitor
+from repro.vehicle.drive_cycle import urban_cycle
+
+SPEED_GRID = [float(v) for v in range(5, 205, 5)]
+
+
+def test_fig1_full_flow(benchmark, node, database, scavenger):
+    """Time the complete flow including the long-window emulation step."""
+
+    def run_flow():
+        flow = EnergyAnalysisFlow(
+            node, database, scavenger, storage=supercapacitor()
+        )
+        return flow.run(
+            speeds_kmh=SPEED_GRID, drive_cycle=urban_cycle(repetitions=2)
+        )
+
+    report = benchmark(run_flow)
+
+    summary = report.summary()
+    rows = [{"step": key, "value": value} for key, value in summary.items()]
+    emit_result(
+        "fig1_flow_summary",
+        rows,
+        title="Fig. 1 — flow summary (estimate / evaluate / optimize / integrate / emulate)",
+    )
+
+    assert report.optimization.saving_fraction > 0.0
+    assert report.break_even_after_kmh < report.break_even_before_kmh
+    assert report.emulation is not None
+
+
+def test_fig1_per_block_energy_table(benchmark, node, database):
+    """The evaluation step's core table: per-block energy over a wheel round."""
+    from repro.conditions.operating_point import OperatingPoint
+    from repro.core.evaluator import EnergyEvaluator
+
+    evaluator = EnergyEvaluator(node, database)
+    point = OperatingPoint(speed_kmh=60.0)
+
+    report = benchmark(evaluator.average_report, point)
+
+    emit_result(
+        "fig1_block_energy",
+        report.as_rows(),
+        title=(
+            "Flow step 2 — per-block energy per wheel round at 60 km/h "
+            f"(total {report.total_energy_j * 1e6:.1f} uJ)"
+        ),
+    )
+    assert report.total_energy_j > 0.0
+
+
+def test_fig1_duty_cycle_table(benchmark, node, database):
+    """The temporal information the optimization selection feeds on."""
+    from repro.conditions.operating_point import OperatingPoint
+    from repro.core.evaluator import EnergyEvaluator
+
+    evaluator = EnergyEvaluator(node, database)
+    point = OperatingPoint(speed_kmh=60.0)
+
+    report = benchmark(evaluator.duty_cycles, point)
+
+    rows = [
+        {
+            "block": entry.block,
+            "duty_cycle_pct": entry.duty_cycle * 100.0,
+            "active_power_uw": entry.active_power_w * 1e6,
+            "static_energy_share_pct": entry.static_energy_fraction * 100.0,
+            "short_duty_cycle": entry.is_short_duty_cycle,
+        }
+        for entry in sorted(report.entries, key=lambda e: e.duty_cycle)
+    ]
+    emit_result(
+        "fig1_duty_cycles",
+        rows,
+        title="Flow step 2 — per-block duty cycles within one wheel round (60 km/h)",
+    )
+    assert report.for_block("rf_tx").is_short_duty_cycle

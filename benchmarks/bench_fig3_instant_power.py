@@ -1,0 +1,77 @@
+"""E3 / Fig. 3 — instant power consumption over a limited timing window.
+
+Regenerates the paper's Fig. 3: the per-revolution burst pattern of the
+Sensor Node (acquire, compute, transmit, sleep) at a constant cruise, sampled
+over a one-second window.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_result
+from repro.core.emulator import NodeEmulator
+
+CRUISE_KMH = 60.0
+WINDOW_S = 1.0
+
+
+def test_fig3_instant_power_trace(benchmark, node, database, scavenger, storage):
+    """Time the steady-state trace generation and emit the segment series."""
+    emulator = NodeEmulator(node, database, scavenger, storage)
+
+    trace = benchmark(emulator.steady_state_trace, CRUISE_KMH, WINDOW_S)
+
+    rows = trace.as_rows()
+    emit_result(
+        "fig3_instant_power",
+        rows,
+        title=(
+            f"Fig. 3 — instant power over {WINDOW_S:.1f} s at {CRUISE_KMH:.0f} km/h "
+            f"(peak {trace.peak_power_w() * 1e3:.2f} mW, "
+            f"average {trace.average_power_w() * 1e6:.1f} uW)"
+        ),
+    )
+
+    # Shape assertions: bursty trace, peak set by the radio, quiet floor.
+    assert trace.peak_to_average_ratio() > 3.0
+    labels = {label for _, _, _, label in trace.segments()}
+    assert {"acquire", "compute", "transmit", "sleep"} <= labels
+
+
+def test_fig3_trace_inside_drive_cycle_emulation(benchmark, node, database, scavenger, storage):
+    """The same view extracted from a full emulation (storage included)."""
+    from repro.vehicle.drive_cycle import constant_cruise
+
+    emulator = NodeEmulator(node, database, scavenger, storage)
+    cycle = constant_cruise(CRUISE_KMH, duration_s=30.0)
+
+    result = benchmark(emulator.emulate, cycle, 1.0, (10.0, 11.0))
+
+    assert result.trace is not None
+    emit_result(
+        "fig3_instant_power_emulated",
+        result.trace.as_rows(),
+        title="Fig. 3 (from emulation) — instant power, window 10-11 s",
+    )
+    assert result.trace.peak_to_average_ratio() > 3.0
+
+
+def test_fig3_energy_breakdown_by_phase(benchmark, node, database, scavenger, storage):
+    """Per-phase energy split of the Fig. 3 window (who spends the budget)."""
+    emulator = NodeEmulator(node, database, scavenger, storage)
+
+    def grouped_energy():
+        trace = emulator.steady_state_trace(CRUISE_KMH, WINDOW_S)
+        return trace.label_energy_j()
+
+    grouped = benchmark(grouped_energy)
+
+    rows = [
+        {"phase": label, "energy_uj": energy * 1e6}
+        for label, energy in sorted(grouped.items(), key=lambda kv: -kv[1])
+    ]
+    emit_result(
+        "fig3_phase_energy",
+        rows,
+        title="Fig. 3 companion — energy by phase over the window",
+    )
+    assert grouped["transmit"] > 0.0

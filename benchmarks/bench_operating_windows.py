@@ -1,0 +1,116 @@
+"""E5 — long-window emulation and operating-window identification.
+
+The last step of the paper's flow: play a cruising-speed profile against the
+node + scavenger + storage and identify when the monitoring system can be
+active.  Includes the storage-element ablation called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit_result
+from repro.core.emulator import NodeEmulator
+from repro.core.operating_window import find_operating_windows, summarize_windows
+from repro.scavenger import supercapacitor, thin_film_battery
+from repro.vehicle.drive_cycle import highway_cycle, nedc_like_cycle, urban_cycle
+
+
+def _coverage_row(label, result):
+    windows = find_operating_windows(result)
+    summary = summarize_windows(windows, result.duration_s)
+    return {
+        "scenario": label,
+        "duration_s": result.duration_s,
+        "revolutions": result.revolutions,
+        "revolution_coverage_pct": result.revolution_coverage * 100.0,
+        "moving_active_pct": result.moving_active_fraction * 100.0,
+        "operating_windows": summary.window_count,
+        "longest_window_s": summary.longest_s,
+        "brownouts": result.brownout_events,
+    }
+
+
+def test_operating_windows_across_drive_cycles(benchmark, node, database, scavenger):
+    """Emulate urban, NEDC-like and highway cycles and report the coverage."""
+    cycles = {
+        "urban": urban_cycle(repetitions=4),
+        "nedc-like": nedc_like_cycle(),
+        "highway": highway_cycle(),
+    }
+
+    def run_all():
+        results = {}
+        for label, cycle in cycles.items():
+            emulator = NodeEmulator(
+                node, database, scavenger, supercapacitor(initial_fraction=0.2)
+            )
+            results[label] = emulator.emulate(cycle)
+        return results
+
+    results = benchmark(run_all)
+
+    rows = [_coverage_row(label, result) for label, result in results.items()]
+    emit_result(
+        "operating_windows_cycles",
+        rows,
+        title="Operating windows — coverage per drive cycle (baseline node, piezo scavenger)",
+    )
+    # Highway (fast) must give better coverage than urban (slow, stop-and-go).
+    coverage = {row["scenario"]: row["moving_active_pct"] for row in rows}
+    assert coverage["highway"] >= coverage["urban"]
+
+
+def test_operating_windows_storage_ablation(benchmark, node, database, scavenger):
+    """Ablation: supercapacitor vs thin-film battery vs no-buffer storage."""
+    cycle = nedc_like_cycle()
+    storages = {
+        "tiny buffer (50 mJ)": lambda: supercapacitor(capacity_j=0.05, initial_fraction=0.2),
+        "supercapacitor (250 mJ)": lambda: supercapacitor(initial_fraction=0.2),
+        "thin-film battery (2.5 J)": lambda: thin_film_battery(initial_fraction=0.2),
+    }
+
+    def run_all():
+        results = {}
+        for label, factory in storages.items():
+            emulator = NodeEmulator(node, database, scavenger, factory())
+            results[label] = emulator.emulate(cycle)
+        return results
+
+    results = benchmark(run_all)
+
+    rows = [_coverage_row(label, result) for label, result in results.items()]
+    emit_result(
+        "operating_windows_storage_ablation",
+        rows,
+        title="Ablation — storage element vs operating-window coverage (NEDC-like cycle)",
+    )
+    coverage = [row["moving_active_pct"] for row in rows]
+    # Larger storage can only help (monotone non-decreasing coverage).
+    assert coverage[0] <= coverage[-1] + 1e-9
+
+
+def test_operating_windows_architecture_comparison(
+    benchmark, node, optimized, legacy, database, scavenger
+):
+    """Coverage of the three reference architectures on the same urban cycle."""
+    cycle = urban_cycle(repetitions=4)
+
+    def run_all():
+        results = {}
+        for candidate in (legacy, optimized, node):
+            emulator = NodeEmulator(
+                candidate, database, scavenger, supercapacitor(initial_fraction=0.2)
+            )
+            results[candidate.name] = emulator.emulate(cycle)
+        return results
+
+    results = benchmark(run_all)
+
+    rows = [_coverage_row(label, result) for label, result in results.items()]
+    emit_result(
+        "operating_windows_architectures",
+        rows,
+        title="Operating windows — architecture comparison on the urban cycle",
+    )
+    coverage = {row["scenario"]: row["moving_active_pct"] for row in rows}
+    assert coverage["legacy-tpms"] >= coverage["baseline"]
+    assert coverage["optimized"] >= coverage["baseline"]

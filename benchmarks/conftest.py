@@ -1,0 +1,65 @@
+"""Shared fixtures and result-emission helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or a methodology
+claim from the text), times it with pytest-benchmark, prints the resulting
+rows/series, and writes them to ``benchmarks/results/`` so they can be
+inspected or plotted after the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.blocks import baseline_node, legacy_tpms_node, optimized_node
+from repro.power import reference_power_database
+from repro.reporting.export import rows_to_csv
+from repro.reporting.tables import render_table
+from repro.scavenger import PiezoelectricScavenger, supercapacitor
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_result(name: str, rows: list[dict[str, object]], title: str, columns=None) -> None:
+    """Print a result table and persist it as CSV under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
+    print()
+    print(render_table(rows, columns=columns, title=title))
+
+
+@pytest.fixture(scope="session")
+def database():
+    """Reference power characterization (shared across benchmarks)."""
+    return reference_power_database()
+
+
+@pytest.fixture(scope="session")
+def node():
+    """The baseline Cyber Tyre style architecture."""
+    return baseline_node()
+
+
+@pytest.fixture(scope="session")
+def optimized():
+    """The architecture-level optimized node."""
+    return optimized_node()
+
+
+@pytest.fixture(scope="session")
+def legacy():
+    """The legacy pressure/temperature TPMS node."""
+    return legacy_tpms_node()
+
+
+@pytest.fixture(scope="session")
+def scavenger():
+    """The default piezoelectric scavenger."""
+    return PiezoelectricScavenger()
+
+
+@pytest.fixture
+def storage():
+    """A fresh supercapacitor per benchmark (the emulator mutates it)."""
+    return supercapacitor()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Architecture comparison: legacy TPMS vs Cyber Tyre baseline vs optimized node.
+
+Uses the dynamic-spreadsheet facade to compare custom architectures against
+the same power characterization — the "evaluate custom architectures of the
+chip in order to strike a balance between energy requirement and system
+performance" use case — and sweeps the working conditions for the winner.
+
+Run with::
+
+    python examples/architecture_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EnergyBalanceAnalysis,
+    OperatingPoint,
+    PiezoelectricScavenger,
+    RadioConfig,
+    Spreadsheet,
+    baseline_node,
+    legacy_tpms_node,
+    optimized_node,
+    reference_power_database,
+)
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    database = reference_power_database()
+    scavenger = PiezoelectricScavenger()
+    baseline = baseline_node()
+
+    # A custom what-if architecture built on the public API: keep the full
+    # sensing capability but only report once every eight revolutions.
+    sparse_reporting = baseline.with_radio(
+        RadioConfig(tx_interval_revs=8, payload_bits=256)
+    ).renamed("sparse-reporting")
+
+    catalogue = [legacy_tpms_node(), optimized_node(), sparse_reporting]
+
+    sheet = Spreadsheet(baseline, database)
+    rows = sheet.compare_architectures(catalogue, point=OperatingPoint(speed_kmh=60.0))
+    print(render_table(rows, title="Architecture comparison at 60 km/h", float_digits=1))
+    print()
+
+    break_even_rows = []
+    for node in [baseline, *catalogue]:
+        analysis = EnergyBalanceAnalysis(node, database, scavenger)
+        break_even = analysis.break_even_speed_kmh()
+        break_even_rows.append(
+            {
+                "architecture": node.name,
+                "break-even [km/h]": break_even if break_even is not None else float("nan"),
+                "samples per rev @60": node.samples_per_revolution(60.0),
+                "tx every N rev": node.radio.tx_interval_revs,
+            }
+        )
+    print(render_table(break_even_rows, title="Minimum activation speed per architecture", float_digits=1))
+    print()
+
+    # Working-condition sweep for the most energy-hungry architecture.
+    sweep_rows = [
+        {
+            "temperature [degC]": row.value,
+            "energy per rev [uJ]": row.energy_per_rev_j * 1e6,
+            "leakage share [%]": row.static_fraction * 100.0,
+        }
+        for row in sheet.temperature_sweep([-40.0, 0.0, 25.0, 60.0, 85.0, 125.0])
+    ]
+    print(render_table(sweep_rows, title="Baseline node vs junction temperature (60 km/h)", float_digits=1))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Quickstart: run the full energy analysis flow on the baseline Sensor Node.
+
+This is the five-minute tour of the toolkit: build the reference
+architecture, load the power characterization, pick a scavenger and a storage
+element, run the Fig. 1 flow (estimate, evaluate, optimize, re-estimate,
+integrate the source model, emulate) and print the headline numbers.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    EnergyAnalysisFlow,
+    PiezoelectricScavenger,
+    baseline_node,
+    reference_power_database,
+    supercapacitor,
+    urban_cycle,
+)
+from repro.reporting.tables import render_table
+
+
+def main() -> None:
+    node = baseline_node()
+    database = reference_power_database()
+    scavenger = PiezoelectricScavenger()
+
+    print(node.describe())
+    print()
+    print(scavenger.describe())
+    print()
+
+    flow = EnergyAnalysisFlow(node, database, scavenger, storage=supercapacitor())
+    report = flow.run(drive_cycle=urban_cycle(repetitions=2))
+
+    print("Per-block energy over one wheel round at 60 km/h")
+    print(render_table(report.energy_report.as_rows(), float_digits=2))
+    print()
+
+    print("Selected optimization techniques")
+    print(render_table(report.optimization.as_rows()))
+    print()
+
+    summary_rows = [{"figure": key, "value": value} for key, value in report.summary().items()]
+    print(render_table(summary_rows, title="Flow summary", float_digits=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Scavenger sizing and sensitivity: which knob buys the lowest activation speed.
+
+Answers the designer's two follow-up questions after seeing Fig. 2:
+
+* how large must the scavenging device be to activate the monitoring system
+  at a given cruising speed (e.g. urban driving at 30 km/h)?
+* which parameter — scavenger size, payload, transmission interval, ADC rate,
+  MCU workload, temperature — moves the break-even speed the most?
+
+Run with::
+
+    python examples/scavenger_sizing.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    PiezoelectricScavenger,
+    baseline_node,
+    optimized_node,
+    reference_power_database,
+)
+from repro.optimization.sensitivity import break_even_sensitivity
+from repro.reporting.tables import render_table
+from repro.scavenger.sizing import sizing_table
+
+
+def main() -> None:
+    database = reference_power_database()
+    scavenger = PiezoelectricScavenger()
+
+    targets = [25.0, 30.0, 40.0, 50.0, 60.0]
+    for node in (baseline_node(), optimized_node()):
+        rows = sizing_table(node, database, scavenger, targets)
+        print(
+            render_table(
+                rows,
+                title=f"Scavenger size needed per activation-speed target — {node.name}",
+                float_digits=2,
+            )
+        )
+        print()
+
+    entries = break_even_sensitivity(baseline_node(), database, scavenger)
+    rows = [entry.as_row() for entry in entries]
+    print(
+        render_table(
+            rows,
+            title="Break-even sensitivity to a +10% change of each parameter (baseline node)",
+            float_digits=2,
+        )
+    )
+    print()
+    strongest = entries[0]
+    print(
+        f"The strongest lever is '{strongest.parameter}': a +10% change moves the "
+        f"minimum activation speed by {strongest.delta_kmh:+.1f} km/h "
+        f"(elasticity {strongest.elasticity:+.2f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

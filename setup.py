@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project is fully described in ``pyproject.toml``; this file only exists
+so that environments without the ``wheel`` package (where PEP 660 editable
+installs are unavailable) can still install the library with
+``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

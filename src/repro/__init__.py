@@ -1,0 +1,155 @@
+"""repro — energy analysis methods and tools for tyre monitoring systems.
+
+A reproduction of A. Bonanno, A. Bocca, M. Sabatini, *"Energy Analysis
+Methods and Tools for Modeling and Optimizing Monitoring Tyre Systems"*,
+DATE 2011.  The library models a self-powered in-tyre Sensor Node (sensors,
+ADC, data-computing system, memories, radio, power management), its energy
+scavenger and storage, and implements the paper's analysis flow: per-block
+power estimation, duty-cycle-aware energy evaluation over the wheel round,
+optimization-technique selection, energy-balance analysis versus cruising
+speed (break-even point) and long-window emulation against drive cycles.
+
+Quickstart::
+
+    from repro import (
+        EnergyAnalysisFlow, baseline_node, reference_power_database,
+        PiezoelectricScavenger, supercapacitor, nedc_like_cycle,
+    )
+
+    flow = EnergyAnalysisFlow(
+        node=baseline_node(),
+        database=reference_power_database(),
+        scavenger=PiezoelectricScavenger(),
+        storage=supercapacitor(),
+    )
+    report = flow.run(drive_cycle=nedc_like_cycle())
+    print(report.summary())
+"""
+
+from repro.blocks import (
+    AdcConfig,
+    McuConfig,
+    MemoryConfig,
+    PmuConfig,
+    RadioConfig,
+    SensorNode,
+    SensorSuiteConfig,
+    baseline_node,
+    legacy_tpms_node,
+    optimized_node,
+)
+from repro.conditions import (
+    ConstantTemperature,
+    OperatingPoint,
+    ProcessCorner,
+    ProcessVariation,
+    SupplyCondition,
+    SupplyRail,
+    TyreThermalModel,
+)
+from repro.core import (
+    EnergyAnalysisFlow,
+    EnergyBalanceAnalysis,
+    EnergyBalanceCurve,
+    EnergyEvaluator,
+    EmulationResult,
+    FlowReport,
+    NodeEmulator,
+    PowerTrace,
+    RevolutionEnergyReport,
+    Spreadsheet,
+    find_operating_windows,
+)
+from repro.optimization import (
+    SelectionPolicy,
+    apply_assignments,
+    default_technique_catalogue,
+    select_techniques,
+)
+from repro.power import PowerDatabase, PowerEntry, reference_power_database
+from repro.scavenger import (
+    ElectromagneticScavenger,
+    ElectrostaticScavenger,
+    PiezoelectricScavenger,
+    StorageElement,
+    TabulatedScavenger,
+    supercapacitor,
+    thin_film_battery,
+)
+from repro.timing import RevolutionSchedule, duty_cycle_report
+from repro.vehicle import (
+    DriveCycle,
+    Tyre,
+    Wheel,
+    constant_cruise,
+    highway_cycle,
+    nedc_like_cycle,
+    tyre_from_etrto,
+    urban_cycle,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # architecture
+    "SensorNode",
+    "SensorSuiteConfig",
+    "AdcConfig",
+    "McuConfig",
+    "MemoryConfig",
+    "RadioConfig",
+    "PmuConfig",
+    "baseline_node",
+    "optimized_node",
+    "legacy_tpms_node",
+    # conditions
+    "OperatingPoint",
+    "ConstantTemperature",
+    "TyreThermalModel",
+    "SupplyRail",
+    "SupplyCondition",
+    "ProcessCorner",
+    "ProcessVariation",
+    # vehicle
+    "Tyre",
+    "tyre_from_etrto",
+    "Wheel",
+    "DriveCycle",
+    "constant_cruise",
+    "urban_cycle",
+    "highway_cycle",
+    "nedc_like_cycle",
+    # power
+    "PowerDatabase",
+    "PowerEntry",
+    "reference_power_database",
+    # timing
+    "RevolutionSchedule",
+    "duty_cycle_report",
+    # scavenging
+    "PiezoelectricScavenger",
+    "ElectromagneticScavenger",
+    "ElectrostaticScavenger",
+    "TabulatedScavenger",
+    "StorageElement",
+    "supercapacitor",
+    "thin_film_battery",
+    # core methodology
+    "EnergyEvaluator",
+    "RevolutionEnergyReport",
+    "EnergyBalanceAnalysis",
+    "EnergyBalanceCurve",
+    "NodeEmulator",
+    "EmulationResult",
+    "PowerTrace",
+    "find_operating_windows",
+    "Spreadsheet",
+    "EnergyAnalysisFlow",
+    "FlowReport",
+    # optimization
+    "SelectionPolicy",
+    "select_techniques",
+    "apply_assignments",
+    "default_technique_catalogue",
+    "__version__",
+]

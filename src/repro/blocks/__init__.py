@@ -1,0 +1,39 @@
+"""Functional blocks of the Sensor Node and their composition.
+
+The paper's minimum architecture is *"a sensor data acquisition block, a data
+computing system and a wireless communication device"* plus memories and the
+power-management unit.  Each module in this package describes one block
+(its operating modes and the operating-condition parameters that set its duty
+cycle); :mod:`repro.blocks.node` composes them into a
+:class:`~repro.blocks.node.SensorNode` that can produce the intra-revolution
+schedule the evaluator and emulator consume.
+"""
+
+from repro.blocks.adc import AdcConfig
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.blocks.mcu import McuConfig
+from repro.blocks.memory import MemoryConfig
+from repro.blocks.node import SensorNode
+from repro.blocks.pmu import PmuConfig
+from repro.blocks.radio import RadioConfig
+from repro.blocks.sensors import SensorSuiteConfig
+from repro.blocks.architectures import (
+    baseline_node,
+    legacy_tpms_node,
+    optimized_node,
+)
+
+__all__ = [
+    "FunctionalBlock",
+    "BlockCategory",
+    "SensorSuiteConfig",
+    "AdcConfig",
+    "McuConfig",
+    "MemoryConfig",
+    "RadioConfig",
+    "PmuConfig",
+    "SensorNode",
+    "baseline_node",
+    "optimized_node",
+    "legacy_tpms_node",
+]

@@ -1,0 +1,51 @@
+"""Analog-to-digital converter of the acquisition chain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AdcConfig:
+    """Operating-condition parameters of the SAR ADC.
+
+    Attributes:
+        sample_rate_hz: conversion rate while acquiring.
+        resolution_bits: converter resolution; reported and used to size the
+            per-revolution data volume the MCU must process and the radio may
+            transmit.
+    """
+
+    sample_rate_hz: float = 100e3
+    resolution_bits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.sample_rate_hz <= 0.0:
+            raise ConfigurationError("ADC sample rate must be positive")
+        if not 6 <= self.resolution_bits <= 24:
+            raise ConfigurationError("ADC resolution must be between 6 and 24 bits")
+
+    def block(self) -> FunctionalBlock:
+        """Architectural description of the ADC."""
+        return FunctionalBlock(
+            name="adc",
+            category=BlockCategory.ANALOG,
+            modes=("active", "idle", "sleep"),
+            resting_mode="sleep",
+            description=f"{self.resolution_bits}-bit SAR ADC @ {self.sample_rate_hz / 1e3:.0f} kS/s",
+        )
+
+    def samples_in(self, window_s: float) -> int:
+        """Samples converted in a window of ``window_s`` seconds (at least 1)."""
+        if window_s < 0.0:
+            raise ConfigurationError("window must be non-negative")
+        return max(1, int(window_s * self.sample_rate_hz))
+
+    def bits_for(self, samples: int) -> int:
+        """Raw data volume in bits for ``samples`` conversions."""
+        if samples < 0:
+            raise ConfigurationError("sample count must be non-negative")
+        return samples * self.resolution_bits

@@ -1,0 +1,97 @@
+"""Predefined Sensor Node architectures.
+
+Three reference points cover the design space the paper's tools are meant to
+explore:
+
+* :func:`legacy_tpms_node` — a classic valve-mounted TPMS: pressure and
+  temperature only, no contact-patch acquisition, sparse transmissions.  It
+  is the "not enough for improving driving controls" baseline of the
+  introduction.
+* :func:`baseline_node` — the full Cyber Tyre style node with tread
+  accelerometer, per-revolution processing and per-revolution transmission,
+  before any energy optimization.
+* :func:`optimized_node` — the same sensing capability after the
+  architecture-level operating-condition optimizations the tools suggest
+  (packet aggregation over several revolutions, data compression, lower MCU
+  clock); the circuit-level techniques (clock/power gating, voltage scaling)
+  are applied to the power database by :mod:`repro.optimization`, not here.
+"""
+
+from __future__ import annotations
+
+from repro.blocks.mcu import McuConfig
+from repro.blocks.memory import MemoryConfig
+from repro.blocks.node import SensorNode
+from repro.blocks.radio import RadioConfig
+from repro.blocks.sensors import SensorSuiteConfig
+from repro.vehicle.wheel import Wheel
+
+
+def baseline_node(wheel: Wheel | None = None) -> SensorNode:
+    """The un-optimized Cyber Tyre style Sensor Node.
+
+    Transmits every revolution and processes every contact-patch crossing at
+    the full MCU clock; this is the architecture whose energy balance Fig. 2
+    reports before optimization.
+    """
+    return SensorNode(
+        name="baseline",
+        sensors=SensorSuiteConfig(),
+        mcu=McuConfig(),
+        radio=RadioConfig(tx_interval_revs=1),
+        wheel=wheel or Wheel(),
+    )
+
+
+def optimized_node(wheel: Wheel | None = None) -> SensorNode:
+    """Operating-condition optimized node.
+
+    Aggregates four revolutions per packet and compresses the payload (more
+    MCU work, far fewer radio bits), and refreshes the slow sensors half as
+    often.  Used together with the technique-optimized power database to
+    quantify the total energy reduction of the flow.
+    """
+    return SensorNode(
+        name="optimized",
+        sensors=SensorSuiteConfig(slow_refresh_interval_revs=16),
+        mcu=McuConfig(compression_ratio=0.5),
+        radio=RadioConfig(tx_interval_revs=4, payload_bits=160),
+        memory=MemoryConfig(nvm_write_interval_revs=512),
+        wheel=wheel or Wheel(),
+    )
+
+
+def legacy_tpms_node(wheel: Wheel | None = None) -> SensorNode:
+    """A conventional pressure/temperature-only TPMS node.
+
+    No accelerometer, no per-revolution processing, one short packet every
+    64 revolutions — the energy-frugal but information-poor end of the design
+    space the introduction argues is insufficient.
+    """
+    return SensorNode(
+        name="legacy-tpms",
+        sensors=SensorSuiteConfig(
+            use_accelerometer=False,
+            slow_refresh_interval_revs=16,
+            slow_sensor_on_time_s=1.0e-3,
+        ),
+        mcu=McuConfig(
+            clock_hz=4e6,
+            cycles_per_sample=12,
+            base_cycles_per_revolution=1_500,
+        ),
+        radio=RadioConfig(tx_interval_revs=64, payload_bits=64, overhead_bits=64),
+        memory=MemoryConfig(use_nvm=False),
+        wheel=wheel or Wheel(),
+    )
+
+
+def architecture_catalogue(wheel: Wheel | None = None) -> dict[str, SensorNode]:
+    """All predefined architectures keyed by name."""
+    shared_wheel = wheel or Wheel()
+    nodes = (
+        legacy_tpms_node(shared_wheel),
+        baseline_node(shared_wheel),
+        optimized_node(shared_wheel),
+    )
+    return {node.name: node for node in nodes}

@@ -1,0 +1,75 @@
+"""Base description of a functional block.
+
+A :class:`FunctionalBlock` is the architectural view of a block: its name,
+the operating modes it supports, the mode it rests in between activity
+bursts, and a category used by reports.  Power figures live in the power
+database; behaviour over a wheel round lives in the schedule the node builds.
+Keeping the three views separate is what lets the optimization step rewrite
+one of them (the database) without touching the others.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, UnknownModeError
+
+
+class BlockCategory(enum.Enum):
+    """Coarse block categories used for reporting and rail assignment."""
+
+    ANALOG = "analog"
+    DIGITAL = "digital"
+    MEMORY = "memory"
+    RADIO = "radio"
+    POWER = "power"
+
+
+@dataclass(frozen=True)
+class FunctionalBlock:
+    """Architectural description of one functional block.
+
+    Attributes:
+        name: block name; must match the block name used in the power
+            database.
+        category: coarse category.
+        modes: operating modes the block supports.
+        resting_mode: the mode the block occupies outside its busy phases.
+        always_on: True for blocks that never enter the resting mode of the
+            node (e.g. the LF wake-up receiver and the PMU supervisor).
+        description: free-form description used in reports.
+    """
+
+    name: str
+    category: BlockCategory
+    modes: tuple[str, ...]
+    resting_mode: str
+    always_on: bool = False
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("block name must not be empty")
+        if not self.modes:
+            raise ConfigurationError(f"block {self.name!r} needs at least one mode")
+        if len(set(self.modes)) != len(self.modes):
+            raise ConfigurationError(f"block {self.name!r} has duplicate modes")
+        if self.resting_mode not in self.modes:
+            raise ConfigurationError(
+                f"block {self.name!r} resting mode {self.resting_mode!r} is not "
+                f"among its modes {self.modes}"
+            )
+
+    def validate_mode(self, mode: str) -> str:
+        """Return ``mode`` if the block supports it, raise otherwise."""
+        if mode not in self.modes:
+            raise UnknownModeError(
+                f"block {self.name!r} has no mode {mode!r}; supported: {self.modes}"
+            )
+        return mode
+
+    @property
+    def required_characterization(self) -> dict[str, tuple[str, ...]]:
+        """The (block -> modes) mapping the power database must cover."""
+        return {self.name: self.modes}

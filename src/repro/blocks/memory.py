@@ -1,0 +1,67 @@
+"""Memories of the Sensor Node: working SRAM and non-volatile storage."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Operating-condition parameters of the memory subsystem.
+
+    Attributes:
+        sram_kib: working-memory size; only reported (the power entry is
+            characterized for the reference size).
+        use_nvm: whether the architecture logs calibration/diagnostic data to
+            non-volatile memory.
+        nvm_write_interval_revs: an NVM write burst happens once every this
+            many revolutions (logging is rare).
+        nvm_write_duration_s: duration of one NVM write burst.
+    """
+
+    sram_kib: int = 8
+    use_nvm: bool = True
+    nvm_write_interval_revs: int = 256
+    nvm_write_duration_s: float = 2.0e-3
+
+    def __post_init__(self) -> None:
+        if self.sram_kib <= 0:
+            raise ConfigurationError("SRAM size must be positive")
+        if self.nvm_write_interval_revs < 1:
+            raise ConfigurationError("NVM write interval must be at least 1 revolution")
+        if self.nvm_write_duration_s <= 0.0:
+            raise ConfigurationError("NVM write duration must be positive")
+
+    def blocks(self) -> list[FunctionalBlock]:
+        """Architectural descriptions of the memory blocks."""
+        blocks = [
+            FunctionalBlock(
+                name="sram",
+                category=BlockCategory.MEMORY,
+                modes=("active", "idle", "sleep"),
+                resting_mode="sleep",
+                description=f"{self.sram_kib} KiB working SRAM (retention sleep)",
+            )
+        ]
+        if self.use_nvm:
+            blocks.append(
+                FunctionalBlock(
+                    name="nvm",
+                    category=BlockCategory.MEMORY,
+                    modes=("active", "sleep"),
+                    resting_mode="sleep",
+                    description="non-volatile calibration/log memory",
+                )
+            )
+        return blocks
+
+    def writes_nvm(self, revolution_index: int) -> bool:
+        """True when an NVM log write happens on this revolution."""
+        if revolution_index < 0:
+            raise ConfigurationError("revolution index must be non-negative")
+        if not self.use_nvm:
+            return False
+        return revolution_index % self.nvm_write_interval_revs == 0 and revolution_index > 0

@@ -1,0 +1,47 @@
+"""Power-management unit: rectifier control, regulators and supervisor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PmuConfig:
+    """Operating-condition parameters of the power-management unit.
+
+    Attributes:
+        regulator_efficiency: average conversion efficiency from the storage
+            element to the block rails; used when referring node energy back
+            to the harvested/stored energy domain.
+        quiescent_always_on: the PMU supervisor can never be fully switched
+            off while the node is provisioned; kept as an explicit flag so
+            architecture experiments can model a node with an external
+            supervisor.
+    """
+
+    regulator_efficiency: float = 0.85
+    quiescent_always_on: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.regulator_efficiency <= 1.0:
+            raise ConfigurationError("regulator efficiency must be in (0, 1]")
+
+    def block(self) -> FunctionalBlock:
+        """Architectural description of the PMU."""
+        return FunctionalBlock(
+            name="pmu",
+            category=BlockCategory.POWER,
+            modes=("active", "idle", "sleep"),
+            resting_mode="sleep",
+            always_on=self.quiescent_always_on,
+            description="power management: rectifier control, regulators, supervisor",
+        )
+
+    def referred_to_storage(self, energy_j: float) -> float:
+        """Energy drawn from the storage element to deliver ``energy_j`` to the rails."""
+        if energy_j < 0.0:
+            raise ConfigurationError("energy must be non-negative")
+        return energy_j / self.regulator_efficiency

@@ -1,0 +1,103 @@
+"""Wireless communication device of the Sensor Node.
+
+The in-tyre node transmits short bursts to the elaboration unit on the car
+(junction box).  The transmission duty cycle is the block the paper singles
+out as speed dependent: the burst duration is fixed by the payload and data
+rate, while the wheel-round period shrinks with speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RadioConfig:
+    """Operating-condition parameters of the radio.
+
+    Attributes:
+        payload_bits: application payload per transmitted packet.
+        overhead_bits: preamble, sync word, addressing and CRC bits.
+        data_rate_bps: over-the-air bit rate.
+        tx_interval_revs: one packet is sent every this many revolutions.
+        startup_s: synthesizer start-up/settling time before the burst, spent
+            in the transmitter's ``idle`` mode.
+        use_wakeup_receiver: include the always-on LF wake-up receiver used
+            by the car unit to trigger/configure the node.
+    """
+
+    payload_bits: int = 128
+    overhead_bits: int = 96
+    data_rate_bps: float = 50e3
+    tx_interval_revs: int = 1
+    startup_s: float = 0.4e-3
+    use_wakeup_receiver: bool = True
+
+    def __post_init__(self) -> None:
+        if self.payload_bits <= 0:
+            raise ConfigurationError("payload must be positive")
+        if self.overhead_bits < 0:
+            raise ConfigurationError("overhead bits must be non-negative")
+        if self.data_rate_bps <= 0.0:
+            raise ConfigurationError("data rate must be positive")
+        if self.tx_interval_revs < 1:
+            raise ConfigurationError("transmission interval must be at least 1 revolution")
+        if self.startup_s < 0.0:
+            raise ConfigurationError("startup time must be non-negative")
+
+    def blocks(self) -> list[FunctionalBlock]:
+        """Architectural descriptions of the radio blocks."""
+        blocks = [
+            FunctionalBlock(
+                name="rf_tx",
+                category=BlockCategory.RADIO,
+                modes=("active", "idle", "sleep"),
+                resting_mode="sleep",
+                description=f"UHF transmitter, {self.data_rate_bps / 1e3:.0f} kbps bursts",
+            )
+        ]
+        if self.use_wakeup_receiver:
+            blocks.append(
+                FunctionalBlock(
+                    name="lf_rx",
+                    category=BlockCategory.RADIO,
+                    modes=("active", "sleep"),
+                    resting_mode="active",
+                    always_on=True,
+                    description="125 kHz LF wake-up receiver (always listening)",
+                )
+            )
+        return blocks
+
+    @property
+    def packet_bits(self) -> int:
+        """Total bits per packet including overhead."""
+        return self.payload_bits + self.overhead_bits
+
+    def burst_duration_s(self, payload_scale: float = 1.0) -> float:
+        """Duration of one transmission burst.
+
+        Args:
+            payload_scale: multiplier on the payload size (data compression
+                shrinks it; richer reporting grows it).  Overhead bits are
+                not scaled.
+        """
+        if payload_scale <= 0.0:
+            raise ConfigurationError("payload scale must be positive")
+        bits = self.payload_bits * payload_scale + self.overhead_bits
+        return bits / self.data_rate_bps
+
+    def transmits(self, revolution_index: int) -> bool:
+        """True when a packet is transmitted on this revolution."""
+        if revolution_index < 0:
+            raise ConfigurationError("revolution index must be non-negative")
+        return revolution_index % self.tx_interval_revs == 0
+
+    def energy_per_bit_reference_j(self, tx_power_w: float) -> float:
+        """Reference energy-per-bit figure used in reports."""
+        if tx_power_w <= 0.0:
+            raise ConfigurationError("transmit power must be positive")
+        return tx_power_w / self.data_rate_bps

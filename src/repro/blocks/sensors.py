@@ -1,0 +1,85 @@
+"""Sensor data-acquisition front-ends.
+
+The Cyber Tyre node senses pressure, temperature and tread acceleration.
+Pressure and temperature change slowly, so they are refreshed every
+``slow_refresh_interval_revs`` revolutions; the accelerometer is sampled
+around every contact-patch crossing because that is where the friction
+information lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SensorSuiteConfig:
+    """Operating-condition parameters of the sensor suite.
+
+    Attributes:
+        use_pressure: include the pressure sensor.
+        use_temperature: include the temperature sensor.
+        use_accelerometer: include the tread accelerometer (the block that
+            turns a TPMS into a Cyber Tyre node).
+        slow_refresh_interval_revs: pressure/temperature are refreshed once
+            every this many revolutions.
+        slow_sensor_on_time_s: time the slow sensors stay on per refresh.
+    """
+
+    use_pressure: bool = True
+    use_temperature: bool = True
+    use_accelerometer: bool = True
+    slow_refresh_interval_revs: int = 8
+    slow_sensor_on_time_s: float = 1.5e-3
+
+    def __post_init__(self) -> None:
+        if self.slow_refresh_interval_revs < 1:
+            raise ConfigurationError("slow refresh interval must be at least 1 revolution")
+        if self.slow_sensor_on_time_s <= 0.0:
+            raise ConfigurationError("slow sensor on-time must be positive")
+        if not (self.use_pressure or self.use_temperature or self.use_accelerometer):
+            raise ConfigurationError("the sensor suite must include at least one sensor")
+
+    def blocks(self) -> list[FunctionalBlock]:
+        """Architectural descriptions of the enabled sensor blocks."""
+        blocks: list[FunctionalBlock] = []
+        if self.use_pressure:
+            blocks.append(
+                FunctionalBlock(
+                    name="pressure_sensor",
+                    category=BlockCategory.ANALOG,
+                    modes=("active", "sleep"),
+                    resting_mode="sleep",
+                    description="piezoresistive pressure sensor + conditioning",
+                )
+            )
+        if self.use_temperature:
+            blocks.append(
+                FunctionalBlock(
+                    name="temperature_sensor",
+                    category=BlockCategory.ANALOG,
+                    modes=("active", "sleep"),
+                    resting_mode="sleep",
+                    description="bandgap temperature sensor",
+                )
+            )
+        if self.use_accelerometer:
+            blocks.append(
+                FunctionalBlock(
+                    name="accelerometer",
+                    category=BlockCategory.ANALOG,
+                    modes=("active", "idle", "sleep"),
+                    resting_mode="sleep",
+                    description="MEMS accelerometer for contact-patch analysis",
+                )
+            )
+        return blocks
+
+    def refreshes_slow_sensors(self, revolution_index: int) -> bool:
+        """True when the slow (pressure/temperature) sensors sample this revolution."""
+        if revolution_index < 0:
+            raise ConfigurationError("revolution index must be non-negative")
+        return revolution_index % self.slow_refresh_interval_revs == 0

@@ -1,0 +1,270 @@
+"""Command-line interface to the energy-analysis toolkit.
+
+Exposes the everyday questions as subcommands so the tools can be driven from
+a shell (or a Makefile) without writing Python::
+
+    tpms-energy architectures
+    tpms-energy balance   --architecture baseline --temperature 25
+    tpms-energy trace     --speed 60 --window 0.5
+    tpms-energy optimize  --architecture baseline --temperature 85
+    tpms-energy emulate   --cycle nedc --architecture optimized
+    tpms-energy report    --architecture baseline
+
+Every subcommand prints plain-text tables (see :mod:`repro.reporting`) and
+returns a non-zero exit code on analysis errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.architectures import architecture_catalogue
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.emulator import NodeEmulator
+from repro.core.evaluator import EnergyEvaluator
+from repro.core.flow import EnergyAnalysisFlow
+from repro.core.report import render_flow_report
+from repro.errors import ReproError
+from repro.optimization.apply import apply_assignments
+from repro.optimization.selection import select_techniques
+from repro.power.library import reference_power_database
+from repro.reporting.tables import render_table
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+from repro.scavenger.storage import supercapacitor
+from repro.vehicle.drive_cycle import highway_cycle, nedc_like_cycle, urban_cycle
+
+_CYCLES = {
+    "urban": lambda: urban_cycle(repetitions=4),
+    "nedc": nedc_like_cycle,
+    "highway": highway_cycle,
+}
+
+
+def _resolve_node(name: str):
+    catalogue = architecture_catalogue()
+    if name not in catalogue:
+        raise ReproError(
+            f"unknown architecture {name!r}; available: {sorted(catalogue)}"
+        )
+    return catalogue[name]
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--architecture",
+        default="baseline",
+        help="architecture name (see the 'architectures' subcommand)",
+    )
+    parser.add_argument(
+        "--temperature",
+        type=float,
+        default=25.0,
+        help="junction temperature in degrees Celsius",
+    )
+    parser.add_argument(
+        "--scavenger-size",
+        type=float,
+        default=1.0,
+        help="scavenger size factor relative to the reference device",
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tpms-energy",
+        description="Energy analysis tools for self-powered tyre monitoring systems",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("architectures", help="list the predefined architectures")
+
+    balance = subparsers.add_parser(
+        "balance", help="energy balance vs cruising speed and break-even point (Fig. 2)"
+    )
+    _add_common_arguments(balance)
+    balance.add_argument("--speed-min", type=float, default=5.0)
+    balance.add_argument("--speed-max", type=float, default=200.0)
+    balance.add_argument("--speed-step", type=float, default=5.0)
+
+    trace = subparsers.add_parser(
+        "trace", help="instant power over a constant-speed window (Fig. 3)"
+    )
+    _add_common_arguments(trace)
+    trace.add_argument("--speed", type=float, default=60.0, help="cruising speed in km/h")
+    trace.add_argument("--window", type=float, default=0.5, help="window length in seconds")
+
+    optimize = subparsers.add_parser(
+        "optimize", help="duty-cycle-driven technique selection and re-estimation"
+    )
+    _add_common_arguments(optimize)
+    optimize.add_argument("--speed", type=float, default=60.0, help="evaluation speed in km/h")
+
+    emulate = subparsers.add_parser(
+        "emulate", help="long-window emulation over a drive cycle"
+    )
+    _add_common_arguments(emulate)
+    emulate.add_argument(
+        "--cycle", choices=sorted(_CYCLES), default="urban", help="drive cycle to play"
+    )
+
+    report = subparsers.add_parser(
+        "report", help="run the full analysis flow and print the complete report"
+    )
+    _add_common_arguments(report)
+    report.add_argument("--cycle", choices=sorted(_CYCLES), default=None)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+
+def _cmd_architectures(_: argparse.Namespace) -> int:
+    rows = []
+    for name, node in architecture_catalogue().items():
+        rows.append(
+            {
+                "architecture": name,
+                "blocks": len(node.blocks()),
+                "tx every N rev": node.radio.tx_interval_revs,
+                "accelerometer": node.sensors.use_accelerometer,
+                "description": node.describe().splitlines()[0],
+            }
+        )
+    print(render_table(rows, title="Predefined Sensor Node architectures"))
+    return 0
+
+
+def _cmd_balance(args: argparse.Namespace) -> int:
+    node = _resolve_node(args.architecture)
+    scavenger = PiezoelectricScavenger().scaled(args.scavenger_size)
+    analysis = EnergyBalanceAnalysis(node, reference_power_database(), scavenger)
+    speeds = np.arange(args.speed_min, args.speed_max + args.speed_step / 2, args.speed_step)
+    curve = analysis.curve(
+        speeds,
+        point_factory=lambda speed: OperatingPoint(
+            speed_kmh=speed, temperature_c=args.temperature
+        ),
+    )
+    print(
+        render_table(
+            curve.as_rows(),
+            title=f"Energy balance — {node.name}, {args.temperature:.0f} degC",
+            float_digits=2,
+        )
+    )
+    break_even = curve.break_even_speed_kmh()
+    if break_even is None:
+        print("\nbreak-even: not reached in the sampled range")
+    else:
+        print(f"\nbreak-even (minimum activation) speed: {break_even:.1f} km/h")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    node = _resolve_node(args.architecture)
+    emulator = NodeEmulator(
+        node,
+        reference_power_database(),
+        PiezoelectricScavenger().scaled(args.scavenger_size),
+        supercapacitor(),
+        base_point=OperatingPoint(temperature_c=args.temperature),
+    )
+    trace = emulator.steady_state_trace(args.speed, args.window)
+    print(
+        render_table(
+            trace.as_rows(),
+            title=f"Instant power — {node.name} at {args.speed:.0f} km/h",
+            float_digits=3,
+        )
+    )
+    print(
+        f"\npeak {trace.peak_power_w() * 1e3:.2f} mW, "
+        f"average {trace.average_power_w() * 1e6:.1f} uW, "
+        f"floor {trace.min_power_w() * 1e6:.2f} uW, "
+        f"energy {trace.energy_j() * 1e6:.1f} uJ over {trace.duration_s * 1e3:.0f} ms"
+    )
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    node = _resolve_node(args.architecture)
+    database = reference_power_database()
+    point = OperatingPoint(speed_kmh=args.speed, temperature_c=args.temperature)
+    evaluator = EnergyEvaluator(node, database)
+    assignments = select_techniques(evaluator.duty_cycles(point), database=database)
+    outcome = apply_assignments(node, database, assignments, point=point)
+    if outcome.assignments:
+        print(render_table(outcome.as_rows(), title="Selected optimization techniques"))
+    print(
+        f"\nenergy per wheel round: {outcome.energy_before_j * 1e6:.1f} uJ -> "
+        f"{outcome.energy_after_j * 1e6:.1f} uJ "
+        f"({outcome.saving_fraction * 100.0:.1f}% saving) at {point.describe()}"
+    )
+    return 0
+
+
+def _cmd_emulate(args: argparse.Namespace) -> int:
+    node = _resolve_node(args.architecture)
+    cycle = _CYCLES[args.cycle]()
+    emulator = NodeEmulator(
+        node,
+        reference_power_database(),
+        PiezoelectricScavenger().scaled(args.scavenger_size),
+        supercapacitor(initial_fraction=0.2),
+        base_point=OperatingPoint(temperature_c=args.temperature),
+    )
+    result = emulator.emulate(cycle)
+    rows = [{"figure": key, "value": value} for key, value in result.summary().items()]
+    print(render_table(rows, title=f"Emulation — {node.name} on the {cycle.name} cycle",
+                       float_digits=2))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    node = _resolve_node(args.architecture)
+    flow = EnergyAnalysisFlow(
+        node,
+        reference_power_database(),
+        PiezoelectricScavenger().scaled(args.scavenger_size),
+        storage=supercapacitor(initial_fraction=0.2),
+    )
+    cycle = _CYCLES[args.cycle]() if args.cycle else None
+    flow_report = flow.run(
+        point=OperatingPoint(speed_kmh=60.0, temperature_c=args.temperature),
+        drive_cycle=cycle,
+    )
+    print(render_flow_report(flow_report))
+    return 0
+
+
+_COMMANDS = {
+    "architectures": _cmd_architectures,
+    "balance": _cmd_balance,
+    "trace": _cmd_trace,
+    "optimize": _cmd_optimize,
+    "emulate": _cmd_emulate,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

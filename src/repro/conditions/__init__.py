@@ -1,0 +1,33 @@
+"""Working-condition models: temperature, supply voltage, process variation.
+
+The paper distinguishes *operating conditions* (how each functional block is
+configured, how many samples are acquired) from *working conditions*
+(temperature, supply voltage) and *process variation*.  This package models
+the working conditions and process variation; operating conditions live with
+the functional blocks themselves (:mod:`repro.blocks`).
+"""
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.conditions.process import (
+    MonteCarloSampler,
+    ProcessCorner,
+    ProcessVariation,
+)
+from repro.conditions.supply import SupplyCondition, SupplyRail
+from repro.conditions.temperature import (
+    ConstantTemperature,
+    TemperatureProfile,
+    TyreThermalModel,
+)
+
+__all__ = [
+    "OperatingPoint",
+    "ProcessCorner",
+    "ProcessVariation",
+    "MonteCarloSampler",
+    "SupplyCondition",
+    "SupplyRail",
+    "TemperatureProfile",
+    "ConstantTemperature",
+    "TyreThermalModel",
+]

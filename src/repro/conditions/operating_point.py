@@ -1,0 +1,108 @@
+"""The :class:`OperatingPoint` — one row of working conditions in the spreadsheet.
+
+An operating point bundles everything outside the node architecture that
+influences its power: junction temperature, supply voltage, process
+variation, and the cruising speed (which sets the wheel-round period and the
+speed-dependent duty cycles).  Every query into the power database and every
+energy evaluation is made *at* an operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.conditions.process import ProcessCorner, ProcessVariation
+from repro.conditions.supply import CORE_RAIL, SupplyCondition
+from repro.errors import ConfigurationError
+from repro.units import kmh_to_ms
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Working conditions at which power and energy are evaluated.
+
+    Attributes:
+        temperature_c: junction temperature in degrees Celsius.
+        supply: the supply condition applied to the core rail.  Blocks on
+            other rails scale from their own nominal rail; the core supply is
+            the one the optimization techniques act on.
+        process: process-variation condition.
+        speed_kmh: vehicle cruising speed in km/h.  ``0`` means the vehicle is
+            stationary (no wheel rounds, no harvesting).
+    """
+
+    temperature_c: float = 25.0
+    supply: SupplyCondition = field(
+        default_factory=lambda: SupplyCondition(rail=CORE_RAIL, corner="nom")
+    )
+    process: ProcessVariation = field(default_factory=ProcessVariation)
+    speed_kmh: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        if not -60.0 <= self.temperature_c <= 200.0:
+            raise ConfigurationError(
+                f"temperature {self.temperature_c} degC is outside the modelled range"
+            )
+
+    @property
+    def speed_ms(self) -> float:
+        """Cruising speed in m/s."""
+        return kmh_to_ms(self.speed_kmh)
+
+    @property
+    def supply_voltage(self) -> float:
+        """Core supply voltage selected by the supply condition."""
+        return self.supply.voltage
+
+    @property
+    def is_moving(self) -> bool:
+        """True when the wheel is rotating (speed above zero)."""
+        return self.speed_kmh > 0.0
+
+    def at_speed(self, speed_kmh: float) -> "OperatingPoint":
+        """Return a copy of this operating point at a different speed."""
+        return replace(self, speed_kmh=speed_kmh)
+
+    def at_temperature(self, temperature_c: float) -> "OperatingPoint":
+        """Return a copy of this operating point at a different temperature."""
+        return replace(self, temperature_c=temperature_c)
+
+    def with_supply(self, supply: SupplyCondition) -> "OperatingPoint":
+        """Return a copy of this operating point with a different supply condition."""
+        return replace(self, supply=supply)
+
+    def with_process(self, process: ProcessVariation) -> "OperatingPoint":
+        """Return a copy of this operating point with a different process condition."""
+        return replace(self, process=process)
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used in reports."""
+        return (
+            f"{self.speed_kmh:.0f} km/h, {self.temperature_c:.0f} degC, "
+            f"{self.supply_voltage:.2f} V, corner={self.process.corner.name.lower()}"
+        )
+
+
+def nominal_operating_point(speed_kmh: float = 60.0) -> OperatingPoint:
+    """The nominal working condition used throughout the examples and benches."""
+    return OperatingPoint(temperature_c=25.0, speed_kmh=speed_kmh)
+
+
+def worst_case_operating_point(speed_kmh: float = 60.0) -> OperatingPoint:
+    """Hot, fast-corner condition: the pessimistic leakage scenario."""
+    return OperatingPoint(
+        temperature_c=125.0,
+        process=ProcessVariation(corner=ProcessCorner.FAST),
+        speed_kmh=speed_kmh,
+    )
+
+
+def best_case_operating_point(speed_kmh: float = 60.0) -> OperatingPoint:
+    """Cold, slow-corner condition: the optimistic leakage scenario."""
+    return OperatingPoint(
+        temperature_c=-40.0,
+        process=ProcessVariation(corner=ProcessCorner.SLOW),
+        speed_kmh=speed_kmh,
+    )

@@ -1,0 +1,126 @@
+"""Process-variation models: corners and Monte-Carlo sampling.
+
+The paper lists *process variation* among the parameters the analysis tools
+must take into account.  We model it with the classic corner abstraction
+(slow/typical/fast devices) plus a lognormal Monte-Carlo sampler for leakage,
+which is the quantity most sensitive to process spread.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class ProcessCorner(enum.Enum):
+    """Named process corners.
+
+    The value of each member is ``(dynamic_factor, leakage_factor)`` — the
+    multiplicative factors applied to the typical dynamic and static power.
+    Fast silicon switches faster (slightly higher dynamic power at the same
+    frequency because of higher overshoot currents) and leaks much more;
+    slow silicon leaks less.
+    """
+
+    SLOW = (0.95, 0.45)
+    TYPICAL = (1.0, 1.0)
+    FAST = (1.05, 2.6)
+
+    @property
+    def dynamic_factor(self) -> float:
+        """Multiplier applied to dynamic power at this corner."""
+        return self.value[0]
+
+    @property
+    def leakage_factor(self) -> float:
+        """Multiplier applied to leakage power at this corner."""
+        return self.value[1]
+
+    @classmethod
+    def from_name(cls, name: str) -> "ProcessCorner":
+        """Look a corner up by case-insensitive name (``"slow"``, ``"tt"``...)."""
+        aliases = {
+            "slow": cls.SLOW,
+            "ss": cls.SLOW,
+            "typical": cls.TYPICAL,
+            "tt": cls.TYPICAL,
+            "nom": cls.TYPICAL,
+            "fast": cls.FAST,
+            "ff": cls.FAST,
+        }
+        key = name.strip().lower()
+        if key not in aliases:
+            raise ConfigurationError(f"unknown process corner {name!r}")
+        return aliases[key]
+
+
+@dataclass(frozen=True)
+class ProcessVariation:
+    """A process condition: a corner plus optional extra spread factors.
+
+    ``extra_dynamic`` and ``extra_leakage`` let a Monte-Carlo sampler layer
+    per-die variation on top of the corner.
+    """
+
+    corner: ProcessCorner = ProcessCorner.TYPICAL
+    extra_dynamic: float = 1.0
+    extra_leakage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.extra_dynamic <= 0.0 or self.extra_leakage <= 0.0:
+            raise ConfigurationError("process spread factors must be positive")
+
+    @property
+    def dynamic_factor(self) -> float:
+        """Total multiplier on dynamic power."""
+        return self.corner.dynamic_factor * self.extra_dynamic
+
+    @property
+    def leakage_factor(self) -> float:
+        """Total multiplier on leakage power."""
+        return self.corner.leakage_factor * self.extra_leakage
+
+
+class MonteCarloSampler:
+    """Sample per-die process variations around the typical corner.
+
+    Dynamic power variation is modelled as a narrow normal distribution;
+    leakage variation as a lognormal distribution (leakage of real dice spans
+    roughly an order of magnitude).  Sampling is reproducible through the
+    ``seed`` argument.
+    """
+
+    def __init__(
+        self,
+        dynamic_sigma: float = 0.03,
+        leakage_sigma_log: float = 0.35,
+        seed: int = 0,
+    ) -> None:
+        if dynamic_sigma < 0.0 or leakage_sigma_log < 0.0:
+            raise ConfigurationError("sigma parameters must be non-negative")
+        self.dynamic_sigma = dynamic_sigma
+        self.leakage_sigma_log = leakage_sigma_log
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> ProcessVariation:
+        """Draw one die: a :class:`ProcessVariation` around the typical corner."""
+        dynamic = max(0.5, 1.0 + self._rng.normal(0.0, self.dynamic_sigma))
+        leakage = float(
+            math.exp(self._rng.normal(0.0, self.leakage_sigma_log))
+        )
+        return ProcessVariation(
+            corner=ProcessCorner.TYPICAL,
+            extra_dynamic=float(dynamic),
+            extra_leakage=leakage,
+        )
+
+    def sample_many(self, count: int) -> list[ProcessVariation]:
+        """Draw ``count`` independent dice."""
+        if count < 0:
+            raise ConfigurationError("sample count must be non-negative")
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,110 @@
+"""Supply-voltage working conditions.
+
+The spreadsheet evaluates the node power across supply corners because both
+dynamic power (quadratic in V) and leakage (roughly linear-to-exponential in
+V, modelled linearly with a DIBL-like coefficient) depend on the rail
+voltage.  Self-powered nodes regulate the scavenged energy onto one or more
+rails; this module describes those rails and their corner values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SupplyRail:
+    """A regulated supply rail of the Sensor Node.
+
+    Attributes:
+        name: rail identifier, e.g. ``"vdd_core"`` or ``"vdd_rf"``.
+        nominal_v: nominal regulated voltage.
+        tolerance: relative tolerance (0.05 means +/-5 %).
+        regulator_efficiency: DC-DC / LDO efficiency used when referring block
+            power back to the storage element.
+    """
+
+    name: str
+    nominal_v: float
+    tolerance: float = 0.05
+    regulator_efficiency: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.nominal_v <= 0.0:
+            raise ConfigurationError(f"rail {self.name!r} voltage must be positive")
+        if not 0.0 <= self.tolerance < 1.0:
+            raise ConfigurationError(f"rail {self.name!r} tolerance must be in [0, 1)")
+        if not 0.0 < self.regulator_efficiency <= 1.0:
+            raise ConfigurationError(
+                f"rail {self.name!r} regulator efficiency must be in (0, 1]"
+            )
+
+    @property
+    def minimum_v(self) -> float:
+        """Lowest in-tolerance rail voltage."""
+        return self.nominal_v * (1.0 - self.tolerance)
+
+    @property
+    def maximum_v(self) -> float:
+        """Highest in-tolerance rail voltage."""
+        return self.nominal_v * (1.0 + self.tolerance)
+
+    def scaled(self, factor: float) -> "SupplyRail":
+        """Return a copy of the rail with the nominal voltage scaled by ``factor``.
+
+        Used by the voltage-scaling optimization technique.
+        """
+        if factor <= 0.0:
+            raise ConfigurationError("voltage scale factor must be positive")
+        return SupplyRail(
+            name=self.name,
+            nominal_v=self.nominal_v * factor,
+            tolerance=self.tolerance,
+            regulator_efficiency=self.regulator_efficiency,
+        )
+
+
+@dataclass(frozen=True)
+class SupplyCondition:
+    """A supply working condition: the actual voltage applied to a block.
+
+    ``corner`` is one of ``"min"``, ``"nom"``, ``"max"`` and selects which end
+    of the rail tolerance band is used.
+    """
+
+    rail: SupplyRail
+    corner: str = "nom"
+
+    _VALID_CORNERS = ("min", "nom", "max")
+
+    def __post_init__(self) -> None:
+        if self.corner not in self._VALID_CORNERS:
+            raise ConfigurationError(
+                f"supply corner must be one of {self._VALID_CORNERS}, got {self.corner!r}"
+            )
+
+    @property
+    def voltage(self) -> float:
+        """The voltage selected by the corner."""
+        if self.corner == "min":
+            return self.rail.minimum_v
+        if self.corner == "max":
+            return self.rail.maximum_v
+        return self.rail.nominal_v
+
+
+#: Default core rail of the Sensor Node (deep-submicron logic).
+CORE_RAIL = SupplyRail(name="vdd_core", nominal_v=1.2, tolerance=0.05)
+
+#: Default analog / sensor front-end rail.
+ANALOG_RAIL = SupplyRail(name="vdd_analog", nominal_v=1.8, tolerance=0.05)
+
+#: Default RF transmitter rail.
+RF_RAIL = SupplyRail(name="vdd_rf", nominal_v=1.8, tolerance=0.05)
+
+
+def default_rails() -> dict[str, SupplyRail]:
+    """Return the default rail set of the reference Sensor Node architecture."""
+    return {rail.name: rail for rail in (CORE_RAIL, ANALOG_RAIL, RF_RAIL)}

@@ -1,0 +1,49 @@
+"""The paper's primary contribution: the energy analysis methodology and tools.
+
+* :mod:`repro.core.evaluator` — per-block / per-wheel-round energy evaluation
+  (the computation behind every number the tools report).
+* :mod:`repro.core.balance` — energy generated vs. required across cruising
+  speeds and the break-even point (Fig. 2).
+* :mod:`repro.core.trace` / :mod:`repro.core.emulator` — instant power of the
+  node over a timing window (Fig. 3) and the long-window energy-balance
+  emulation against a drive cycle.
+* :mod:`repro.core.operating_window` — identification of the operating
+  windows of the monitoring system.
+* :mod:`repro.core.spreadsheet` — the "dynamic spreadsheet" facade for what-if
+  analysis across working and operating conditions.
+* :mod:`repro.core.flow` — the end-to-end flow of Fig. 1: estimate, evaluate,
+  optimize, re-estimate, integrate the source model, emulate.
+"""
+
+from repro.core.balance import BalancePoint, EnergyBalanceAnalysis, EnergyBalanceCurve
+from repro.core.emulator import EmulationResult, NodeEmulator
+from repro.core.evaluator import (
+    BlockEnergy,
+    EnergyEvaluator,
+    PhaseEnergy,
+    RevolutionEnergyReport,
+)
+from repro.core.flow import EnergyAnalysisFlow, FlowReport
+from repro.core.operating_window import OperatingWindow, find_operating_windows
+from repro.core.report import render_flow_report
+from repro.core.spreadsheet import Spreadsheet
+from repro.core.trace import PowerTrace
+
+__all__ = [
+    "EnergyEvaluator",
+    "RevolutionEnergyReport",
+    "BlockEnergy",
+    "PhaseEnergy",
+    "EnergyBalanceAnalysis",
+    "EnergyBalanceCurve",
+    "BalancePoint",
+    "PowerTrace",
+    "NodeEmulator",
+    "EmulationResult",
+    "OperatingWindow",
+    "find_operating_windows",
+    "Spreadsheet",
+    "EnergyAnalysisFlow",
+    "FlowReport",
+    "render_flow_report",
+]

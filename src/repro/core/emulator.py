@@ -1,0 +1,388 @@
+"""Long-window emulation of the Sensor Node against a drive cycle.
+
+The paper's final flow step: *"integrate the model of the energy source with
+the estimation of total load current and emulate the energy balance for a
+long timing window"*.  The emulator plays a cruising-speed profile revolution
+by revolution, charges the storage element with the scavenger output,
+discharges it with the node load, tracks the in-tyre temperature, and records
+whether the monitoring system could stay active — which is exactly the
+information needed to identify the operating windows and to plot the instant
+power of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.conditions.temperature import TyreThermalModel
+from repro.core.evaluator import EnergyEvaluator
+from repro.core.trace import PowerTrace
+from repro.errors import EmulationError
+from repro.power.database import PowerDatabase
+from repro.scavenger.base import EnergyScavenger
+from repro.scavenger.storage import StorageElement
+from repro.timing.wheel_round import IdleInterval, WheelRound, iter_wheel_rounds
+from repro.vehicle.drive_cycle import DriveCycle
+
+#: Quantization used by the revolution-energy cache: speeds within 0.5 km/h
+#: and temperatures within 1 degC share a cache entry.  The resulting energy
+#: error is well below the modelling uncertainty and makes hour-long cycles
+#: emulate in well under a second.
+_SPEED_QUANTUM_KMH = 0.5
+_TEMPERATURE_QUANTUM_C = 1.0
+
+
+@dataclass(frozen=True)
+class EmulationSample:
+    """One recorded sample of the emulation state."""
+
+    time_s: float
+    speed_kmh: float
+    temperature_c: float
+    state_of_charge: float
+    node_active: bool
+
+
+@dataclass
+class EmulationResult:
+    """Outcome of one long-window emulation."""
+
+    node_name: str
+    cycle_name: str
+    duration_s: float
+    samples: list[EmulationSample] = field(default_factory=list)
+    harvested_j: float = 0.0
+    consumed_j: float = 0.0
+    discarded_j: float = 0.0
+    revolutions: int = 0
+    active_revolutions: int = 0
+    brownout_events: int = 0
+    moving_time_s: float = 0.0
+    active_time_s: float = 0.0
+    trace: PowerTrace | None = None
+
+    # -- derived figures -----------------------------------------------------------
+
+    @property
+    def net_energy_j(self) -> float:
+        """Harvested minus consumed energy over the window."""
+        return self.harvested_j - self.consumed_j
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of the whole window with the node operational."""
+        if self.duration_s == 0.0:
+            return 0.0
+        return self.active_time_s / self.duration_s
+
+    @property
+    def moving_active_fraction(self) -> float:
+        """Fraction of the *moving* time with the node operational.
+
+        This is the figure of merit the paper cares about: stationary time is
+        lost by construction (nothing to harvest, nothing to sense), so the
+        quality of an architecture/scavenger pairing shows in how much of the
+        rolling time the monitoring system covers.
+        """
+        if self.moving_time_s == 0.0:
+            return 0.0
+        return min(1.0, self.active_time_s / self.moving_time_s)
+
+    @property
+    def revolution_coverage(self) -> float:
+        """Fraction of wheel revolutions that were actually monitored."""
+        if self.revolutions == 0:
+            return 0.0
+        return self.active_revolutions / self.revolutions
+
+    def sample_arrays(self) -> dict[str, np.ndarray]:
+        """Recorded samples as parallel numpy arrays for plotting/export."""
+        return {
+            "time_s": np.array([s.time_s for s in self.samples]),
+            "speed_kmh": np.array([s.speed_kmh for s in self.samples]),
+            "temperature_c": np.array([s.temperature_c for s in self.samples]),
+            "state_of_charge": np.array([s.state_of_charge for s in self.samples]),
+            "node_active": np.array([s.node_active for s in self.samples], dtype=bool),
+        }
+
+    def summary(self) -> dict[str, float]:
+        """Scalar summary used by reports and benches."""
+        return {
+            "duration_s": self.duration_s,
+            "harvested_mj": self.harvested_j * 1e3,
+            "consumed_mj": self.consumed_j * 1e3,
+            "net_mj": self.net_energy_j * 1e3,
+            "discarded_mj": self.discarded_j * 1e3,
+            "revolutions": float(self.revolutions),
+            "revolution_coverage_pct": 100.0 * self.revolution_coverage,
+            "active_fraction_pct": 100.0 * self.active_fraction,
+            "moving_active_fraction_pct": 100.0 * self.moving_active_fraction,
+            "brownout_events": float(self.brownout_events),
+        }
+
+
+class NodeEmulator:
+    """Plays a drive cycle against a node, a scavenger and a storage element.
+
+    Args:
+        node: the Sensor Node architecture.
+        database: power characterization (re-targeted to the node's clocks).
+        scavenger: energy source model.
+        storage: storage element buffering harvest and load; the emulator
+            resets it at the start of every run.
+        base_point: template operating point providing the supply and process
+            conditions; speed and temperature are overridden while emulating.
+        thermal_model: optional in-tyre thermal model driven by the emulated
+            speed; when omitted, the base point's temperature is used
+            throughout.
+    """
+
+    def __init__(
+        self,
+        node: SensorNode,
+        database: PowerDatabase,
+        scavenger: EnergyScavenger,
+        storage: StorageElement,
+        base_point: OperatingPoint | None = None,
+        thermal_model: TyreThermalModel | None = None,
+    ) -> None:
+        self.node = node
+        self.evaluator = EnergyEvaluator(node, database)
+        self.scavenger = scavenger
+        self.storage = storage
+        self.base_point = base_point or OperatingPoint()
+        self.thermal_model = thermal_model
+        self._energy_cache: dict[tuple, tuple[float, tuple[tuple[str, float, float], ...]]] = {}
+
+    # -- internal helpers -------------------------------------------------------------
+
+    def _operating_point(self, speed_kmh: float, temperature_c: float) -> OperatingPoint:
+        return self.base_point.at_speed(speed_kmh).at_temperature(temperature_c)
+
+    def _revolution_energy(
+        self, unit: WheelRound, temperature_c: float
+    ) -> tuple[float, tuple[tuple[str, float, float], ...]]:
+        """Energy of one revolution plus its per-phase (label, duration, power) list.
+
+        Cached on quantized speed/temperature and on the conditional-phase
+        pattern of the revolution index, because those five values fully
+        determine the schedule energy.
+        """
+        transmits = self.node.radio.transmits(unit.index)
+        refreshes = self.node.sensors.refreshes_slow_sensors(unit.index)
+        writes_nvm = self.node.memory.writes_nvm(unit.index)
+        key = (
+            round(unit.speed_kmh / _SPEED_QUANTUM_KMH),
+            round(temperature_c / _TEMPERATURE_QUANTUM_C),
+            transmits,
+            refreshes,
+            writes_nvm,
+        )
+        cached = self._energy_cache.get(key)
+        if cached is not None:
+            return cached
+
+        point = self._operating_point(unit.speed_kmh, temperature_c)
+        # Reconstruct a representative revolution index with the same pattern.
+        report = self.evaluator.schedule_report(
+            self.node.schedule_for(unit.speed_kmh, unit.index), point
+        )
+        phases = tuple(
+            (phase.phase, phase.duration_s, phase.average_power_w)
+            for phase in report.phases
+        )
+        value = (report.total_energy_j, phases)
+        self._energy_cache[key] = value
+        return value
+
+    def _record_trace_revolution(
+        self,
+        trace: PowerTrace,
+        unit: WheelRound,
+        phases: tuple[tuple[str, float, float], ...],
+        active: bool,
+        sleep_power_w: float,
+    ) -> None:
+        if not active:
+            trace.append(unit.start_s, unit.period_s, 0.0, "inactive")
+            return
+        cursor = unit.start_s
+        for label, duration, power in phases:
+            duration = min(duration, unit.end_s - cursor)
+            if duration <= 0.0:
+                break
+            trace.append(cursor, duration, power, label)
+            cursor += duration
+        if cursor < unit.end_s - 1e-12:
+            trace.append(cursor, unit.end_s - cursor, sleep_power_w, "sleep")
+
+    # -- main entry point ----------------------------------------------------------------
+
+    def emulate(
+        self,
+        cycle: DriveCycle,
+        record_interval_s: float = 1.0,
+        trace_window: tuple[float, float] | None = None,
+        idle_step_s: float = 1.0,
+    ) -> EmulationResult:
+        """Run the emulation over ``cycle``.
+
+        Args:
+            cycle: the cruising-speed profile.
+            record_interval_s: sampling interval of the state-of-charge /
+                activity log.
+            trace_window: optional ``(start_s, end_s)`` window over which the
+                instant-power trace (Fig. 3) is recorded.
+            idle_step_s: time step used while the vehicle is stationary.
+
+        Returns:
+            An :class:`EmulationResult` with totals, the sampled state log and
+            (when requested) the instant-power trace.
+        """
+        if record_interval_s <= 0.0:
+            raise EmulationError("record interval must be positive")
+        if trace_window is not None:
+            trace_start, trace_end = trace_window
+            if trace_end <= trace_start:
+                raise EmulationError("trace window end must be after its start")
+
+        self.storage.reset()
+        if self.thermal_model is not None:
+            self.thermal_model.reset()
+        self._energy_cache.clear()
+
+        result = EmulationResult(
+            node_name=self.node.name,
+            cycle_name=cycle.name,
+            duration_s=cycle.duration_s,
+            trace=PowerTrace() if trace_window is not None else None,
+        )
+        node_active = not self.storage.is_depleted
+        next_record_s = 0.0
+        temperature_c = (
+            self.thermal_model.current_celsius
+            if self.thermal_model is not None
+            else self.base_point.temperature_c
+        )
+
+        for unit in iter_wheel_rounds(cycle, self.node.wheel, idle_step_s=idle_step_s):
+            duration = (
+                unit.period_s if isinstance(unit, WheelRound) else unit.duration_s
+            )
+            speed = unit.speed_kmh if isinstance(unit, WheelRound) else 0.0
+
+            if self.thermal_model is not None:
+                temperature_c = self.thermal_model.advance(duration, speed / 3.6)
+            point = self._operating_point(max(speed, 0.0), temperature_c)
+            sleep_power = self.evaluator.standstill_power_w(point)
+
+            # -- restart hysteresis --------------------------------------------------
+            if not node_active and self.storage.can_restart:
+                node_active = True
+
+            if isinstance(unit, WheelRound):
+                result.revolutions += 1
+                result.moving_time_s += duration
+
+                harvested = self.scavenger.energy_per_revolution_j(unit.speed_kmh)
+                banked = self.storage.deposit(harvested)
+                result.harvested_j += banked
+                result.discarded_j += max(0.0, harvested - banked)
+
+                if node_active:
+                    energy, phases = self._revolution_energy(unit, temperature_c)
+                    drawn = self.node.pmu.referred_to_storage(energy)
+                    if self.storage.withdraw(drawn):
+                        result.consumed_j += drawn
+                        result.active_revolutions += 1
+                        result.active_time_s += duration
+                        if result.trace is not None and trace_window is not None:
+                            if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
+                                self._record_trace_revolution(
+                                    result.trace, unit, phases, True, sleep_power
+                                )
+                    else:
+                        node_active = False
+                        result.brownout_events += 1
+                elif result.trace is not None and trace_window is not None:
+                    if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
+                        self._record_trace_revolution(result.trace, unit, (), False, sleep_power)
+            else:
+                # Stationary: nothing harvested, the node sits in its resting
+                # modes (if it still has energy to do so).
+                if node_active:
+                    drawn = self.node.pmu.referred_to_storage(sleep_power * duration)
+                    if self.storage.withdraw(drawn):
+                        result.consumed_j += drawn
+                        result.active_time_s += duration
+                    else:
+                        node_active = False
+                        result.brownout_events += 1
+                if result.trace is not None and trace_window is not None:
+                    if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
+                        result.trace.append(
+                            unit.start_s,
+                            duration,
+                            sleep_power if node_active else 0.0,
+                            "standstill" if node_active else "inactive",
+                        )
+
+            self.storage.leak(duration)
+
+            end_time = unit.end_s
+            while next_record_s <= end_time:
+                result.samples.append(
+                    EmulationSample(
+                        time_s=next_record_s,
+                        speed_kmh=speed,
+                        temperature_c=temperature_c,
+                        state_of_charge=self.storage.state_of_charge,
+                        node_active=node_active,
+                    )
+                )
+                next_record_s += record_interval_s
+
+        if result.trace is not None and trace_window is not None and not result.trace.is_empty:
+            result.trace = result.trace.windowed(*trace_window)
+        return result
+
+    def steady_state_trace(
+        self,
+        speed_kmh: float,
+        window_s: float,
+        temperature_c: float | None = None,
+        start_revolution: int = 0,
+    ) -> PowerTrace:
+        """Instant-power trace of a constant-speed cruise (the Fig. 3 view).
+
+        Unlike :meth:`emulate`, the storage element is ignored: the node is
+        assumed powered throughout, which matches the paper's "limited timing
+        window" snapshot of the consumption profile.
+        """
+        if speed_kmh <= 0.0:
+            raise EmulationError("a steady-state trace requires a positive speed")
+        if window_s <= 0.0:
+            raise EmulationError("window must be positive")
+        temperature = (
+            temperature_c if temperature_c is not None else self.base_point.temperature_c
+        )
+        point = self._operating_point(speed_kmh, temperature)
+        sleep_power = self.evaluator.standstill_power_w(point)
+        period = self.node.wheel.revolution_period_s(speed_kmh)
+
+        trace = PowerTrace()
+        time_s = 0.0
+        revolution = start_revolution
+        while time_s < window_s:
+            unit = WheelRound(
+                index=revolution, start_s=time_s, period_s=period, speed_kmh=speed_kmh
+            )
+            _, phases = self._revolution_energy(unit, temperature)
+            self._record_trace_revolution(trace, unit, phases, True, sleep_power)
+            time_s += period
+            revolution += 1
+        return trace.windowed(0.0, window_s)

@@ -1,0 +1,204 @@
+"""The end-to-end energy analysis flow of Fig. 1.
+
+The paper's flow: estimate the power of every block as accurately as
+possible, feed the figures to the evaluation tool to obtain per-block energy
+over the wheel round, apply advanced optimizations to the blocks that
+deserve them, re-estimate the total, then integrate the model of the energy
+source and emulate the energy balance over a long timing window to identify
+the operating windows.  :class:`EnergyAnalysisFlow` executes those steps in
+order and returns every intermediate artifact in a :class:`FlowReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis, EnergyBalanceCurve
+from repro.core.emulator import EmulationResult, NodeEmulator
+from repro.core.evaluator import EnergyEvaluator, RevolutionEnergyReport
+from repro.core.operating_window import (
+    OperatingWindowSummary,
+    find_operating_windows,
+    summarize_windows,
+)
+from repro.errors import AnalysisError
+from repro.optimization.apply import OptimizationOutcome, apply_assignments
+from repro.optimization.selection import SelectionPolicy, select_techniques
+from repro.power.database import PowerDatabase
+from repro.scavenger.base import EnergyScavenger
+from repro.scavenger.storage import StorageElement
+from repro.timing.duty_cycle import DutyCycleReport
+from repro.vehicle.drive_cycle import DriveCycle
+
+#: Default speed grid of the balance step (km/h), matching the Fig. 2 range.
+DEFAULT_SPEED_GRID = tuple(float(v) for v in range(5, 205, 5))
+
+
+@dataclass
+class FlowReport:
+    """Every artifact produced by one run of the analysis flow."""
+
+    node_name: str
+    point: OperatingPoint
+    power_table: list[dict[str, object]] = field(default_factory=list)
+    energy_report: RevolutionEnergyReport | None = None
+    duty_cycles: DutyCycleReport | None = None
+    optimization: OptimizationOutcome | None = None
+    energy_report_after: RevolutionEnergyReport | None = None
+    balance_before: EnergyBalanceCurve | None = None
+    balance_after: EnergyBalanceCurve | None = None
+    emulation: EmulationResult | None = None
+    window_summary: OperatingWindowSummary | None = None
+
+    @property
+    def break_even_before_kmh(self) -> float | None:
+        """Break-even speed of the un-optimized design."""
+        if self.balance_before is None:
+            return None
+        return self.balance_before.break_even_speed_kmh()
+
+    @property
+    def break_even_after_kmh(self) -> float | None:
+        """Break-even speed after the optimization step."""
+        if self.balance_after is None:
+            return None
+        return self.balance_after.break_even_speed_kmh()
+
+    def summary(self) -> dict[str, object]:
+        """Scalar summary of the whole flow (the numbers a report leads with)."""
+        summary: dict[str, object] = {"architecture": self.node_name}
+        if self.energy_report is not None:
+            summary["energy_per_rev_uj"] = self.energy_report.total_energy_j * 1e6
+        if self.optimization is not None:
+            summary["optimized_energy_per_rev_uj"] = (
+                self.optimization.energy_after_j * 1e6
+            )
+            summary["energy_saving_pct"] = self.optimization.saving_fraction * 100.0
+            summary["techniques_applied"] = len(self.optimization.assignments)
+        if self.break_even_before_kmh is not None:
+            summary["break_even_before_kmh"] = self.break_even_before_kmh
+        if self.break_even_after_kmh is not None:
+            summary["break_even_after_kmh"] = self.break_even_after_kmh
+        if self.emulation is not None:
+            summary["moving_active_fraction_pct"] = (
+                self.emulation.moving_active_fraction * 100.0
+            )
+            summary["brownout_events"] = self.emulation.brownout_events
+        if self.window_summary is not None:
+            summary["operating_windows"] = self.window_summary.window_count
+        return summary
+
+
+class EnergyAnalysisFlow:
+    """Executes the Fig. 1 flow on one architecture.
+
+    Args:
+        node: the Sensor Node architecture.
+        database: per-block power characterization ("as accurate as possible"
+            estimation of the paper's first step).
+        scavenger: energy-source model for the balance and emulation steps.
+        storage: storage element for the long-window emulation; when omitted
+            the emulation step is skipped.
+        policy: optimization-technique selection policy.
+    """
+
+    def __init__(
+        self,
+        node: SensorNode,
+        database: PowerDatabase,
+        scavenger: EnergyScavenger,
+        storage: StorageElement | None = None,
+        policy: SelectionPolicy | None = None,
+    ) -> None:
+        self.node = node
+        self.database = database
+        self.scavenger = scavenger
+        self.storage = storage
+        self.policy = policy or SelectionPolicy()
+
+    def run(
+        self,
+        point: OperatingPoint | None = None,
+        speeds_kmh: Sequence[float] | None = None,
+        drive_cycle: DriveCycle | None = None,
+        optimize: bool = True,
+    ) -> FlowReport:
+        """Run the full flow and return every artifact.
+
+        Args:
+            point: working condition of the estimation/evaluation steps
+                (nominal 60 km/h by default).
+            speeds_kmh: speed grid of the balance step (Fig. 2 range by
+                default).
+            drive_cycle: cruising-speed profile of the emulation step;
+                requires ``storage`` to have been provided.
+            optimize: set to False to stop after the evaluation step (useful
+                when the caller only wants the un-optimized picture).
+        """
+        condition = point or OperatingPoint(speed_kmh=60.0)
+        if not condition.is_moving:
+            raise AnalysisError("the analysis flow needs a moving operating point")
+        grid = np.asarray(
+            speeds_kmh if speeds_kmh is not None else DEFAULT_SPEED_GRID, dtype=float
+        )
+        if grid.size < 2:
+            raise AnalysisError("the balance step needs at least two speeds")
+
+        report = FlowReport(node_name=self.node.name, point=condition)
+
+        # Step 1 — power estimation collected into the spreadsheet.
+        evaluator = EnergyEvaluator(self.node, self.database)
+        report.power_table = evaluator.database.table(condition)
+
+        # Step 2 — energy evaluation over the wheel round + duty cycles.
+        report.energy_report = evaluator.average_report(condition)
+        report.duty_cycles = evaluator.duty_cycles(condition)
+
+        # Step 3/4 — technique selection, application and re-estimation.
+        database_for_integration = self.database
+        if optimize:
+            assignments = select_techniques(
+                report.duty_cycles, policy=self.policy, database=self.database
+            )
+            report.optimization = apply_assignments(
+                self.node, self.database, assignments, point=condition
+            )
+            database_for_integration = report.optimization.database
+            report.energy_report_after = EnergyEvaluator(
+                self.node, database_for_integration
+            ).average_report(condition)
+
+        # Step 5 — integration with the energy-source model (Fig. 2 curves).
+        point_factory = lambda speed: condition.at_speed(speed)
+        report.balance_before = EnergyBalanceAnalysis(
+            self.node, self.database, self.scavenger
+        ).curve(grid, point_factory=point_factory)
+        if optimize:
+            report.balance_after = EnergyBalanceAnalysis(
+                self.node, database_for_integration, self.scavenger
+            ).curve(grid, point_factory=point_factory)
+
+        # Step 6 — long-window emulation and operating windows.
+        if drive_cycle is not None:
+            if self.storage is None:
+                raise AnalysisError(
+                    "a storage element is required for the emulation step"
+                )
+            emulator = NodeEmulator(
+                self.node,
+                database_for_integration,
+                self.scavenger,
+                self.storage,
+                base_point=condition,
+            )
+            report.emulation = emulator.emulate(drive_cycle)
+            windows = find_operating_windows(report.emulation)
+            report.window_summary = summarize_windows(
+                windows, report.emulation.duration_s
+            )
+        return report

@@ -1,0 +1,115 @@
+"""Identification of the operating windows of the monitoring system.
+
+The last step of the paper's flow is *"useful for identifying operating
+windows of the conceived monitoring system"*: the stretches of a drive over
+which the energy balance allows the node to stay active.  This module
+extracts those windows from an emulation result and summarizes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.emulator import EmulationResult
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class OperatingWindow:
+    """One contiguous interval with the node operational."""
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise AnalysisError("an operating window must have positive duration")
+
+    @property
+    def duration_s(self) -> float:
+        """Duration of the window."""
+        return self.end_s - self.start_s
+
+
+def find_operating_windows(
+    result: EmulationResult, minimum_duration_s: float = 0.0
+) -> list[OperatingWindow]:
+    """Extract the operating windows from an emulation result.
+
+    Consecutive recorded samples with ``node_active`` true are merged into
+    windows; windows shorter than ``minimum_duration_s`` are dropped.
+
+    Args:
+        result: the emulation to analyse (must contain recorded samples).
+        minimum_duration_s: discard windows shorter than this.
+    """
+    if minimum_duration_s < 0.0:
+        raise AnalysisError("minimum duration must be non-negative")
+    if not result.samples:
+        raise AnalysisError("the emulation result holds no recorded samples")
+
+    arrays = result.sample_arrays()
+    times = arrays["time_s"]
+    active = arrays["node_active"]
+
+    windows: list[OperatingWindow] = []
+    start: float | None = None
+    for index in range(len(times)):
+        if active[index] and start is None:
+            start = float(times[index])
+        elif not active[index] and start is not None:
+            end = float(times[index])
+            if end - start >= minimum_duration_s and end > start:
+                windows.append(OperatingWindow(start_s=start, end_s=end))
+            start = None
+    if start is not None:
+        end = float(max(times[-1], result.duration_s))
+        if end - start >= minimum_duration_s and end > start:
+            windows.append(OperatingWindow(start_s=start, end_s=end))
+    return windows
+
+
+@dataclass(frozen=True)
+class OperatingWindowSummary:
+    """Aggregate statistics over the operating windows of one emulation."""
+
+    window_count: int
+    covered_s: float
+    longest_s: float
+    shortest_s: float
+    mean_s: float
+    coverage_fraction: float
+
+    @classmethod
+    def empty(cls) -> "OperatingWindowSummary":
+        """Summary of an emulation with no operating windows."""
+        return cls(
+            window_count=0,
+            covered_s=0.0,
+            longest_s=0.0,
+            shortest_s=0.0,
+            mean_s=0.0,
+            coverage_fraction=0.0,
+        )
+
+
+def summarize_windows(
+    windows: list[OperatingWindow], total_duration_s: float
+) -> OperatingWindowSummary:
+    """Aggregate statistics for a list of operating windows."""
+    if total_duration_s <= 0.0:
+        raise AnalysisError("total duration must be positive")
+    if not windows:
+        return OperatingWindowSummary.empty()
+    durations = np.array([w.duration_s for w in windows])
+    covered = float(durations.sum())
+    return OperatingWindowSummary(
+        window_count=len(windows),
+        covered_s=covered,
+        longest_s=float(durations.max()),
+        shortest_s=float(durations.min()),
+        mean_s=float(durations.mean()),
+        coverage_fraction=min(1.0, covered / total_duration_s),
+    )

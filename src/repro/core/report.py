@@ -1,0 +1,148 @@
+"""Plain-text report builder for a full analysis run.
+
+The original tools reported through spreadsheet charts; the library
+equivalent is a self-contained text report that a designer can archive next
+to the characterization data.  :func:`render_flow_report` turns a
+:class:`~repro.core.flow.FlowReport` into that document.
+"""
+
+from __future__ import annotations
+
+from repro.core.flow import FlowReport
+from repro.errors import AnalysisError
+from repro.reporting.tables import render_table
+from repro.units import format_energy, format_power
+
+_RULE = "=" * 78
+_SUBRULE = "-" * 78
+
+
+def _section(title: str) -> list[str]:
+    return ["", _RULE, title, _RULE]
+
+
+def render_flow_report(report: FlowReport, max_power_rows: int = 40) -> str:
+    """Render a complete analysis report as plain text.
+
+    Args:
+        report: the artifact bundle produced by
+            :meth:`~repro.core.flow.EnergyAnalysisFlow.run`.
+        max_power_rows: cap on the number of power-table rows included (the
+            full table is available programmatically; reports stay readable).
+
+    Raises:
+        AnalysisError: if the report holds no evaluation artifacts at all.
+    """
+    if report.energy_report is None:
+        raise AnalysisError("the flow report holds no evaluation results to render")
+
+    lines: list[str] = []
+    lines.append(_RULE)
+    lines.append(f"ENERGY ANALYSIS REPORT — architecture {report.node_name!r}")
+    lines.append(f"working condition: {report.point.describe()}")
+    lines.append(_RULE)
+
+    # -- step 1: power estimation ------------------------------------------------
+    lines.extend(_section("Step 1 — per-block power estimation (dynamic spreadsheet)"))
+    power_rows = report.power_table[:max_power_rows]
+    if power_rows:
+        lines.append(
+            render_table(
+                power_rows,
+                columns=["block", "mode", "dynamic_uw", "static_uw", "total_uw"],
+                float_digits=2,
+            )
+        )
+        if len(report.power_table) > max_power_rows:
+            lines.append(
+                f"... {len(report.power_table) - max_power_rows} further rows omitted"
+            )
+
+    # -- step 2: energy evaluation -----------------------------------------------
+    lines.extend(_section("Step 2 — energy per wheel round and duty cycles"))
+    energy = report.energy_report
+    lines.append(
+        f"total energy per wheel round: {format_energy(energy.total_energy_j)} "
+        f"(dynamic {format_energy(energy.dynamic_energy_j)}, "
+        f"static {format_energy(energy.static_energy_j)})"
+    )
+    lines.append(f"average power while rolling: {format_power(energy.average_power_w)}")
+    lines.append("")
+    lines.append(render_table(energy.as_rows(), float_digits=2,
+                              title="Per-block energy (average wheel round)"))
+    if report.duty_cycles is not None:
+        duty_rows = [
+            {
+                "block": entry.block,
+                "duty_cycle_pct": entry.duty_cycle * 100.0,
+                "static_share_pct": entry.static_energy_fraction * 100.0,
+                "short_duty_cycle": entry.is_short_duty_cycle,
+            }
+            for entry in sorted(
+                report.duty_cycles.entries, key=lambda e: e.total_energy_j, reverse=True
+            )
+        ]
+        lines.append("")
+        lines.append(render_table(duty_rows, float_digits=1,
+                                  title="Per-block duty cycles within the wheel round"))
+
+    # -- steps 3/4: optimization and re-estimation --------------------------------
+    if report.optimization is not None:
+        lines.extend(_section("Steps 3-4 — technique selection and re-estimation"))
+        if report.optimization.assignments:
+            lines.append(render_table(report.optimization.as_rows(),
+                                      title="Applied techniques"))
+        lines.append("")
+        lines.append(
+            "energy per wheel round: "
+            f"{format_energy(report.optimization.energy_before_j)} -> "
+            f"{format_energy(report.optimization.energy_after_j)} "
+            f"({report.optimization.saving_fraction * 100.0:.1f}% saving)"
+        )
+        if report.optimization.skipped:
+            lines.append("")
+            lines.append("skipped assignments:")
+            for assignment, reason in report.optimization.skipped:
+                lines.append(f"  - {assignment.block}/{assignment.technique.name}: {reason}")
+
+    # -- step 5: energy-balance integration ---------------------------------------
+    if report.balance_before is not None:
+        lines.extend(_section("Step 5 — energy balance vs cruising speed (Fig. 2)"))
+        before = report.break_even_before_kmh
+        lines.append(
+            "break-even speed (as characterized): "
+            + (f"{before:.1f} km/h" if before is not None else "not reached")
+        )
+        if report.balance_after is not None:
+            after = report.break_even_after_kmh
+            lines.append(
+                "break-even speed (after optimization): "
+                + (f"{after:.1f} km/h" if after is not None else "not reached")
+            )
+        deficit = report.balance_before.deficit_region_kmh()
+        if deficit is not None:
+            lines.append(
+                f"deficit region (sampled): {deficit[0]:.0f} - {deficit[1]:.0f} km/h"
+            )
+
+    # -- step 6: emulation ---------------------------------------------------------
+    if report.emulation is not None:
+        lines.extend(_section("Step 6 — long-window emulation and operating windows"))
+        summary_rows = [
+            {"figure": key, "value": value}
+            for key, value in report.emulation.summary().items()
+        ]
+        lines.append(render_table(summary_rows, float_digits=2))
+        if report.window_summary is not None:
+            lines.append("")
+            lines.append(
+                f"operating windows: {report.window_summary.window_count} "
+                f"covering {report.window_summary.covered_s:.0f} s "
+                f"({report.window_summary.coverage_fraction * 100.0:.1f}% of the window), "
+                f"longest {report.window_summary.longest_s:.0f} s"
+            )
+
+    lines.append("")
+    lines.append(_SUBRULE)
+    lines.append("end of report")
+    return "\n".join(lines)

@@ -1,0 +1,195 @@
+"""The "dynamic spreadsheet" facade for what-if analysis.
+
+The paper describes the central tool as a dynamic spreadsheet: the complete
+power database plus the machinery to *"estimate the power and energy
+consumption of the Sensor Node under different working and operating
+conditions"* and to let the user *"evaluate custom architectures of the
+chip"*.  The :class:`Spreadsheet` bundles a node and a database behind the
+question-oriented API that plays that role: per-condition tables, sweeps over
+temperature / supply / speed, and side-by-side architecture comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.conditions.process import MonteCarloSampler
+from repro.conditions.supply import SupplyCondition, SupplyRail
+from repro.core.evaluator import EnergyEvaluator, RevolutionEnergyReport
+from repro.errors import AnalysisError
+from repro.power.database import PowerDatabase
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One row of a condition sweep: the swept value and the resulting figures."""
+
+    condition: str
+    value: float
+    energy_per_rev_j: float
+    average_power_w: float
+    static_fraction: float
+
+
+class Spreadsheet:
+    """What-if analysis over a node architecture and its power database."""
+
+    def __init__(self, node: SensorNode, database: PowerDatabase) -> None:
+        self.node = node
+        self.database = database
+        self.evaluator = EnergyEvaluator(node, database)
+
+    # -- single-condition views -------------------------------------------------------
+
+    def power_table(self, point: OperatingPoint) -> list[dict[str, object]]:
+        """The per-(block, mode) power table at one working condition."""
+        return self.evaluator.database.table(point, blocks=self.node.block_names())
+
+    def energy_report(self, point: OperatingPoint) -> RevolutionEnergyReport:
+        """The per-block energy report (average wheel round) at one condition."""
+        return self.evaluator.average_report(point)
+
+    def energy_table(self, point: OperatingPoint) -> list[dict[str, object]]:
+        """Per-block energy rows at one condition (the spreadsheet's main view)."""
+        return self.energy_report(point).as_rows()
+
+    # -- sweeps -------------------------------------------------------------------------
+
+    def temperature_sweep(
+        self,
+        temperatures_c: Sequence[float],
+        base_point: OperatingPoint | None = None,
+    ) -> list[SweepRow]:
+        """Energy per wheel round across junction temperatures."""
+        base = base_point or OperatingPoint()
+        rows = []
+        for temperature in temperatures_c:
+            report = self.evaluator.average_report(base.at_temperature(float(temperature)))
+            rows.append(
+                SweepRow(
+                    condition="temperature_c",
+                    value=float(temperature),
+                    energy_per_rev_j=report.total_energy_j,
+                    average_power_w=report.average_power_w,
+                    static_fraction=report.static_energy_j / report.total_energy_j
+                    if report.total_energy_j > 0.0
+                    else 0.0,
+                )
+            )
+        return rows
+
+    def supply_sweep(
+        self,
+        voltages_v: Sequence[float],
+        base_point: OperatingPoint | None = None,
+    ) -> list[SweepRow]:
+        """Energy per wheel round across core supply voltages."""
+        base = base_point or OperatingPoint()
+        rows = []
+        for voltage in voltages_v:
+            if voltage <= 0.0:
+                raise AnalysisError("supply voltages must be positive")
+            rail = SupplyRail(name="vdd_core", nominal_v=float(voltage), tolerance=0.0)
+            point = base.with_supply(SupplyCondition(rail=rail))
+            report = self.evaluator.average_report(point)
+            rows.append(
+                SweepRow(
+                    condition="supply_v",
+                    value=float(voltage),
+                    energy_per_rev_j=report.total_energy_j,
+                    average_power_w=report.average_power_w,
+                    static_fraction=report.static_energy_j / report.total_energy_j
+                    if report.total_energy_j > 0.0
+                    else 0.0,
+                )
+            )
+        return rows
+
+    def speed_sweep(
+        self,
+        speeds_kmh: Sequence[float],
+        base_point: OperatingPoint | None = None,
+    ) -> list[SweepRow]:
+        """Energy per wheel round across cruising speeds."""
+        base = base_point or OperatingPoint()
+        rows = []
+        for speed in speeds_kmh:
+            if speed <= 0.0:
+                raise AnalysisError("sweep speeds must be positive")
+            report = self.evaluator.average_report(base.at_speed(float(speed)))
+            rows.append(
+                SweepRow(
+                    condition="speed_kmh",
+                    value=float(speed),
+                    energy_per_rev_j=report.total_energy_j,
+                    average_power_w=report.average_power_w,
+                    static_fraction=report.static_energy_j / report.total_energy_j
+                    if report.total_energy_j > 0.0
+                    else 0.0,
+                )
+            )
+        return rows
+
+    def process_monte_carlo(
+        self,
+        sample_count: int,
+        base_point: OperatingPoint | None = None,
+        seed: int = 0,
+    ) -> dict[str, float]:
+        """Monte-Carlo spread of the energy per wheel round across process variation.
+
+        Returns mean, standard deviation and the extreme values over
+        ``sample_count`` sampled dice.
+        """
+        if sample_count < 2:
+            raise AnalysisError("at least two Monte-Carlo samples are needed")
+        base = base_point or OperatingPoint()
+        sampler = MonteCarloSampler(seed=seed)
+        energies = []
+        for variation in sampler.sample_many(sample_count):
+            report = self.evaluator.average_report(base.with_process(variation))
+            energies.append(report.total_energy_j)
+        import numpy as np
+
+        values = np.asarray(energies)
+        return {
+            "samples": float(sample_count),
+            "mean_j": float(values.mean()),
+            "std_j": float(values.std(ddof=1)),
+            "min_j": float(values.min()),
+            "max_j": float(values.max()),
+        }
+
+    # -- architecture comparison -----------------------------------------------------------
+
+    def compare_architectures(
+        self,
+        alternatives: Iterable[SensorNode],
+        point: OperatingPoint | None = None,
+    ) -> list[dict[str, object]]:
+        """Side-by-side energy comparison of this node against alternatives.
+
+        Every architecture is evaluated against the same power database (each
+        re-targeted to its own clock choices), which is the "evaluate custom
+        architectures in order to strike a balance between energy requirement
+        and system performance" use case of the paper.
+        """
+        condition = point or OperatingPoint()
+        rows: list[dict[str, object]] = []
+        for candidate in [self.node, *alternatives]:
+            evaluator = EnergyEvaluator(candidate, self.database)
+            report = evaluator.average_report(condition)
+            rows.append(
+                {
+                    "architecture": candidate.name,
+                    "energy_per_rev_uj": report.total_energy_j * 1e6,
+                    "average_power_uw": report.average_power_w * 1e6,
+                    "dynamic_uj": report.dynamic_energy_j * 1e6,
+                    "static_uj": report.static_energy_j * 1e6,
+                    "dominant_block": report.dominant_blocks(1)[0].block,
+                }
+            )
+        return rows

@@ -1,0 +1,185 @@
+"""Power traces: instant power of the Sensor Node versus time.
+
+The paper's Fig. 3 shows *"instant power consumption of the Sensor Node
+during a limited timing window"* — the per-revolution burst pattern.  A
+:class:`PowerTrace` is the sampled representation of such a window, built by
+the emulator or directly from a schedule, with the statistics and exports the
+benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class PowerTrace:
+    """A piecewise-constant power-versus-time trace.
+
+    Segments are stored as ``(start_s, duration_s, power_w, label)``; the
+    trace can be sampled onto a uniform grid for plotting or statistics.
+    """
+
+    _starts: list[float] = field(default_factory=list)
+    _durations: list[float] = field(default_factory=list)
+    _powers: list[float] = field(default_factory=list)
+    _labels: list[str] = field(default_factory=list)
+
+    # -- construction -------------------------------------------------------------
+
+    def append(self, start_s: float, duration_s: float, power_w: float, label: str = "") -> None:
+        """Append one constant-power segment; segments must be contiguous-or-later."""
+        if duration_s < 0.0:
+            raise AnalysisError("segment duration must be non-negative")
+        if power_w < 0.0:
+            raise AnalysisError("segment power must be non-negative")
+        if self._starts and start_s < self.end_s - 1e-12:
+            raise AnalysisError(
+                f"segment starting at {start_s} s overlaps the previous segment "
+                f"ending at {self.end_s} s"
+            )
+        if duration_s == 0.0:
+            return
+        self._starts.append(start_s)
+        self._durations.append(duration_s)
+        self._powers.append(power_w)
+        self._labels.append(label)
+
+    def extend(self, other: "PowerTrace") -> None:
+        """Append every segment of ``other`` (must start after this trace ends)."""
+        for start, duration, power, label in other.segments():
+            self.append(start, duration, power, label)
+
+    # -- segment access ------------------------------------------------------------
+
+    def segments(self) -> list[tuple[float, float, float, str]]:
+        """All segments as ``(start, duration, power, label)`` tuples."""
+        return list(zip(self._starts, self._durations, self._powers, self._labels))
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the trace holds no segments."""
+        return not self._starts
+
+    @property
+    def start_s(self) -> float:
+        """Start time of the trace."""
+        if self.is_empty:
+            return 0.0
+        return self._starts[0]
+
+    @property
+    def end_s(self) -> float:
+        """End time of the trace."""
+        if self.is_empty:
+            return 0.0
+        return self._starts[-1] + self._durations[-1]
+
+    @property
+    def duration_s(self) -> float:
+        """Covered duration (end minus start)."""
+        return self.end_s - self.start_s
+
+    # -- statistics -----------------------------------------------------------------
+
+    def energy_j(self) -> float:
+        """Total energy of the trace."""
+        return float(
+            np.dot(np.asarray(self._durations, dtype=float), np.asarray(self._powers, dtype=float))
+        )
+
+    def average_power_w(self) -> float:
+        """Time-averaged power over the covered duration."""
+        total_time = sum(self._durations)
+        if total_time == 0.0:
+            return 0.0
+        return self.energy_j() / total_time
+
+    def peak_power_w(self) -> float:
+        """Maximum instantaneous power."""
+        if self.is_empty:
+            return 0.0
+        return max(self._powers)
+
+    def min_power_w(self) -> float:
+        """Minimum instantaneous power (the sleep floor in a Fig. 3 style trace)."""
+        if self.is_empty:
+            return 0.0
+        return min(self._powers)
+
+    def peak_to_average_ratio(self) -> float:
+        """Crest factor of the trace; large for bursty self-powered nodes."""
+        average = self.average_power_w()
+        if average == 0.0:
+            return 0.0
+        return self.peak_power_w() / average
+
+    def time_above(self, threshold_w: float) -> float:
+        """Total time spent above ``threshold_w``."""
+        if threshold_w < 0.0:
+            raise AnalysisError("threshold must be non-negative")
+        return sum(
+            duration
+            for duration, power in zip(self._durations, self._powers)
+            if power > threshold_w
+        )
+
+    def label_energy_j(self) -> dict[str, float]:
+        """Energy grouped by segment label (phase name)."""
+        grouped: dict[str, float] = {}
+        for duration, power, label in zip(self._durations, self._powers, self._labels):
+            grouped[label] = grouped.get(label, 0.0) + duration * power
+        return grouped
+
+    # -- sampling and export -----------------------------------------------------------
+
+    def sample(self, dt_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """Sample the trace onto a uniform grid (zero-order hold).
+
+        Gaps between segments (if any) are reported as zero power.
+        """
+        if dt_s <= 0.0:
+            raise AnalysisError("sampling step must be positive")
+        if self.is_empty:
+            return np.array([0.0]), np.array([0.0])
+        times = np.arange(self.start_s, self.end_s, dt_s)
+        powers = np.zeros_like(times)
+        starts = np.asarray(self._starts)
+        ends = starts + np.asarray(self._durations)
+        values = np.asarray(self._powers)
+        for start, end, value in zip(starts, ends, values):
+            mask = (times >= start) & (times < end)
+            powers[mask] = value
+        return times, powers
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Tabular export: one row per segment."""
+        return [
+            {
+                "start_s": start,
+                "duration_s": duration,
+                "power_uw": power * 1e6,
+                "label": label,
+            }
+            for start, duration, power, label in self.segments()
+        ]
+
+    def windowed(self, start_s: float, end_s: float) -> "PowerTrace":
+        """Return the sub-trace overlapping ``[start_s, end_s]`` (segments clipped)."""
+        if end_s <= start_s:
+            raise AnalysisError("window end must be after its start")
+        clipped = PowerTrace()
+        for seg_start, duration, power, label in self.segments():
+            seg_end = seg_start + duration
+            lo = max(seg_start, start_s)
+            hi = min(seg_end, end_s)
+            if hi > lo:
+                clipped.append(lo, hi - lo, power, label)
+        return clipped

@@ -1,0 +1,48 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific failures derive from :class:`ReproError` so that a
+caller embedding the toolkit can distinguish modelling errors from
+programming errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with inconsistent parameters."""
+
+
+class UnknownBlockError(ReproError):
+    """A functional block name was not found in a node or database."""
+
+
+class UnknownModeError(ReproError):
+    """A block operating mode name was not found."""
+
+
+class CharacterizationError(ReproError):
+    """The power database cannot answer a query (missing entry, bad corner)."""
+
+
+class ScheduleError(ReproError):
+    """An intra-revolution activity schedule is infeasible or inconsistent."""
+
+
+class EmulationError(ReproError):
+    """The long-window emulator detected an inconsistent state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis step (balance, break-even, operating windows) failed."""
+
+
+class OptimizationError(ReproError):
+    """An optimization technique could not be applied to a block."""
+
+
+class ExportError(ReproError):
+    """Serialization of results to CSV/JSON failed."""

@@ -1,0 +1,48 @@
+"""Optimization techniques and the duty-cycle-driven selection policy.
+
+The methodological heart of the paper: after the per-block energy evaluation,
+the designer must decide *which* blocks to optimize and *which* techniques to
+use — and the right answer depends on the temporal information (duty cycle
+within the wheel round), not just on the power figures.  This package
+implements the circuit-level techniques as power-database rewrites, the
+selection policy, and the design-space exploration helpers.
+"""
+
+from repro.optimization.exploration import (
+    ArchitectureCandidate,
+    ExplorationResult,
+    explore_design_space,
+)
+from repro.optimization.selection import (
+    SelectionPolicy,
+    TechniqueAssignment,
+    select_techniques,
+)
+from repro.optimization.techniques import (
+    ClockGating,
+    DutyCycleAwarePowerGating,
+    OptimizationTechnique,
+    PowerGating,
+    TechniqueKind,
+    VoltageScaling,
+    default_technique_catalogue,
+)
+from repro.optimization.apply import OptimizationOutcome, apply_assignments
+
+__all__ = [
+    "OptimizationTechnique",
+    "TechniqueKind",
+    "ClockGating",
+    "PowerGating",
+    "DutyCycleAwarePowerGating",
+    "VoltageScaling",
+    "default_technique_catalogue",
+    "SelectionPolicy",
+    "TechniqueAssignment",
+    "select_techniques",
+    "OptimizationOutcome",
+    "apply_assignments",
+    "ArchitectureCandidate",
+    "ExplorationResult",
+    "explore_design_space",
+]

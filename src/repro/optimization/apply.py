@@ -1,0 +1,105 @@
+"""Application of technique assignments and re-estimation of the energy.
+
+The flow's optimize → re-estimate loop: the selected techniques rewrite the
+power database, then the evaluator recomputes the per-wheel-round energy so
+the designer sees the actual return of each decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.evaluator import EnergyEvaluator
+from repro.errors import OptimizationError
+from repro.optimization.selection import TechniqueAssignment
+from repro.power.database import PowerDatabase
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """Result of applying a set of technique assignments.
+
+    Attributes:
+        assignments: the applied (block, technique) decisions.
+        database: the rewritten power database.
+        energy_before_j: node energy per wheel round before optimization.
+        energy_after_j: node energy per wheel round after optimization.
+        skipped: assignments that could not be applied (e.g. a technique
+            targeting a mode the block does not have), with the reason.
+    """
+
+    assignments: tuple[TechniqueAssignment, ...]
+    database: PowerDatabase
+    energy_before_j: float
+    energy_after_j: float
+    skipped: tuple[tuple[TechniqueAssignment, str], ...] = ()
+
+    @property
+    def saving_j(self) -> float:
+        """Absolute energy saving per wheel round."""
+        return self.energy_before_j - self.energy_after_j
+
+    @property
+    def saving_fraction(self) -> float:
+        """Relative energy saving per wheel round."""
+        if self.energy_before_j == 0.0:
+            return 0.0
+        return self.saving_j / self.energy_before_j
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """Tabular view of the applied assignments."""
+        return [
+            {
+                "block": assignment.block,
+                "technique": assignment.technique.name,
+                "kind": assignment.technique.kind.value,
+                "rationale": assignment.rationale,
+            }
+            for assignment in self.assignments
+        ]
+
+
+def apply_assignments(
+    node: SensorNode,
+    database: PowerDatabase,
+    assignments: list[TechniqueAssignment],
+    point: OperatingPoint | None = None,
+) -> OptimizationOutcome:
+    """Apply technique assignments to the database and re-estimate the energy.
+
+    Assignments that cannot be applied (missing mode, unknown block) are
+    collected in ``skipped`` rather than aborting the whole optimization —
+    matching how a designer would treat a technique that turns out not to fit
+    a block.
+
+    Args:
+        node: the architecture the energy figures refer to.
+        database: the characterization to rewrite.
+        assignments: the selected (block, technique) pairs.
+        point: working condition of the before/after evaluation (nominal by
+            default).
+    """
+    condition = point or OperatingPoint()
+    before = EnergyEvaluator(node, database).energy_per_revolution_j(condition)
+
+    rewritten = database
+    applied: list[TechniqueAssignment] = []
+    skipped: list[tuple[TechniqueAssignment, str]] = []
+    for assignment in assignments:
+        try:
+            rewritten = assignment.technique.apply(rewritten, assignment.block)
+        except OptimizationError as error:
+            skipped.append((assignment, str(error)))
+            continue
+        applied.append(assignment)
+
+    after = EnergyEvaluator(node, rewritten).energy_per_revolution_j(condition)
+    return OptimizationOutcome(
+        assignments=tuple(applied),
+        database=rewritten,
+        energy_before_j=before,
+        energy_after_j=after,
+        skipped=tuple(skipped),
+    )

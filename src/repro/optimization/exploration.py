@@ -1,0 +1,133 @@
+"""Design-space exploration: architectures, scavenger sizes, break-even speeds.
+
+The introduction states the challenge plainly: *"reduce the minimum speed for
+the monitoring system activation in order to acquire the most relevant number
+of sensor data"*.  The knobs are the node architecture (operating
+conditions), the circuit-level techniques (the power database) and the
+scavenger size.  This module sweeps those knobs and reports the break-even
+speed of every candidate so the designer can pick the cheapest one that meets
+the activation-speed target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.errors import AnalysisError
+from repro.power.database import PowerDatabase
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class ArchitectureCandidate:
+    """One design point of the exploration."""
+
+    node: SensorNode
+    database: PowerDatabase
+    scavenger: EnergyScavenger
+    label: str
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """Break-even figures of one evaluated candidate."""
+
+    label: str
+    break_even_kmh: float | None
+    energy_per_rev_at_60_j: float
+    generated_per_rev_at_60_j: float
+
+    @property
+    def activates(self) -> bool:
+        """True when the candidate reaches a positive balance somewhere."""
+        return self.break_even_kmh is not None
+
+    def as_row(self) -> dict[str, object]:
+        """Tabular view of the candidate."""
+        return {
+            "candidate": self.label,
+            "break_even_kmh": self.break_even_kmh
+            if self.break_even_kmh is not None
+            else float("nan"),
+            "required_uj_per_rev_60kmh": self.energy_per_rev_at_60_j * 1e6,
+            "generated_uj_per_rev_60kmh": self.generated_per_rev_at_60_j * 1e6,
+            "activates": self.activates,
+        }
+
+
+def evaluate_candidate(
+    candidate: ArchitectureCandidate,
+    point_factory: Callable[[float], OperatingPoint] | None = None,
+    high_kmh: float = 250.0,
+) -> ExplorationResult:
+    """Break-even speed and 60 km/h snapshot of one candidate."""
+    analysis = EnergyBalanceAnalysis(
+        candidate.node, candidate.database, candidate.scavenger
+    )
+    break_even = analysis.break_even_speed_kmh(
+        high_kmh=high_kmh, point_factory=point_factory
+    )
+    snapshot_point = (
+        point_factory(60.0) if point_factory is not None else OperatingPoint(speed_kmh=60.0)
+    )
+    return ExplorationResult(
+        label=candidate.label,
+        break_even_kmh=break_even,
+        energy_per_rev_at_60_j=analysis.required_energy_j(snapshot_point),
+        generated_per_rev_at_60_j=analysis.generated_energy_j(60.0),
+    )
+
+
+def explore_design_space(
+    candidates: Iterable[ArchitectureCandidate],
+    point_factory: Callable[[float], OperatingPoint] | None = None,
+    high_kmh: float = 250.0,
+) -> list[ExplorationResult]:
+    """Evaluate every candidate and return the results sorted by break-even speed.
+
+    Candidates that never activate sort last.
+    """
+    results = [
+        evaluate_candidate(candidate, point_factory=point_factory, high_kmh=high_kmh)
+        for candidate in candidates
+    ]
+    if not results:
+        raise AnalysisError("the design-space exploration received no candidates")
+    return sorted(
+        results,
+        key=lambda r: (r.break_even_kmh is None, r.break_even_kmh or float("inf")),
+    )
+
+
+def scavenger_size_sweep(
+    node: SensorNode,
+    database: PowerDatabase,
+    scavenger: EnergyScavenger,
+    size_factors: Sequence[float],
+    point_factory: Callable[[float], OperatingPoint] | None = None,
+) -> list[ExplorationResult]:
+    """Break-even speed as a function of the scavenger size.
+
+    This is the paper's "the available energy depends almost on the size of
+    such a scavenging device" knob: the sweep shows how much device area buys
+    how much activation-speed reduction.
+    """
+    if not size_factors:
+        raise AnalysisError("the size sweep needs at least one size factor")
+    candidates = [
+        ArchitectureCandidate(
+            node=node,
+            database=database,
+            scavenger=scavenger.scaled(float(factor)),
+            label=f"{node.name} + scavenger x{float(factor):.2f}",
+        )
+        for factor in size_factors
+    ]
+    return [
+        evaluate_candidate(candidate, point_factory=point_factory)
+        for candidate in candidates
+    ]

@@ -1,0 +1,194 @@
+"""Duty-cycle-driven selection of optimization techniques.
+
+The paper's example: a block with high dynamic power and low leakage would
+normally be optimized for dynamic power only, *"but if we consider also
+temporal information and the block results having a short duty cycle, it is
+worth to optimize not only the dynamic power but also the static one since
+the idle time is significant"*.  The default policy below encodes that rule:
+
+* blocks whose *dynamic* energy over the wheel round is significant get the
+  dynamic techniques (clock gating; voltage scaling where there is timing
+  slack);
+* blocks with a *short duty cycle* — or whose leakage energy share is large —
+  additionally get a static technique (power gating, the duty-cycle-aware
+  variant when the duty cycle is very short);
+* blocks whose total contribution is negligible are left alone (optimizing
+  them is engineering effort with no energy return).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.optimization.techniques import (
+    ClockGating,
+    DutyCycleAwarePowerGating,
+    OptimizationTechnique,
+    PowerGating,
+    VoltageScaling,
+)
+from repro.timing.duty_cycle import DutyCycleReport
+
+
+@dataclass(frozen=True)
+class TechniqueAssignment:
+    """One (block, technique) decision plus the reasoning behind it."""
+
+    block: str
+    technique: OptimizationTechnique
+    rationale: str
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return f"{self.block}: {self.technique.name} — {self.rationale}"
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """Thresholds of the duty-cycle-driven selection rule.
+
+    Attributes:
+        short_duty_cycle: duty cycles below this are "short" and trigger
+            static-power optimization regardless of the leakage share.
+        static_share_threshold: leakage share of the block energy above which
+            static optimization is triggered even for long duty cycles.
+        relevance_threshold: blocks contributing less than this fraction of
+            the node energy are not optimized at all.
+        aggressive_duty_cycle: duty cycles below this use the duty-cycle-aware
+            power-gating variant.
+        enable_voltage_scaling: offer voltage scaling to digital blocks whose
+            dynamic energy dominates (needs timing slack, so architectures
+            close to their maximum sustainable speed should disable it).
+        voltage_scaling_blocks: blocks eligible for voltage scaling (the core
+            rail domain).
+    """
+
+    short_duty_cycle: float = 0.10
+    static_share_threshold: float = 0.35
+    relevance_threshold: float = 0.02
+    aggressive_duty_cycle: float = 0.02
+    enable_voltage_scaling: bool = True
+    voltage_scaling_blocks: tuple[str, ...] = ("mcu", "sram")
+    clock_gating: ClockGating = field(default_factory=ClockGating)
+    power_gating: PowerGating = field(default_factory=PowerGating)
+    aggressive_power_gating: DutyCycleAwarePowerGating = field(
+        default_factory=DutyCycleAwarePowerGating
+    )
+    voltage_scaling: VoltageScaling = field(default_factory=VoltageScaling)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.short_duty_cycle <= 1.0:
+            raise OptimizationError("short duty cycle threshold must be in [0, 1]")
+        if not 0.0 <= self.static_share_threshold <= 1.0:
+            raise OptimizationError("static share threshold must be in [0, 1]")
+        if not 0.0 <= self.relevance_threshold < 1.0:
+            raise OptimizationError("relevance threshold must be in [0, 1)")
+        if self.aggressive_duty_cycle > self.short_duty_cycle:
+            raise OptimizationError(
+                "the aggressive duty-cycle threshold must not exceed the short one"
+            )
+
+
+def select_techniques(
+    report: DutyCycleReport,
+    policy: SelectionPolicy | None = None,
+    gateable_blocks: set[str] | frozenset[str] | None = None,
+    database=None,
+) -> list[TechniqueAssignment]:
+    """Choose optimization techniques per block from a duty-cycle report.
+
+    Args:
+        report: per-block duty cycles and energy split over one wheel round.
+        policy: selection thresholds (defaults to :class:`SelectionPolicy`).
+        gateable_blocks: blocks that may be power gated; by default every
+            block except the always-on LF receiver and the PMU supervisor.
+        database: optional :class:`~repro.power.database.PowerDatabase`; when
+            given, techniques that target a mode the block does not have
+            (clock gating without an idle mode, power gating without a sleep
+            mode) are filtered out instead of being skipped later by
+            :func:`~repro.optimization.apply.apply_assignments`.
+
+    Returns:
+        The list of (block, technique) assignments, ordered by the energy
+        contribution of the block (largest first).
+    """
+    policy = policy or SelectionPolicy()
+    if gateable_blocks is None:
+        gateable_blocks = frozenset(report.blocks) - {"lf_rx", "pmu"}
+
+    def block_has_mode(block: str, mode: str) -> bool:
+        if database is None:
+            return True
+        try:
+            return mode in database.modes_of(block)
+        except Exception:
+            return False
+
+    total_energy = report.total_energy_j()
+    if total_energy <= 0.0:
+        raise OptimizationError("the duty-cycle report carries no energy to optimize")
+
+    assignments: list[TechniqueAssignment] = []
+    ordered = sorted(report.entries, key=lambda e: e.total_energy_j, reverse=True)
+    for entry in ordered:
+        share = entry.total_energy_j / total_energy
+        if share < policy.relevance_threshold:
+            continue
+
+        dynamic_share = 1.0 - entry.static_energy_fraction
+        wants_static = (
+            entry.duty_cycle < policy.short_duty_cycle
+            or entry.static_energy_fraction >= policy.static_share_threshold
+        )
+        wants_dynamic = dynamic_share >= policy.static_share_threshold
+
+        if wants_dynamic:
+            if block_has_mode(entry.block, "idle"):
+                assignments.append(
+                    TechniqueAssignment(
+                        block=entry.block,
+                        technique=policy.clock_gating,
+                        rationale=(
+                            f"dynamic energy share {dynamic_share:.0%} of the block, "
+                            f"{share:.0%} of the node"
+                        ),
+                    )
+                )
+            if (
+                policy.enable_voltage_scaling
+                and entry.block in policy.voltage_scaling_blocks
+            ):
+                assignments.append(
+                    TechniqueAssignment(
+                        block=entry.block,
+                        technique=policy.voltage_scaling,
+                        rationale="core-rail digital block with dominant dynamic energy",
+                    )
+                )
+
+        if (
+            wants_static
+            and entry.block in gateable_blocks
+            and block_has_mode(entry.block, "sleep")
+        ):
+            technique: OptimizationTechnique
+            if entry.duty_cycle < policy.aggressive_duty_cycle:
+                technique = policy.aggressive_power_gating
+            else:
+                technique = policy.power_gating
+            reason_parts = []
+            if entry.duty_cycle < policy.short_duty_cycle:
+                reason_parts.append(f"short duty cycle {entry.duty_cycle:.1%}")
+            if entry.static_energy_fraction >= policy.static_share_threshold:
+                reason_parts.append(
+                    f"leakage is {entry.static_energy_fraction:.0%} of the block energy"
+                )
+            assignments.append(
+                TechniqueAssignment(
+                    block=entry.block,
+                    technique=technique,
+                    rationale=" and ".join(reason_parts) or "static optimization",
+                )
+            )
+    return assignments

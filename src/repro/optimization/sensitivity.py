@@ -1,0 +1,179 @@
+"""Sensitivity analysis of the minimum activation speed.
+
+Which knob moves the break-even the most?  This module perturbs each design
+and environment parameter by a relative step and reports the resulting change
+of the break-even speed, normalized as an elasticity
+(``% change of break-even / % change of parameter``).  It is the quantitative
+companion to the paper's qualitative list of dependencies (operating mode,
+temperature, supply, scavenger size, amount of acquired data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.blocks.adc import AdcConfig
+from repro.blocks.node import SensorNode
+from repro.blocks.radio import RadioConfig
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.errors import AnalysisError
+from repro.power.database import PowerDatabase
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Break-even response to one perturbed parameter."""
+
+    parameter: str
+    relative_step: float
+    baseline_break_even_kmh: float
+    perturbed_break_even_kmh: float | None
+
+    @property
+    def delta_kmh(self) -> float | None:
+        """Absolute break-even change, ``None`` if the perturbed design never activates."""
+        if self.perturbed_break_even_kmh is None:
+            return None
+        return self.perturbed_break_even_kmh - self.baseline_break_even_kmh
+
+    @property
+    def elasticity(self) -> float | None:
+        """Relative break-even change per relative parameter change."""
+        delta = self.delta_kmh
+        if delta is None or self.baseline_break_even_kmh == 0.0:
+            return None
+        return (delta / self.baseline_break_even_kmh) / self.relative_step
+
+    def as_row(self) -> dict[str, object]:
+        """Tabular view of the entry."""
+        return {
+            "parameter": self.parameter,
+            "relative_step_pct": self.relative_step * 100.0,
+            "break_even_kmh": self.perturbed_break_even_kmh
+            if self.perturbed_break_even_kmh is not None
+            else float("nan"),
+            "delta_kmh": self.delta_kmh if self.delta_kmh is not None else float("nan"),
+            "elasticity": self.elasticity if self.elasticity is not None else float("nan"),
+        }
+
+
+#: A perturbation returns the modified (node, scavenger, temperature offset).
+Perturbation = Callable[[SensorNode, EnergyScavenger, float], tuple[SensorNode, EnergyScavenger, float]]
+
+
+def _default_perturbations(step: float) -> dict[str, Perturbation]:
+    """The standard knob set, each perturbed by ``+step`` relative."""
+
+    def scavenger_size(node, scavenger, temperature):
+        return node, scavenger.scaled(1.0 + step), temperature
+
+    def payload_bits(node, scavenger, temperature):
+        radio = node.radio
+        scaled = replace(radio, payload_bits=max(1, int(round(radio.payload_bits * (1.0 + step)))))
+        return node.with_radio(scaled), scavenger, temperature
+
+    def tx_interval(node, scavenger, temperature):
+        radio = node.radio
+        scaled = replace(
+            radio, tx_interval_revs=max(1, int(round(radio.tx_interval_revs * (1.0 + step))))
+        )
+        return node.with_radio(scaled), scavenger, temperature
+
+    def adc_sample_rate(node, scavenger, temperature):
+        adc = node.adc
+        scaled = AdcConfig(
+            sample_rate_hz=adc.sample_rate_hz * (1.0 + step),
+            resolution_bits=adc.resolution_bits,
+        )
+        return replace(node, adc=scaled), scavenger, temperature
+
+    def mcu_cycles_per_sample(node, scavenger, temperature):
+        mcu = node.mcu
+        scaled = replace(
+            mcu, cycles_per_sample=max(0, int(round(mcu.cycles_per_sample * (1.0 + step))))
+        )
+        return node.with_mcu(scaled), scavenger, temperature
+
+    def junction_temperature(node, scavenger, temperature):
+        # Interpreted as a +step relative change of the absolute Celsius value
+        # around the baseline working temperature.
+        return node, scavenger, temperature * (1.0 + step)
+
+    return {
+        "scavenger size": scavenger_size,
+        "radio payload bits": payload_bits,
+        "transmission interval (revolutions)": tx_interval,
+        "ADC sample rate": adc_sample_rate,
+        "MCU cycles per sample": mcu_cycles_per_sample,
+        "junction temperature": junction_temperature,
+    }
+
+
+def break_even_sensitivity(
+    node: SensorNode,
+    database: PowerDatabase,
+    scavenger: EnergyScavenger,
+    relative_step: float = 0.10,
+    temperature_c: float = 25.0,
+    high_kmh: float = 250.0,
+    perturbations: dict[str, Perturbation] | None = None,
+) -> list[SensitivityEntry]:
+    """Compute the break-even sensitivity to every knob.
+
+    Args:
+        node: the baseline architecture.
+        database: power characterization.
+        scavenger: baseline harvester.
+        relative_step: relative perturbation applied to each parameter.
+        temperature_c: baseline junction temperature of the sweep.
+        high_kmh: upper bound of the break-even search.
+        perturbations: custom knob set; the default covers scavenger size,
+            payload, transmission interval, ADC rate, MCU workload and
+            temperature.
+
+    Raises:
+        AnalysisError: if the baseline design never reaches a positive balance
+            (its sensitivity would be meaningless) or the step is not positive.
+    """
+    if relative_step <= 0.0:
+        raise AnalysisError("the relative perturbation step must be positive")
+
+    def break_even(candidate_node, candidate_scavenger, candidate_temperature):
+        analysis = EnergyBalanceAnalysis(candidate_node, database, candidate_scavenger)
+        return analysis.break_even_speed_kmh(
+            high_kmh=high_kmh,
+            point_factory=lambda speed: OperatingPoint(
+                speed_kmh=speed, temperature_c=candidate_temperature
+            ),
+        )
+
+    baseline = break_even(node, scavenger, temperature_c)
+    if baseline is None:
+        raise AnalysisError(
+            "the baseline design never reaches a positive energy balance; "
+            "size the scavenger before running a sensitivity analysis"
+        )
+
+    knobs = perturbations or _default_perturbations(relative_step)
+    entries: list[SensitivityEntry] = []
+    for name, perturb in knobs.items():
+        perturbed_node, perturbed_scavenger, perturbed_temperature = perturb(
+            node, scavenger, temperature_c
+        )
+        perturbed = break_even(perturbed_node, perturbed_scavenger, perturbed_temperature)
+        entries.append(
+            SensitivityEntry(
+                parameter=name,
+                relative_step=relative_step,
+                baseline_break_even_kmh=baseline,
+                perturbed_break_even_kmh=perturbed,
+            )
+        )
+    return sorted(
+        entries,
+        key=lambda entry: abs(entry.elasticity) if entry.elasticity is not None else 0.0,
+        reverse=True,
+    )

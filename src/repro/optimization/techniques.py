@@ -1,0 +1,201 @@
+"""Circuit-level optimization techniques as power-database rewrites.
+
+Every technique is expressed as a transformation of the power database for
+one block: clock gating shrinks the idle-mode dynamic power, power gating
+shrinks the sleep-mode leakage, voltage scaling shrinks both dynamic and
+static power of the core-rail modes at a (modelled) performance cost.  The
+flow applies the selected techniques, then *re-estimates* the total energy —
+exactly the estimate → optimize → re-estimate loop of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+
+from repro.errors import OptimizationError
+from repro.power.database import PowerDatabase
+
+
+class TechniqueKind(enum.Enum):
+    """Whether a technique targets dynamic power, static power or both."""
+
+    DYNAMIC = "dynamic"
+    STATIC = "static"
+    BOTH = "both"
+
+
+@dataclass(frozen=True)
+class OptimizationTechnique(abc.ABC):
+    """Base class of every optimization technique.
+
+    Attributes:
+        name: technique name used in reports and assignments.
+    """
+
+    name: str = "technique"
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> TechniqueKind:
+        """Which power component the technique targets."""
+
+    @abc.abstractmethod
+    def apply(self, database: PowerDatabase, block: str) -> PowerDatabase:
+        """Return a new database with the technique applied to ``block``."""
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return f"{self.name} ({self.kind.value})"
+
+
+@dataclass(frozen=True)
+class ClockGating(OptimizationTechnique):
+    """Gate the clock of a block while it idles.
+
+    Removes most of the dynamic power of the ``idle`` mode (the clock tree
+    keeps toggling in an ungated design even when the datapath is stalled).
+    Modes other than ``idle`` are untouched.
+    """
+
+    name: str = "clock-gating"
+    residual_idle_dynamic: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.residual_idle_dynamic <= 1.0:
+            raise OptimizationError("residual idle dynamic fraction must be in [0, 1]")
+
+    @property
+    def kind(self) -> TechniqueKind:
+        return TechniqueKind.DYNAMIC
+
+    def apply(self, database: PowerDatabase, block: str) -> PowerDatabase:
+        modes = set(database.modes_of(block))
+        if "idle" not in modes:
+            raise OptimizationError(
+                f"clock gating targets the idle mode, but block {block!r} has none"
+            )
+        return database.scale_block(
+            block,
+            dynamic_factor=self.residual_idle_dynamic,
+            static_factor=1.0,
+            modes=("idle",),
+            note=f"{self.name}: idle dynamic x{self.residual_idle_dynamic}",
+        )
+
+
+@dataclass(frozen=True)
+class PowerGating(OptimizationTechnique):
+    """Cut the supply of a block while it sleeps.
+
+    Shrinks the sleep-mode leakage to the residual of the sleep transistor /
+    retention circuitry.  The wake-up energy overhead is modelled as an
+    equivalent increase of the active-mode dynamic power (the block must
+    re-charge its local supply every wheel round it is used).
+    """
+
+    name: str = "power-gating"
+    residual_sleep_leakage: float = 0.08
+    wakeup_overhead: float = 0.005
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.residual_sleep_leakage <= 1.0:
+            raise OptimizationError("residual sleep leakage fraction must be in [0, 1]")
+        if self.wakeup_overhead < 0.0:
+            raise OptimizationError("wake-up overhead must be non-negative")
+
+    @property
+    def kind(self) -> TechniqueKind:
+        return TechniqueKind.STATIC
+
+    def apply(self, database: PowerDatabase, block: str) -> PowerDatabase:
+        modes = set(database.modes_of(block))
+        if "sleep" not in modes:
+            raise OptimizationError(
+                f"power gating targets the sleep mode, but block {block!r} has none"
+            )
+        rewritten = database.scale_block(
+            block,
+            dynamic_factor=1.0,
+            static_factor=self.residual_sleep_leakage,
+            modes=("sleep",),
+            note=f"{self.name}: sleep leakage x{self.residual_sleep_leakage}",
+        )
+        if self.wakeup_overhead > 0.0 and "active" in modes:
+            rewritten = rewritten.scale_block(
+                block,
+                dynamic_factor=1.0 + self.wakeup_overhead,
+                static_factor=1.0,
+                modes=("active",),
+                note=f"{self.name}: wake-up overhead +{self.wakeup_overhead * 100:.0f}%",
+            )
+        return rewritten
+
+
+@dataclass(frozen=True)
+class DutyCycleAwarePowerGating(PowerGating):
+    """Power gating tuned for very short duty cycles.
+
+    Uses a more aggressive sleep transistor (smaller residual leakage) at the
+    cost of a larger wake-up overhead; only worth it when the block sleeps
+    for almost the entire wheel round, which is exactly when the selection
+    policy picks it.
+    """
+
+    name: str = "duty-cycle-aware power-gating"
+    residual_sleep_leakage: float = 0.03
+    wakeup_overhead: float = 0.015
+
+
+@dataclass(frozen=True)
+class VoltageScaling(OptimizationTechnique):
+    """Lower the supply voltage of a block's modes.
+
+    Dynamic power scales with the square of the voltage ratio; leakage scales
+    roughly linearly (DIBL).  The performance cost (longer compute phase) is
+    not modelled at the database level — architecture-level experiments that
+    slow the MCU down are expressed through :class:`~repro.blocks.mcu.McuConfig`
+    instead — so this technique should only be applied to blocks whose timing
+    has slack, which the selection policy checks through the schedule.
+    """
+
+    name: str = "voltage-scaling"
+    voltage_ratio: float = 0.85
+    leakage_voltage_sensitivity: float = 1.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.voltage_ratio <= 1.0:
+            raise OptimizationError("voltage ratio must be in (0, 1]")
+        if self.leakage_voltage_sensitivity < 0.0:
+            raise OptimizationError("leakage sensitivity must be non-negative")
+
+    @property
+    def kind(self) -> TechniqueKind:
+        return TechniqueKind.BOTH
+
+    def apply(self, database: PowerDatabase, block: str) -> PowerDatabase:
+        dynamic_factor = self.voltage_ratio**2
+        static_factor = max(
+            0.0, 1.0 - self.leakage_voltage_sensitivity * (1.0 - self.voltage_ratio)
+        )
+        return database.scale_block(
+            block,
+            dynamic_factor=dynamic_factor,
+            static_factor=static_factor,
+            note=(
+                f"{self.name}: V x{self.voltage_ratio} "
+                f"(dyn x{dynamic_factor:.2f}, leak x{static_factor:.2f})"
+            ),
+        )
+
+
+def default_technique_catalogue() -> dict[str, OptimizationTechnique]:
+    """The techniques the default selection policy can choose from."""
+    techniques: tuple[OptimizationTechnique, ...] = (
+        ClockGating(),
+        PowerGating(),
+        DutyCycleAwarePowerGating(),
+        VoltageScaling(),
+    )
+    return {technique.name: technique for technique in techniques}

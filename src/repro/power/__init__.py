@@ -1,0 +1,37 @@
+"""Power models and the power-characterization database ("dynamic spreadsheet").
+
+The paper collects per-block power estimations into a dynamic spreadsheet
+that acts as *"a complete database for the energy analysis"*.  This package
+provides that database plus the parametric dynamic/static power models used
+to scale each entry across working conditions (temperature, supply voltage,
+process variation) and operating conditions (block mode, clock frequency,
+activity).
+"""
+
+from repro.power.database import PowerDatabase
+from repro.power.entry import PowerEntry
+from repro.power.io import (
+    database_from_csv,
+    database_from_json,
+    database_to_csv,
+    database_to_json,
+)
+from repro.power.library import reference_power_database
+from repro.power.models import (
+    DynamicPowerModel,
+    LeakagePowerModel,
+    PowerBreakdown,
+)
+
+__all__ = [
+    "DynamicPowerModel",
+    "LeakagePowerModel",
+    "PowerBreakdown",
+    "PowerEntry",
+    "PowerDatabase",
+    "reference_power_database",
+    "database_to_csv",
+    "database_from_csv",
+    "database_to_json",
+    "database_from_json",
+]

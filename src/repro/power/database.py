@@ -1,0 +1,264 @@
+"""The power database — the paper's "dynamic spreadsheet".
+
+All per-block power characterization data is collected here and can be
+queried at any working condition.  The database is also the object the
+optimization step rewrites: applying a technique to a block produces a new
+database with the affected entries scaled, after which the flow re-estimates
+the total power exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.power.entry import PowerEntry
+from repro.power.models import PowerBreakdown
+
+
+@dataclass
+class PowerDatabase:
+    """A collection of :class:`PowerEntry` rows keyed by (block, mode).
+
+    The database behaves like the paper's dynamic spreadsheet: each row holds
+    the characterized power of one block in one mode, and every query is made
+    at an explicit :class:`OperatingPoint` so the same data answers "what
+    does the node draw at -40 degC and 1.1 V" as readily as the nominal case.
+    """
+
+    name: str = "sensor-node"
+    _entries: dict[tuple[str, str], PowerEntry] = field(default_factory=dict)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[PowerEntry], name: str = "sensor-node") -> "PowerDatabase":
+        """Build a database from an iterable of entries."""
+        database = cls(name=name)
+        for entry in entries:
+            database.add(entry)
+        return database
+
+    def add(self, entry: PowerEntry, overwrite: bool = False) -> None:
+        """Add an entry; refuses to silently overwrite unless ``overwrite``."""
+        if entry.key in self._entries and not overwrite:
+            raise ConfigurationError(
+                f"entry for block {entry.block!r} mode {entry.mode!r} already exists"
+            )
+        self._entries[entry.key] = entry
+
+    def remove(self, block: str, mode: str) -> None:
+        """Remove one entry."""
+        key = (block, mode)
+        if key not in self._entries:
+            raise CharacterizationError(
+                f"no entry for block {block!r} mode {mode!r} to remove"
+            )
+        del self._entries[key]
+
+    # -- queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[PowerEntry]:
+        return iter(self._entries.values())
+
+    @property
+    def blocks(self) -> list[str]:
+        """Sorted list of distinct block names."""
+        return sorted({entry.block for entry in self._entries.values()})
+
+    def modes_of(self, block: str) -> list[str]:
+        """Sorted list of modes characterized for ``block``."""
+        modes = sorted(
+            entry.mode for entry in self._entries.values() if entry.block == block
+        )
+        if not modes:
+            raise CharacterizationError(f"no entries for block {block!r}")
+        return modes
+
+    def entry(self, block: str, mode: str) -> PowerEntry:
+        """Look up the entry for (block, mode).
+
+        Raises:
+            CharacterizationError: if the entry does not exist; the message
+                lists the modes that are characterized, which makes typos in
+                architecture descriptions easy to diagnose.
+        """
+        key = (block, mode)
+        if key not in self._entries:
+            available = [e.mode for e in self._entries.values() if e.block == block]
+            if available:
+                raise CharacterizationError(
+                    f"block {block!r} has no mode {mode!r}; characterized modes: "
+                    f"{sorted(available)}"
+                )
+            raise CharacterizationError(
+                f"block {block!r} is not characterized; known blocks: {self.blocks}"
+            )
+        return self._entries[key]
+
+    def entries_for(self, block: str) -> list[PowerEntry]:
+        """All entries of one block."""
+        found = [entry for entry in self._entries.values() if entry.block == block]
+        if not found:
+            raise CharacterizationError(f"no entries for block {block!r}")
+        return sorted(found, key=lambda e: e.mode)
+
+    def power(
+        self, block: str, mode: str, point: OperatingPoint, activity: float = 1.0
+    ) -> PowerBreakdown:
+        """Power breakdown of (block, mode) at ``point``."""
+        return self.entry(block, mode).breakdown(point, activity=activity)
+
+    def total_power(
+        self,
+        modes: Mapping[str, str],
+        point: OperatingPoint,
+        activities: Mapping[str, float] | None = None,
+    ) -> PowerBreakdown:
+        """Total node power for a given mode assignment.
+
+        Args:
+            modes: mapping block name -> mode name describing the
+                instantaneous state of every block.
+            point: working conditions.
+            activities: optional per-block activity factors.
+        """
+        activities = activities or {}
+        total = PowerBreakdown.zero()
+        for block, mode in modes.items():
+            total = total + self.power(
+                block, mode, point, activity=activities.get(block, 1.0)
+            )
+        return total
+
+    # -- transformation ------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "PowerDatabase":
+        """Shallow copy (entries are immutable, so sharing them is safe)."""
+        clone = PowerDatabase(name=name or self.name)
+        clone._entries = dict(self._entries)
+        return clone
+
+    def replace_entry(self, entry: PowerEntry) -> "PowerDatabase":
+        """Return a copy with one entry replaced (the entry must exist)."""
+        if entry.key not in self._entries:
+            raise CharacterizationError(
+                f"cannot replace missing entry {entry.block!r}/{entry.mode!r}"
+            )
+        clone = self.copy()
+        clone._entries[entry.key] = entry
+        return clone
+
+    def scale_block(
+        self,
+        block: str,
+        dynamic_factor: float = 1.0,
+        static_factor: float = 1.0,
+        modes: Iterable[str] | None = None,
+        note: str = "",
+    ) -> "PowerDatabase":
+        """Return a copy with the given block's entries scaled.
+
+        This is the primitive every optimization technique reduces to.
+
+        Args:
+            block: block whose entries to scale.
+            dynamic_factor: multiplier on the dynamic reference power.
+            static_factor: multiplier on the leakage reference power.
+            modes: restrict the scaling to these modes; all modes by default.
+            note: provenance annotation recorded on the scaled entries.
+        """
+        target_modes = set(modes) if modes is not None else None
+        clone = self.copy()
+        touched = 0
+        for key, entry in list(clone._entries.items()):
+            if entry.block != block:
+                continue
+            if target_modes is not None and entry.mode not in target_modes:
+                continue
+            clone._entries[key] = entry.scaled(dynamic_factor, static_factor, note=note)
+            touched += 1
+        if touched == 0:
+            raise CharacterizationError(
+                f"scale_block matched no entries for block {block!r}"
+                + (f" modes {sorted(target_modes)}" if target_modes else "")
+            )
+        return clone
+
+    def map_entries(
+        self, transform: Callable[[PowerEntry], PowerEntry], name: str | None = None
+    ) -> "PowerDatabase":
+        """Return a copy with every entry passed through ``transform``."""
+        clone = PowerDatabase(name=name or self.name)
+        for entry in self._entries.values():
+            new_entry = transform(entry)
+            clone._entries[new_entry.key] = new_entry
+        return clone
+
+    def merged_with(self, other: "PowerDatabase", overwrite: bool = False) -> "PowerDatabase":
+        """Merge two databases; ``other`` wins on conflicts when ``overwrite``."""
+        clone = self.copy()
+        for entry in other:
+            if entry.key in clone._entries and not overwrite:
+                raise ConfigurationError(
+                    f"merge conflict on {entry.block!r}/{entry.mode!r}; "
+                    "pass overwrite=True to let the other database win"
+                )
+            clone._entries[entry.key] = entry
+        return clone
+
+    # -- tabular views -------------------------------------------------------
+
+    def table(
+        self, point: OperatingPoint, blocks: Iterable[str] | None = None
+    ) -> list[dict[str, object]]:
+        """Tabular view of the database at ``point``.
+
+        Returns one row per entry with block, mode, dynamic/static/total power
+        in microwatts — the "spreadsheet view" used by reports and exports.
+        """
+        wanted = set(blocks) if blocks is not None else None
+        rows: list[dict[str, object]] = []
+        for entry in sorted(self._entries.values(), key=lambda e: e.key):
+            if wanted is not None and entry.block not in wanted:
+                continue
+            power = entry.breakdown(point)
+            rows.append(
+                {
+                    "block": entry.block,
+                    "mode": entry.mode,
+                    "dynamic_uw": power.dynamic_w * 1e6,
+                    "static_uw": power.static_w * 1e6,
+                    "total_uw": power.total_w * 1e6,
+                    "rail_v": entry.rail_voltage_v,
+                    "clock_hz": entry.clock_frequency_hz,
+                    "notes": entry.notes,
+                }
+            )
+        return rows
+
+    def validate_against(self, required: Mapping[str, Iterable[str]]) -> None:
+        """Check that every (block, mode) pair in ``required`` is characterized.
+
+        Architectures call this before an analysis run so that a missing
+        characterization fails fast with a complete list instead of midway
+        through an emulation.
+        """
+        missing: list[str] = []
+        for block, modes in required.items():
+            for mode in modes:
+                if (block, mode) not in self._entries:
+                    missing.append(f"{block}/{mode}")
+        if missing:
+            raise CharacterizationError(
+                "power database "
+                f"{self.name!r} is missing entries: {', '.join(sorted(missing))}"
+            )

@@ -1,0 +1,183 @@
+"""Power-database entries: one characterized (block, mode) pair.
+
+Each entry of the "dynamic spreadsheet" records the power of one functional
+block in one operating mode, together with the scaling models needed to
+re-evaluate it at any working condition.  Entries are pure data: the
+functional-block behaviour (state machines, duty cycles) lives in
+:mod:`repro.blocks` and :mod:`repro.timing`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ConfigurationError
+from repro.power.models import (
+    DynamicPowerModel,
+    LeakagePowerModel,
+    PowerBreakdown,
+    breakdown_at,
+)
+
+
+@dataclass(frozen=True)
+class PowerEntry:
+    """One row of the power database.
+
+    Attributes:
+        block: functional-block name, e.g. ``"mcu"``.
+        mode: operating-mode name, e.g. ``"active"``, ``"idle"``, ``"sleep"``.
+        dynamic: dynamic power model for this mode.
+        leakage: leakage power model for this mode (power gating is expressed
+            by giving the gated mode a much smaller leakage reference).
+        rail_voltage_v: nominal voltage of the rail the block sits on; used
+            instead of the core supply when the block has its own rail.
+        tracks_core_supply: when True the entry is evaluated at the core
+            supply voltage selected by the operating point (so
+            voltage-scaling optimizations affect it); when False the entry
+            keeps its own rail voltage.
+        clock_frequency_hz: clock frequency of the mode (0 for clockless).
+        notes: free-form provenance string (where the numbers come from).
+    """
+
+    block: str
+    mode: str
+    dynamic: DynamicPowerModel
+    leakage: LeakagePowerModel
+    rail_voltage_v: float = 1.2
+    tracks_core_supply: bool = True
+    clock_frequency_hz: float = 0.0
+    notes: str = ""
+    tags: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.block:
+            raise ConfigurationError("entry block name must not be empty")
+        if not self.mode:
+            raise ConfigurationError("entry mode name must not be empty")
+        if self.rail_voltage_v <= 0.0:
+            raise ConfigurationError("rail voltage must be positive")
+        if self.clock_frequency_hz < 0.0:
+            raise ConfigurationError("clock frequency must be non-negative")
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """The (block, mode) key this entry is stored under."""
+        return (self.block, self.mode)
+
+    def breakdown(self, point: OperatingPoint, activity: float = 1.0) -> PowerBreakdown:
+        """Evaluate the entry at an operating point.
+
+        Args:
+            point: working conditions.
+            activity: switching-activity factor relative to the characterized
+                workload.
+        """
+        voltage_override = None if self.tracks_core_supply else self.rail_voltage_v
+        return breakdown_at(
+            self.dynamic,
+            self.leakage,
+            point,
+            frequency_hz=self.clock_frequency_hz or None,
+            activity=activity,
+            voltage_override_v=voltage_override,
+        )
+
+    def total_power_w(self, point: OperatingPoint, activity: float = 1.0) -> float:
+        """Total (dynamic + static) power at ``point`` in watts."""
+        return self.breakdown(point, activity).total_w
+
+    def scaled(
+        self,
+        dynamic_factor: float = 1.0,
+        static_factor: float = 1.0,
+        note: str = "",
+    ) -> "PowerEntry":
+        """Return a copy with the reference powers scaled.
+
+        This is how optimization techniques rewrite the database: e.g. clock
+        gating multiplies the idle-mode dynamic reference by a small factor,
+        power gating multiplies the sleep-mode leakage reference.
+        """
+        if dynamic_factor < 0.0 or static_factor < 0.0:
+            raise ConfigurationError("scale factors must be non-negative")
+        new_dynamic = replace(
+            self.dynamic, reference_power_w=self.dynamic.reference_power_w * dynamic_factor
+        )
+        new_leakage = replace(
+            self.leakage, reference_power_w=self.leakage.reference_power_w * static_factor
+        )
+        combined_notes = self.notes
+        if note:
+            combined_notes = f"{self.notes}; {note}" if self.notes else note
+        return replace(self, dynamic=new_dynamic, leakage=new_leakage, notes=combined_notes)
+
+    def with_clock(self, clock_frequency_hz: float) -> "PowerEntry":
+        """Return a copy running at a different clock frequency.
+
+        The dynamic reference is *not* changed: the dynamic model already
+        scales linearly with frequency relative to its reference frequency.
+        """
+        if clock_frequency_hz < 0.0:
+            raise ConfigurationError("clock frequency must be non-negative")
+        return replace(self, clock_frequency_hz=clock_frequency_hz)
+
+    def with_rail_voltage(self, rail_voltage_v: float) -> "PowerEntry":
+        """Return a copy on a different (own) rail voltage."""
+        if rail_voltage_v <= 0.0:
+            raise ConfigurationError("rail voltage must be positive")
+        return replace(self, rail_voltage_v=rail_voltage_v)
+
+    def describe(self, point: OperatingPoint) -> str:
+        """Human-readable one-liner for reports."""
+        power = self.breakdown(point)
+        return (
+            f"{self.block}/{self.mode}: dyn {power.dynamic_w * 1e6:.2f} uW, "
+            f"stat {power.static_w * 1e6:.2f} uW @ {point.describe()}"
+        )
+
+
+def make_entry(
+    block: str,
+    mode: str,
+    dynamic_uw: float,
+    leakage_uw: float,
+    rail_voltage_v: float = 1.2,
+    tracks_core_supply: bool = True,
+    clock_frequency_hz: float = 0.0,
+    reference_temperature_c: float = 25.0,
+    doubling_celsius: float = 18.0,
+    notes: str = "",
+    tags: tuple[str, ...] = (),
+) -> PowerEntry:
+    """Convenience constructor taking reference powers in microwatts.
+
+    The characterization library uses this heavily; keeping the microwatt
+    unit at the construction site keeps the numbers easy to compare against
+    the published figures for in-tyre sensor nodes.
+    """
+    if dynamic_uw < 0.0 or leakage_uw < 0.0:
+        raise ConfigurationError("reference powers must be non-negative")
+    dynamic = DynamicPowerModel(
+        reference_power_w=dynamic_uw * 1e-6,
+        reference_voltage_v=rail_voltage_v,
+        reference_frequency_hz=clock_frequency_hz,
+    )
+    leakage = LeakagePowerModel(
+        reference_power_w=leakage_uw * 1e-6,
+        reference_temperature_c=reference_temperature_c,
+        reference_voltage_v=rail_voltage_v,
+        doubling_celsius=doubling_celsius,
+    )
+    return PowerEntry(
+        block=block,
+        mode=mode,
+        dynamic=dynamic,
+        leakage=leakage,
+        rail_voltage_v=rail_voltage_v,
+        tracks_core_supply=tracks_core_supply,
+        clock_frequency_hz=clock_frequency_hz,
+        notes=notes,
+        tags=tuple(tags),
+    )

@@ -1,0 +1,151 @@
+"""CSV / JSON import-export of power databases.
+
+The paper's spreadsheet is, literally, a spreadsheet: designers exchange the
+characterization as tabular files.  These helpers round-trip a
+:class:`~repro.power.database.PowerDatabase` through CSV (one row per entry)
+and JSON (one object per entry) without losing any model parameter.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import ExportError
+from repro.power.database import PowerDatabase
+from repro.power.entry import PowerEntry
+from repro.power.models import DynamicPowerModel, LeakagePowerModel
+
+_CSV_COLUMNS = (
+    "block",
+    "mode",
+    "dynamic_ref_w",
+    "dynamic_ref_voltage_v",
+    "dynamic_ref_frequency_hz",
+    "leakage_ref_w",
+    "leakage_ref_temperature_c",
+    "leakage_ref_voltage_v",
+    "leakage_doubling_celsius",
+    "leakage_dibl_coefficient",
+    "rail_voltage_v",
+    "tracks_core_supply",
+    "clock_frequency_hz",
+    "notes",
+)
+
+
+def _entry_to_record(entry: PowerEntry) -> dict[str, object]:
+    """Flatten an entry into a serializable record."""
+    return {
+        "block": entry.block,
+        "mode": entry.mode,
+        "dynamic_ref_w": entry.dynamic.reference_power_w,
+        "dynamic_ref_voltage_v": entry.dynamic.reference_voltage_v,
+        "dynamic_ref_frequency_hz": entry.dynamic.reference_frequency_hz,
+        "leakage_ref_w": entry.leakage.reference_power_w,
+        "leakage_ref_temperature_c": entry.leakage.reference_temperature_c,
+        "leakage_ref_voltage_v": entry.leakage.reference_voltage_v,
+        "leakage_doubling_celsius": entry.leakage.doubling_celsius,
+        "leakage_dibl_coefficient": entry.leakage.dibl_coefficient,
+        "rail_voltage_v": entry.rail_voltage_v,
+        "tracks_core_supply": entry.tracks_core_supply,
+        "clock_frequency_hz": entry.clock_frequency_hz,
+        "notes": entry.notes,
+    }
+
+
+def _entry_from_record(record: dict[str, object]) -> PowerEntry:
+    """Rebuild an entry from a flattened record (CSV strings are coerced)."""
+    def _float(key: str) -> float:
+        return float(record[key])  # type: ignore[arg-type]
+
+    def _bool(key: str) -> bool:
+        value = record[key]
+        if isinstance(value, bool):
+            return value
+        return str(value).strip().lower() in ("1", "true", "yes")
+
+    try:
+        dynamic = DynamicPowerModel(
+            reference_power_w=_float("dynamic_ref_w"),
+            reference_voltage_v=_float("dynamic_ref_voltage_v"),
+            reference_frequency_hz=_float("dynamic_ref_frequency_hz"),
+        )
+        leakage = LeakagePowerModel(
+            reference_power_w=_float("leakage_ref_w"),
+            reference_temperature_c=_float("leakage_ref_temperature_c"),
+            reference_voltage_v=_float("leakage_ref_voltage_v"),
+            doubling_celsius=_float("leakage_doubling_celsius"),
+            dibl_coefficient=_float("leakage_dibl_coefficient"),
+        )
+        return PowerEntry(
+            block=str(record["block"]),
+            mode=str(record["mode"]),
+            dynamic=dynamic,
+            leakage=leakage,
+            rail_voltage_v=_float("rail_voltage_v"),
+            tracks_core_supply=_bool("tracks_core_supply"),
+            clock_frequency_hz=_float("clock_frequency_hz"),
+            notes=str(record.get("notes", "")),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ExportError(f"malformed power-database record: {record!r}") from exc
+
+
+def database_to_csv(database: PowerDatabase, path: str | Path) -> Path:
+    """Write the database to a CSV file and return the path."""
+    target = Path(path)
+    try:
+        with target.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=_CSV_COLUMNS)
+            writer.writeheader()
+            for entry in sorted(database, key=lambda e: e.key):
+                writer.writerow(_entry_to_record(entry))
+    except OSError as exc:
+        raise ExportError(f"cannot write power database to {target}") from exc
+    return target
+
+
+def database_from_csv(path: str | Path, name: str | None = None) -> PowerDatabase:
+    """Load a database from a CSV file produced by :func:`database_to_csv`."""
+    source = Path(path)
+    try:
+        with source.open("r", newline="", encoding="utf-8") as handle:
+            reader = csv.DictReader(handle)
+            records = list(reader)
+    except OSError as exc:
+        raise ExportError(f"cannot read power database from {source}") from exc
+    entries = [_entry_from_record(record) for record in records]
+    return PowerDatabase.from_entries(entries, name=name or source.stem)
+
+
+def database_to_json(database: PowerDatabase, path: str | Path) -> Path:
+    """Write the database to a JSON file and return the path."""
+    target = Path(path)
+    payload = {
+        "name": database.name,
+        "entries": [_entry_to_record(entry) for entry in sorted(database, key=lambda e: e.key)],
+    }
+    try:
+        target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    except OSError as exc:
+        raise ExportError(f"cannot write power database to {target}") from exc
+    return target
+
+
+def database_from_json(path: str | Path) -> PowerDatabase:
+    """Load a database from a JSON file produced by :func:`database_to_json`."""
+    source = Path(path)
+    try:
+        payload = json.loads(source.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExportError(f"cannot read power database from {source}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise ExportError(f"{source} does not look like a power-database export")
+    entries: Iterable[dict[str, object]] = payload["entries"]
+    return PowerDatabase.from_entries(
+        (_entry_from_record(record) for record in entries),
+        name=str(payload.get("name", source.stem)),
+    )

@@ -1,0 +1,215 @@
+"""Default power-characterization library of the reference Sensor Node.
+
+The real chip's characterization is proprietary.  These figures are a
+synthetic substitute assembled from the public literature on battery-less
+in-tyre sensor nodes (Ergen et al., IEEE TCAD 2009; typical ultra-low-power
+MEMS/ADC/MCU/transmitter datasheet classes of the 2009-2011 era):
+
+* analog sensor front-ends: tens to hundreds of microwatts while sampling;
+* a 10-12 bit SAR ADC: ~100 uW at full rate;
+* an ultra-low-power MCU/DSP in 90 nm: a few mW active at ~16 MHz,
+  microwatt-level retention sleep;
+* SRAM retention: a few uW, strongly temperature dependent;
+* a 315/434 MHz class OOK/FSK transmitter: several mW during a burst;
+* an LF (125 kHz) wake-up receiver: a couple of uW always-on;
+* a power-management unit whose quiescent current is always present.
+
+Magnitudes matter only in so far as the energy-balance *shape* of Fig. 2 and
+the burst structure of Fig. 3 are preserved; the methodology code paths are
+identical whichever numbers the spreadsheet holds.
+"""
+
+from __future__ import annotations
+
+from repro.power.database import PowerDatabase
+from repro.power.entry import PowerEntry, make_entry
+
+#: Mode names shared by every block.  Not every block characterizes every
+#: mode; the architecture's schedule only references modes that exist.
+MODE_ACTIVE = "active"
+MODE_IDLE = "idle"
+MODE_SLEEP = "sleep"
+MODE_OFF = "off"
+
+
+def _sensor_entries() -> list[PowerEntry]:
+    """Pressure, temperature and accelerometer front-ends (analog rail, 1.8 V)."""
+    common = dict(rail_voltage_v=1.8, tracks_core_supply=False)
+    return [
+        make_entry(
+            "pressure_sensor", MODE_ACTIVE, dynamic_uw=220.0, leakage_uw=0.9,
+            notes="piezoresistive bridge + amplifier, sampling", **common,
+        ),
+        make_entry(
+            "pressure_sensor", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.25,
+            notes="bridge unbiased", **common,
+        ),
+        make_entry(
+            "temperature_sensor", MODE_ACTIVE, dynamic_uw=45.0, leakage_uw=0.4,
+            notes="bandgap-based sensor, sampling", **common,
+        ),
+        make_entry(
+            "temperature_sensor", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.12,
+            **common,
+        ),
+        make_entry(
+            "accelerometer", MODE_ACTIVE, dynamic_uw=380.0, leakage_uw=1.5,
+            notes="MEMS accelerometer + front-end, contact-patch acquisition", **common,
+        ),
+        make_entry(
+            "accelerometer", MODE_IDLE, dynamic_uw=35.0, leakage_uw=1.5,
+            notes="biased but not converting", **common,
+        ),
+        make_entry(
+            "accelerometer", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.4,
+            **common,
+        ),
+    ]
+
+
+def _adc_entries() -> list[PowerEntry]:
+    """10-bit SAR ADC on the analog rail, clocked at 100 kS/s when active."""
+    common = dict(rail_voltage_v=1.8, tracks_core_supply=False)
+    return [
+        make_entry(
+            "adc", MODE_ACTIVE, dynamic_uw=110.0, leakage_uw=0.8,
+            clock_frequency_hz=100e3, notes="SAR ADC converting at 100 kS/s", **common,
+        ),
+        make_entry(
+            "adc", MODE_IDLE, dynamic_uw=8.0, leakage_uw=0.8,
+            notes="reference buffer on, not converting", **common,
+        ),
+        make_entry(
+            "adc", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.2, **common,
+        ),
+    ]
+
+
+def _mcu_entries() -> list[PowerEntry]:
+    """Data-computing system: ultra-low-power MCU/DSP, 90 nm class, core rail."""
+    return [
+        make_entry(
+            "mcu", MODE_ACTIVE, dynamic_uw=2400.0, leakage_uw=14.0,
+            clock_frequency_hz=16e6,
+            notes="feature extraction / friction estimation at 16 MHz",
+        ),
+        make_entry(
+            "mcu", MODE_IDLE, dynamic_uw=260.0, leakage_uw=14.0,
+            clock_frequency_hz=16e6,
+            notes="clock running, pipeline stalled",
+        ),
+        make_entry(
+            "mcu", MODE_SLEEP, dynamic_uw=0.6, leakage_uw=3.2,
+            notes="retention sleep, RTC running",
+        ),
+    ]
+
+
+def _memory_entries() -> list[PowerEntry]:
+    """On-chip SRAM (working data) and NVM (calibration/log) on the core rail."""
+    return [
+        make_entry(
+            "sram", MODE_ACTIVE, dynamic_uw=310.0, leakage_uw=9.0,
+            clock_frequency_hz=16e6, notes="8 KiB working memory, read/write bursts",
+        ),
+        make_entry(
+            "sram", MODE_IDLE, dynamic_uw=4.0, leakage_uw=9.0,
+            notes="content preserved, no access",
+        ),
+        make_entry(
+            "sram", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=2.1,
+            notes="source-biased retention",
+        ),
+        make_entry(
+            "nvm", MODE_ACTIVE, dynamic_uw=650.0, leakage_uw=1.0,
+            notes="EEPROM/flash write burst (rare)",
+        ),
+        make_entry(
+            "nvm", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.1,
+            notes="unpowered between writes",
+        ),
+    ]
+
+
+def _radio_entries() -> list[PowerEntry]:
+    """UHF transmitter burst + LF wake-up receiver, RF rail at 1.8 V."""
+    common = dict(rail_voltage_v=1.8, tracks_core_supply=False)
+    return [
+        make_entry(
+            "rf_tx", MODE_ACTIVE, dynamic_uw=7800.0, leakage_uw=2.5,
+            notes="434 MHz FSK burst, ~0 dBm radiated", **common,
+        ),
+        make_entry(
+            "rf_tx", MODE_IDLE, dynamic_uw=420.0, leakage_uw=2.5,
+            notes="synthesizer locked, PA off (startup/settling)", **common,
+        ),
+        make_entry(
+            "rf_tx", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.5, **common,
+        ),
+        make_entry(
+            "lf_rx", MODE_ACTIVE, dynamic_uw=2.8, leakage_uw=0.3,
+            notes="125 kHz wake-up/trigger receiver, always listening", **common,
+        ),
+        make_entry(
+            "lf_rx", MODE_SLEEP, dynamic_uw=0.0, leakage_uw=0.1, **common,
+        ),
+    ]
+
+
+def _pmu_entries() -> list[PowerEntry]:
+    """Power-management unit: rectifier control, regulators, supervisor."""
+    return [
+        make_entry(
+            "pmu", MODE_ACTIVE, dynamic_uw=36.0, leakage_uw=1.8,
+            notes="regulators in PWM mode during activity bursts",
+        ),
+        make_entry(
+            "pmu", MODE_IDLE, dynamic_uw=9.0, leakage_uw=1.8,
+            notes="regulators in PFM/burst mode",
+        ),
+        make_entry(
+            "pmu", MODE_SLEEP, dynamic_uw=1.2, leakage_uw=0.9,
+            notes="supervisor + bandgap only",
+        ),
+    ]
+
+
+def reference_power_database() -> PowerDatabase:
+    """Build the default characterization database of the reference Sensor Node.
+
+    Returns a fresh database on every call so tests and optimization flows
+    can mutate their copy freely.
+    """
+    entries: list[PowerEntry] = []
+    entries.extend(_sensor_entries())
+    entries.extend(_adc_entries())
+    entries.extend(_mcu_entries())
+    entries.extend(_memory_entries())
+    entries.extend(_radio_entries())
+    entries.extend(_pmu_entries())
+    return PowerDatabase.from_entries(entries, name="reference-sensor-node")
+
+
+def low_power_process_database() -> PowerDatabase:
+    """A variant library in a low-leakage (HVT-dominated) process.
+
+    Dynamic power is slightly higher (larger gates for the same speed),
+    leakage is roughly 4x lower.  Used by the architecture-exploration bench
+    as an alternative design point.
+    """
+    base = reference_power_database()
+    return base.map_entries(
+        lambda entry: entry.scaled(dynamic_factor=1.1, static_factor=0.25,
+                                   note="low-leakage process option"),
+        name="reference-sensor-node-lp",
+    )
+
+
+def high_performance_process_database() -> PowerDatabase:
+    """A variant library in a faster, leakier process (LVT-dominated)."""
+    base = reference_power_database()
+    return base.map_entries(
+        lambda entry: entry.scaled(dynamic_factor=0.9, static_factor=3.5,
+                                   note="high-performance process option"),
+        name="reference-sensor-node-hp",
+    )

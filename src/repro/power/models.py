@@ -1,0 +1,270 @@
+"""Parametric dynamic and static power models.
+
+The characterization data of the real Sensor Node chip is proprietary; the
+spreadsheet entries are therefore produced by first-principles CMOS models
+anchored at a reference working condition:
+
+* dynamic power follows ``P = alpha * C_eff * V^2 * f`` and scales
+  quadratically with the supply voltage and linearly with clock frequency and
+  switching activity;
+* static (leakage) power follows a sub-threshold model with an exponential
+  temperature dependence and a linear DIBL-like supply dependence.
+
+Both models return power *referred to the block supply rail*; the
+power-management unit efficiency is accounted for separately when energy is
+referred back to the storage element.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Dynamic/static decomposition of a power figure, in watts."""
+
+    dynamic_w: float
+    static_w: float
+
+    def __post_init__(self) -> None:
+        if self.dynamic_w < 0.0 or self.static_w < 0.0:
+            raise ConfigurationError("power components must be non-negative")
+
+    @property
+    def total_w(self) -> float:
+        """Total power in watts."""
+        return self.dynamic_w + self.static_w
+
+    @property
+    def static_fraction(self) -> float:
+        """Static share of the total power (0 when the total is zero)."""
+        total = self.total_w
+        if total == 0.0:
+            return 0.0
+        return self.static_w / total
+
+    def scaled(self, dynamic_factor: float = 1.0, static_factor: float = 1.0) -> "PowerBreakdown":
+        """Return a new breakdown with each component scaled."""
+        if dynamic_factor < 0.0 or static_factor < 0.0:
+            raise ConfigurationError("scale factors must be non-negative")
+        return PowerBreakdown(
+            dynamic_w=self.dynamic_w * dynamic_factor,
+            static_w=self.static_w * static_factor,
+        )
+
+    def __add__(self, other: "PowerBreakdown") -> "PowerBreakdown":
+        return PowerBreakdown(
+            dynamic_w=self.dynamic_w + other.dynamic_w,
+            static_w=self.static_w + other.static_w,
+        )
+
+    @staticmethod
+    def zero() -> "PowerBreakdown":
+        """The zero power breakdown."""
+        return PowerBreakdown(dynamic_w=0.0, static_w=0.0)
+
+
+@dataclass(frozen=True)
+class DynamicPowerModel:
+    """Dynamic (switching) power model anchored at a reference condition.
+
+    Attributes:
+        reference_power_w: dynamic power measured/estimated at the reference
+            voltage, frequency and activity.
+        reference_voltage_v: supply voltage of the reference condition.
+        reference_frequency_hz: clock frequency of the reference condition.
+            ``0`` marks a block whose dynamic power does not scale with a
+            clock (e.g. an analog front-end); frequency scaling is then a
+            no-op.
+        activity_exponent: exponent applied to the activity factor; 1.0 for
+            purely data-driven switching.
+    """
+
+    reference_power_w: float
+    reference_voltage_v: float = 1.2
+    reference_frequency_hz: float = 0.0
+    activity_exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reference_power_w < 0.0:
+            raise ConfigurationError("reference dynamic power must be non-negative")
+        if self.reference_voltage_v <= 0.0:
+            raise ConfigurationError("reference voltage must be positive")
+        if self.reference_frequency_hz < 0.0:
+            raise ConfigurationError("reference frequency must be non-negative")
+
+    def power_w(
+        self,
+        voltage_v: float | None = None,
+        frequency_hz: float | None = None,
+        activity: float = 1.0,
+        process_factor: float = 1.0,
+    ) -> float:
+        """Dynamic power at the given condition, in watts.
+
+        Args:
+            voltage_v: supply voltage; ``None`` keeps the reference voltage.
+            frequency_hz: clock frequency; ``None`` keeps the reference
+                frequency.  Ignored for clockless blocks.
+            activity: switching-activity factor relative to the reference
+                (1.0 = reference workload).
+            process_factor: process-corner multiplier on dynamic power.
+        """
+        if activity < 0.0:
+            raise ConfigurationError("activity factor must be non-negative")
+        if process_factor < 0.0:
+            raise ConfigurationError("process factor must be non-negative")
+        voltage = self.reference_voltage_v if voltage_v is None else voltage_v
+        if voltage <= 0.0:
+            raise ConfigurationError("supply voltage must be positive")
+        voltage_scale = (voltage / self.reference_voltage_v) ** 2
+        if self.reference_frequency_hz > 0.0 and frequency_hz is not None:
+            if frequency_hz < 0.0:
+                raise ConfigurationError("frequency must be non-negative")
+            frequency_scale = frequency_hz / self.reference_frequency_hz
+        else:
+            frequency_scale = 1.0
+        activity_scale = activity**self.activity_exponent
+        return (
+            self.reference_power_w
+            * voltage_scale
+            * frequency_scale
+            * activity_scale
+            * process_factor
+        )
+
+
+@dataclass(frozen=True)
+class LeakagePowerModel:
+    """Static (leakage) power model anchored at a reference condition.
+
+    Leakage grows exponentially with temperature; the model uses the
+    empirical doubling-temperature form
+    ``P(T) = P_ref * 2^((T - T_ref) / doubling_celsius)`` which matches the
+    sub-threshold exponential well over the automotive range and keeps the
+    parameters intuitive (leakage doubles every ``doubling_celsius`` degrees).
+
+    Supply dependence is modelled linearly around the reference voltage with
+    a DIBL-like sensitivity: ``1 + dibl_coefficient * (V - V_ref) / V_ref``.
+
+    Attributes:
+        reference_power_w: leakage at the reference temperature/voltage.
+        reference_temperature_c: temperature of the reference condition.
+        reference_voltage_v: voltage of the reference condition.
+        doubling_celsius: temperature increase that doubles the leakage
+            (18 degC gives roughly a 45x increase from 25 to 125 degC, in
+            line with published sub-threshold leakage data for 90 nm class
+            processes).
+        dibl_coefficient: relative leakage increase per relative voltage
+            increase.
+    """
+
+    reference_power_w: float
+    reference_temperature_c: float = 25.0
+    reference_voltage_v: float = 1.2
+    doubling_celsius: float = 18.0
+    dibl_coefficient: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.reference_power_w < 0.0:
+            raise ConfigurationError("reference leakage must be non-negative")
+        if self.reference_voltage_v <= 0.0:
+            raise ConfigurationError("reference voltage must be positive")
+        if self.doubling_celsius <= 0.0:
+            raise ConfigurationError("doubling temperature must be positive")
+        if self.dibl_coefficient < 0.0:
+            raise ConfigurationError("DIBL coefficient must be non-negative")
+
+    def temperature_factor(self, temperature_c: float) -> float:
+        """Leakage multiplier at ``temperature_c`` relative to the reference."""
+        return 2.0 ** ((temperature_c - self.reference_temperature_c) / self.doubling_celsius)
+
+    def voltage_factor(self, voltage_v: float) -> float:
+        """Leakage multiplier at ``voltage_v`` relative to the reference."""
+        if voltage_v <= 0.0:
+            raise ConfigurationError("supply voltage must be positive")
+        relative = (voltage_v - self.reference_voltage_v) / self.reference_voltage_v
+        return max(0.0, 1.0 + self.dibl_coefficient * relative)
+
+    def power_w(
+        self,
+        temperature_c: float | None = None,
+        voltage_v: float | None = None,
+        process_factor: float = 1.0,
+    ) -> float:
+        """Leakage power at the given condition, in watts."""
+        if process_factor < 0.0:
+            raise ConfigurationError("process factor must be non-negative")
+        temperature = (
+            self.reference_temperature_c if temperature_c is None else temperature_c
+        )
+        voltage = self.reference_voltage_v if voltage_v is None else voltage_v
+        return (
+            self.reference_power_w
+            * self.temperature_factor(temperature)
+            * self.voltage_factor(voltage)
+            * process_factor
+        )
+
+
+def breakdown_at(
+    dynamic_model: DynamicPowerModel,
+    leakage_model: LeakagePowerModel,
+    point: OperatingPoint,
+    frequency_hz: float | None = None,
+    activity: float = 1.0,
+    voltage_override_v: float | None = None,
+) -> PowerBreakdown:
+    """Evaluate both models at an :class:`OperatingPoint`.
+
+    ``voltage_override_v`` lets blocks on their own analog/RF rails use that
+    rail's voltage instead of the core supply selected by the operating
+    point.
+    """
+    voltage = voltage_override_v if voltage_override_v is not None else point.supply_voltage
+    dynamic = dynamic_model.power_w(
+        voltage_v=voltage,
+        frequency_hz=frequency_hz,
+        activity=activity,
+        process_factor=point.process.dynamic_factor,
+    )
+    static = leakage_model.power_w(
+        temperature_c=point.temperature_c,
+        voltage_v=voltage,
+        process_factor=point.process.leakage_factor,
+    )
+    return PowerBreakdown(dynamic_w=dynamic, static_w=static)
+
+
+def energy_j(power_w: float, duration_s: float) -> float:
+    """Energy in joules of ``power_w`` sustained for ``duration_s`` seconds."""
+    if duration_s < 0.0:
+        raise ConfigurationError("duration must be non-negative")
+    if power_w < 0.0:
+        raise ConfigurationError("power must be non-negative")
+    return power_w * duration_s
+
+
+def equivalent_current_a(power_w: float, voltage_v: float) -> float:
+    """Current drawn from a rail at ``voltage_v`` to supply ``power_w``."""
+    if voltage_v <= 0.0:
+        raise ConfigurationError("voltage must be positive")
+    if power_w < 0.0:
+        raise ConfigurationError("power must be non-negative")
+    return power_w / voltage_v
+
+
+def half_life_to_doubling(doubling_celsius: float, delta_c: float) -> float:
+    """Leakage multiplier for a temperature change of ``delta_c`` degrees.
+
+    Convenience used by reports to answer "how much more does this block leak
+    at +delta degrees" without building a full model.
+    """
+    if doubling_celsius <= 0.0:
+        raise ConfigurationError("doubling temperature must be positive")
+    return float(math.pow(2.0, delta_c / doubling_celsius))

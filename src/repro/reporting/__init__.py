@@ -1,0 +1,12 @@
+"""Reporting helpers: text tables, ASCII curve plots, CSV/JSON exports.
+
+The original tools reported through a spreadsheet's charts; in a library the
+equivalents are plain-text tables and quick terminal plots (used by the
+examples and the benchmark harness) plus machine-readable exports.
+"""
+
+from repro.reporting.ascii_plot import ascii_plot
+from repro.reporting.export import rows_to_csv, rows_to_json
+from repro.reporting.tables import render_table
+
+__all__ = ["render_table", "ascii_plot", "rows_to_csv", "rows_to_json"]

@@ -1,0 +1,90 @@
+"""Terminal line plots for quick inspection of curves.
+
+Used by the examples to show the Fig. 2 energy-balance curves and the Fig. 3
+instant-power trace without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ExportError
+
+_MARKERS = "*o+x#@"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more series against a shared x axis as an ASCII chart.
+
+    Args:
+        x: shared x values (must be non-empty and monotonically increasing).
+        series: mapping of series name to y values (same length as ``x``).
+        width: chart width in characters (excluding the axis).
+        height: chart height in characters.
+        x_label: label printed under the x axis.
+        y_label: label printed above the chart.
+
+    Returns:
+        The chart as a multi-line string with a legend.
+    """
+    if len(x) == 0:
+        raise ExportError("cannot plot an empty x axis")
+    if not series:
+        raise ExportError("cannot plot zero series")
+    if width < 10 or height < 4:
+        raise ExportError("plot area is too small")
+    x_values = np.asarray(x, dtype=float)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ExportError(
+                f"series {name!r} has {len(values)} points, expected {len(x_values)}"
+            )
+
+    all_y = np.concatenate([np.asarray(v, dtype=float) for v in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = float(x_values.min()), float(x_values.max())
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        y_values = np.asarray(values, dtype=float)
+        for x_value, y_value in zip(x_values, y_values):
+            column = int(round((x_value - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((y_value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines: list[str] = []
+    if y_label:
+        lines.append(y_label)
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = f"{y_max:10.3g} |"
+        elif row_index == height - 1:
+            prefix = f"{y_min:10.3g} |"
+        else:
+            prefix = " " * 10 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_min:<10.3g}" + " " * max(0, width - 20) + f"{x_max:>10.3g}"
+    )
+    if x_label:
+        lines.append(" " * 11 + x_label)
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""CSV / JSON export of tabular results."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.errors import ExportError
+
+
+def _validate_rows(rows: Sequence[Mapping[str, object]]) -> list[str]:
+    """Check rows share a column set and return the column order."""
+    if not rows:
+        raise ExportError("cannot export zero rows")
+    columns = list(rows[0].keys())
+    for row in rows:
+        if list(row.keys()) != columns:
+            raise ExportError(
+                "all rows must share the same columns; "
+                f"expected {columns}, got {list(row.keys())}"
+            )
+    return columns
+
+
+def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write dict rows to a CSV file and return the path."""
+    columns = _validate_rows(rows)
+    target = Path(path)
+    try:
+        with target.open("w", newline="", encoding="utf-8") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns)
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(dict(row))
+    except OSError as exc:
+        raise ExportError(f"cannot write CSV to {target}") from exc
+    return target
+
+
+def _json_safe(value: object) -> object:
+    """Replace non-finite floats (not representable in strict JSON) with None."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def rows_to_json(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
+    """Write dict rows to a JSON file (list of objects) and return the path."""
+    _validate_rows(rows)
+    target = Path(path)
+    payload = [{key: _json_safe(value) for key, value in row.items()} for row in rows]
+    try:
+        target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    except OSError as exc:
+        raise ExportError(f"cannot write JSON to {target}") from exc
+    return target

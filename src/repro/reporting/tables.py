@@ -1,0 +1,66 @@
+"""Plain-text table rendering for reports and example output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ExportError
+
+
+def _format_cell(value: object, float_digits: int) -> str:
+    """Render one cell: floats get a fixed precision, everything else ``str``."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Iterable[str] | None = None,
+    float_digits: int = 2,
+    title: str | None = None,
+) -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Args:
+        rows: the rows; every row is a mapping from column name to value.
+        columns: column order; defaults to the keys of the first row.
+        float_digits: precision for float cells.
+        title: optional title line printed above the table.
+
+    Raises:
+        ExportError: if there are no rows or a row is missing a column.
+    """
+    if not rows:
+        raise ExportError("cannot render a table with no rows")
+    column_names = list(columns) if columns is not None else list(rows[0].keys())
+    if not column_names:
+        raise ExportError("cannot render a table with no columns")
+
+    rendered_rows: list[list[str]] = []
+    for row in rows:
+        rendered: list[str] = []
+        for name in column_names:
+            if name not in row:
+                raise ExportError(f"row {row!r} is missing column {name!r}")
+            rendered.append(_format_cell(row[name], float_digits))
+        rendered_rows.append(rendered)
+
+    widths = [
+        max(len(name), *(len(r[index]) for r in rendered_rows))
+        for index, name in enumerate(column_names)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(name.ljust(width) for name, width in zip(column_names, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(header)
+    lines.append(separator)
+    for rendered in rendered_rows:
+        lines.append(
+            " | ".join(cell.rjust(width) for cell, width in zip(rendered, widths))
+        )
+    return "\n".join(lines)

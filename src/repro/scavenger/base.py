@@ -1,0 +1,94 @@
+"""Base interface of every energy scavenger model."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.vehicle.wheel import Wheel
+
+
+@dataclass(frozen=True)
+class EnergyScavenger(abc.ABC):
+    """Abstract in-tyre energy harvester.
+
+    Concrete models implement :meth:`raw_energy_per_revolution_j`, the
+    *electrical* energy available at the harvester terminals for one wheel
+    revolution at a given speed; the base class provides the derived
+    quantities every analysis needs (average power, conditioned energy,
+    size scaling).
+
+    Attributes:
+        wheel: the wheel the harvester is mounted in (sets the revolution
+            rate used to convert per-revolution energy into average power).
+        size_factor: relative size of the scavenging device; harvested energy
+            scales linearly with it, which is the paper's "size of the
+            scavenging device" knob.
+        minimum_speed_kmh: below this speed the excitation is too weak for
+            the conditioning circuit to start up and the harvested energy is
+            zero.
+    """
+
+    wheel: Wheel = field(default_factory=Wheel)
+    size_factor: float = 1.0
+    minimum_speed_kmh: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.size_factor <= 0.0:
+            raise ConfigurationError("scavenger size factor must be positive")
+        if self.minimum_speed_kmh < 0.0:
+            raise ConfigurationError("minimum speed must be non-negative")
+
+    # -- to be provided by concrete models ------------------------------------
+
+    @abc.abstractmethod
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        """Electrical energy per revolution at unit size, before the cut-in check."""
+
+    @property
+    @abc.abstractmethod
+    def technology(self) -> str:
+        """Short technology label used in reports (e.g. ``"piezoelectric"``)."""
+
+    # -- derived quantities ----------------------------------------------------
+
+    def energy_per_revolution_j(self, speed_kmh: float) -> float:
+        """Harvested energy per wheel revolution at ``speed_kmh``, in joules.
+
+        Zero below the conditioning cut-in speed and when the vehicle is
+        stationary; otherwise the raw model output scaled by the device size.
+        """
+        if speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        if speed_kmh <= 0.0 or speed_kmh < self.minimum_speed_kmh:
+            return 0.0
+        return self.size_factor * self.raw_energy_per_revolution_j(speed_kmh)
+
+    def average_power_w(self, speed_kmh: float) -> float:
+        """Average harvested power at a constant ``speed_kmh``, in watts."""
+        if speed_kmh <= 0.0:
+            return 0.0
+        revolutions_per_second = self.wheel.revolutions_per_second(speed_kmh)
+        return self.energy_per_revolution_j(speed_kmh) * revolutions_per_second
+
+    def energy_curve(self, speeds_kmh: np.ndarray | list[float]) -> np.ndarray:
+        """Vector of energy-per-revolution values over an array of speeds."""
+        return np.array([self.energy_per_revolution_j(float(v)) for v in speeds_kmh])
+
+    def scaled(self, factor: float) -> "EnergyScavenger":
+        """Return a copy of the scavenger with its size multiplied by ``factor``."""
+        if factor <= 0.0:
+            raise ConfigurationError("scale factor must be positive")
+        from dataclasses import replace
+
+        return replace(self, size_factor=self.size_factor * factor)
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        return (
+            f"{self.technology} scavenger, size x{self.size_factor:.2f}, "
+            f"cut-in {self.minimum_speed_kmh:.0f} km/h"
+        )

@@ -1,0 +1,112 @@
+"""Power conditioning between the harvester and the storage element.
+
+The raw AC output of the transducer must be rectified and up/down converted
+before it can charge the storage element; the conversion chain loses a
+fraction of the energy and refuses to start below a minimum input level.
+Keeping this stage explicit lets the balance analysis distinguish the energy
+*generated* by the scavenger from the energy actually *banked*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class PowerConditioning:
+    """Rectifier + converter chain efficiency model.
+
+    Attributes:
+        rectifier_efficiency: AC-DC stage efficiency.
+        converter_efficiency: DC-DC stage efficiency towards the storage
+            element.
+        startup_energy_j: energy per revolution consumed by the conditioning
+            circuit itself (bias, gate drive); subtracted before banking.
+    """
+
+    rectifier_efficiency: float = 0.80
+    converter_efficiency: float = 0.88
+    startup_energy_j: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        for name, value in (
+            ("rectifier_efficiency", self.rectifier_efficiency),
+            ("converter_efficiency", self.converter_efficiency),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1]")
+        if self.startup_energy_j < 0.0:
+            raise ConfigurationError("startup energy must be non-negative")
+
+    @property
+    def chain_efficiency(self) -> float:
+        """Combined efficiency of the conditioning chain."""
+        return self.rectifier_efficiency * self.converter_efficiency
+
+    def banked_energy_j(self, harvested_j: float) -> float:
+        """Energy actually delivered to the storage element.
+
+        The conditioning overhead is taken out of the harvested energy; the
+        result is floored at zero (the circuit simply does not run when the
+        input cannot cover its own overhead).
+        """
+        if harvested_j < 0.0:
+            raise ConfigurationError("harvested energy must be non-negative")
+        if harvested_j == 0.0:
+            return 0.0
+        net = harvested_j * self.chain_efficiency - self.startup_energy_j
+        return max(0.0, net)
+
+
+@dataclass(frozen=True)
+class ConditionedScavenger(EnergyScavenger):
+    """A scavenger viewed through its conditioning chain.
+
+    Wraps any :class:`EnergyScavenger` so that ``energy_per_revolution_j``
+    reports the *banked* energy.  The wrapper is itself a scavenger, so the
+    balance analysis can be run on either the raw or the conditioned view.
+    """
+
+    source: EnergyScavenger | None = None
+    conditioning: PowerConditioning = PowerConditioning()
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.source is None:
+            raise ConfigurationError("a conditioned scavenger needs a source")
+
+    @property
+    def technology(self) -> str:
+        return f"{self.source.technology} + conditioning"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        harvested = self.source.energy_per_revolution_j(speed_kmh)
+        return self.conditioning.banked_energy_j(harvested)
+
+    def energy_per_revolution_j(self, speed_kmh: float) -> float:
+        """Banked energy per revolution (cut-in handled by the source model)."""
+        if speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        if speed_kmh <= 0.0:
+            return 0.0
+        return self.size_factor * self.raw_energy_per_revolution_j(speed_kmh)
+
+    def scaled(self, factor: float) -> "ConditionedScavenger":
+        """Scaling a conditioned scavenger scales the underlying device."""
+        if factor <= 0.0:
+            raise ConfigurationError("scale factor must be positive")
+        return replace(self, source=self.source.scaled(factor))
+
+
+def conditioned(
+    source: EnergyScavenger, conditioning: PowerConditioning | None = None
+) -> ConditionedScavenger:
+    """Convenience wrapper: view ``source`` through a conditioning chain."""
+    return ConditionedScavenger(
+        wheel=source.wheel,
+        source=source,
+        conditioning=conditioning or PowerConditioning(),
+    )

@@ -1,0 +1,56 @@
+"""Electromagnetic (inductive) in-tyre scavenger model.
+
+A seismic magnet-and-coil assembly excited by the contact-patch shock.  The
+induced EMF grows linearly with the excitation velocity, so the energy per
+event grows roughly quadratically with speed at low speed; damping and
+end-stop limiting flatten the curve earlier than the piezoelectric patch, and
+the relatively stiff suspension gives it a higher cut-in speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class ElectromagneticScavenger(EnergyScavenger):
+    """Magnet-and-coil inertial harvester.
+
+    Attributes:
+        reference_energy_j: energy per revolution at the reference speed for
+            a unit-size device.
+        reference_speed_kmh: speed at which the reference energy is defined.
+        exponent: low-speed power-law exponent (close to 2 for an inductive
+            transducer).
+        saturation_energy_j: end-stop limited energy per revolution.
+    """
+
+    minimum_speed_kmh: float = 10.0
+    reference_energy_j: float = 110e-6
+    reference_speed_kmh: float = 60.0
+    exponent: float = 2.0
+    saturation_energy_j: float = 320e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.reference_energy_j <= 0.0:
+            raise ConfigurationError("reference energy must be positive")
+        if self.reference_speed_kmh <= 0.0:
+            raise ConfigurationError("reference speed must be positive")
+        if self.exponent <= 0.0:
+            raise ConfigurationError("speed exponent must be positive")
+        if self.saturation_energy_j <= 0.0:
+            raise ConfigurationError("saturation energy must be positive")
+
+    @property
+    def technology(self) -> str:
+        return "electromagnetic"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        unsaturated = self.reference_energy_j * (
+            speed_kmh / self.reference_speed_kmh
+        ) ** self.exponent
+        return 1.0 / (1.0 / unsaturated + 1.0 / self.saturation_energy_j)

@@ -1,0 +1,55 @@
+"""Electrostatic (variable-capacitor) in-tyre scavenger model.
+
+Electret-biased MEMS variable capacitors deliver far less energy than the
+piezoelectric or electromagnetic options but integrate directly with the
+CMOS die.  Included mainly to give the architecture-exploration benches a
+genuinely losing design point, which is useful for validating that the
+balance analysis reports deficits correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class ElectrostaticScavenger(EnergyScavenger):
+    """Electret-biased variable-capacitance harvester.
+
+    Attributes:
+        reference_energy_j: energy per revolution at the reference speed for
+            a unit-size device.
+        reference_speed_kmh: speed at which the reference energy is defined.
+        exponent: speed exponent; capacitive conversion saturates early, so
+            the dependence is mild.
+        saturation_energy_j: pull-in limited energy per revolution.
+    """
+
+    reference_energy_j: float = 9e-6
+    reference_speed_kmh: float = 60.0
+    exponent: float = 1.2
+    saturation_energy_j: float = 30e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.reference_energy_j <= 0.0:
+            raise ConfigurationError("reference energy must be positive")
+        if self.reference_speed_kmh <= 0.0:
+            raise ConfigurationError("reference speed must be positive")
+        if self.exponent <= 0.0:
+            raise ConfigurationError("speed exponent must be positive")
+        if self.saturation_energy_j <= 0.0:
+            raise ConfigurationError("saturation energy must be positive")
+
+    @property
+    def technology(self) -> str:
+        return "electrostatic"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        unsaturated = self.reference_energy_j * (
+            speed_kmh / self.reference_speed_kmh
+        ) ** self.exponent
+        return 1.0 / (1.0 / unsaturated + 1.0 / self.saturation_energy_j)

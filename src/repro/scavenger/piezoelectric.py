@@ -1,0 +1,64 @@
+"""Piezoelectric in-tyre scavenger model.
+
+A piezoelectric patch bonded to the inner liner is strained twice per
+revolution when it enters and leaves the contact patch.  The strain amplitude
+grows with the tyre deformation rate (roughly with the contact-patch
+acceleration step, i.e. with the square of the speed) until the deformation
+is mechanically limited, after which the harvested energy per revolution
+saturates.
+
+The model is semi-empirical: energy per revolution follows a power law of
+speed, anchored at a reference point, with a soft saturation.  The reference
+point is calibrated so that a unit-size device balances the baseline Sensor
+Node in the few-tens-of-km/h range, reproducing the qualitative Fig. 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class PiezoelectricScavenger(EnergyScavenger):
+    """Piezoelectric patch harvester.
+
+    Attributes:
+        reference_energy_j: energy per revolution at the reference speed for
+            a unit-size device.
+        reference_speed_kmh: speed at which the reference energy is defined.
+        exponent: power-law exponent of the speed dependence below
+            saturation.
+        saturation_energy_j: asymptotic energy per revolution for a unit-size
+            device (mechanical strain limiter).
+    """
+
+    reference_energy_j: float = 110e-6
+    reference_speed_kmh: float = 60.0
+    exponent: float = 1.6
+    saturation_energy_j: float = 500e-6
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.reference_energy_j <= 0.0:
+            raise ConfigurationError("reference energy must be positive")
+        if self.reference_speed_kmh <= 0.0:
+            raise ConfigurationError("reference speed must be positive")
+        if self.exponent <= 0.0:
+            raise ConfigurationError("speed exponent must be positive")
+        if self.saturation_energy_j <= 0.0:
+            raise ConfigurationError("saturation energy must be positive")
+
+    @property
+    def technology(self) -> str:
+        return "piezoelectric"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        """Power-law growth with a soft (reciprocal) saturation."""
+        unsaturated = self.reference_energy_j * (
+            speed_kmh / self.reference_speed_kmh
+        ) ** self.exponent
+        # Soft saturation: harmonic combination of the power law and the cap.
+        return 1.0 / (1.0 / unsaturated + 1.0 / self.saturation_energy_j)

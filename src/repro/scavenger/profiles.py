@@ -1,0 +1,83 @@
+"""Tabulated scavenger profiles.
+
+When a measured energy-per-revolution curve *is* available (for example from
+a harvester prototype on a tyre test rig), it enters the analysis as a table
+of (speed, energy) points; the balance analysis then interpolates between
+them.  This is also the class used to replay the curves exported by the
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class TabulatedScavenger(EnergyScavenger):
+    """A scavenger defined by measured (speed, energy-per-revolution) points.
+
+    Attributes:
+        speeds_kmh: sample speeds, strictly increasing.
+        energies_j: harvested energy per revolution at each sample speed for
+            a unit-size device.
+        extrapolate: when True the last segment's slope is extended beyond
+            the sampled range; when False the curve is clamped to the end
+            values.
+    """
+
+    speeds_kmh: tuple[float, ...] = field(default_factory=tuple)
+    energies_j: tuple[float, ...] = field(default_factory=tuple)
+    extrapolate: bool = False
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if len(self.speeds_kmh) != len(self.energies_j):
+            raise ConfigurationError("speeds and energies must have the same length")
+        if len(self.speeds_kmh) < 2:
+            raise ConfigurationError("a tabulated profile needs at least two points")
+        speeds = np.asarray(self.speeds_kmh, dtype=float)
+        energies = np.asarray(self.energies_j, dtype=float)
+        if np.any(np.diff(speeds) <= 0.0):
+            raise ConfigurationError("sample speeds must be strictly increasing")
+        if np.any(speeds < 0.0):
+            raise ConfigurationError("sample speeds must be non-negative")
+        if np.any(energies < 0.0):
+            raise ConfigurationError("sample energies must be non-negative")
+
+    @property
+    def technology(self) -> str:
+        return "tabulated"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        speeds = np.asarray(self.speeds_kmh, dtype=float)
+        energies = np.asarray(self.energies_j, dtype=float)
+        if not self.extrapolate or speeds[0] <= speed_kmh <= speeds[-1]:
+            return float(np.interp(speed_kmh, speeds, energies))
+        if speed_kmh < speeds[0]:
+            slope = (energies[1] - energies[0]) / (speeds[1] - speeds[0])
+            return float(max(0.0, energies[0] + slope * (speed_kmh - speeds[0])))
+        slope = (energies[-1] - energies[-2]) / (speeds[-1] - speeds[-2])
+        return float(max(0.0, energies[-1] + slope * (speed_kmh - speeds[-1])))
+
+    @classmethod
+    def from_scavenger(
+        cls,
+        source: EnergyScavenger,
+        speeds_kmh: list[float] | np.ndarray,
+        extrapolate: bool = False,
+    ) -> "TabulatedScavenger":
+        """Sample an analytical scavenger into a table (useful for exporting)."""
+        speeds = [float(v) for v in speeds_kmh]
+        energies = [source.energy_per_revolution_j(v) for v in speeds]
+        return cls(
+            wheel=source.wheel,
+            minimum_speed_kmh=source.minimum_speed_kmh,
+            speeds_kmh=tuple(speeds),
+            energies_j=tuple(energies),
+            extrapolate=extrapolate,
+        )

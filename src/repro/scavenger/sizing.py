@@ -1,0 +1,145 @@
+"""Scavenger sizing: how big must the device be for a target activation speed.
+
+The paper's knob — *"the available energy depends almost on the size of such
+a scavenging device"* — phrased as the designer actually uses it: given a
+node, a characterization and a target minimum activation speed, find the
+smallest scavenger size factor that achieves it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blocks.node import SensorNode
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.errors import AnalysisError
+from repro.power.database import PowerDatabase
+from repro.scavenger.base import EnergyScavenger
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a scavenger sizing run.
+
+    Attributes:
+        target_speed_kmh: the requested activation speed.
+        size_factor: smallest size factor meeting the target (relative to the
+            given scavenger), or ``None`` when even ``max_size_factor`` is not
+            enough.
+        achieved_break_even_kmh: break-even speed at the returned size.
+        required_energy_j: node energy per wheel round at the target speed.
+        generated_energy_unit_j: energy per wheel round of the *unit-size*
+            device at the target speed.
+    """
+
+    target_speed_kmh: float
+    size_factor: float | None
+    achieved_break_even_kmh: float | None
+    required_energy_j: float
+    generated_energy_unit_j: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when a size meeting the target was found."""
+        return self.size_factor is not None
+
+
+def size_for_activation_speed(
+    node: SensorNode,
+    database: PowerDatabase,
+    scavenger: EnergyScavenger,
+    target_speed_kmh: float,
+    max_size_factor: float = 16.0,
+    tolerance: float = 0.01,
+) -> SizingResult:
+    """Find the smallest scavenger size that activates the node at the target speed.
+
+    Because the harvested energy scales linearly with the size factor while
+    the node requirement does not depend on it, the minimal size is simply
+    ``required / generated_at_unit_size`` evaluated at the target speed —
+    unless the unit-size device generates nothing there (below its cut-in
+    speed), in which case no size helps.
+
+    Args:
+        node: the Sensor Node architecture.
+        database: power characterization.
+        scavenger: the harvester whose size is being chosen (its current
+            ``size_factor`` is treated as the unit).
+        target_speed_kmh: desired minimum activation speed.
+        max_size_factor: largest size the mechanical integration allows.
+        tolerance: relative margin added to the computed size so the result
+            is robustly on the surplus side.
+
+    Raises:
+        AnalysisError: for non-positive targets or size limits.
+    """
+    if target_speed_kmh <= 0.0:
+        raise AnalysisError("the target activation speed must be positive")
+    if max_size_factor <= 0.0:
+        raise AnalysisError("the maximum size factor must be positive")
+
+    analysis = EnergyBalanceAnalysis(node, database, scavenger)
+    balance = analysis.balance_at(OperatingPoint(speed_kmh=target_speed_kmh))
+    required = balance.required_j
+    generated_unit = balance.generated_j
+
+    if generated_unit <= 0.0:
+        return SizingResult(
+            target_speed_kmh=target_speed_kmh,
+            size_factor=None,
+            achieved_break_even_kmh=None,
+            required_energy_j=required,
+            generated_energy_unit_j=generated_unit,
+        )
+
+    factor = (required / generated_unit) * (1.0 + tolerance)
+    factor = max(factor, 1e-6)
+    if factor > max_size_factor:
+        return SizingResult(
+            target_speed_kmh=target_speed_kmh,
+            size_factor=None,
+            achieved_break_even_kmh=None,
+            required_energy_j=required,
+            generated_energy_unit_j=generated_unit,
+        )
+
+    sized = EnergyBalanceAnalysis(node, database, scavenger.scaled(factor))
+    achieved = sized.break_even_speed_kmh(high_kmh=max(250.0, target_speed_kmh * 2.0))
+    return SizingResult(
+        target_speed_kmh=target_speed_kmh,
+        size_factor=factor,
+        achieved_break_even_kmh=achieved,
+        required_energy_j=required,
+        generated_energy_unit_j=generated_unit,
+    )
+
+
+def sizing_table(
+    node: SensorNode,
+    database: PowerDatabase,
+    scavenger: EnergyScavenger,
+    target_speeds_kmh: list[float],
+    max_size_factor: float = 16.0,
+) -> list[dict[str, object]]:
+    """Tabulate the required scavenger size for several activation-speed targets."""
+    if not target_speeds_kmh:
+        raise AnalysisError("at least one target speed is required")
+    rows: list[dict[str, object]] = []
+    for target in target_speeds_kmh:
+        result = size_for_activation_speed(
+            node, database, scavenger, float(target), max_size_factor=max_size_factor
+        )
+        rows.append(
+            {
+                "target_speed_kmh": float(target),
+                "size_factor": result.size_factor
+                if result.size_factor is not None
+                else float("nan"),
+                "feasible": result.feasible,
+                "achieved_break_even_kmh": result.achieved_break_even_kmh
+                if result.achieved_break_even_kmh is not None
+                else float("nan"),
+            }
+        )
+    return rows

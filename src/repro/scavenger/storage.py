@@ -1,0 +1,171 @@
+"""Energy-storage elements buffering the harvested energy.
+
+The scavenger output is bursty (one impulse per revolution) and the node
+load is bursty too (acquisition/transmission bursts), so a storage element —
+a supercapacitor or a thin-film rechargeable cell — sits between them.  The
+long-window emulation charges and discharges this element and declares the
+node inactive whenever the state of charge falls below the operating
+threshold, which is exactly how the paper identifies operating windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, EmulationError
+
+
+@dataclass
+class StorageElement:
+    """A lossy, bounded energy reservoir.
+
+    Attributes:
+        capacity_j: usable energy capacity in joules.
+        initial_charge_j: energy stored at the start of the emulation.
+        charge_efficiency: fraction of the banked energy that ends up stored.
+        discharge_efficiency: fraction of the stored energy that reaches the
+            load (the complement is lost in the output regulator).
+        self_discharge_w: constant self-discharge (leakage) power.
+        minimum_operating_j: below this level the node brown-outs and must
+            stop operating until the storage recovers above
+            ``restart_level_j``.
+        restart_level_j: hysteresis threshold for restarting after a
+            brown-out; must be at least ``minimum_operating_j``.
+        name: label used in reports.
+    """
+
+    capacity_j: float = 0.25
+    initial_charge_j: float = 0.10
+    charge_efficiency: float = 0.95
+    discharge_efficiency: float = 0.90
+    self_discharge_w: float = 0.3e-6
+    minimum_operating_j: float = 0.01
+    restart_level_j: float = 0.02
+    name: str = "storage"
+    _charge_j: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity_j <= 0.0:
+            raise ConfigurationError("storage capacity must be positive")
+        if not 0.0 <= self.initial_charge_j <= self.capacity_j:
+            raise ConfigurationError("initial charge must lie within the capacity")
+        for label, value in (
+            ("charge_efficiency", self.charge_efficiency),
+            ("discharge_efficiency", self.discharge_efficiency),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ConfigurationError(f"{label} must be in (0, 1]")
+        if self.self_discharge_w < 0.0:
+            raise ConfigurationError("self-discharge must be non-negative")
+        if self.minimum_operating_j < 0.0:
+            raise ConfigurationError("minimum operating level must be non-negative")
+        if self.restart_level_j < self.minimum_operating_j:
+            raise ConfigurationError(
+                "restart level must be at least the minimum operating level"
+            )
+        if self.restart_level_j > self.capacity_j:
+            raise ConfigurationError("restart level cannot exceed the capacity")
+        self._charge_j = self.initial_charge_j
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def charge_j(self) -> float:
+        """Current stored energy in joules."""
+        return self._charge_j
+
+    @property
+    def state_of_charge(self) -> float:
+        """Stored energy as a fraction of the capacity."""
+        return self._charge_j / self.capacity_j
+
+    @property
+    def is_depleted(self) -> bool:
+        """True when the node must stop operating (below the brown-out level)."""
+        return self._charge_j < self.minimum_operating_j
+
+    @property
+    def can_restart(self) -> bool:
+        """True when a browned-out node may restart (hysteresis threshold)."""
+        return self._charge_j >= self.restart_level_j
+
+    def reset(self) -> None:
+        """Return the element to its initial charge."""
+        self._charge_j = self.initial_charge_j
+
+    # -- energy flow --------------------------------------------------------------
+
+    def deposit(self, energy_j: float) -> float:
+        """Bank harvested energy; returns the amount actually stored.
+
+        Charging losses and the capacity ceiling both reduce the stored
+        amount; excess energy is discarded (the conditioning circuit shunts
+        it once the storage is full).
+        """
+        if energy_j < 0.0:
+            raise EmulationError("cannot deposit negative energy")
+        stored = energy_j * self.charge_efficiency
+        headroom = self.capacity_j - self._charge_j
+        stored = min(stored, headroom)
+        self._charge_j += stored
+        return stored
+
+    def withdraw(self, energy_j: float) -> bool:
+        """Draw load energy; returns False (and drains what it can) on shortfall.
+
+        ``energy_j`` is the energy delivered *to the load*; the element loses
+        additionally through the discharge efficiency.
+        """
+        if energy_j < 0.0:
+            raise EmulationError("cannot withdraw negative energy")
+        required = energy_j / self.discharge_efficiency
+        if required > self._charge_j:
+            self._charge_j = 0.0
+            return False
+        self._charge_j -= required
+        return True
+
+    def leak(self, duration_s: float) -> float:
+        """Apply self-discharge over ``duration_s`` seconds; returns the loss."""
+        if duration_s < 0.0:
+            raise EmulationError("duration must be non-negative")
+        loss = min(self._charge_j, self.self_discharge_w * duration_s)
+        self._charge_j -= loss
+        return loss
+
+
+def supercapacitor(capacity_j: float = 0.25, initial_fraction: float = 0.4) -> StorageElement:
+    """A small supercapacitor buffer (fast, efficient, leaky).
+
+    The default 0.25 J corresponds to roughly a 100 uF-class ceramic bank or
+    a small supercap at the node operating voltage — enough to ride through a
+    few seconds of full activity.
+    """
+    if not 0.0 <= initial_fraction <= 1.0:
+        raise ConfigurationError("initial fraction must be in [0, 1]")
+    return StorageElement(
+        capacity_j=capacity_j,
+        initial_charge_j=capacity_j * initial_fraction,
+        charge_efficiency=0.97,
+        discharge_efficiency=0.92,
+        self_discharge_w=0.8e-6,
+        minimum_operating_j=capacity_j * 0.05,
+        restart_level_j=capacity_j * 0.10,
+        name="supercapacitor",
+    )
+
+
+def thin_film_battery(capacity_j: float = 2.5, initial_fraction: float = 0.5) -> StorageElement:
+    """A thin-film rechargeable cell (larger, less leaky, less efficient)."""
+    if not 0.0 <= initial_fraction <= 1.0:
+        raise ConfigurationError("initial fraction must be in [0, 1]")
+    return StorageElement(
+        capacity_j=capacity_j,
+        initial_charge_j=capacity_j * initial_fraction,
+        charge_efficiency=0.90,
+        discharge_efficiency=0.88,
+        self_discharge_w=0.1e-6,
+        minimum_operating_j=capacity_j * 0.04,
+        restart_level_j=capacity_j * 0.08,
+        name="thin-film battery",
+    )

@@ -1,0 +1,157 @@
+"""Per-block duty cycles and their classification.
+
+The paper's key methodological point: once temporal information (the duty
+cycle within a wheel round) is attached to each block, the choice of
+optimization technique changes — a block that is active for a tiny slice of
+the round deserves static-power optimization even if its dynamic power
+dominates while it runs.  This module computes the per-block duty-cycle
+report the selection policy consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ScheduleError
+from repro.power.database import PowerDatabase
+from repro.timing.schedule import RevolutionSchedule
+
+#: Blocks active for less than this fraction of the wheel round are
+#: considered "short duty cycle" by the default selection policy.
+SHORT_DUTY_CYCLE_THRESHOLD = 0.10
+
+#: Modes that count as "active" when computing a duty cycle, unless the
+#: caller provides its own set.
+DEFAULT_ACTIVE_MODES = frozenset({"active", "idle"})
+
+
+@dataclass(frozen=True)
+class BlockDutyCycle:
+    """Duty-cycle and power split of one block over one wheel round.
+
+    Attributes:
+        block: block name.
+        duty_cycle: active-time fraction of the wheel round.
+        active_time_s: active time in seconds.
+        period_s: the wheel-round period the figures refer to.
+        active_power_w: average total power while active.
+        resting_power_w: total power in the resting mode.
+        dynamic_energy_j: dynamic energy spent over the round.
+        static_energy_j: static (leakage) energy spent over the round.
+    """
+
+    block: str
+    duty_cycle: float
+    active_time_s: float
+    period_s: float
+    active_power_w: float
+    resting_power_w: float
+    dynamic_energy_j: float
+    static_energy_j: float
+
+    @property
+    def is_short_duty_cycle(self) -> bool:
+        """True when the block idles for most of the wheel round."""
+        return self.duty_cycle < SHORT_DUTY_CYCLE_THRESHOLD
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy of the block over the round."""
+        return self.dynamic_energy_j + self.static_energy_j
+
+    @property
+    def static_energy_fraction(self) -> float:
+        """Share of the block energy due to leakage (0 if the block is free)."""
+        total = self.total_energy_j
+        if total == 0.0:
+            return 0.0
+        return self.static_energy_j / total
+
+
+@dataclass(frozen=True)
+class DutyCycleReport:
+    """Duty-cycle figures for every block of an architecture."""
+
+    period_s: float
+    speed_kmh: float
+    entries: tuple[BlockDutyCycle, ...]
+
+    def for_block(self, block: str) -> BlockDutyCycle:
+        """Entry of one block."""
+        for entry in self.entries:
+            if entry.block == block:
+                return entry
+        raise ScheduleError(f"no duty-cycle entry for block {block!r}")
+
+    @property
+    def blocks(self) -> list[str]:
+        """Block names in the report, sorted."""
+        return sorted(entry.block for entry in self.entries)
+
+    def short_duty_cycle_blocks(self) -> list[str]:
+        """Blocks whose duty cycle is below the short-duty-cycle threshold."""
+        return sorted(
+            entry.block for entry in self.entries if entry.is_short_duty_cycle
+        )
+
+    def total_energy_j(self) -> float:
+        """Total node energy over the wheel round."""
+        return sum(entry.total_energy_j for entry in self.entries)
+
+
+def duty_cycle_report(
+    schedule: RevolutionSchedule,
+    database: PowerDatabase,
+    point: OperatingPoint,
+    active_modes: Mapping[str, frozenset[str]] | None = None,
+) -> DutyCycleReport:
+    """Compute the per-block duty-cycle report for one wheel round.
+
+    Args:
+        schedule: the intra-revolution schedule (busy phases + resting modes).
+        database: the power database providing per-mode power figures.
+        point: working conditions at which power is evaluated.
+        active_modes: optional per-block override of which modes count as
+            active; blocks not listed use :data:`DEFAULT_ACTIVE_MODES`.
+    """
+    active_modes = active_modes or {}
+    entries: list[BlockDutyCycle] = []
+    for block, resting_mode in sorted(schedule.blocks.items()):
+        block_active_modes = active_modes.get(block, DEFAULT_ACTIVE_MODES)
+        active_time = schedule.active_time_of(block, block_active_modes)
+        duty = active_time / schedule.period_s
+
+        dynamic_energy = 0.0
+        static_energy = 0.0
+        active_power_total = 0.0
+        for phase in schedule.iter_phases():
+            mode = phase.mode_of(block, resting_mode)
+            breakdown = database.power(
+                block, mode, point, activity=phase.activity_of(block)
+            )
+            dynamic_energy += breakdown.dynamic_w * phase.duration_s
+            static_energy += breakdown.static_w * phase.duration_s
+            if mode in block_active_modes:
+                active_power_total += breakdown.total_w * phase.duration_s
+
+        active_power = active_power_total / active_time if active_time > 0.0 else 0.0
+        resting_power = database.power(block, resting_mode, point).total_w
+        entries.append(
+            BlockDutyCycle(
+                block=block,
+                duty_cycle=duty,
+                active_time_s=active_time,
+                period_s=schedule.period_s,
+                active_power_w=active_power,
+                resting_power_w=resting_power,
+                dynamic_energy_j=dynamic_energy,
+                static_energy_j=static_energy,
+            )
+        )
+    return DutyCycleReport(
+        period_s=schedule.period_s,
+        speed_kmh=point.speed_kmh,
+        entries=tuple(entries),
+    )

@@ -1,0 +1,164 @@
+"""Intra-revolution activity schedules.
+
+A :class:`RevolutionSchedule` describes what every functional block does
+during one wheel round: an ordered list of :class:`Phase` items, each with a
+duration and a mode assignment for the blocks that are *not* in their resting
+mode.  The evaluator integrates power over the phases to get energy per
+revolution; the emulator plays the phases back in time to produce the
+instant-power trace of the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of the revolution schedule.
+
+    Attributes:
+        name: phase label, e.g. ``"acquire"``, ``"compute"``, ``"transmit"``,
+            ``"sleep"``.
+        duration_s: phase duration in seconds.
+        block_modes: mode assignment for the blocks that are not in their
+            resting mode during this phase.  Blocks missing from the mapping
+            stay in the resting mode the schedule was built with.
+        activities: optional per-block activity factors for this phase.
+    """
+
+    name: str
+    duration_s: float
+    block_modes: Mapping[str, str] = field(default_factory=dict)
+    activities: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScheduleError("phase name must not be empty")
+        if self.duration_s < 0.0:
+            raise ScheduleError(f"phase {self.name!r} has a negative duration")
+
+    def mode_of(self, block: str, resting_mode: str) -> str:
+        """Mode of ``block`` during this phase, falling back to the resting mode."""
+        return self.block_modes.get(block, resting_mode)
+
+    def activity_of(self, block: str) -> float:
+        """Activity factor of ``block`` during this phase (1.0 by default)."""
+        return self.activities.get(block, 1.0)
+
+
+@dataclass(frozen=True)
+class RevolutionSchedule:
+    """The ordered phases of one wheel round.
+
+    Attributes:
+        period_s: total duration of the wheel round the schedule describes.
+        phases: the busy phases (acquisition, computation, transmission...).
+            Their summed duration must not exceed ``period_s``; the remaining
+            time is an implicit resting phase appended automatically.
+        blocks: every block of the architecture, mapped to the resting mode it
+            occupies whenever a phase does not override it.
+        resting_phase_name: label of the implicit remainder phase.
+    """
+
+    period_s: float
+    phases: tuple[Phase, ...]
+    blocks: Mapping[str, str]
+    resting_phase_name: str = "sleep"
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0.0:
+            raise ScheduleError("schedule period must be positive")
+        if not self.blocks:
+            raise ScheduleError("a schedule needs at least one block")
+        busy = sum(phase.duration_s for phase in self.phases)
+        if busy > self.period_s * (1.0 + 1e-9):
+            raise ScheduleError(
+                f"busy phases ({busy:.6f} s) exceed the wheel-round period "
+                f"({self.period_s:.6f} s); the schedule is infeasible at this speed"
+            )
+
+    @property
+    def busy_duration_s(self) -> float:
+        """Total duration of the explicit (busy) phases."""
+        return sum(phase.duration_s for phase in self.phases)
+
+    @property
+    def resting_duration_s(self) -> float:
+        """Duration of the implicit resting remainder."""
+        return max(0.0, self.period_s - self.busy_duration_s)
+
+    def iter_phases(self) -> Iterator[Phase]:
+        """Iterate every phase including the implicit resting remainder."""
+        yield from self.phases
+        rest = self.resting_duration_s
+        if rest > 0.0:
+            yield Phase(name=self.resting_phase_name, duration_s=rest, block_modes={})
+
+    def modes_during(self, phase: Phase) -> dict[str, str]:
+        """Full block -> mode assignment during ``phase``."""
+        return {
+            block: phase.mode_of(block, resting)
+            for block, resting in self.blocks.items()
+        }
+
+    def active_time_of(self, block: str, active_modes: frozenset[str] | set[str]) -> float:
+        """Total time ``block`` spends in one of ``active_modes`` during the round."""
+        if block not in self.blocks:
+            raise ScheduleError(f"block {block!r} is not part of this schedule")
+        total = 0.0
+        for phase in self.iter_phases():
+            if phase.mode_of(block, self.blocks[block]) in active_modes:
+                total += phase.duration_s
+        return total
+
+    def duty_cycle_of(self, block: str, active_modes: frozenset[str] | set[str]) -> float:
+        """Active-time over wheel-round-period ratio for ``block``.
+
+        This is exactly the paper's definition of the duty cycle: *"active
+        time over idle time in a single wheel round"* is described loosely in
+        the text; the quantity the selection policy needs is the active
+        fraction of the round, which is what we compute.
+        """
+        return self.active_time_of(block, active_modes) / self.period_s
+
+    def phase_named(self, name: str) -> Phase:
+        """Look a busy phase up by name."""
+        for phase in self.phases:
+            if phase.name == name:
+                return phase
+        raise ScheduleError(f"no phase named {name!r} in this schedule")
+
+    def has_phase(self, name: str) -> bool:
+        """True if a busy phase with this name exists."""
+        return any(phase.name == name for phase in self.phases)
+
+    def scaled_to_period(self, new_period_s: float) -> "RevolutionSchedule":
+        """Re-target the schedule to a different wheel-round period.
+
+        Busy-phase durations are kept (they are set by the hardware, not by
+        the speed); only the resting remainder stretches or shrinks.  Raises
+        if the busy phases no longer fit.
+        """
+        return RevolutionSchedule(
+            period_s=new_period_s,
+            phases=self.phases,
+            blocks=self.blocks,
+            resting_phase_name=self.resting_phase_name,
+        )
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump used by the examples."""
+        lines = [f"wheel round {self.period_s * 1e3:.2f} ms"]
+        for phase in self.iter_phases():
+            overrides = ", ".join(
+                f"{block}={mode}" for block, mode in sorted(phase.block_modes.items())
+            )
+            lines.append(
+                f"  {phase.name:<10s} {phase.duration_s * 1e3:8.3f} ms"
+                + (f"  [{overrides}]" if overrides else "")
+            )
+        return "\n".join(lines)

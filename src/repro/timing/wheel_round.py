@@ -1,0 +1,147 @@
+"""The wheel round as the basic timing unit.
+
+This module turns a drive cycle into the sequence of timing units the rest of
+the analysis consumes: :class:`WheelRound` instances while the vehicle moves
+and :class:`IdleInterval` instances while it is stationary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.vehicle.drive_cycle import DriveCycle
+from repro.vehicle.wheel import Wheel
+
+#: Below this speed the wheel is considered stationary: a revolution would
+#: take longer than ~10 s and the harvester produces nothing useful.
+STANDSTILL_THRESHOLD_KMH = 1.0
+
+
+@dataclass(frozen=True)
+class WheelRound:
+    """One wheel revolution.
+
+    Attributes:
+        index: ordinal of the revolution since the start of the window.
+        start_s: absolute start time of the revolution.
+        period_s: duration of the revolution.
+        speed_kmh: vehicle speed at the start of the revolution (assumed
+            constant over the revolution, which at >= 1 km/h is at most a
+            ~10 s approximation window and usually well under a second).
+    """
+
+    index: int
+    start_s: float
+    period_s: float
+    speed_kmh: float
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0.0:
+            raise ConfigurationError("wheel round period must be positive")
+        if self.speed_kmh <= 0.0:
+            raise ConfigurationError("a wheel round requires a positive speed")
+
+    @property
+    def end_s(self) -> float:
+        """Absolute end time of the revolution."""
+        return self.start_s + self.period_s
+
+
+@dataclass(frozen=True)
+class IdleInterval:
+    """A stretch of time with the vehicle (effectively) stationary."""
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0.0:
+            raise ConfigurationError("idle interval duration must be positive")
+
+    @property
+    def end_s(self) -> float:
+        """Absolute end time of the interval."""
+        return self.start_s + self.duration_s
+
+
+def iter_wheel_rounds(
+    cycle: DriveCycle,
+    wheel: Wheel,
+    idle_step_s: float = 1.0,
+    standstill_threshold_kmh: float = STANDSTILL_THRESHOLD_KMH,
+    max_units: int | None = None,
+) -> Iterator[WheelRound | IdleInterval]:
+    """Walk a drive cycle revolution by revolution.
+
+    While the vehicle moves faster than ``standstill_threshold_kmh`` the
+    iterator yields :class:`WheelRound` units whose period follows the
+    instantaneous speed; while it is stationary it yields
+    :class:`IdleInterval` units of ``idle_step_s`` seconds so the caller can
+    still account for sleep power and storage self-discharge.
+
+    Args:
+        cycle: the cruising-speed profile.
+        wheel: the wheel converting speed into revolution periods.
+        idle_step_s: granularity of the stationary intervals.
+        standstill_threshold_kmh: speed below which the wheel is treated as
+            stopped.
+        max_units: optional safety cap on the number of units generated.
+
+    Yields:
+        Timing units in chronological order covering the whole cycle.
+    """
+    if idle_step_s <= 0.0:
+        raise ConfigurationError("idle step must be positive")
+    if standstill_threshold_kmh <= 0.0:
+        raise ConfigurationError("standstill threshold must be positive")
+
+    time_s = 0.0
+    revolution_index = 0
+    emitted = 0
+    duration = cycle.duration_s
+    while time_s < duration:
+        if max_units is not None and emitted >= max_units:
+            return
+        speed = cycle.speed_at(time_s)
+        if speed < standstill_threshold_kmh:
+            step = min(idle_step_s, duration - time_s)
+            if step <= 0.0:
+                return
+            yield IdleInterval(start_s=time_s, duration_s=step)
+            time_s += step
+        else:
+            period = wheel.revolution_period_s(speed)
+            if time_s + period > duration:
+                # Truncate the final partial revolution into an idle-style
+                # remainder so the accounted time exactly matches the cycle.
+                remainder = duration - time_s
+                if remainder > 1e-9:
+                    yield WheelRound(
+                        index=revolution_index,
+                        start_s=time_s,
+                        period_s=remainder,
+                        speed_kmh=speed,
+                    )
+                return
+            yield WheelRound(
+                index=revolution_index,
+                start_s=time_s,
+                period_s=period,
+                speed_kmh=speed,
+            )
+            revolution_index += 1
+            time_s += period
+        emitted += 1
+
+
+def count_revolutions(
+    cycle: DriveCycle, wheel: Wheel, idle_step_s: float = 1.0
+) -> int:
+    """Number of complete wheel revolutions over a drive cycle."""
+    count = 0
+    for unit in iter_wheel_rounds(cycle, wheel, idle_step_s=idle_step_s):
+        if isinstance(unit, WheelRound):
+            count += 1
+    return count

@@ -1,0 +1,159 @@
+"""Unit constants, conversions and quantity formatting helpers.
+
+Every numeric quantity in the library is expressed in base SI units
+(seconds, metres, kilograms, volts, amperes, watts, joules, kelvin
+offsets expressed in degrees Celsius where noted).  This module collects
+the handful of conversions the tyre-monitoring domain needs so that call
+sites never contain magic factors such as ``/ 3.6`` or ``* 1e-6``.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Scalar prefixes
+# ---------------------------------------------------------------------------
+
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+# ---------------------------------------------------------------------------
+# Speed
+# ---------------------------------------------------------------------------
+
+KMH_PER_MS = 3.6
+"""Kilometres-per-hour in one metre-per-second."""
+
+
+def kmh_to_ms(speed_kmh: float) -> float:
+    """Convert a speed in km/h to m/s."""
+    return speed_kmh / KMH_PER_MS
+
+
+def ms_to_kmh(speed_ms: float) -> float:
+    """Convert a speed in m/s to km/h."""
+    return speed_ms * KMH_PER_MS
+
+
+# ---------------------------------------------------------------------------
+# Angular motion
+# ---------------------------------------------------------------------------
+
+
+def rpm_to_rad_s(rpm: float) -> float:
+    """Convert revolutions per minute to radians per second."""
+    return rpm * 2.0 * math.pi / 60.0
+
+
+def rad_s_to_rpm(omega: float) -> float:
+    """Convert radians per second to revolutions per minute."""
+    return omega * 60.0 / (2.0 * math.pi)
+
+
+def rev_per_s_to_rad_s(rev_per_s: float) -> float:
+    """Convert revolutions per second to radians per second."""
+    return rev_per_s * 2.0 * math.pi
+
+
+# ---------------------------------------------------------------------------
+# Temperature
+# ---------------------------------------------------------------------------
+
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return temp_c + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS_IN_KELVIN
+
+
+# ---------------------------------------------------------------------------
+# Radio power
+# ---------------------------------------------------------------------------
+
+
+def dbm_to_watt(power_dbm: float) -> float:
+    """Convert an RF power level from dBm to watts."""
+    return 1e-3 * 10.0 ** (power_dbm / 10.0)
+
+
+def watt_to_dbm(power_w: float) -> float:
+    """Convert an RF power level from watts to dBm.
+
+    Raises:
+        ValueError: if ``power_w`` is not strictly positive.
+    """
+    if power_w <= 0.0:
+        raise ValueError(f"power must be positive to express in dBm, got {power_w!r}")
+    return 10.0 * math.log10(power_w / 1e-3)
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+BOLTZMANN_EV = 8.617333262e-5
+"""Boltzmann constant in eV/K, used by the leakage temperature model."""
+
+GRAVITY = 9.80665
+"""Standard gravitational acceleration in m/s^2."""
+
+# ---------------------------------------------------------------------------
+# Quantity formatting
+# ---------------------------------------------------------------------------
+
+_SI_PREFIXES = (
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+)
+
+
+def format_quantity(value: float, unit: str, digits: int = 3) -> str:
+    """Render ``value`` with an SI prefix, e.g. ``format_quantity(2.3e-6, "J")``
+    returns ``"2.3 uJ"``.
+
+    Zero and non-finite values are rendered without a prefix.
+    """
+    if value == 0.0 or not math.isfinite(value):
+        return f"{value:g} {unit}"
+    magnitude = abs(value)
+    scale, prefix = _SI_PREFIXES[0]
+    for candidate_scale, candidate_prefix in _SI_PREFIXES:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+        else:
+            break
+    scaled = value / scale
+    return f"{scaled:.{digits}g} {prefix}{unit}"
+
+
+def format_power(value_w: float, digits: int = 3) -> str:
+    """Format a power value in watts with an SI prefix."""
+    return format_quantity(value_w, "W", digits)
+
+
+def format_energy(value_j: float, digits: int = 3) -> str:
+    """Format an energy value in joules with an SI prefix."""
+    return format_quantity(value_j, "J", digits)
+
+
+def format_current(value_a: float, digits: int = 3) -> str:
+    """Format a current value in amperes with an SI prefix."""
+    return format_quantity(value_a, "A", digits)

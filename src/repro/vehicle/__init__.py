@@ -1,0 +1,33 @@
+"""Vehicle substrate: tyre geometry, wheel kinematics and drive cycles.
+
+The paper treats the *wheel round* as the basic timing unit of the whole
+analysis, so the relationship between cruising speed, rolling circumference
+and revolution period is the foundation every other package builds on.
+"""
+
+from repro.vehicle.contact_patch import ContactPatchModel
+from repro.vehicle.drive_cycle import (
+    DriveCycle,
+    DriveCyclePhase,
+    constant_cruise,
+    highway_cycle,
+    nedc_like_cycle,
+    ramp_cycle,
+    urban_cycle,
+)
+from repro.vehicle.tyre import Tyre, tyre_from_etrto
+from repro.vehicle.wheel import Wheel
+
+__all__ = [
+    "Tyre",
+    "tyre_from_etrto",
+    "Wheel",
+    "ContactPatchModel",
+    "DriveCycle",
+    "DriveCyclePhase",
+    "constant_cruise",
+    "urban_cycle",
+    "highway_cycle",
+    "nedc_like_cycle",
+    "ramp_cycle",
+]

@@ -1,0 +1,131 @@
+"""Tyre geometry.
+
+The rolling circumference converts a cruising speed into the wheel-round
+period; the contact-patch length sets how long the in-tyre accelerometer sees
+the road per revolution.  Both are derived from the standard ETRTO size
+designation (e.g. ``225/45R17``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Inches to metres.
+_INCH_M = 0.0254
+
+#: Dynamic rolling-radius reduction versus the unloaded radius.  Loaded tyres
+#: roll on a slightly smaller effective radius; 3 % is a common approximation.
+_ROLLING_RADIUS_FACTOR = 0.97
+
+
+@dataclass(frozen=True)
+class Tyre:
+    """Geometric description of a tyre.
+
+    Attributes:
+        width_m: section width in metres.
+        aspect_ratio: sidewall height as a fraction of the width (0.45 for a
+            ``/45`` tyre).
+        rim_diameter_m: rim diameter in metres.
+        contact_patch_length_m: length of the road contact patch in metres.
+        designation: the original size string, if built from one.
+    """
+
+    width_m: float
+    aspect_ratio: float
+    rim_diameter_m: float
+    contact_patch_length_m: float = 0.12
+    designation: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0.0:
+            raise ConfigurationError("tyre width must be positive")
+        if not 0.2 <= self.aspect_ratio <= 1.0:
+            raise ConfigurationError("aspect ratio must be in [0.2, 1.0]")
+        if self.rim_diameter_m <= 0.0:
+            raise ConfigurationError("rim diameter must be positive")
+        if self.contact_patch_length_m <= 0.0:
+            raise ConfigurationError("contact patch length must be positive")
+
+    @property
+    def sidewall_height_m(self) -> float:
+        """Sidewall height in metres."""
+        return self.width_m * self.aspect_ratio
+
+    @property
+    def unloaded_radius_m(self) -> float:
+        """Unloaded (free) radius in metres."""
+        return self.rim_diameter_m / 2.0 + self.sidewall_height_m
+
+    @property
+    def rolling_radius_m(self) -> float:
+        """Effective (dynamic) rolling radius in metres."""
+        return self.unloaded_radius_m * _ROLLING_RADIUS_FACTOR
+
+    @property
+    def rolling_circumference_m(self) -> float:
+        """Distance travelled per wheel revolution in metres."""
+        return 2.0 * math.pi * self.rolling_radius_m
+
+    @property
+    def contact_patch_angle_rad(self) -> float:
+        """Angular extent of the contact patch, in radians of wheel rotation."""
+        return self.contact_patch_length_m / self.rolling_radius_m
+
+    @property
+    def contact_patch_fraction(self) -> float:
+        """Fraction of a revolution spent inside the contact patch."""
+        return self.contact_patch_angle_rad / (2.0 * math.pi)
+
+    def describe(self) -> str:
+        """Human-readable summary used in reports."""
+        label = self.designation or "custom tyre"
+        return (
+            f"{label}: rolling radius {self.rolling_radius_m * 1e3:.0f} mm, "
+            f"circumference {self.rolling_circumference_m:.3f} m, "
+            f"contact patch {self.contact_patch_length_m * 1e3:.0f} mm"
+        )
+
+
+_ETRTO_PATTERN = re.compile(
+    r"^\s*(?P<width>\d{3})\s*/\s*(?P<aspect>\d{2})\s*R\s*(?P<rim>\d{2})\s*$",
+    re.IGNORECASE,
+)
+
+
+def tyre_from_etrto(designation: str, contact_patch_length_m: float = 0.12) -> Tyre:
+    """Build a :class:`Tyre` from an ETRTO size string such as ``"225/45R17"``.
+
+    Args:
+        designation: the standard metric tyre size designation.
+        contact_patch_length_m: contact patch length; defaults to 12 cm which
+            is representative of a passenger-car tyre at nominal load and
+            pressure.
+
+    Raises:
+        ConfigurationError: if the designation cannot be parsed.
+    """
+    match = _ETRTO_PATTERN.match(designation)
+    if match is None:
+        raise ConfigurationError(
+            f"cannot parse tyre designation {designation!r}; expected e.g. '225/45R17'"
+        )
+    width_mm = float(match.group("width"))
+    aspect = float(match.group("aspect")) / 100.0
+    rim_in = float(match.group("rim"))
+    return Tyre(
+        width_m=width_mm * 1e-3,
+        aspect_ratio=aspect,
+        rim_diameter_m=rim_in * _INCH_M,
+        contact_patch_length_m=contact_patch_length_m,
+        designation=designation.strip().upper().replace(" ", ""),
+    )
+
+
+#: The reference tyre used by the examples and benchmarks (a common passenger
+#: car fitment close to the one discussed in the Cyber Tyre literature).
+REFERENCE_TYRE = tyre_from_etrto("225/45R17")

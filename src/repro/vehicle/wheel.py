@@ -1,0 +1,80 @@
+"""Wheel kinematics: the bridge between cruising speed and the wheel round.
+
+The paper's basic timing unit is one wheel revolution.  This module converts
+between vehicle speed, revolution period, revolution rate and centripetal
+acceleration at the tyre liner (which drives both the scavenger excitation
+and the accelerometer signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import kmh_to_ms, ms_to_kmh
+from repro.vehicle.tyre import REFERENCE_TYRE, Tyre
+
+
+@dataclass(frozen=True)
+class Wheel:
+    """A wheel: a tyre plus the kinematic helpers the analysis needs."""
+
+    tyre: Tyre = REFERENCE_TYRE
+
+    def revolution_period_s(self, speed_kmh: float) -> float:
+        """Duration of one wheel round, in seconds, at ``speed_kmh``.
+
+        Raises:
+            ConfigurationError: if the speed is not strictly positive — a
+                stationary wheel has no revolution period.
+        """
+        if speed_kmh <= 0.0:
+            raise ConfigurationError(
+                "revolution period is undefined at zero or negative speed"
+            )
+        return self.tyre.rolling_circumference_m / kmh_to_ms(speed_kmh)
+
+    def revolutions_per_second(self, speed_kmh: float) -> float:
+        """Wheel revolution rate in Hz at ``speed_kmh`` (0 when stationary)."""
+        if speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        if speed_kmh == 0.0:
+            return 0.0
+        return kmh_to_ms(speed_kmh) / self.tyre.rolling_circumference_m
+
+    def revolutions_over(self, distance_m: float) -> float:
+        """Number of wheel revolutions needed to cover ``distance_m`` metres."""
+        if distance_m < 0.0:
+            raise ConfigurationError("distance must be non-negative")
+        return distance_m / self.tyre.rolling_circumference_m
+
+    def angular_rate_rad_s(self, speed_kmh: float) -> float:
+        """Wheel angular rate in rad/s at ``speed_kmh``."""
+        if speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        return kmh_to_ms(speed_kmh) / self.tyre.rolling_radius_m
+
+    def centripetal_acceleration(self, speed_kmh: float) -> float:
+        """Centripetal acceleration at the tyre liner in m/s^2.
+
+        This is the quantity that excites an inertial (mass-spring)
+        scavenger mounted on the inner liner: ``a = v^2 / r``.
+        """
+        if speed_kmh < 0.0:
+            raise ConfigurationError("speed must be non-negative")
+        speed_ms = kmh_to_ms(speed_kmh)
+        return speed_ms * speed_ms / self.tyre.rolling_radius_m
+
+    def speed_for_period(self, period_s: float) -> float:
+        """Inverse of :meth:`revolution_period_s`: speed (km/h) giving ``period_s``."""
+        if period_s <= 0.0:
+            raise ConfigurationError("revolution period must be positive")
+        return ms_to_kmh(self.tyre.rolling_circumference_m / period_s)
+
+    def contact_patch_duration_s(self, speed_kmh: float) -> float:
+        """Time spent in the contact patch per revolution at ``speed_kmh``."""
+        if speed_kmh <= 0.0:
+            raise ConfigurationError(
+                "contact patch duration is undefined at zero or negative speed"
+            )
+        return self.tyre.contact_patch_length_m / kmh_to_ms(speed_kmh)

@@ -1,0 +1,80 @@
+"""Tests for the predefined Sensor Node architectures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks.architectures import (
+    architecture_catalogue,
+    baseline_node,
+    legacy_tpms_node,
+    optimized_node,
+)
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.evaluator import EnergyEvaluator
+from repro.power.library import reference_power_database
+
+
+class TestCatalogue:
+    def test_contains_three_architectures(self):
+        assert set(architecture_catalogue()) == {"legacy-tpms", "baseline", "optimized"}
+
+    def test_names_match_keys(self):
+        for name, node in architecture_catalogue().items():
+            assert node.name == name
+
+    def test_all_architectures_validate_against_the_library(self):
+        database = reference_power_database()
+        for node in architecture_catalogue().values():
+            node.validate_database(database)
+
+
+class TestArchitectureDifferences:
+    def test_legacy_node_has_no_accelerometer(self):
+        assert "accelerometer" not in legacy_tpms_node().block_names()
+
+    def test_baseline_node_transmits_every_revolution(self):
+        assert baseline_node().radio.tx_interval_revs == 1
+
+    def test_optimized_node_aggregates_packets(self):
+        assert optimized_node().radio.tx_interval_revs > 1
+
+    def test_optimized_node_compresses_payload(self):
+        assert optimized_node().mcu.compression_ratio < 1.0
+
+    def test_shared_wheel_instance(self):
+        from repro.vehicle.wheel import Wheel
+
+        wheel = Wheel()
+        catalogue = architecture_catalogue(wheel)
+        assert all(node.wheel is wheel for node in catalogue.values())
+
+
+class TestArchitectureEnergyOrdering:
+    """The architectures are meaningful design points: their per-revolution
+    energy ordering is part of the paper's narrative (legacy TPMS is frugal
+    but blind, the Cyber Tyre baseline is expensive, the optimized variant
+    sits in between)."""
+
+    @pytest.fixture
+    def energies(self):
+        database = reference_power_database()
+        point = OperatingPoint(speed_kmh=60.0)
+        return {
+            node.name: EnergyEvaluator(node, database).energy_per_revolution_j(point)
+            for node in architecture_catalogue().values()
+        }
+
+    def test_legacy_is_cheapest(self, energies):
+        assert energies["legacy-tpms"] < energies["optimized"]
+        assert energies["legacy-tpms"] < energies["baseline"]
+
+    def test_optimized_beats_baseline(self, energies):
+        assert energies["optimized"] < energies["baseline"]
+
+    def test_optimized_saving_is_substantial(self, energies):
+        saving = 1.0 - energies["optimized"] / energies["baseline"]
+        assert saving > 0.2
+
+    def test_legacy_is_order_of_magnitude_cheaper(self, energies):
+        assert energies["legacy-tpms"] < 0.2 * energies["baseline"]

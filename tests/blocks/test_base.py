@@ -1,0 +1,64 @@
+"""Tests for the functional-block base description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks.base import BlockCategory, FunctionalBlock
+from repro.errors import ConfigurationError, UnknownModeError
+
+
+def make_block(**overrides):
+    parameters = dict(
+        name="mcu",
+        category=BlockCategory.DIGITAL,
+        modes=("active", "idle", "sleep"),
+        resting_mode="sleep",
+    )
+    parameters.update(overrides)
+    return FunctionalBlock(**parameters)
+
+
+class TestFunctionalBlock:
+    def test_valid_block(self):
+        block = make_block()
+        assert block.name == "mcu"
+        assert block.resting_mode == "sleep"
+        assert not block.always_on
+
+    def test_validate_mode_accepts_known_mode(self):
+        assert make_block().validate_mode("idle") == "idle"
+
+    def test_validate_mode_rejects_unknown_mode(self):
+        with pytest.raises(UnknownModeError):
+            make_block().validate_mode("turbo")
+
+    def test_required_characterization(self):
+        assert make_block().required_characterization == {
+            "mcu": ("active", "idle", "sleep")
+        }
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_block(name="")
+
+    def test_no_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_block(modes=())
+
+    def test_duplicate_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_block(modes=("active", "active"))
+
+    def test_resting_mode_must_be_a_mode(self):
+        with pytest.raises(ConfigurationError):
+            make_block(resting_mode="off")
+
+    def test_always_on_flag(self):
+        block = make_block(name="lf_rx", modes=("active", "sleep"), resting_mode="active",
+                           always_on=True, category=BlockCategory.RADIO)
+        assert block.always_on
+
+    def test_categories_cover_the_node_domains(self):
+        names = {category.value for category in BlockCategory}
+        assert names == {"analog", "digital", "memory", "radio", "power"}

@@ -1,0 +1,199 @@
+"""Tests for the per-block configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks.adc import AdcConfig
+from repro.blocks.mcu import McuConfig
+from repro.blocks.memory import MemoryConfig
+from repro.blocks.pmu import PmuConfig
+from repro.blocks.radio import RadioConfig
+from repro.blocks.sensors import SensorSuiteConfig
+from repro.errors import ConfigurationError
+
+
+class TestSensorSuiteConfig:
+    def test_default_suite_has_three_sensors(self):
+        blocks = SensorSuiteConfig().blocks()
+        assert {b.name for b in blocks} == {
+            "pressure_sensor",
+            "temperature_sensor",
+            "accelerometer",
+        }
+
+    def test_tpms_only_suite(self):
+        blocks = SensorSuiteConfig(use_accelerometer=False).blocks()
+        assert "accelerometer" not in {b.name for b in blocks}
+
+    def test_at_least_one_sensor_required(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuiteConfig(
+                use_pressure=False, use_temperature=False, use_accelerometer=False
+            )
+
+    def test_slow_refresh_schedule(self):
+        config = SensorSuiteConfig(slow_refresh_interval_revs=8)
+        assert config.refreshes_slow_sensors(0)
+        assert not config.refreshes_slow_sensors(1)
+        assert config.refreshes_slow_sensors(8)
+
+    def test_refresh_rejects_negative_index(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuiteConfig().refreshes_slow_sensors(-1)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorSuiteConfig(slow_refresh_interval_revs=0)
+
+
+class TestAdcConfig:
+    def test_block_description_mentions_resolution(self):
+        assert "10-bit" in AdcConfig().block().description
+
+    def test_samples_in_window(self):
+        config = AdcConfig(sample_rate_hz=100e3)
+        assert config.samples_in(1e-3) == 100
+
+    def test_samples_in_window_is_at_least_one(self):
+        assert AdcConfig(sample_rate_hz=10.0).samples_in(1e-6) == 1
+
+    def test_bits_for_samples(self):
+        assert AdcConfig(resolution_bits=12).bits_for(100) == 1200
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AdcConfig(sample_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            AdcConfig(resolution_bits=32)
+        with pytest.raises(ConfigurationError):
+            AdcConfig().samples_in(-1.0)
+        with pytest.raises(ConfigurationError):
+            AdcConfig().bits_for(-1)
+
+
+class TestMcuConfig:
+    def test_compute_cycles_without_compression(self):
+        config = McuConfig(cycles_per_sample=50, base_cycles_per_revolution=10_000,
+                           compression_ratio=1.0)
+        assert config.compute_cycles(100) == 15_000
+
+    def test_compression_adds_cycles(self):
+        plain = McuConfig(compression_ratio=1.0)
+        compressed = McuConfig(compression_ratio=0.5, compression_cycles_per_bit=1.0)
+        assert compressed.compute_cycles(100, raw_bits=1000) > plain.compute_cycles(
+            100, raw_bits=1000
+        )
+
+    def test_compute_time_scales_with_clock(self):
+        fast = McuConfig(clock_hz=16e6)
+        slow = McuConfig(clock_hz=8e6)
+        assert slow.compute_time_s(500) == pytest.approx(2.0 * fast.compute_time_s(500))
+
+    def test_with_clock(self):
+        assert McuConfig().with_clock(4e6).clock_hz == 4e6
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            McuConfig(clock_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            McuConfig(compression_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            McuConfig(cycles_per_sample=-1)
+        with pytest.raises(ConfigurationError):
+            McuConfig().compute_cycles(-1)
+        with pytest.raises(ConfigurationError):
+            McuConfig().with_clock(-1.0)
+
+
+class TestMemoryConfig:
+    def test_default_blocks(self):
+        names = {b.name for b in MemoryConfig().blocks()}
+        assert names == {"sram", "nvm"}
+
+    def test_without_nvm(self):
+        names = {b.name for b in MemoryConfig(use_nvm=False).blocks()}
+        assert names == {"sram"}
+
+    def test_nvm_write_schedule(self):
+        config = MemoryConfig(nvm_write_interval_revs=100)
+        assert not config.writes_nvm(0)  # never on the very first revolution
+        assert config.writes_nvm(100)
+        assert not config.writes_nvm(101)
+
+    def test_no_nvm_never_writes(self):
+        assert not MemoryConfig(use_nvm=False).writes_nvm(256)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(sram_kib=0)
+        with pytest.raises(ConfigurationError):
+            MemoryConfig(nvm_write_interval_revs=0)
+        with pytest.raises(ConfigurationError):
+            MemoryConfig().writes_nvm(-1)
+
+
+class TestRadioConfig:
+    def test_packet_bits(self):
+        assert RadioConfig(payload_bits=128, overhead_bits=96).packet_bits == 224
+
+    def test_burst_duration(self):
+        config = RadioConfig(payload_bits=100, overhead_bits=100, data_rate_bps=10e3)
+        assert config.burst_duration_s() == pytest.approx(0.02)
+
+    def test_burst_duration_with_compression(self):
+        config = RadioConfig(payload_bits=100, overhead_bits=100, data_rate_bps=10e3)
+        assert config.burst_duration_s(payload_scale=0.5) == pytest.approx(0.015)
+
+    def test_transmits_schedule(self):
+        config = RadioConfig(tx_interval_revs=4)
+        assert config.transmits(0)
+        assert not config.transmits(1)
+        assert config.transmits(4)
+
+    def test_every_revolution_transmission(self):
+        assert all(RadioConfig(tx_interval_revs=1).transmits(i) for i in range(5))
+
+    def test_blocks_include_wakeup_receiver_by_default(self):
+        names = {b.name for b in RadioConfig().blocks()}
+        assert names == {"rf_tx", "lf_rx"}
+
+    def test_blocks_without_wakeup_receiver(self):
+        names = {b.name for b in RadioConfig(use_wakeup_receiver=False).blocks()}
+        assert names == {"rf_tx"}
+
+    def test_energy_per_bit(self):
+        config = RadioConfig(data_rate_bps=50e3)
+        assert config.energy_per_bit_reference_j(5e-3) == pytest.approx(1e-7)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadioConfig(payload_bits=0)
+        with pytest.raises(ConfigurationError):
+            RadioConfig(data_rate_bps=0.0)
+        with pytest.raises(ConfigurationError):
+            RadioConfig(tx_interval_revs=0)
+        with pytest.raises(ConfigurationError):
+            RadioConfig().burst_duration_s(payload_scale=0.0)
+        with pytest.raises(ConfigurationError):
+            RadioConfig().transmits(-1)
+        with pytest.raises(ConfigurationError):
+            RadioConfig().energy_per_bit_reference_j(0.0)
+
+
+class TestPmuConfig:
+    def test_block_is_always_on_by_default(self):
+        assert PmuConfig().block().always_on
+
+    def test_referred_to_storage_divides_by_efficiency(self):
+        config = PmuConfig(regulator_efficiency=0.8)
+        assert config.referred_to_storage(8.0) == pytest.approx(10.0)
+
+    def test_perfect_regulator_is_identity(self):
+        assert PmuConfig(regulator_efficiency=1.0).referred_to_storage(3.0) == 3.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PmuConfig(regulator_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            PmuConfig().referred_to_storage(-1.0)

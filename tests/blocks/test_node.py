@@ -1,0 +1,204 @@
+"""Tests for the SensorNode composition and schedule construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks.node import SensorNode
+from repro.blocks.radio import RadioConfig
+from repro.blocks.sensors import SensorSuiteConfig
+from repro.errors import ConfigurationError, ScheduleError, UnknownBlockError
+from repro.vehicle.tyre import tyre_from_etrto
+from repro.vehicle.wheel import Wheel
+
+
+class TestArchitectureQueries:
+    def test_block_names_cover_the_full_node(self, node):
+        names = set(node.block_names())
+        assert {"accelerometer", "adc", "mcu", "sram", "rf_tx", "pmu"} <= names
+
+    def test_block_named_lookup(self, node):
+        assert node.block_named("mcu").name == "mcu"
+
+    def test_block_named_unknown_raises(self, node):
+        with pytest.raises(UnknownBlockError):
+            node.block_named("fpga")
+
+    def test_resting_modes_cover_every_block(self, node):
+        resting = node.resting_modes()
+        assert set(resting) == set(node.block_names())
+
+    def test_lf_receiver_rests_active(self, node):
+        assert node.resting_modes()["lf_rx"] == "active"
+
+    def test_required_characterization_matches_blocks(self, node):
+        required = node.required_characterization()
+        assert set(required) == set(node.block_names())
+
+    def test_validate_database_passes_for_reference_library(self, node, database):
+        node.validate_database(database)
+
+    def test_validate_database_fails_for_empty_database(self, node):
+        from repro.power.database import PowerDatabase
+
+        with pytest.raises(Exception):
+            node.validate_database(PowerDatabase())
+
+    def test_describe_lists_blocks(self, node):
+        text = node.describe()
+        assert "mcu" in text and "rf_tx" in text
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SensorNode(name="")
+
+
+class TestSamplesAndData:
+    def test_samples_decrease_with_speed(self, node):
+        assert node.samples_per_revolution(20.0) > node.samples_per_revolution(120.0)
+
+    def test_raw_bits_match_samples_and_resolution(self, node):
+        speed = 60.0
+        assert node.raw_bits_per_revolution(speed) == (
+            node.samples_per_revolution(speed) * node.adc.resolution_bits
+        )
+
+    def test_node_without_accelerometer_takes_single_sample(self):
+        node = SensorNode(sensors=SensorSuiteConfig(use_accelerometer=False))
+        assert node.samples_per_revolution(60.0) == 1
+
+
+class TestScheduleConstruction:
+    def test_schedule_period_matches_wheel(self, node):
+        schedule = node.schedule_for(60.0)
+        assert schedule.period_s == pytest.approx(node.wheel.revolution_period_s(60.0))
+
+    def test_schedule_contains_acquire_and_compute(self, node):
+        schedule = node.schedule_for(60.0)
+        assert schedule.has_phase("acquire")
+        assert schedule.has_phase("compute")
+
+    def test_transmission_follows_radio_interval(self):
+        node = SensorNode(radio=RadioConfig(tx_interval_revs=4))
+        assert node.schedule_for(60.0, revolution_index=0).has_phase("transmit")
+        assert not node.schedule_for(60.0, revolution_index=1).has_phase("transmit")
+        assert node.schedule_for(60.0, revolution_index=4).has_phase("transmit")
+
+    def test_tx_startup_precedes_transmission(self, node):
+        schedule = node.schedule_for(60.0, revolution_index=0)
+        names = [phase.name for phase in schedule.phases]
+        assert names.index("tx_startup") < names.index("transmit")
+
+    def test_slow_sensors_refresh_only_on_schedule(self, node):
+        refresh = node.schedule_for(60.0, revolution_index=0)
+        plain = node.schedule_for(60.0, revolution_index=1)
+        refresh_modes = refresh.modes_during(refresh.phase_named("acquire"))
+        plain_modes = plain.modes_during(plain.phase_named("acquire"))
+        assert refresh_modes["pressure_sensor"] == "active"
+        assert plain_modes["pressure_sensor"] == "sleep"
+
+    def test_nvm_write_happens_on_interval(self, node):
+        interval = node.memory.nvm_write_interval_revs
+        schedule = node.schedule_for(60.0, revolution_index=interval)
+        assert schedule.has_phase("nvm_write")
+        assert not node.schedule_for(60.0, revolution_index=1).has_phase("nvm_write")
+
+    def test_zero_speed_rejected(self, node):
+        with pytest.raises(ConfigurationError):
+            node.schedule_for(0.0)
+
+    def test_acquire_phase_shrinks_with_speed(self, node):
+        slow = node.schedule_for(30.0).phase_named("acquire").duration_s
+        fast = node.schedule_for(150.0).phase_named("acquire").duration_s
+        assert fast < slow
+
+    def test_transmit_phase_duration_is_speed_independent(self, node):
+        slow = node.schedule_for(30.0).phase_named("transmit").duration_s
+        fast = node.schedule_for(150.0).phase_named("transmit").duration_s
+        assert slow == pytest.approx(fast)
+
+    def test_busy_time_fits_at_legal_speeds(self, node):
+        for speed in (5.0, 30.0, 90.0, 180.0, 250.0):
+            schedule = node.schedule_for(speed, revolution_index=0)
+            assert schedule.busy_duration_s <= schedule.period_s
+
+
+class TestPhaseCensus:
+    def test_census_weights_are_probabilities(self, node):
+        for _, weight in node.phase_census(60.0):
+            assert 0.0 < weight <= 1.0
+
+    def test_unconditional_phases_have_weight_one(self, node):
+        weights = {phase.name: weight for phase, weight in node.phase_census(60.0)}
+        assert weights["acquire"] == 1.0
+        assert weights["compute"] == 1.0
+
+    def test_transmit_weight_matches_interval(self):
+        node = SensorNode(radio=RadioConfig(tx_interval_revs=4))
+        weights = {phase.name: weight for phase, weight in node.phase_census(60.0)}
+        assert weights["transmit"] == pytest.approx(0.25)
+
+    def test_slow_refresh_weight_matches_interval(self, node):
+        weights = {phase.name: weight for phase, weight in node.phase_census(60.0)}
+        assert weights["slow_refresh"] == pytest.approx(
+            1.0 / node.sensors.slow_refresh_interval_revs
+        )
+
+    def test_refresh_every_revolution_has_no_separate_phase(self):
+        node = SensorNode(sensors=SensorSuiteConfig(slow_refresh_interval_revs=1))
+        names = [phase.name for phase, _ in node.phase_census(60.0)]
+        assert "slow_refresh" not in names
+
+    def test_census_rejects_zero_speed(self, node):
+        with pytest.raises(ConfigurationError):
+            node.phase_census(0.0)
+
+
+class TestMaxSustainableSpeed:
+    def test_baseline_keeps_up_at_motorway_speeds(self, node):
+        assert node.max_sustainable_speed_kmh(upper_bound_kmh=250.0) >= 200.0
+
+    def test_slow_radio_limits_speed(self):
+        sluggish = SensorNode(
+            radio=RadioConfig(data_rate_bps=2e3, payload_bits=512, tx_interval_revs=1)
+        )
+        limit = sluggish.max_sustainable_speed_kmh(upper_bound_kmh=400.0)
+        assert limit < 400.0
+        # The limiting schedule really is infeasible just above the limit.
+        with pytest.raises(ScheduleError):
+            sluggish.schedule_for(limit + 5.0, revolution_index=0)
+
+
+class TestDerivedArchitectures:
+    def test_renamed(self, node):
+        assert node.renamed("variant").name == "variant"
+        assert node.name == "baseline"
+
+    def test_with_radio(self, node):
+        changed = node.with_radio(RadioConfig(tx_interval_revs=8))
+        assert changed.radio.tx_interval_revs == 8
+        assert node.radio.tx_interval_revs == 1
+
+    def test_with_wheel_changes_periods(self, node):
+        small_wheel = Wheel(tyre=tyre_from_etrto("175/65R14"))
+        changed = node.with_wheel(small_wheel)
+        assert changed.schedule_for(60.0).period_s < node.schedule_for(60.0).period_s
+
+    def test_adapt_database_reclocks_mcu(self, node, database):
+        from repro.conditions.operating_point import OperatingPoint
+
+        half_clock = node.with_mcu(node.mcu.with_clock(8e6))
+        adapted = half_clock.adapt_database(database)
+        point = OperatingPoint()
+        assert adapted.power("mcu", "active", point).dynamic_w == pytest.approx(
+            0.5 * database.power("mcu", "active", point).dynamic_w
+        )
+
+    def test_adapt_database_leaves_unclocked_blocks_alone(self, node, database):
+        from repro.conditions.operating_point import OperatingPoint
+
+        adapted = node.adapt_database(database)
+        point = OperatingPoint()
+        assert adapted.power("rf_tx", "active", point).total_w == pytest.approx(
+            database.power("rf_tx", "active", point).total_w
+        )

@@ -1,0 +1,99 @@
+"""Tests for the OperatingPoint working-condition bundle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import (
+    OperatingPoint,
+    best_case_operating_point,
+    nominal_operating_point,
+    worst_case_operating_point,
+)
+from repro.conditions.process import ProcessCorner
+from repro.conditions.supply import SupplyCondition, SupplyRail
+from repro.errors import ConfigurationError
+
+
+class TestOperatingPoint:
+    def test_defaults(self):
+        point = OperatingPoint()
+        assert point.temperature_c == 25.0
+        assert point.speed_kmh == 60.0
+        assert point.supply_voltage == pytest.approx(1.2)
+        assert point.is_moving
+
+    def test_speed_conversion(self):
+        point = OperatingPoint(speed_kmh=72.0)
+        assert point.speed_ms == pytest.approx(20.0)
+
+    def test_stationary_point(self):
+        point = OperatingPoint(speed_kmh=0.0)
+        assert not point.is_moving
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(speed_kmh=-1.0)
+
+    def test_rejects_extreme_temperature(self):
+        with pytest.raises(ConfigurationError):
+            OperatingPoint(temperature_c=300.0)
+
+    def test_at_speed_returns_new_point(self):
+        point = OperatingPoint(speed_kmh=60.0)
+        faster = point.at_speed(120.0)
+        assert faster.speed_kmh == 120.0
+        assert point.speed_kmh == 60.0
+        assert faster.temperature_c == point.temperature_c
+
+    def test_at_temperature_returns_new_point(self):
+        point = OperatingPoint()
+        hot = point.at_temperature(125.0)
+        assert hot.temperature_c == 125.0
+        assert point.temperature_c == 25.0
+
+    def test_with_supply(self):
+        rail = SupplyRail(name="vdd_core", nominal_v=1.0, tolerance=0.0)
+        point = OperatingPoint().with_supply(SupplyCondition(rail=rail))
+        assert point.supply_voltage == pytest.approx(1.0)
+
+    def test_with_process(self):
+        from repro.conditions.process import ProcessVariation
+
+        point = OperatingPoint().with_process(
+            ProcessVariation(corner=ProcessCorner.FAST)
+        )
+        assert point.process.corner is ProcessCorner.FAST
+
+    def test_describe_mentions_key_conditions(self):
+        text = OperatingPoint(speed_kmh=90.0, temperature_c=85.0).describe()
+        assert "90" in text
+        assert "85" in text
+        assert "V" in text
+
+    def test_is_hashable_and_frozen(self):
+        point = OperatingPoint()
+        with pytest.raises(AttributeError):
+            point.speed_kmh = 10.0  # type: ignore[misc]
+        assert hash(point) == hash(OperatingPoint())
+
+
+class TestPredefinedPoints:
+    def test_nominal_point_speed(self):
+        assert nominal_operating_point(80.0).speed_kmh == 80.0
+
+    def test_worst_case_is_hot_and_fast(self):
+        point = worst_case_operating_point()
+        assert point.temperature_c == 125.0
+        assert point.process.corner is ProcessCorner.FAST
+
+    def test_best_case_is_cold_and_slow(self):
+        point = best_case_operating_point()
+        assert point.temperature_c == -40.0
+        assert point.process.corner is ProcessCorner.SLOW
+
+    def test_worst_case_leaks_more_than_best_case(self):
+        assert (
+            worst_case_operating_point().process.leakage_factor
+            > best_case_operating_point().process.leakage_factor
+        )

@@ -1,0 +1,100 @@
+"""Tests for process corners and Monte-Carlo process variation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.process import MonteCarloSampler, ProcessCorner, ProcessVariation
+from repro.errors import ConfigurationError
+
+
+class TestProcessCorner:
+    def test_typical_corner_is_unity(self):
+        assert ProcessCorner.TYPICAL.dynamic_factor == 1.0
+        assert ProcessCorner.TYPICAL.leakage_factor == 1.0
+
+    def test_fast_corner_leaks_more_than_slow(self):
+        assert ProcessCorner.FAST.leakage_factor > ProcessCorner.SLOW.leakage_factor
+
+    def test_fast_corner_leaks_more_than_typical(self):
+        assert ProcessCorner.FAST.leakage_factor > 1.0
+        assert ProcessCorner.SLOW.leakage_factor < 1.0
+
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("slow", ProcessCorner.SLOW),
+            ("SS", ProcessCorner.SLOW),
+            ("typical", ProcessCorner.TYPICAL),
+            ("tt", ProcessCorner.TYPICAL),
+            ("nom", ProcessCorner.TYPICAL),
+            ("FAST", ProcessCorner.FAST),
+            ("ff", ProcessCorner.FAST),
+        ],
+    )
+    def test_from_name_aliases(self, alias, expected):
+        assert ProcessCorner.from_name(alias) is expected
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ConfigurationError):
+            ProcessCorner.from_name("monte-carlo")
+
+
+class TestProcessVariation:
+    def test_defaults_are_typical_unity(self):
+        variation = ProcessVariation()
+        assert variation.dynamic_factor == 1.0
+        assert variation.leakage_factor == 1.0
+
+    def test_extra_factors_multiply_the_corner(self):
+        variation = ProcessVariation(
+            corner=ProcessCorner.FAST, extra_dynamic=1.1, extra_leakage=2.0
+        )
+        assert variation.dynamic_factor == pytest.approx(
+            ProcessCorner.FAST.dynamic_factor * 1.1
+        )
+        assert variation.leakage_factor == pytest.approx(
+            ProcessCorner.FAST.leakage_factor * 2.0
+        )
+
+    def test_rejects_non_positive_factors(self):
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(extra_dynamic=0.0)
+        with pytest.raises(ConfigurationError):
+            ProcessVariation(extra_leakage=-1.0)
+
+
+class TestMonteCarloSampler:
+    def test_sampling_is_reproducible_with_same_seed(self):
+        first = MonteCarloSampler(seed=42).sample_many(5)
+        second = MonteCarloSampler(seed=42).sample_many(5)
+        assert [v.extra_leakage for v in first] == [v.extra_leakage for v in second]
+
+    def test_different_seeds_differ(self):
+        first = MonteCarloSampler(seed=1).sample()
+        second = MonteCarloSampler(seed=2).sample()
+        assert first.extra_leakage != second.extra_leakage
+
+    def test_samples_are_positive(self):
+        for variation in MonteCarloSampler(seed=0).sample_many(50):
+            assert variation.dynamic_factor > 0.0
+            assert variation.leakage_factor > 0.0
+
+    def test_leakage_spread_is_wider_than_dynamic(self):
+        import numpy as np
+
+        samples = MonteCarloSampler(seed=3).sample_many(200)
+        dynamic = np.array([v.extra_dynamic for v in samples])
+        leakage = np.array([v.extra_leakage for v in samples])
+        assert leakage.std() > dynamic.std()
+
+    def test_sample_many_length(self):
+        assert len(MonteCarloSampler().sample_many(7)) == 7
+
+    def test_sample_many_rejects_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler().sample_many(-1)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MonteCarloSampler(dynamic_sigma=-0.1)

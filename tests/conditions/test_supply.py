@@ -1,0 +1,81 @@
+"""Tests for supply rails and supply conditions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.supply import (
+    ANALOG_RAIL,
+    CORE_RAIL,
+    RF_RAIL,
+    SupplyCondition,
+    SupplyRail,
+    default_rails,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSupplyRail:
+    def test_tolerance_band(self):
+        rail = SupplyRail(name="vdd", nominal_v=1.2, tolerance=0.1)
+        assert rail.minimum_v == pytest.approx(1.08)
+        assert rail.maximum_v == pytest.approx(1.32)
+
+    def test_zero_tolerance(self):
+        rail = SupplyRail(name="vdd", nominal_v=1.8, tolerance=0.0)
+        assert rail.minimum_v == rail.maximum_v == 1.8
+
+    def test_scaled_changes_nominal_only(self):
+        rail = SupplyRail(name="vdd", nominal_v=1.2)
+        scaled = rail.scaled(0.9)
+        assert scaled.nominal_v == pytest.approx(1.08)
+        assert scaled.tolerance == rail.tolerance
+        assert scaled.name == rail.name
+
+    def test_scaled_rejects_non_positive_factor(self):
+        with pytest.raises(ConfigurationError):
+            SupplyRail(name="vdd", nominal_v=1.2).scaled(0.0)
+
+    def test_rejects_invalid_voltage(self):
+        with pytest.raises(ConfigurationError):
+            SupplyRail(name="vdd", nominal_v=0.0)
+
+    def test_rejects_invalid_tolerance(self):
+        with pytest.raises(ConfigurationError):
+            SupplyRail(name="vdd", nominal_v=1.2, tolerance=1.5)
+
+    def test_rejects_invalid_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            SupplyRail(name="vdd", nominal_v=1.2, regulator_efficiency=0.0)
+
+
+class TestSupplyCondition:
+    def test_nominal_corner(self):
+        condition = SupplyCondition(rail=CORE_RAIL, corner="nom")
+        assert condition.voltage == CORE_RAIL.nominal_v
+
+    def test_min_corner(self):
+        condition = SupplyCondition(rail=CORE_RAIL, corner="min")
+        assert condition.voltage == pytest.approx(CORE_RAIL.minimum_v)
+
+    def test_max_corner(self):
+        condition = SupplyCondition(rail=CORE_RAIL, corner="max")
+        assert condition.voltage == pytest.approx(CORE_RAIL.maximum_v)
+
+    def test_invalid_corner_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupplyCondition(rail=CORE_RAIL, corner="typ")
+
+
+class TestDefaultRails:
+    def test_contains_the_three_node_rails(self):
+        rails = default_rails()
+        assert set(rails) == {"vdd_core", "vdd_analog", "vdd_rf"}
+
+    def test_core_rail_is_low_voltage(self):
+        assert CORE_RAIL.nominal_v < ANALOG_RAIL.nominal_v
+        assert CORE_RAIL.nominal_v < RF_RAIL.nominal_v
+
+    def test_rails_keyed_by_their_own_name(self):
+        for name, rail in default_rails().items():
+            assert rail.name == name

@@ -1,0 +1,131 @@
+"""Tests for temperature profiles and the tyre thermal model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.temperature import (
+    ConstantTemperature,
+    LinearRamp,
+    TyreThermalModel,
+    standard_corners_celsius,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstantTemperature:
+    def test_returns_configured_value_at_any_time(self):
+        profile = ConstantTemperature(celsius=85.0)
+        assert profile.temperature_at(0.0) == 85.0
+        assert profile.temperature_at(1e6) == 85.0
+
+    def test_default_is_room_temperature(self):
+        assert ConstantTemperature().temperature_at(10.0) == 25.0
+
+    def test_rejects_implausible_temperature(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTemperature(celsius=500.0)
+
+    def test_average_equals_value(self):
+        profile = ConstantTemperature(celsius=40.0)
+        assert profile.average(0.0, 100.0) == pytest.approx(40.0)
+
+    def test_average_rejects_reversed_interval(self):
+        with pytest.raises(ConfigurationError):
+            ConstantTemperature().average(10.0, 5.0)
+
+    def test_average_of_degenerate_interval(self):
+        assert ConstantTemperature(celsius=30.0).average(5.0, 5.0) == 30.0
+
+
+class TestLinearRamp:
+    def test_endpoints(self):
+        ramp = LinearRamp(start_celsius=-10.0, end_celsius=70.0, duration_s=100.0)
+        assert ramp.temperature_at(0.0) == -10.0
+        assert ramp.temperature_at(100.0) == 70.0
+
+    def test_midpoint(self):
+        ramp = LinearRamp(start_celsius=0.0, end_celsius=100.0, duration_s=50.0)
+        assert ramp.temperature_at(25.0) == pytest.approx(50.0)
+
+    def test_clamped_outside_duration(self):
+        ramp = LinearRamp(start_celsius=0.0, end_celsius=100.0, duration_s=10.0)
+        assert ramp.temperature_at(-5.0) == 0.0
+        assert ramp.temperature_at(50.0) == 100.0
+
+    def test_average_of_full_ramp_is_mean(self):
+        ramp = LinearRamp(start_celsius=0.0, end_celsius=100.0, duration_s=10.0)
+        assert ramp.average(0.0, 10.0, samples=101) == pytest.approx(50.0, abs=0.5)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(ConfigurationError):
+            LinearRamp(start_celsius=0.0, end_celsius=1.0, duration_s=0.0)
+
+
+class TestTyreThermalModel:
+    def test_starts_at_ambient(self):
+        model = TyreThermalModel(ambient_celsius=20.0)
+        assert model.current_celsius == 20.0
+
+    def test_steady_state_grows_with_speed(self):
+        model = TyreThermalModel()
+        assert model.steady_state(30.0) > model.steady_state(10.0)
+
+    def test_steady_state_saturates(self):
+        model = TyreThermalModel(max_rise_c=30.0)
+        assert model.steady_state(200.0) == pytest.approx(model.ambient_celsius + 30.0)
+
+    def test_advance_moves_towards_steady_state(self):
+        model = TyreThermalModel(ambient_celsius=25.0, time_constant_s=100.0)
+        target = model.steady_state(30.0)
+        temperature = model.advance(50.0, 30.0)
+        assert 25.0 < temperature < target
+
+    def test_long_advance_converges(self):
+        model = TyreThermalModel(time_constant_s=10.0)
+        model.advance(1000.0, 30.0)
+        assert model.current_celsius == pytest.approx(model.steady_state(30.0), abs=0.01)
+
+    def test_cooling_when_stopped(self):
+        model = TyreThermalModel(time_constant_s=10.0)
+        model.advance(1000.0, 40.0)
+        hot = model.current_celsius
+        model.advance(1000.0, 0.0)
+        assert model.current_celsius < hot
+        assert model.current_celsius == pytest.approx(model.ambient_celsius, abs=0.01)
+
+    def test_reset_returns_to_ambient(self):
+        model = TyreThermalModel()
+        model.advance(500.0, 40.0)
+        model.reset()
+        assert model.current_celsius == model.ambient_celsius
+
+    def test_zero_step_is_identity(self):
+        model = TyreThermalModel()
+        before = model.current_celsius
+        model.advance(0.0, 50.0)
+        assert model.current_celsius == before
+
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TyreThermalModel().advance(-1.0, 10.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TyreThermalModel(time_constant_s=0.0)
+        with pytest.raises(ConfigurationError):
+            TyreThermalModel(rise_coefficient=-1.0)
+        with pytest.raises(ConfigurationError):
+            TyreThermalModel(max_rise_c=-5.0)
+
+    def test_temperature_at_reports_last_state(self):
+        model = TyreThermalModel()
+        model.advance(100.0, 30.0)
+        assert model.temperature_at(12345.0) == model.current_celsius
+
+
+def test_standard_corners_cover_automotive_range():
+    cold, nominal, hot = standard_corners_celsius()
+    assert cold == -40.0
+    assert nominal == 25.0
+    assert hot == 125.0

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks import baseline_node, legacy_tpms_node, optimized_node
+from repro.conditions.operating_point import OperatingPoint
+from repro.power import reference_power_database
+from repro.scavenger import PiezoelectricScavenger, supercapacitor
+
+
+@pytest.fixture
+def database():
+    """A fresh reference power database."""
+    return reference_power_database()
+
+
+@pytest.fixture
+def node():
+    """The baseline Sensor Node architecture."""
+    return baseline_node()
+
+
+@pytest.fixture
+def optimized():
+    """The architecture-level optimized Sensor Node."""
+    return optimized_node()
+
+
+@pytest.fixture
+def legacy():
+    """The legacy pressure/temperature-only TPMS node."""
+    return legacy_tpms_node()
+
+
+@pytest.fixture
+def point():
+    """Nominal operating point at 60 km/h."""
+    return OperatingPoint(speed_kmh=60.0)
+
+
+@pytest.fixture
+def slow_point():
+    """Nominal operating point at 20 km/h (deficit region)."""
+    return OperatingPoint(speed_kmh=20.0)
+
+
+@pytest.fixture
+def scavenger():
+    """The default piezoelectric scavenger."""
+    return PiezoelectricScavenger()
+
+
+@pytest.fixture
+def storage():
+    """A default supercapacitor storage element."""
+    return supercapacitor()

@@ -1,0 +1,167 @@
+"""Tests for the energy-balance analysis (Fig. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import BalancePoint, EnergyBalanceAnalysis, EnergyBalanceCurve
+from repro.errors import AnalysisError
+from repro.scavenger.electrostatic import ElectrostaticScavenger
+
+
+@pytest.fixture
+def analysis(node, database, scavenger):
+    return EnergyBalanceAnalysis(node, database, scavenger)
+
+
+SPEEDS = list(range(5, 205, 5))
+
+
+class TestBalancePoint:
+    def test_margin_and_surplus(self):
+        point = BalancePoint(speed_kmh=60.0, required_j=50e-6, generated_j=80e-6)
+        assert point.margin_j == pytest.approx(30e-6)
+        assert point.is_surplus
+
+    def test_deficit(self):
+        point = BalancePoint(speed_kmh=20.0, required_j=80e-6, generated_j=10e-6)
+        assert not point.is_surplus
+        assert point.coverage == pytest.approx(0.125)
+
+    def test_coverage_with_zero_requirement(self):
+        point = BalancePoint(speed_kmh=60.0, required_j=0.0, generated_j=1e-6)
+        assert point.coverage == float("inf")
+
+
+class TestCurveShape:
+    """The qualitative Fig. 2 shape the reproduction must preserve."""
+
+    @pytest.fixture
+    def curve(self, analysis):
+        return analysis.curve(SPEEDS)
+
+    def test_required_energy_decreases_with_speed(self, curve):
+        required = curve.required_j
+        assert required[0] > required[-1]
+        # Largely monotone: allow tiny numerical wiggles.
+        assert np.sum(np.diff(required) > 1e-9) <= 2
+
+    def test_generated_energy_increases_with_speed(self, curve):
+        generated = curve.generated_j
+        assert np.all(np.diff(generated) >= -1e-12)
+        assert generated[-1] > generated[0]
+
+    def test_deficit_at_low_speed(self, curve):
+        assert not curve.points[0].is_surplus
+
+    def test_surplus_at_high_speed(self, curve):
+        assert curve.points[-1].is_surplus
+
+    def test_single_crossover(self, curve):
+        margins = curve.margins_j
+        sign_changes = np.sum(np.diff(np.sign(margins)) != 0)
+        assert sign_changes == 1
+
+    def test_break_even_in_expected_band(self, curve):
+        break_even = curve.break_even_speed_kmh()
+        assert break_even is not None
+        assert 20.0 <= break_even <= 90.0
+
+    def test_deficit_region_is_below_break_even(self, curve):
+        low, high = curve.deficit_region_kmh()
+        assert low == pytest.approx(5.0)
+        assert high < curve.break_even_speed_kmh() + 5.0
+
+    def test_point_at_interpolates(self, curve):
+        interpolated = curve.point_at(62.5)
+        assert curve.point_at(60.0).generated_j <= interpolated.generated_j <= curve.point_at(
+            65.0
+        ).generated_j
+
+    def test_point_at_outside_range_raises(self, curve):
+        with pytest.raises(AnalysisError):
+            curve.point_at(500.0)
+
+    def test_as_rows_one_per_speed(self, curve):
+        rows = curve.as_rows()
+        assert len(rows) == len(SPEEDS)
+        assert rows[0]["speed_kmh"] == 5.0
+
+
+class TestCurveValidation:
+    def test_needs_at_least_two_points(self, node):
+        with pytest.raises(AnalysisError):
+            EnergyBalanceCurve(node_name="x", scavenger_label="y", points=(
+                BalancePoint(60.0, 1e-6, 1e-6),
+            ))
+
+    def test_speeds_must_increase(self):
+        with pytest.raises(AnalysisError):
+            EnergyBalanceCurve(
+                node_name="x",
+                scavenger_label="y",
+                points=(
+                    BalancePoint(60.0, 1e-6, 1e-6),
+                    BalancePoint(50.0, 1e-6, 1e-6),
+                ),
+            )
+
+    def test_curve_rejects_non_positive_speed(self, analysis):
+        with pytest.raises(AnalysisError):
+            analysis.curve([0.0, 10.0])
+
+
+class TestBreakEven:
+    def test_bisection_matches_curve_estimate(self, analysis):
+        curve_estimate = analysis.curve(SPEEDS).break_even_speed_kmh()
+        bisected = analysis.break_even_speed_kmh()
+        assert bisected == pytest.approx(curve_estimate, abs=3.0)
+
+    def test_never_positive_returns_none(self, node, database):
+        weak = ElectrostaticScavenger()
+        analysis = EnergyBalanceAnalysis(node, database, weak)
+        assert analysis.break_even_speed_kmh(high_kmh=200.0) is None
+
+    def test_always_positive_returns_lower_bound(self, legacy, database, scavenger):
+        analysis = EnergyBalanceAnalysis(legacy, database, scavenger)
+        assert analysis.break_even_speed_kmh(low_kmh=20.0) == pytest.approx(20.0)
+
+    def test_invalid_bounds_rejected(self, analysis):
+        with pytest.raises(AnalysisError):
+            analysis.break_even_speed_kmh(low_kmh=100.0, high_kmh=50.0)
+
+    def test_alias_matches(self, analysis):
+        assert analysis.minimum_activation_speed_kmh() == pytest.approx(
+            analysis.break_even_speed_kmh(), abs=0.2
+        )
+
+    def test_bigger_scavenger_lowers_break_even(self, node, database, scavenger):
+        small = EnergyBalanceAnalysis(node, database, scavenger).break_even_speed_kmh()
+        large = EnergyBalanceAnalysis(
+            node, database, scavenger.scaled(2.0)
+        ).break_even_speed_kmh()
+        assert large < small
+
+    def test_hot_condition_raises_break_even(self, node, database, scavenger):
+        analysis = EnergyBalanceAnalysis(node, database, scavenger)
+        nominal = analysis.break_even_speed_kmh()
+        hot = analysis.break_even_speed_kmh(
+            point_factory=lambda speed: OperatingPoint(speed_kmh=speed, temperature_c=125.0)
+        )
+        assert hot > nominal
+
+
+class TestConversionLosses:
+    def test_requirement_is_higher_with_losses(self, node, database, scavenger, point):
+        with_losses = EnergyBalanceAnalysis(
+            node, database, scavenger, include_conversion_losses=True
+        ).required_energy_j(point)
+        without_losses = EnergyBalanceAnalysis(
+            node, database, scavenger, include_conversion_losses=False
+        ).required_energy_j(point)
+        assert with_losses > without_losses
+        assert with_losses == pytest.approx(
+            without_losses / node.pmu.regulator_efficiency
+        )

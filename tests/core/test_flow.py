@@ -1,0 +1,117 @@
+"""Tests for the end-to-end energy analysis flow (Fig. 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.flow import EnergyAnalysisFlow
+from repro.errors import AnalysisError
+from repro.vehicle.drive_cycle import urban_cycle
+
+
+@pytest.fixture
+def flow(node, database, scavenger, storage):
+    return EnergyAnalysisFlow(node, database, scavenger, storage=storage)
+
+
+@pytest.fixture
+def report(flow):
+    return flow.run(speeds_kmh=list(range(5, 205, 10)))
+
+
+class TestFlowSteps:
+    def test_power_table_is_populated(self, report):
+        assert len(report.power_table) > 10
+
+    def test_energy_report_is_populated(self, report):
+        assert report.energy_report is not None
+        assert report.energy_report.total_energy_j > 0.0
+
+    def test_duty_cycles_are_populated(self, report):
+        assert report.duty_cycles is not None
+        assert len(report.duty_cycles.entries) > 5
+
+    def test_optimization_reduces_energy(self, report):
+        assert report.optimization is not None
+        assert report.optimization.energy_after_j < report.optimization.energy_before_j
+
+    def test_re_estimated_report_matches_optimization_outcome(self, report):
+        assert report.energy_report_after is not None
+        assert report.energy_report_after.total_energy_j == pytest.approx(
+            report.optimization.energy_after_j
+        )
+
+    def test_balance_curves_are_produced(self, report):
+        assert report.balance_before is not None
+        assert report.balance_after is not None
+
+    def test_optimization_lowers_break_even(self, report):
+        assert report.break_even_after_kmh < report.break_even_before_kmh
+
+    def test_summary_contains_headline_numbers(self, report):
+        summary = report.summary()
+        assert "energy_per_rev_uj" in summary
+        assert "break_even_before_kmh" in summary
+        assert summary["energy_saving_pct"] > 0.0
+
+
+class TestFlowOptions:
+    def test_flow_without_optimization(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger)
+        report = flow.run(optimize=False, speeds_kmh=[10.0, 60.0, 120.0])
+        assert report.optimization is None
+        assert report.balance_after is None
+        assert report.break_even_after_kmh is None
+
+    def test_flow_with_emulation(self, flow):
+        report = flow.run(
+            speeds_kmh=[10.0, 60.0, 120.0], drive_cycle=urban_cycle(repetitions=1)
+        )
+        assert report.emulation is not None
+        assert report.window_summary is not None
+        assert report.emulation.revolutions > 0
+
+    def test_emulation_requires_storage(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger, storage=None)
+        with pytest.raises(AnalysisError):
+            flow.run(drive_cycle=urban_cycle(repetitions=1))
+
+    def test_flow_rejects_stationary_point(self, flow):
+        with pytest.raises(AnalysisError):
+            flow.run(point=OperatingPoint(speed_kmh=0.0))
+
+    def test_flow_rejects_degenerate_speed_grid(self, flow):
+        with pytest.raises(AnalysisError):
+            flow.run(speeds_kmh=[60.0])
+
+    def test_flow_at_custom_condition(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger)
+        hot = flow.run(
+            point=OperatingPoint(speed_kmh=60.0, temperature_c=105.0),
+            speeds_kmh=[20.0, 60.0, 120.0],
+        )
+        nominal = flow.run(speeds_kmh=[20.0, 60.0, 120.0])
+        assert (
+            hot.energy_report.total_energy_j > nominal.energy_report.total_energy_j
+        )
+
+
+class TestCrossArchitectureFlow:
+    def test_optimized_architecture_flow_reaches_lower_break_even(
+        self, node, optimized, database, scavenger
+    ):
+        speeds = list(range(5, 205, 10))
+        baseline_report = EnergyAnalysisFlow(node, database, scavenger).run(
+            speeds_kmh=speeds
+        )
+        optimized_report = EnergyAnalysisFlow(optimized, database, scavenger).run(
+            speeds_kmh=speeds
+        )
+        assert (
+            optimized_report.break_even_after_kmh
+            < baseline_report.break_even_before_kmh
+        )
+
+    def test_flow_report_carries_architecture_name(self, report):
+        assert report.node_name == "baseline"

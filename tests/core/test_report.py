@@ -1,0 +1,82 @@
+"""Tests for the plain-text flow report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import EnergyAnalysisFlow, FlowReport
+from repro.core.report import render_flow_report
+from repro.errors import AnalysisError
+from repro.vehicle.drive_cycle import urban_cycle
+
+
+@pytest.fixture(scope="module")
+def full_report(request):
+    from repro.blocks import baseline_node
+    from repro.power import reference_power_database
+    from repro.scavenger import PiezoelectricScavenger, supercapacitor
+
+    flow = EnergyAnalysisFlow(
+        baseline_node(),
+        reference_power_database(),
+        PiezoelectricScavenger(),
+        storage=supercapacitor(),
+    )
+    return flow.run(
+        speeds_kmh=list(range(10, 210, 20)), drive_cycle=urban_cycle(repetitions=1)
+    )
+
+
+class TestRenderFlowReport:
+    def test_contains_every_flow_step_section(self, full_report):
+        text = render_flow_report(full_report)
+        assert "Step 1" in text
+        assert "Step 2" in text
+        assert "Steps 3-4" in text
+        assert "Step 5" in text
+        assert "Step 6" in text
+
+    def test_mentions_the_architecture_and_condition(self, full_report):
+        text = render_flow_report(full_report)
+        assert "baseline" in text
+        assert "60 km/h" in text
+
+    def test_reports_break_even_speeds(self, full_report):
+        text = render_flow_report(full_report)
+        assert "break-even speed (as characterized)" in text
+        assert "break-even speed (after optimization)" in text
+
+    def test_reports_energy_saving(self, full_report):
+        text = render_flow_report(full_report)
+        assert "% saving" in text
+
+    def test_lists_block_names(self, full_report):
+        text = render_flow_report(full_report)
+        for block in ("mcu", "rf_tx", "accelerometer"):
+            assert block in text
+
+    def test_power_table_row_cap(self, full_report):
+        text = render_flow_report(full_report, max_power_rows=3)
+        assert "further rows omitted" in text
+
+    def test_report_without_emulation_step(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger)
+        report = flow.run(speeds_kmh=[20.0, 60.0, 120.0])
+        text = render_flow_report(report)
+        assert "Step 5" in text
+        assert "Step 6" not in text
+
+    def test_report_without_optimization_step(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger)
+        report = flow.run(speeds_kmh=[20.0, 60.0, 120.0], optimize=False)
+        text = render_flow_report(report)
+        assert "Steps 3-4" not in text
+        assert "Step 5" in text
+
+    def test_empty_report_rejected(self, point):
+        empty = FlowReport(node_name="x", point=point)
+        with pytest.raises(AnalysisError):
+            render_flow_report(empty)
+
+    def test_report_ends_with_footer(self, full_report):
+        assert render_flow_report(full_report).rstrip().endswith("end of report")

@@ -1,0 +1,121 @@
+"""Tests for the dynamic-spreadsheet what-if facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.spreadsheet import Spreadsheet
+from repro.errors import AnalysisError
+
+
+@pytest.fixture
+def spreadsheet(node, database):
+    return Spreadsheet(node, database)
+
+
+class TestSingleConditionViews:
+    def test_power_table_covers_architecture_blocks(self, spreadsheet, node, point):
+        rows = spreadsheet.power_table(point)
+        assert {row["block"] for row in rows} == set(node.block_names())
+
+    def test_energy_table_shares_sum_to_one(self, spreadsheet, point):
+        rows = spreadsheet.energy_table(point)
+        assert sum(row["share_pct"] for row in rows) == pytest.approx(100.0)
+
+    def test_energy_report_matches_table_total(self, spreadsheet, point):
+        report = spreadsheet.energy_report(point)
+        rows = spreadsheet.energy_table(point)
+        assert sum(row["total_uj"] for row in rows) == pytest.approx(
+            report.total_energy_j * 1e6
+        )
+
+
+class TestTemperatureSweep:
+    def test_energy_increases_with_temperature(self, spreadsheet):
+        rows = spreadsheet.temperature_sweep([-40.0, 25.0, 85.0, 125.0])
+        energies = [row.energy_per_rev_j for row in rows]
+        assert energies == sorted(energies)
+
+    def test_static_fraction_increases_with_temperature(self, spreadsheet):
+        rows = spreadsheet.temperature_sweep([-40.0, 25.0, 125.0])
+        fractions = [row.static_fraction for row in rows]
+        assert fractions == sorted(fractions)
+
+    def test_sweep_row_metadata(self, spreadsheet):
+        rows = spreadsheet.temperature_sweep([0.0, 50.0])
+        assert all(row.condition == "temperature_c" for row in rows)
+        assert [row.value for row in rows] == [0.0, 50.0]
+
+
+class TestSupplySweep:
+    def test_energy_increases_with_supply(self, spreadsheet):
+        rows = spreadsheet.supply_sweep([1.0, 1.2, 1.4])
+        energies = [row.energy_per_rev_j for row in rows]
+        assert energies == sorted(energies)
+
+    def test_invalid_voltage_rejected(self, spreadsheet):
+        with pytest.raises(AnalysisError):
+            spreadsheet.supply_sweep([0.0])
+
+
+class TestSpeedSweep:
+    def test_energy_per_revolution_decreases_with_speed(self, spreadsheet):
+        rows = spreadsheet.speed_sweep([20.0, 60.0, 120.0])
+        energies = [row.energy_per_rev_j for row in rows]
+        assert energies == sorted(energies, reverse=True)
+
+    def test_average_power_increases_with_speed(self, spreadsheet):
+        rows = spreadsheet.speed_sweep([20.0, 60.0, 120.0])
+        powers = [row.average_power_w for row in rows]
+        assert powers == sorted(powers)
+
+    def test_invalid_speed_rejected(self, spreadsheet):
+        with pytest.raises(AnalysisError):
+            spreadsheet.speed_sweep([0.0])
+
+
+class TestMonteCarlo:
+    def test_statistics_are_consistent(self, spreadsheet):
+        stats = spreadsheet.process_monte_carlo(sample_count=32, seed=7)
+        assert stats["min_j"] <= stats["mean_j"] <= stats["max_j"]
+        assert stats["std_j"] > 0.0
+        assert stats["samples"] == 32.0
+
+    def test_reproducible_with_seed(self, spreadsheet):
+        first = spreadsheet.process_monte_carlo(sample_count=16, seed=3)
+        second = spreadsheet.process_monte_carlo(sample_count=16, seed=3)
+        assert first == second
+
+    def test_requires_at_least_two_samples(self, spreadsheet):
+        with pytest.raises(AnalysisError):
+            spreadsheet.process_monte_carlo(sample_count=1)
+
+    def test_spread_is_modest_relative_to_mean(self, spreadsheet):
+        stats = spreadsheet.process_monte_carlo(sample_count=64, seed=1)
+        assert stats["std_j"] < 0.5 * stats["mean_j"]
+
+
+class TestArchitectureComparison:
+    def test_comparison_includes_own_architecture_first(self, spreadsheet, optimized):
+        rows = spreadsheet.compare_architectures([optimized])
+        assert rows[0]["architecture"] == "baseline"
+        assert rows[1]["architecture"] == "optimized"
+
+    def test_comparison_reports_lower_energy_for_optimized(self, spreadsheet, optimized):
+        rows = spreadsheet.compare_architectures([optimized])
+        baseline_energy = rows[0]["energy_per_rev_uj"]
+        optimized_energy = rows[1]["energy_per_rev_uj"]
+        assert optimized_energy < baseline_energy
+
+    def test_comparison_includes_legacy_node(self, spreadsheet, optimized, legacy):
+        rows = spreadsheet.compare_architectures([optimized, legacy])
+        assert {row["architecture"] for row in rows} == {
+            "baseline",
+            "optimized",
+            "legacy-tpms",
+        }
+
+    def test_dominant_block_is_reported(self, spreadsheet, optimized):
+        rows = spreadsheet.compare_architectures([optimized])
+        assert all(isinstance(row["dominant_block"], str) for row in rows)

@@ -1,0 +1,136 @@
+"""Tests for power traces (Fig. 3 substrate)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.trace import PowerTrace
+from repro.errors import AnalysisError
+
+
+def burst_trace() -> PowerTrace:
+    """A synthetic two-revolution burst pattern."""
+    trace = PowerTrace()
+    for revolution in range(2):
+        offset = revolution * 0.1
+        trace.append(offset + 0.000, 0.010, 1.5e-3, "acquire")
+        trace.append(offset + 0.010, 0.005, 2.8e-3, "compute")
+        trace.append(offset + 0.015, 0.004, 8.0e-3, "transmit")
+        trace.append(offset + 0.019, 0.081, 15e-6, "sleep")
+    return trace
+
+
+class TestConstruction:
+    def test_segment_count(self):
+        assert len(burst_trace()) == 8
+
+    def test_duration(self):
+        assert burst_trace().duration_s == pytest.approx(0.2)
+
+    def test_zero_duration_segment_is_skipped(self):
+        trace = PowerTrace()
+        trace.append(0.0, 0.0, 1.0)
+        assert trace.is_empty
+
+    def test_overlapping_segment_rejected(self):
+        trace = PowerTrace()
+        trace.append(0.0, 0.1, 1.0)
+        with pytest.raises(AnalysisError):
+            trace.append(0.05, 0.1, 1.0)
+
+    def test_gap_between_segments_allowed(self):
+        trace = PowerTrace()
+        trace.append(0.0, 0.1, 1.0)
+        trace.append(0.5, 0.1, 1.0)
+        assert trace.duration_s == pytest.approx(0.6)
+
+    def test_negative_values_rejected(self):
+        trace = PowerTrace()
+        with pytest.raises(AnalysisError):
+            trace.append(0.0, -0.1, 1.0)
+        with pytest.raises(AnalysisError):
+            trace.append(0.0, 0.1, -1.0)
+
+    def test_extend(self):
+        first = burst_trace()
+        second = PowerTrace()
+        second.append(0.3, 0.1, 1e-3, "extra")
+        first.extend(second)
+        assert len(first) == 9
+
+
+class TestStatistics:
+    def test_energy(self):
+        trace = burst_trace()
+        expected = 2 * (0.010 * 1.5e-3 + 0.005 * 2.8e-3 + 0.004 * 8.0e-3 + 0.081 * 15e-6)
+        assert trace.energy_j() == pytest.approx(expected)
+
+    def test_average_power(self):
+        trace = burst_trace()
+        assert trace.average_power_w() == pytest.approx(trace.energy_j() / 0.2)
+
+    def test_peak_and_floor(self):
+        trace = burst_trace()
+        assert trace.peak_power_w() == pytest.approx(8.0e-3)
+        assert trace.min_power_w() == pytest.approx(15e-6)
+
+    def test_peak_to_average_is_large_for_bursty_load(self):
+        assert burst_trace().peak_to_average_ratio() > 5.0
+
+    def test_time_above_threshold(self):
+        trace = burst_trace()
+        assert trace.time_above(5e-3) == pytest.approx(0.008)
+        assert trace.time_above(0.0) == pytest.approx(0.2)
+
+    def test_time_above_rejects_negative_threshold(self):
+        with pytest.raises(AnalysisError):
+            burst_trace().time_above(-1.0)
+
+    def test_label_energy_grouping(self):
+        grouped = burst_trace().label_energy_j()
+        assert set(grouped) == {"acquire", "compute", "transmit", "sleep"}
+        assert grouped["transmit"] == pytest.approx(2 * 0.004 * 8.0e-3)
+
+    def test_empty_trace_statistics(self):
+        trace = PowerTrace()
+        assert trace.energy_j() == 0.0
+        assert trace.average_power_w() == 0.0
+        assert trace.peak_power_w() == 0.0
+        assert trace.peak_to_average_ratio() == 0.0
+
+
+class TestSamplingAndWindows:
+    def test_sampling_grid_covers_trace(self):
+        times, powers = burst_trace().sample(1e-3)
+        assert times[0] == pytest.approx(0.0)
+        assert times[-1] < 0.2
+        assert len(times) == len(powers)
+
+    def test_sampled_peak_matches(self):
+        _, powers = burst_trace().sample(0.5e-3)
+        assert np.max(powers) == pytest.approx(8.0e-3)
+
+    def test_sampled_energy_approximates_exact_energy(self):
+        trace = burst_trace()
+        times, powers = trace.sample(1e-4)
+        sampled_energy = float(np.sum(powers) * 1e-4)
+        assert sampled_energy == pytest.approx(trace.energy_j(), rel=0.02)
+
+    def test_sample_rejects_bad_step(self):
+        with pytest.raises(AnalysisError):
+            burst_trace().sample(0.0)
+
+    def test_windowing_clips_segments(self):
+        window = burst_trace().windowed(0.012, 0.018)
+        assert window.duration_s == pytest.approx(0.006)
+        assert window.peak_power_w() == pytest.approx(8.0e-3)
+
+    def test_window_rejects_empty_interval(self):
+        with pytest.raises(AnalysisError):
+            burst_trace().windowed(0.1, 0.1)
+
+    def test_as_rows_units(self):
+        rows = burst_trace().as_rows()
+        assert rows[2]["power_uw"] == pytest.approx(8000.0)
+        assert rows[2]["label"] == "transmit"

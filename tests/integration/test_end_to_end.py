@@ -1,0 +1,164 @@
+"""Integration tests: the full toolchain exercised through the public API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EnergyAnalysisFlow,
+    EnergyBalanceAnalysis,
+    EnergyEvaluator,
+    NodeEmulator,
+    OperatingPoint,
+    PiezoelectricScavenger,
+    Spreadsheet,
+    baseline_node,
+    legacy_tpms_node,
+    nedc_like_cycle,
+    optimized_node,
+    reference_power_database,
+    supercapacitor,
+    urban_cycle,
+)
+from repro.core.operating_window import find_operating_windows, summarize_windows
+from repro.optimization import apply_assignments, select_techniques
+from repro.power.io import database_from_json, database_to_json
+
+
+class TestPublicApiSurface:
+    def test_top_level_imports_expose_the_documented_names(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_defined(self):
+        import repro
+
+        assert repro.__version__
+
+
+class TestQuickstartPath:
+    """The README quickstart must keep working verbatim."""
+
+    def test_quickstart_flow(self):
+        flow = EnergyAnalysisFlow(
+            node=baseline_node(),
+            database=reference_power_database(),
+            scavenger=PiezoelectricScavenger(),
+            storage=supercapacitor(),
+        )
+        report = flow.run(
+            speeds_kmh=list(range(5, 205, 10)),
+            drive_cycle=urban_cycle(repetitions=1),
+        )
+        summary = report.summary()
+        assert summary["energy_per_rev_uj"] > 0.0
+        assert summary["break_even_before_kmh"] > 0.0
+        assert 0.0 <= summary["moving_active_fraction_pct"] <= 100.0
+
+
+class TestDatabaseRoundTripThroughAnalysis:
+    def test_exported_database_reproduces_the_analysis(self, tmp_path):
+        node = baseline_node()
+        database = reference_power_database()
+        point = OperatingPoint(speed_kmh=60.0)
+        original = EnergyEvaluator(node, database).energy_per_revolution_j(point)
+
+        path = database_to_json(database, tmp_path / "characterization.json")
+        restored = database_from_json(path)
+        reproduced = EnergyEvaluator(node, restored).energy_per_revolution_j(point)
+        assert reproduced == pytest.approx(original)
+
+
+class TestOptimizationLoopConsistency:
+    def test_manual_loop_matches_flow(self):
+        """Running selection + application by hand gives the same optimized
+        energy as letting the flow orchestrate it."""
+        node = baseline_node()
+        database = reference_power_database()
+        scavenger = PiezoelectricScavenger()
+        point = OperatingPoint(speed_kmh=60.0)
+
+        evaluator = EnergyEvaluator(node, database)
+        assignments = select_techniques(
+            evaluator.duty_cycles(point), database=database
+        )
+        manual = apply_assignments(node, database, assignments, point=point)
+
+        flow_report = EnergyAnalysisFlow(node, database, scavenger).run(
+            point=point, speeds_kmh=[20.0, 60.0, 120.0]
+        )
+        assert flow_report.optimization.energy_after_j == pytest.approx(
+            manual.energy_after_j
+        )
+
+    def test_optimized_database_feeds_back_into_every_tool(self):
+        node = baseline_node()
+        database = reference_power_database()
+        point = OperatingPoint(speed_kmh=60.0)
+        evaluator = EnergyEvaluator(node, database)
+        outcome = apply_assignments(
+            node,
+            database,
+            select_techniques(evaluator.duty_cycles(point), database=database),
+            point=point,
+        )
+
+        # Balance with the optimized database has a lower break-even.
+        scavenger = PiezoelectricScavenger()
+        before = EnergyBalanceAnalysis(node, database, scavenger).break_even_speed_kmh()
+        after = EnergyBalanceAnalysis(
+            node, outcome.database, scavenger
+        ).break_even_speed_kmh()
+        assert after < before
+
+        # Emulation with the optimized database consumes less.
+        cycle = urban_cycle(repetitions=1)
+        consumed_before = NodeEmulator(
+            node, database, scavenger, supercapacitor()
+        ).emulate(cycle).consumed_j
+        consumed_after = NodeEmulator(
+            node, outcome.database, scavenger, supercapacitor()
+        ).emulate(cycle).consumed_j
+        assert consumed_after < consumed_before
+
+
+class TestArchitectureStory:
+    """The cross-architecture narrative of the reproduction holds end to end."""
+
+    def test_break_even_ordering_across_architectures(self):
+        database = reference_power_database()
+        scavenger = PiezoelectricScavenger()
+        break_evens = {}
+        for node in (legacy_tpms_node(), optimized_node(), baseline_node()):
+            analysis = EnergyBalanceAnalysis(node, database, scavenger)
+            break_evens[node.name] = analysis.break_even_speed_kmh()
+        assert break_evens["legacy-tpms"] < break_evens["optimized"]
+        assert break_evens["optimized"] < break_evens["baseline"]
+
+    def test_spreadsheet_comparison_is_consistent_with_break_evens(self):
+        database = reference_power_database()
+        sheet = Spreadsheet(baseline_node(), database)
+        rows = sheet.compare_architectures([optimized_node(), legacy_tpms_node()])
+        energies = {row["architecture"]: row["energy_per_rev_uj"] for row in rows}
+        assert energies["legacy-tpms"] < energies["optimized"] < energies["baseline"]
+
+
+class TestLongWindowEmulation:
+    def test_nedc_like_emulation_with_operating_windows(self):
+        node = optimized_node()
+        database = reference_power_database()
+        emulator = NodeEmulator(
+            node,
+            database,
+            PiezoelectricScavenger(),
+            supercapacitor(),
+        )
+        result = emulator.emulate(nedc_like_cycle())
+        windows = find_operating_windows(result)
+        summary = summarize_windows(windows, result.duration_s)
+        assert result.revolutions > 1000
+        assert 0.0 <= summary.coverage_fraction <= 1.0
+        # The node must at least operate during the fast extra-urban section.
+        assert result.active_revolutions > 0

@@ -1,0 +1,125 @@
+"""Failure-injection tests: the toolchain fails fast and with useful messages.
+
+A characterization database with missing or corrupted entries, infeasible
+architectures and starved energy budgets must be reported at the first
+analysis step that can detect them — not as a wrong number three tools later.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.blocks import SensorNode, baseline_node
+from repro.blocks.radio import RadioConfig
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.emulator import NodeEmulator
+from repro.core.evaluator import EnergyEvaluator
+from repro.core.flow import EnergyAnalysisFlow
+from repro.errors import (
+    CharacterizationError,
+    EmulationError,
+    ReproError,
+    ScheduleError,
+)
+from repro.power import reference_power_database
+from repro.scavenger import ElectrostaticScavenger, PiezoelectricScavenger, supercapacitor
+from repro.vehicle.drive_cycle import constant_cruise
+
+
+class TestMissingCharacterization:
+    def test_evaluator_rejects_a_database_missing_a_block(self, node):
+        database = reference_power_database()
+        for mode in database.modes_of("accelerometer"):
+            database.remove("accelerometer", mode)
+        with pytest.raises(CharacterizationError, match="accelerometer"):
+            EnergyEvaluator(node, database)
+
+    def test_evaluator_rejects_a_database_missing_one_mode(self, node):
+        database = reference_power_database()
+        database.remove("mcu", "idle")
+        with pytest.raises(CharacterizationError, match="mcu/idle"):
+            EnergyEvaluator(node, database)
+
+    def test_flow_fails_at_construction_time_of_the_evaluator(self, node, scavenger):
+        database = reference_power_database()
+        database.remove("rf_tx", "active")
+        flow = EnergyAnalysisFlow(node, database, scavenger)
+        with pytest.raises(CharacterizationError, match="rf_tx"):
+            flow.run(speeds_kmh=[20.0, 60.0])
+
+    def test_error_message_lists_available_modes(self, node):
+        database = reference_power_database()
+        with pytest.raises(CharacterizationError, match="sleep"):
+            database.entry("mcu", "hibernate")
+
+
+class TestInfeasibleArchitectures:
+    def test_node_that_cannot_keep_up_raises_a_schedule_error(self):
+        # A very slow radio with a huge packet cannot finish inside a wheel
+        # round at highway speed.
+        node = SensorNode(
+            name="overloaded",
+            radio=RadioConfig(data_rate_bps=1e3, payload_bits=2048, tx_interval_revs=1),
+        )
+        with pytest.raises(ScheduleError):
+            node.schedule_for(150.0, revolution_index=0)
+
+    def test_balance_analysis_propagates_the_schedule_error(self):
+        node = SensorNode(
+            name="overloaded",
+            radio=RadioConfig(data_rate_bps=1e3, payload_bits=2048, tx_interval_revs=1),
+        )
+        analysis = EnergyBalanceAnalysis(
+            node, reference_power_database(), PiezoelectricScavenger()
+        )
+        with pytest.raises(ReproError):
+            analysis.curve([20.0, 180.0])
+
+    def test_max_sustainable_speed_reports_the_limit_instead(self):
+        node = SensorNode(
+            name="overloaded",
+            radio=RadioConfig(data_rate_bps=1e3, payload_bits=2048, tx_interval_revs=1),
+        )
+        limit = node.max_sustainable_speed_kmh(upper_bound_kmh=300.0)
+        assert 0.0 < limit < 150.0
+
+
+class TestStarvedEnergyBudget:
+    def test_emulation_survives_a_hopeless_scavenger(self, node, database):
+        """A starving configuration is a result (zero coverage), not a crash."""
+        storage = supercapacitor(capacity_j=0.02, initial_fraction=0.1)
+        emulator = NodeEmulator(node, database, ElectrostaticScavenger(), storage)
+        result = emulator.emulate(constant_cruise(30.0, duration_s=300.0))
+        assert result.brownout_events >= 1
+        assert result.revolution_coverage < 0.5
+
+    def test_balance_reports_no_break_even_for_a_hopeless_scavenger(self, node, database):
+        analysis = EnergyBalanceAnalysis(node, database, ElectrostaticScavenger())
+        assert analysis.break_even_speed_kmh(high_kmh=150.0) is None
+
+
+class TestEmulatorInputValidation:
+    def test_bad_idle_step_is_rejected(self, node, database, scavenger, storage):
+        emulator = NodeEmulator(node, database, scavenger, storage)
+        with pytest.raises(ReproError):
+            emulator.emulate(constant_cruise(60.0, duration_s=10.0), idle_step_s=0.0)
+
+    def test_bad_trace_window_is_rejected(self, node, database, scavenger, storage):
+        emulator = NodeEmulator(node, database, scavenger, storage)
+        with pytest.raises(EmulationError):
+            emulator.emulate(
+                constant_cruise(60.0, duration_s=10.0), trace_window=(3.0, 3.0)
+            )
+
+    def test_corrupted_database_entry_fails_at_query_time(self, node, scavenger):
+        """A negative power figure is rejected when the entry is built, so a
+        corrupted import cannot silently poison the analysis."""
+        from repro.power.entry import make_entry
+
+        with pytest.raises(ReproError):
+            make_entry("mcu", "active", dynamic_uw=-100.0, leakage_uw=1.0)
+
+    def test_operating_point_outside_model_range_is_rejected(self):
+        with pytest.raises(ReproError):
+            OperatingPoint(temperature_c=400.0)

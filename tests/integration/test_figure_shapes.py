@@ -1,0 +1,151 @@
+"""Shape checks for the paper's figures (the reproduction's acceptance tests).
+
+Absolute numbers cannot match the authors' proprietary characterization, but
+the qualitative structure of each figure must hold; these tests pin that
+structure so refactoring cannot silently break the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    EnergyAnalysisFlow,
+    EnergyBalanceAnalysis,
+    NodeEmulator,
+    OperatingPoint,
+    PiezoelectricScavenger,
+    baseline_node,
+    reference_power_database,
+    supercapacitor,
+)
+
+
+@pytest.fixture(scope="module")
+def node():
+    return baseline_node()
+
+
+@pytest.fixture(scope="module")
+def database():
+    return reference_power_database()
+
+
+@pytest.fixture(scope="module")
+def scavenger():
+    return PiezoelectricScavenger()
+
+
+class TestFig1FlowShape:
+    """Fig. 1: the flow's steps feed each other in the documented order."""
+
+    def test_flow_produces_every_artifact_in_order(self, node, database, scavenger):
+        flow = EnergyAnalysisFlow(node, database, scavenger, storage=supercapacitor())
+        report = flow.run(speeds_kmh=list(range(10, 210, 20)))
+        # estimation -> evaluation -> optimization -> re-estimation -> integration
+        assert report.power_table
+        assert report.energy_report is not None
+        assert report.duty_cycles is not None
+        assert report.optimization is not None
+        assert report.energy_report_after is not None
+        assert report.balance_before is not None and report.balance_after is not None
+
+    def test_re_estimation_shows_the_optimization_return(self, node, database, scavenger):
+        report = EnergyAnalysisFlow(node, database, scavenger).run(
+            speeds_kmh=[20.0, 60.0, 120.0]
+        )
+        assert (
+            report.energy_report_after.total_energy_j
+            < report.energy_report.total_energy_j
+        )
+
+
+class TestFig2BalanceShape:
+    """Fig. 2: generated and required energy versus cruising speed."""
+
+    @pytest.fixture(scope="class")
+    def curve(self, node, database, scavenger):
+        analysis = EnergyBalanceAnalysis(node, database, scavenger)
+        return analysis.curve(np.arange(5.0, 201.0, 5.0))
+
+    def test_two_curves_cross_exactly_once(self, curve):
+        signs = np.sign(curve.margins_j)
+        crossings = np.sum(np.diff(signs) != 0)
+        assert crossings == 1
+
+    def test_deficit_below_break_even_surplus_above(self, curve):
+        break_even = curve.break_even_speed_kmh()
+        for point in curve.points:
+            if point.speed_kmh < break_even - 1.0:
+                assert not point.is_surplus
+            if point.speed_kmh > break_even + 1.0:
+                assert point.is_surplus
+
+    def test_break_even_is_in_the_tens_of_kmh(self, curve):
+        assert 20.0 <= curve.break_even_speed_kmh() <= 90.0
+
+    def test_generated_curve_rises_monotonically(self, curve):
+        assert np.all(np.diff(curve.generated_j) >= -1e-15)
+
+    def test_required_energy_per_round_is_higher_at_low_speed(self, curve):
+        assert curve.required_j[0] > curve.required_j[-1]
+
+
+class TestFig3InstantPowerShape:
+    """Fig. 3: instant power of the node over a limited timing window."""
+
+    @pytest.fixture(scope="class")
+    def trace(self, node, database, scavenger):
+        emulator = NodeEmulator(node, database, scavenger, supercapacitor())
+        return emulator.steady_state_trace(60.0, window_s=1.0)
+
+    def test_burst_pattern_repeats_once_per_wheel_round(self, trace, node):
+        period = node.wheel.revolution_period_s(60.0)
+        transmit_starts = [
+            start for start, _, _, label in trace.segments() if label == "transmit"
+        ]
+        assert len(transmit_starts) == pytest.approx(1.0 / period, abs=1)
+        gaps = np.diff(transmit_starts)
+        assert np.allclose(gaps, period, rtol=0.02)
+
+    def test_peak_is_orders_of_magnitude_above_the_sleep_floor(self, trace):
+        assert trace.peak_power_w() / trace.min_power_w() > 50.0
+
+    def test_peak_is_the_radio_burst(self, trace):
+        transmit_power = max(
+            power for _, _, power, label in trace.segments() if label == "transmit"
+        )
+        assert transmit_power == pytest.approx(trace.peak_power_w())
+
+    def test_sleep_floor_dominates_the_time_axis(self, trace):
+        sleep_time = sum(
+            duration for _, duration, _, label in trace.segments() if label == "sleep"
+        )
+        assert sleep_time / trace.duration_s > 0.5
+
+    def test_average_power_is_far_below_peak(self, trace):
+        assert trace.average_power_w() < 0.25 * trace.peak_power_w()
+
+
+class TestConditionDependencies:
+    """Section II: the working-condition dependencies the tools must expose."""
+
+    def test_leakage_share_grows_with_temperature(self, node, database):
+        from repro.core.spreadsheet import Spreadsheet
+
+        sheet = Spreadsheet(node, database)
+        rows = sheet.temperature_sweep([-40.0, 25.0, 85.0, 125.0])
+        fractions = [row.static_fraction for row in rows]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] > 2.0 * fractions[1]
+
+    def test_break_even_rises_in_the_hot_corner(self, node, database, scavenger):
+        analysis = EnergyBalanceAnalysis(node, database, scavenger)
+        nominal = analysis.break_even_speed_kmh()
+        hot = analysis.break_even_speed_kmh(
+            point_factory=lambda speed: OperatingPoint(
+                speed_kmh=speed, temperature_c=125.0
+            )
+        )
+        assert hot > nominal + 2.0

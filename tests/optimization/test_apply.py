@@ -1,0 +1,103 @@
+"""Tests for applying technique assignments and re-estimating energy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import EnergyEvaluator
+from repro.optimization.apply import apply_assignments
+from repro.optimization.selection import TechniqueAssignment, select_techniques
+from repro.optimization.techniques import ClockGating, PowerGating
+
+
+@pytest.fixture
+def duty_report(node, database, point):
+    return EnergyEvaluator(node, database).duty_cycles(point)
+
+
+@pytest.fixture
+def outcome(node, database, duty_report, point):
+    assignments = select_techniques(duty_report, database=database)
+    return apply_assignments(node, database, assignments, point=point)
+
+
+class TestOutcome:
+    def test_energy_is_reduced(self, outcome):
+        assert outcome.energy_after_j < outcome.energy_before_j
+        assert outcome.saving_j > 0.0
+        assert 0.0 < outcome.saving_fraction < 1.0
+
+    def test_before_energy_matches_direct_evaluation(self, outcome, node, database, point):
+        direct = EnergyEvaluator(node, database).energy_per_revolution_j(point)
+        assert outcome.energy_before_j == pytest.approx(direct)
+
+    def test_after_energy_matches_rewritten_database(self, outcome, node, point):
+        direct = EnergyEvaluator(node, outcome.database).energy_per_revolution_j(point)
+        assert outcome.energy_after_j == pytest.approx(direct)
+
+    def test_original_database_is_untouched(self, node, database, duty_report, point):
+        before = EnergyEvaluator(node, database).energy_per_revolution_j(point)
+        apply_assignments(node, database, select_techniques(duty_report), point=point)
+        after = EnergyEvaluator(node, database).energy_per_revolution_j(point)
+        assert before == pytest.approx(after)
+
+    def test_as_rows_lists_applied_assignments(self, outcome):
+        rows = outcome.as_rows()
+        assert len(rows) == len(outcome.assignments)
+        assert all({"block", "technique", "kind", "rationale"} <= set(row) for row in rows)
+
+    def test_nothing_is_skipped_when_selection_knows_the_database(self, outcome):
+        """Passing the database to the selection filters inapplicable
+        techniques up front, so the application step has nothing to skip."""
+        assert outcome.skipped == ()
+
+
+class TestSkippedAssignments:
+    def test_inapplicable_technique_is_skipped_not_fatal(self, node, database, point):
+        assignments = [
+            # The pressure sensor has no idle mode, so clock gating cannot apply.
+            TechniqueAssignment(
+                block="pressure_sensor",
+                technique=ClockGating(),
+                rationale="intentionally inapplicable",
+            ),
+            TechniqueAssignment(
+                block="mcu", technique=PowerGating(), rationale="valid"
+            ),
+        ]
+        outcome = apply_assignments(node, database, assignments, point=point)
+        assert len(outcome.assignments) == 1
+        assert len(outcome.skipped) == 1
+        skipped_assignment, reason = outcome.skipped[0]
+        assert skipped_assignment.block == "pressure_sensor"
+        assert "idle" in reason
+
+    def test_empty_assignment_list_is_a_no_op(self, node, database, point):
+        outcome = apply_assignments(node, database, [], point=point)
+        assert outcome.energy_after_j == pytest.approx(outcome.energy_before_j)
+        assert outcome.saving_fraction == 0.0
+
+
+class TestSingleTechniqueEffects:
+    def test_power_gating_the_mcu_helps_at_low_speed(self, node, database):
+        """At low speed the wheel round is long and the node sleeps most of
+        it, so power gating the MCU shows a visible saving."""
+        from repro.conditions.operating_point import OperatingPoint
+
+        point = OperatingPoint(speed_kmh=20.0)
+        outcome = apply_assignments(
+            node,
+            database,
+            [TechniqueAssignment("mcu", PowerGating(wakeup_overhead=0.0), "test")],
+            point=point,
+        )
+        assert outcome.saving_fraction > 0.005
+
+    def test_clock_gating_the_mcu_helps_where_idle_time_exists(self, node, database, point):
+        outcome = apply_assignments(
+            node,
+            database,
+            [TechniqueAssignment("mcu", ClockGating(), "test")],
+            point=point,
+        )
+        assert outcome.saving_j > 0.0

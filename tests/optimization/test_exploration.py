@@ -1,0 +1,98 @@
+"""Tests for the design-space exploration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.optimization.exploration import (
+    ArchitectureCandidate,
+    evaluate_candidate,
+    explore_design_space,
+    scavenger_size_sweep,
+)
+from repro.scavenger.electrostatic import ElectrostaticScavenger
+
+
+@pytest.fixture
+def candidates(node, optimized, legacy, database, scavenger):
+    return [
+        ArchitectureCandidate(node=node, database=database, scavenger=scavenger,
+                              label="baseline"),
+        ArchitectureCandidate(node=optimized, database=database, scavenger=scavenger,
+                              label="optimized"),
+        ArchitectureCandidate(node=legacy, database=database, scavenger=scavenger,
+                              label="legacy"),
+    ]
+
+
+class TestEvaluateCandidate:
+    def test_result_fields(self, candidates):
+        result = evaluate_candidate(candidates[0])
+        assert result.label == "baseline"
+        assert result.break_even_kmh is not None
+        assert result.energy_per_rev_at_60_j > 0.0
+        assert result.generated_per_rev_at_60_j > 0.0
+
+    def test_non_activating_candidate(self, node, database):
+        candidate = ArchitectureCandidate(
+            node=node,
+            database=database,
+            scavenger=ElectrostaticScavenger(),
+            label="starved",
+        )
+        result = evaluate_candidate(candidate, high_kmh=200.0)
+        assert not result.activates
+        assert result.break_even_kmh is None
+
+    def test_as_row_handles_missing_break_even(self, node, database):
+        import math
+
+        candidate = ArchitectureCandidate(
+            node=node,
+            database=database,
+            scavenger=ElectrostaticScavenger(),
+            label="starved",
+        )
+        row = evaluate_candidate(candidate, high_kmh=150.0).as_row()
+        assert math.isnan(row["break_even_kmh"])
+        assert row["activates"] is False
+
+
+class TestExploreDesignSpace:
+    def test_results_sorted_by_break_even(self, candidates):
+        results = explore_design_space(candidates)
+        break_evens = [r.break_even_kmh for r in results if r.break_even_kmh is not None]
+        assert break_evens == sorted(break_evens)
+
+    def test_legacy_wins_optimized_second(self, candidates):
+        results = explore_design_space(candidates)
+        assert results[0].label == "legacy"
+        assert results[1].label == "optimized"
+        assert results[2].label == "baseline"
+
+    def test_empty_candidate_list_rejected(self):
+        with pytest.raises(AnalysisError):
+            explore_design_space([])
+
+
+class TestScavengerSizeSweep:
+    def test_bigger_scavenger_monotonically_lowers_break_even(
+        self, node, database, scavenger
+    ):
+        results = scavenger_size_sweep(
+            node, database, scavenger, size_factors=[0.5, 1.0, 2.0, 4.0]
+        )
+        break_evens = [r.break_even_kmh for r in results]
+        assert all(b is not None for b in break_evens[1:])
+        finite = [b for b in break_evens if b is not None]
+        assert finite == sorted(finite, reverse=True)
+
+    def test_sweep_preserves_order_of_factors(self, node, database, scavenger):
+        results = scavenger_size_sweep(node, database, scavenger, size_factors=[1.0, 2.0])
+        assert "x1.00" in results[0].label
+        assert "x2.00" in results[1].label
+
+    def test_empty_sweep_rejected(self, node, database, scavenger):
+        with pytest.raises(AnalysisError):
+            scavenger_size_sweep(node, database, scavenger, size_factors=[])

@@ -1,0 +1,108 @@
+"""Tests for the duty-cycle-driven technique selection policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.evaluator import EnergyEvaluator
+from repro.errors import OptimizationError
+from repro.optimization.selection import (
+    SelectionPolicy,
+    select_techniques,
+)
+from repro.optimization.techniques import TechniqueKind
+
+
+@pytest.fixture
+def duty_report(node, database, point):
+    return EnergyEvaluator(node, database).duty_cycles(point)
+
+
+@pytest.fixture
+def assignments(duty_report):
+    return select_techniques(duty_report)
+
+
+class TestSelectionOutcome:
+    def test_some_techniques_are_selected(self, assignments):
+        assert len(assignments) > 0
+
+    def test_every_assignment_has_a_rationale(self, assignments):
+        for assignment in assignments:
+            assert assignment.rationale
+            assert assignment.block in assignment.describe()
+
+    def test_short_duty_cycle_radio_gets_static_technique(self, assignments):
+        """The paper's headline rule: the transmitter is only on for a sliver
+        of the wheel round, so it must receive a static-power technique even
+        though its active power is dynamic-dominated."""
+        radio_techniques = [
+            a.technique.kind for a in assignments if a.block == "rf_tx"
+        ]
+        assert TechniqueKind.STATIC in radio_techniques or (
+            TechniqueKind.BOTH in radio_techniques
+        )
+
+    def test_dynamic_heavy_blocks_get_dynamic_techniques(self, assignments):
+        mcu_kinds = {a.technique.kind for a in assignments if a.block == "mcu"}
+        assert TechniqueKind.DYNAMIC in mcu_kinds or TechniqueKind.BOTH in mcu_kinds
+
+    def test_always_on_blocks_are_not_power_gated(self, assignments):
+        for assignment in assignments:
+            if assignment.block in ("lf_rx", "pmu"):
+                assert assignment.technique.kind is not TechniqueKind.STATIC
+
+    def test_negligible_blocks_are_left_alone(self, duty_report):
+        policy = SelectionPolicy(relevance_threshold=0.2)
+        assignments = select_techniques(duty_report, policy=policy)
+        total = duty_report.total_energy_j()
+        for assignment in assignments:
+            share = duty_report.for_block(assignment.block).total_energy_j / total
+            assert share >= 0.2
+
+    def test_assignments_ordered_by_energy_contribution(self, assignments, duty_report):
+        blocks_in_order = []
+        for assignment in assignments:
+            if assignment.block not in blocks_in_order:
+                blocks_in_order.append(assignment.block)
+        energies = [duty_report.for_block(b).total_energy_j for b in blocks_in_order]
+        assert energies == sorted(energies, reverse=True)
+
+
+class TestPolicyKnobs:
+    def test_voltage_scaling_can_be_disabled(self, duty_report):
+        policy = SelectionPolicy(enable_voltage_scaling=False)
+        assignments = select_techniques(duty_report, policy=policy)
+        assert all(a.technique.name != "voltage-scaling" for a in assignments)
+
+    def test_voltage_scaling_restricted_to_core_blocks(self, assignments):
+        for assignment in assignments:
+            if assignment.technique.name == "voltage-scaling":
+                assert assignment.block in ("mcu", "sram")
+
+    def test_gateable_blocks_override(self, duty_report):
+        assignments = select_techniques(duty_report, gateable_blocks=frozenset({"mcu"}))
+        static_blocks = {
+            a.block for a in assignments if a.technique.kind is TechniqueKind.STATIC
+        }
+        assert static_blocks <= {"mcu"}
+
+    def test_aggressive_gating_for_very_short_duty_cycles(self, duty_report):
+        policy = SelectionPolicy(aggressive_duty_cycle=0.05, short_duty_cycle=0.10)
+        assignments = select_techniques(duty_report, policy=policy)
+        names = {a.technique.name for a in assignments if a.block == "rf_tx"}
+        assert "duty-cycle-aware power-gating" in names
+
+    def test_policy_validation(self):
+        with pytest.raises(OptimizationError):
+            SelectionPolicy(short_duty_cycle=2.0)
+        with pytest.raises(OptimizationError):
+            SelectionPolicy(aggressive_duty_cycle=0.5, short_duty_cycle=0.1)
+        with pytest.raises(OptimizationError):
+            SelectionPolicy(relevance_threshold=1.0)
+
+    def test_empty_report_rejected(self, node, database, point):
+        report = EnergyEvaluator(node, database).duty_cycles(point)
+        object.__setattr__(report, "entries", tuple())
+        with pytest.raises(OptimizationError):
+            select_techniques(report)

@@ -1,0 +1,82 @@
+"""Tests for the break-even sensitivity analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.optimization.sensitivity import break_even_sensitivity
+from repro.scavenger.electrostatic import ElectrostaticScavenger
+
+
+@pytest.fixture(scope="module")
+def entries():
+    from repro.blocks import baseline_node
+    from repro.power import reference_power_database
+    from repro.scavenger import PiezoelectricScavenger
+
+    return break_even_sensitivity(
+        baseline_node(), reference_power_database(), PiezoelectricScavenger()
+    )
+
+
+class TestSensitivityEntries:
+    def test_covers_the_standard_knobs(self, entries):
+        parameters = {entry.parameter for entry in entries}
+        assert "scavenger size" in parameters
+        assert "radio payload bits" in parameters
+        assert "transmission interval (revolutions)" in parameters
+
+    def test_shared_baseline(self, entries):
+        baselines = {entry.baseline_break_even_kmh for entry in entries}
+        assert len(baselines) == 1
+
+    def test_scavenger_size_lowers_the_break_even(self, entries):
+        entry = next(e for e in entries if e.parameter == "scavenger size")
+        assert entry.delta_kmh < 0.0
+        assert entry.elasticity < 0.0
+
+    def test_bigger_payload_raises_the_break_even(self, entries):
+        entry = next(e for e in entries if e.parameter == "radio payload bits")
+        assert entry.delta_kmh >= 0.0
+
+    def test_sparser_transmission_lowers_the_break_even(self, entries):
+        entry = next(
+            e for e in entries if e.parameter == "transmission interval (revolutions)"
+        )
+        assert entry.delta_kmh <= 0.0
+
+    def test_entries_sorted_by_elasticity_magnitude(self, entries):
+        magnitudes = [
+            abs(entry.elasticity) if entry.elasticity is not None else 0.0
+            for entry in entries
+        ]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_scavenger_size_is_the_dominant_knob(self, entries):
+        assert entries[0].parameter == "scavenger size"
+
+    def test_as_row_contains_the_key_columns(self, entries):
+        row = entries[0].as_row()
+        assert {"parameter", "break_even_kmh", "delta_kmh", "elasticity"} <= set(row)
+
+
+class TestSensitivityValidation:
+    def test_requires_an_activating_baseline(self, node, database):
+        with pytest.raises(AnalysisError):
+            break_even_sensitivity(node, database, ElectrostaticScavenger())
+
+    def test_requires_positive_step(self, node, database, scavenger):
+        with pytest.raises(AnalysisError):
+            break_even_sensitivity(node, database, scavenger, relative_step=0.0)
+
+    def test_custom_perturbations(self, node, database, scavenger):
+        custom = {
+            "double scavenger": lambda n, s, t: (n, s.scaled(2.0), t),
+        }
+        entries = break_even_sensitivity(
+            node, database, scavenger, perturbations=custom
+        )
+        assert len(entries) == 1
+        assert entries[0].parameter == "double scavenger"
+        assert entries[0].delta_kmh < 0.0

@@ -1,0 +1,151 @@
+"""Tests for the optimization techniques (power-database rewrites)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import OptimizationError
+from repro.optimization.techniques import (
+    ClockGating,
+    DutyCycleAwarePowerGating,
+    PowerGating,
+    TechniqueKind,
+    VoltageScaling,
+    default_technique_catalogue,
+)
+
+
+POINT = OperatingPoint()
+
+
+class TestClockGating:
+    def test_reduces_idle_dynamic_power(self, database):
+        gated = ClockGating().apply(database, "mcu")
+        assert gated.power("mcu", "idle", POINT).dynamic_w < database.power(
+            "mcu", "idle", POINT
+        ).dynamic_w
+
+    def test_leaves_active_mode_alone(self, database):
+        gated = ClockGating().apply(database, "mcu")
+        assert gated.power("mcu", "active", POINT).dynamic_w == pytest.approx(
+            database.power("mcu", "active", POINT).dynamic_w
+        )
+
+    def test_leaves_leakage_alone(self, database):
+        gated = ClockGating().apply(database, "mcu")
+        assert gated.power("mcu", "idle", POINT).static_w == pytest.approx(
+            database.power("mcu", "idle", POINT).static_w
+        )
+
+    def test_residual_fraction_is_respected(self, database):
+        gated = ClockGating(residual_idle_dynamic=0.2).apply(database, "mcu")
+        assert gated.power("mcu", "idle", POINT).dynamic_w == pytest.approx(
+            0.2 * database.power("mcu", "idle", POINT).dynamic_w
+        )
+
+    def test_block_without_idle_mode_rejected(self, database):
+        with pytest.raises(OptimizationError):
+            ClockGating().apply(database, "pressure_sensor")
+
+    def test_kind_is_dynamic(self):
+        assert ClockGating().kind is TechniqueKind.DYNAMIC
+
+    def test_invalid_residual_rejected(self):
+        with pytest.raises(OptimizationError):
+            ClockGating(residual_idle_dynamic=1.5)
+
+
+class TestPowerGating:
+    def test_reduces_sleep_leakage(self, database):
+        gated = PowerGating().apply(database, "mcu")
+        assert gated.power("mcu", "sleep", POINT).static_w < database.power(
+            "mcu", "sleep", POINT
+        ).static_w
+
+    def test_adds_wakeup_overhead_to_active_dynamic(self, database):
+        gated = PowerGating(wakeup_overhead=0.1).apply(database, "mcu")
+        assert gated.power("mcu", "active", POINT).dynamic_w == pytest.approx(
+            1.1 * database.power("mcu", "active", POINT).dynamic_w
+        )
+
+    def test_zero_overhead_leaves_active_untouched(self, database):
+        gated = PowerGating(wakeup_overhead=0.0).apply(database, "mcu")
+        assert gated.power("mcu", "active", POINT).dynamic_w == pytest.approx(
+            database.power("mcu", "active", POINT).dynamic_w
+        )
+
+    def test_kind_is_static(self):
+        assert PowerGating().kind is TechniqueKind.STATIC
+
+    def test_aggressive_variant_is_leakier_on_wakeup_but_tighter_in_sleep(self, database):
+        plain = PowerGating().apply(database, "mcu")
+        aggressive = DutyCycleAwarePowerGating().apply(database, "mcu")
+        assert aggressive.power("mcu", "sleep", POINT).static_w < plain.power(
+            "mcu", "sleep", POINT
+        ).static_w
+        assert aggressive.power("mcu", "active", POINT).dynamic_w > plain.power(
+            "mcu", "active", POINT
+        ).dynamic_w
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(OptimizationError):
+            PowerGating(residual_sleep_leakage=-0.1)
+        with pytest.raises(OptimizationError):
+            PowerGating(wakeup_overhead=-0.1)
+
+
+class TestVoltageScaling:
+    def test_dynamic_power_scales_quadratically(self, database):
+        scaled = VoltageScaling(voltage_ratio=0.8).apply(database, "mcu")
+        assert scaled.power("mcu", "active", POINT).dynamic_w == pytest.approx(
+            0.64 * database.power("mcu", "active", POINT).dynamic_w
+        )
+
+    def test_leakage_is_reduced_too(self, database):
+        scaled = VoltageScaling(voltage_ratio=0.8).apply(database, "mcu")
+        assert scaled.power("mcu", "sleep", POINT).static_w < database.power(
+            "mcu", "sleep", POINT
+        ).static_w
+
+    def test_all_modes_are_affected(self, database):
+        scaled = VoltageScaling(voltage_ratio=0.9).apply(database, "mcu")
+        for mode in database.modes_of("mcu"):
+            assert scaled.power("mcu", mode, POINT).dynamic_w <= database.power(
+                "mcu", mode, POINT
+            ).dynamic_w + 1e-18
+
+    def test_kind_is_both(self):
+        assert VoltageScaling().kind is TechniqueKind.BOTH
+
+    def test_unity_ratio_is_identity(self, database):
+        scaled = VoltageScaling(voltage_ratio=1.0).apply(database, "mcu")
+        assert scaled.power("mcu", "active", POINT).total_w == pytest.approx(
+            database.power("mcu", "active", POINT).total_w
+        )
+
+    def test_invalid_ratio_rejected(self):
+        with pytest.raises(OptimizationError):
+            VoltageScaling(voltage_ratio=0.0)
+        with pytest.raises(OptimizationError):
+            VoltageScaling(voltage_ratio=1.5)
+
+
+class TestCatalogue:
+    def test_catalogue_contains_expected_techniques(self):
+        catalogue = default_technique_catalogue()
+        assert {"clock-gating", "power-gating", "voltage-scaling"} <= set(catalogue)
+
+    def test_catalogue_keys_match_names(self):
+        for name, technique in default_technique_catalogue().items():
+            assert technique.name == name
+
+    def test_describe_mentions_kind(self):
+        for technique in default_technique_catalogue().values():
+            assert technique.kind.value in technique.describe()
+
+    def test_techniques_do_not_mutate_the_source_database(self, database):
+        before = database.power("mcu", "sleep", POINT).static_w
+        for technique in default_technique_catalogue().values():
+            technique.apply(database, "mcu")
+        assert database.power("mcu", "sleep", POINT).static_w == pytest.approx(before)

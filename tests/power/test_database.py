@@ -1,0 +1,195 @@
+"""Tests for the power database (the "dynamic spreadsheet")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.power.database import PowerDatabase
+from repro.power.entry import make_entry
+
+
+def small_database() -> PowerDatabase:
+    return PowerDatabase.from_entries(
+        [
+            make_entry("mcu", "active", 2400.0, 14.0),
+            make_entry("mcu", "sleep", 0.6, 3.2),
+            make_entry("rf_tx", "active", 7800.0, 2.5, rail_voltage_v=1.8,
+                       tracks_core_supply=False),
+            make_entry("rf_tx", "sleep", 0.0, 0.5, rail_voltage_v=1.8,
+                       tracks_core_supply=False),
+        ],
+        name="tiny",
+    )
+
+
+class TestConstruction:
+    def test_from_entries(self):
+        database = small_database()
+        assert len(database) == 4
+        assert database.name == "tiny"
+
+    def test_duplicate_entry_rejected(self):
+        database = small_database()
+        with pytest.raises(ConfigurationError):
+            database.add(make_entry("mcu", "active", 1.0, 1.0))
+
+    def test_overwrite_flag_allows_replacement(self):
+        database = small_database()
+        database.add(make_entry("mcu", "active", 1.0, 1.0), overwrite=True)
+        assert database.entry("mcu", "active").dynamic.reference_power_w == pytest.approx(1e-6)
+
+    def test_remove(self):
+        database = small_database()
+        database.remove("mcu", "sleep")
+        assert ("mcu", "sleep") not in database
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(CharacterizationError):
+            small_database().remove("mcu", "off")
+
+
+class TestQueries:
+    def test_blocks_listing(self):
+        assert small_database().blocks == ["mcu", "rf_tx"]
+
+    def test_modes_of(self):
+        assert small_database().modes_of("mcu") == ["active", "sleep"]
+
+    def test_modes_of_unknown_block(self):
+        with pytest.raises(CharacterizationError):
+            small_database().modes_of("adc")
+
+    def test_entry_lookup(self):
+        entry = small_database().entry("rf_tx", "active")
+        assert entry.block == "rf_tx"
+
+    def test_missing_mode_error_lists_available_modes(self):
+        with pytest.raises(CharacterizationError, match="active"):
+            small_database().entry("mcu", "boost")
+
+    def test_missing_block_error_lists_known_blocks(self):
+        with pytest.raises(CharacterizationError, match="mcu"):
+            small_database().entry("adc", "active")
+
+    def test_entries_for(self):
+        entries = small_database().entries_for("mcu")
+        assert [entry.mode for entry in entries] == ["active", "sleep"]
+
+    def test_power_query(self):
+        breakdown = small_database().power("mcu", "active", OperatingPoint())
+        assert breakdown.dynamic_w == pytest.approx(2.4e-3)
+
+    def test_total_power_of_mode_assignment(self):
+        database = small_database()
+        total = database.total_power(
+            {"mcu": "active", "rf_tx": "sleep"}, OperatingPoint()
+        )
+        expected = (
+            database.power("mcu", "active", OperatingPoint()).total_w
+            + database.power("rf_tx", "sleep", OperatingPoint()).total_w
+        )
+        assert total.total_w == pytest.approx(expected)
+
+    def test_iteration(self):
+        keys = {entry.key for entry in small_database()}
+        assert ("mcu", "active") in keys
+        assert len(keys) == 4
+
+
+class TestTransformations:
+    def test_copy_is_independent(self):
+        database = small_database()
+        clone = database.copy()
+        clone.remove("mcu", "sleep")
+        assert ("mcu", "sleep") in database
+
+    def test_scale_block_dynamic(self):
+        database = small_database()
+        scaled = database.scale_block("mcu", dynamic_factor=0.5)
+        original = database.power("mcu", "active", OperatingPoint()).dynamic_w
+        assert scaled.power("mcu", "active", OperatingPoint()).dynamic_w == pytest.approx(
+            0.5 * original
+        )
+
+    def test_scale_block_static_restricted_to_modes(self):
+        database = small_database()
+        scaled = database.scale_block("mcu", static_factor=0.1, modes=("sleep",))
+        point = OperatingPoint()
+        assert scaled.power("mcu", "sleep", point).static_w == pytest.approx(
+            0.1 * database.power("mcu", "sleep", point).static_w
+        )
+        assert scaled.power("mcu", "active", point).static_w == pytest.approx(
+            database.power("mcu", "active", point).static_w
+        )
+
+    def test_scale_block_unknown_block_raises(self):
+        with pytest.raises(CharacterizationError):
+            small_database().scale_block("adc", dynamic_factor=0.5)
+
+    def test_scale_block_no_matching_mode_raises(self):
+        with pytest.raises(CharacterizationError):
+            small_database().scale_block("mcu", dynamic_factor=0.5, modes=("idle",))
+
+    def test_scale_block_does_not_mutate_original(self):
+        database = small_database()
+        database.scale_block("mcu", dynamic_factor=0.5)
+        assert database.power("mcu", "active", OperatingPoint()).dynamic_w == pytest.approx(
+            2.4e-3
+        )
+
+    def test_replace_entry(self):
+        database = small_database()
+        replaced = database.replace_entry(make_entry("mcu", "active", 1000.0, 10.0))
+        assert replaced.power("mcu", "active", OperatingPoint()).dynamic_w == pytest.approx(1e-3)
+
+    def test_replace_missing_entry_raises(self):
+        with pytest.raises(CharacterizationError):
+            small_database().replace_entry(make_entry("adc", "active", 1.0, 1.0))
+
+    def test_map_entries(self):
+        doubled = small_database().map_entries(lambda e: e.scaled(dynamic_factor=2.0))
+        assert doubled.power("mcu", "active", OperatingPoint()).dynamic_w == pytest.approx(
+            4.8e-3
+        )
+
+    def test_merge_without_conflicts(self):
+        database = small_database()
+        other = PowerDatabase.from_entries([make_entry("adc", "active", 110.0, 0.8)])
+        merged = database.merged_with(other)
+        assert "adc" in merged.blocks
+
+    def test_merge_conflict_raises_without_overwrite(self):
+        database = small_database()
+        other = PowerDatabase.from_entries([make_entry("mcu", "active", 1.0, 1.0)])
+        with pytest.raises(ConfigurationError):
+            database.merged_with(other)
+
+    def test_merge_conflict_with_overwrite(self):
+        database = small_database()
+        other = PowerDatabase.from_entries([make_entry("mcu", "active", 1.0, 1.0)])
+        merged = database.merged_with(other, overwrite=True)
+        assert merged.power("mcu", "active", OperatingPoint()).dynamic_w == pytest.approx(1e-6)
+
+
+class TestTableAndValidation:
+    def test_table_has_one_row_per_entry(self):
+        rows = small_database().table(OperatingPoint())
+        assert len(rows) == 4
+        assert {row["block"] for row in rows} == {"mcu", "rf_tx"}
+
+    def test_table_filtered_by_block(self):
+        rows = small_database().table(OperatingPoint(), blocks=["mcu"])
+        assert all(row["block"] == "mcu" for row in rows)
+
+    def test_table_total_is_dynamic_plus_static(self):
+        for row in small_database().table(OperatingPoint()):
+            assert row["total_uw"] == pytest.approx(row["dynamic_uw"] + row["static_uw"])
+
+    def test_validate_against_passes_for_covered_modes(self):
+        small_database().validate_against({"mcu": ("active", "sleep")})
+
+    def test_validate_against_reports_missing_modes(self):
+        with pytest.raises(CharacterizationError, match="mcu/idle"):
+            small_database().validate_against({"mcu": ("active", "idle")})

@@ -1,0 +1,143 @@
+"""Tests for power-database entries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ConfigurationError
+from repro.power.entry import PowerEntry, make_entry
+
+
+@pytest.fixture
+def entry():
+    return make_entry(
+        "mcu",
+        "active",
+        dynamic_uw=2400.0,
+        leakage_uw=14.0,
+        clock_frequency_hz=16e6,
+    )
+
+
+class TestMakeEntry:
+    def test_reference_powers_in_watts(self, entry):
+        assert entry.dynamic.reference_power_w == pytest.approx(2.4e-3)
+        assert entry.leakage.reference_power_w == pytest.approx(14e-6)
+
+    def test_key(self, entry):
+        assert entry.key == ("mcu", "active")
+
+    def test_rejects_negative_powers(self):
+        with pytest.raises(ConfigurationError):
+            make_entry("mcu", "active", dynamic_uw=-1.0, leakage_uw=0.0)
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ConfigurationError):
+            make_entry("", "active", 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            make_entry("mcu", "", 1.0, 1.0)
+
+    def test_own_rail_entry(self):
+        rf = make_entry(
+            "rf_tx", "active", 7800.0, 2.5, rail_voltage_v=1.8, tracks_core_supply=False
+        )
+        assert rf.rail_voltage_v == 1.8
+        assert not rf.tracks_core_supply
+
+
+class TestBreakdownEvaluation:
+    def test_nominal_breakdown(self, entry):
+        breakdown = entry.breakdown(OperatingPoint())
+        assert breakdown.dynamic_w == pytest.approx(2.4e-3)
+        assert breakdown.static_w == pytest.approx(14e-6)
+
+    def test_total_power(self, entry):
+        point = OperatingPoint()
+        assert entry.total_power_w(point) == pytest.approx(
+            entry.breakdown(point).total_w
+        )
+
+    def test_hot_point_increases_leakage(self, entry):
+        hot = entry.breakdown(OperatingPoint(temperature_c=125.0))
+        nominal = entry.breakdown(OperatingPoint())
+        assert hot.static_w > nominal.static_w
+        assert hot.dynamic_w == pytest.approx(nominal.dynamic_w)
+
+    def test_core_supply_tracking(self, entry):
+        from repro.conditions.supply import SupplyCondition, SupplyRail
+
+        low_rail = SupplyRail(name="vdd_core", nominal_v=1.0, tolerance=0.0)
+        low = entry.breakdown(OperatingPoint().with_supply(SupplyCondition(rail=low_rail)))
+        nominal = entry.breakdown(OperatingPoint())
+        assert low.dynamic_w < nominal.dynamic_w
+
+    def test_own_rail_entry_ignores_core_supply(self):
+        from repro.conditions.supply import SupplyCondition, SupplyRail
+
+        rf = make_entry(
+            "rf_tx", "active", 7800.0, 2.5, rail_voltage_v=1.8, tracks_core_supply=False
+        )
+        low_rail = SupplyRail(name="vdd_core", nominal_v=0.9, tolerance=0.0)
+        scaled = rf.breakdown(OperatingPoint().with_supply(SupplyCondition(rail=low_rail)))
+        nominal = rf.breakdown(OperatingPoint())
+        assert scaled.dynamic_w == pytest.approx(nominal.dynamic_w)
+
+    def test_activity_scales_dynamic_only(self, entry):
+        half = entry.breakdown(OperatingPoint(), activity=0.5)
+        full = entry.breakdown(OperatingPoint(), activity=1.0)
+        assert half.dynamic_w == pytest.approx(0.5 * full.dynamic_w)
+        assert half.static_w == pytest.approx(full.static_w)
+
+
+class TestEntryTransforms:
+    def test_scaled_dynamic(self, entry):
+        scaled = entry.scaled(dynamic_factor=0.5)
+        assert scaled.dynamic.reference_power_w == pytest.approx(
+            0.5 * entry.dynamic.reference_power_w
+        )
+        assert scaled.leakage.reference_power_w == entry.leakage.reference_power_w
+
+    def test_scaled_static(self, entry):
+        scaled = entry.scaled(static_factor=0.1)
+        assert scaled.leakage.reference_power_w == pytest.approx(
+            0.1 * entry.leakage.reference_power_w
+        )
+
+    def test_scaled_note_is_appended(self, entry):
+        scaled = entry.scaled(static_factor=0.1, note="power gated")
+        assert "power gated" in scaled.notes
+
+    def test_scaled_rejects_negative(self, entry):
+        with pytest.raises(ConfigurationError):
+            entry.scaled(dynamic_factor=-1.0)
+
+    def test_original_entry_is_unchanged_by_scaling(self, entry):
+        entry.scaled(dynamic_factor=0.5)
+        assert entry.dynamic.reference_power_w == pytest.approx(2.4e-3)
+
+    def test_with_clock_halves_dynamic_power(self, entry):
+        slowed = entry.with_clock(8e6)
+        nominal = OperatingPoint()
+        assert slowed.breakdown(nominal).dynamic_w == pytest.approx(
+            0.5 * entry.breakdown(nominal).dynamic_w
+        )
+
+    def test_with_clock_keeps_leakage(self, entry):
+        slowed = entry.with_clock(8e6)
+        nominal = OperatingPoint()
+        assert slowed.breakdown(nominal).static_w == pytest.approx(
+            entry.breakdown(nominal).static_w
+        )
+
+    def test_with_clock_rejects_negative(self, entry):
+        with pytest.raises(ConfigurationError):
+            entry.with_clock(-1.0)
+
+    def test_with_rail_voltage(self, entry):
+        changed = entry.with_rail_voltage(1.0)
+        assert changed.rail_voltage_v == 1.0
+
+    def test_describe_contains_block_and_mode(self, entry):
+        text = entry.describe(OperatingPoint())
+        assert "mcu/active" in text

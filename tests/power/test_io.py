@@ -1,0 +1,94 @@
+"""Tests for CSV/JSON round-tripping of power databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ExportError
+from repro.power.io import (
+    database_from_csv,
+    database_from_json,
+    database_to_csv,
+    database_to_json,
+)
+from repro.power.library import reference_power_database
+
+
+@pytest.fixture
+def database():
+    return reference_power_database()
+
+
+def assert_same_power(original, restored):
+    """Every entry of the restored database reproduces the original power."""
+    point = OperatingPoint(temperature_c=85.0, speed_kmh=90.0)
+    assert set(e.key for e in original) == set(e.key for e in restored)
+    for entry in original:
+        a = original.power(entry.block, entry.mode, point)
+        b = restored.power(entry.block, entry.mode, point)
+        assert a.dynamic_w == pytest.approx(b.dynamic_w)
+        assert a.static_w == pytest.approx(b.static_w)
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_power(self, database, tmp_path):
+        path = database_to_csv(database, tmp_path / "db.csv")
+        restored = database_from_csv(path)
+        assert_same_power(database, restored)
+
+    def test_round_trip_preserves_entry_count(self, database, tmp_path):
+        path = database_to_csv(database, tmp_path / "db.csv")
+        assert len(database_from_csv(path)) == len(database)
+
+    def test_name_defaults_to_stem(self, database, tmp_path):
+        path = database_to_csv(database, tmp_path / "my_node.csv")
+        assert database_from_csv(path).name == "my_node"
+
+    def test_explicit_name(self, database, tmp_path):
+        path = database_to_csv(database, tmp_path / "db.csv")
+        assert database_from_csv(path, name="renamed").name == "renamed"
+
+    def test_missing_file_raises_export_error(self, tmp_path):
+        with pytest.raises(ExportError):
+            database_from_csv(tmp_path / "does_not_exist.csv")
+
+    def test_malformed_record_raises_export_error(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("block,mode,dynamic_ref_w\nmcu,active,not_a_number\n")
+        with pytest.raises(ExportError):
+            database_from_csv(bad)
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_power(self, database, tmp_path):
+        path = database_to_json(database, tmp_path / "db.json")
+        restored = database_from_json(path)
+        assert_same_power(database, restored)
+
+    def test_round_trip_preserves_name(self, database, tmp_path):
+        path = database_to_json(database, tmp_path / "db.json")
+        assert database_from_json(path).name == database.name
+
+    def test_missing_file_raises_export_error(self, tmp_path):
+        with pytest.raises(ExportError):
+            database_from_json(tmp_path / "nope.json")
+
+    def test_non_database_json_raises_export_error(self, tmp_path):
+        target = tmp_path / "other.json"
+        target.write_text('{"foo": 1}')
+        with pytest.raises(ExportError):
+            database_from_json(target)
+
+    def test_invalid_json_raises_export_error(self, tmp_path):
+        target = tmp_path / "broken.json"
+        target.write_text("{not json")
+        with pytest.raises(ExportError):
+            database_from_json(target)
+
+
+class TestCrossFormat:
+    def test_csv_and_json_restore_identical_databases(self, database, tmp_path):
+        csv_restored = database_from_csv(database_to_csv(database, tmp_path / "db.csv"))
+        json_restored = database_from_json(database_to_json(database, tmp_path / "db.json"))
+        assert_same_power(csv_restored, json_restored)

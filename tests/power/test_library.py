@@ -1,0 +1,121 @@
+"""Tests for the reference characterization library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.power.library import (
+    high_performance_process_database,
+    low_power_process_database,
+    reference_power_database,
+)
+
+
+@pytest.fixture
+def database():
+    return reference_power_database()
+
+
+class TestCoverage:
+    EXPECTED_BLOCKS = {
+        "pressure_sensor",
+        "temperature_sensor",
+        "accelerometer",
+        "adc",
+        "mcu",
+        "sram",
+        "nvm",
+        "rf_tx",
+        "lf_rx",
+        "pmu",
+    }
+
+    def test_all_architecture_blocks_present(self, database):
+        assert set(database.blocks) == self.EXPECTED_BLOCKS
+
+    def test_every_block_has_a_sleep_or_active_mode(self, database):
+        for block in database.blocks:
+            modes = set(database.modes_of(block))
+            assert modes & {"sleep", "active"}
+
+    def test_baseline_architecture_is_fully_characterized(self, database):
+        from repro.blocks import baseline_node
+
+        baseline_node().validate_database(database)
+
+    def test_optimized_architecture_is_fully_characterized(self, database):
+        from repro.blocks import optimized_node
+
+        optimized_node().validate_database(database)
+
+    def test_legacy_architecture_is_fully_characterized(self, database):
+        from repro.blocks import legacy_tpms_node
+
+        legacy_tpms_node().validate_database(database)
+
+    def test_fresh_instance_on_every_call(self):
+        assert reference_power_database() is not reference_power_database()
+
+
+class TestMagnitudes:
+    """Sanity checks that the synthetic figures stay in the published ranges."""
+
+    def test_radio_burst_dominates_active_power(self, database):
+        point = OperatingPoint()
+        tx = database.power("rf_tx", "active", point).total_w
+        mcu = database.power("mcu", "active", point).total_w
+        assert tx > mcu
+
+    def test_rf_tx_active_is_milliwatt_class(self, database):
+        tx = database.power("rf_tx", "active", OperatingPoint()).total_w
+        assert 3e-3 <= tx <= 20e-3
+
+    def test_mcu_active_is_milliwatt_class(self, database):
+        mcu = database.power("mcu", "active", OperatingPoint()).total_w
+        assert 1e-3 <= mcu <= 5e-3
+
+    def test_sleep_modes_are_microwatt_class(self, database):
+        point = OperatingPoint()
+        for block in database.blocks:
+            if "sleep" in database.modes_of(block):
+                sleep = database.power(block, "sleep", point).total_w
+                assert sleep < 20e-6, block
+
+    def test_sleep_floor_of_whole_node_is_tens_of_microwatts(self, database):
+        from repro.blocks import baseline_node
+
+        node = baseline_node()
+        floor = database.total_power(node.resting_modes(), OperatingPoint()).total_w
+        assert 5e-6 <= floor <= 50e-6
+
+    def test_active_modes_draw_more_than_sleep_modes(self, database):
+        point = OperatingPoint()
+        for block in database.blocks:
+            modes = set(database.modes_of(block))
+            if {"active", "sleep"} <= modes:
+                assert (
+                    database.power(block, "active", point).total_w
+                    > database.power(block, "sleep", point).total_w
+                ), block
+
+    def test_lf_receiver_is_always_on_friendly(self, database):
+        lf = database.power("lf_rx", "active", OperatingPoint()).total_w
+        assert lf < 10e-6
+
+
+class TestProcessVariants:
+    def test_low_power_variant_leaks_less(self):
+        point = OperatingPoint()
+        reference = reference_power_database().power("mcu", "sleep", point).static_w
+        low_power = low_power_process_database().power("mcu", "sleep", point).static_w
+        assert low_power < reference
+
+    def test_high_performance_variant_leaks_more(self):
+        point = OperatingPoint()
+        reference = reference_power_database().power("mcu", "sleep", point).static_w
+        high_perf = high_performance_process_database().power("mcu", "sleep", point).static_w
+        assert high_perf > reference
+
+    def test_variant_names_differ(self):
+        assert low_power_process_database().name != reference_power_database().name

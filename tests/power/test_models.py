@@ -1,0 +1,189 @@
+"""Tests for the dynamic and leakage power models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.conditions.process import ProcessCorner, ProcessVariation
+from repro.errors import ConfigurationError
+from repro.power.models import (
+    DynamicPowerModel,
+    LeakagePowerModel,
+    PowerBreakdown,
+    breakdown_at,
+    energy_j,
+    equivalent_current_a,
+    half_life_to_doubling,
+)
+
+
+class TestPowerBreakdown:
+    def test_total_is_sum(self):
+        breakdown = PowerBreakdown(dynamic_w=2e-3, static_w=1e-3)
+        assert breakdown.total_w == pytest.approx(3e-3)
+
+    def test_static_fraction(self):
+        breakdown = PowerBreakdown(dynamic_w=3e-3, static_w=1e-3)
+        assert breakdown.static_fraction == pytest.approx(0.25)
+
+    def test_static_fraction_of_zero_power(self):
+        assert PowerBreakdown.zero().static_fraction == 0.0
+
+    def test_addition(self):
+        total = PowerBreakdown(1e-3, 2e-3) + PowerBreakdown(3e-3, 4e-3)
+        assert total.dynamic_w == pytest.approx(4e-3)
+        assert total.static_w == pytest.approx(6e-3)
+
+    def test_scaling(self):
+        scaled = PowerBreakdown(2e-3, 4e-3).scaled(dynamic_factor=0.5, static_factor=0.25)
+        assert scaled.dynamic_w == pytest.approx(1e-3)
+        assert scaled.static_w == pytest.approx(1e-3)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBreakdown(dynamic_w=-1.0, static_w=0.0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerBreakdown(1.0, 1.0).scaled(dynamic_factor=-1.0)
+
+
+class TestDynamicPowerModel:
+    def test_reference_condition_returns_reference_power(self):
+        model = DynamicPowerModel(reference_power_w=1e-3, reference_voltage_v=1.2)
+        assert model.power_w() == pytest.approx(1e-3)
+
+    def test_quadratic_voltage_scaling(self):
+        model = DynamicPowerModel(reference_power_w=1e-3, reference_voltage_v=1.0)
+        assert model.power_w(voltage_v=2.0) == pytest.approx(4e-3)
+        assert model.power_w(voltage_v=0.5) == pytest.approx(0.25e-3)
+
+    def test_linear_frequency_scaling(self):
+        model = DynamicPowerModel(
+            reference_power_w=1e-3, reference_frequency_hz=16e6
+        )
+        assert model.power_w(frequency_hz=8e6) == pytest.approx(0.5e-3)
+        assert model.power_w(frequency_hz=32e6) == pytest.approx(2e-3)
+
+    def test_clockless_block_ignores_frequency(self):
+        model = DynamicPowerModel(reference_power_w=1e-3, reference_frequency_hz=0.0)
+        assert model.power_w(frequency_hz=123.0) == pytest.approx(1e-3)
+
+    def test_activity_scaling(self):
+        model = DynamicPowerModel(reference_power_w=1e-3)
+        assert model.power_w(activity=0.5) == pytest.approx(0.5e-3)
+        assert model.power_w(activity=0.0) == 0.0
+
+    def test_process_factor(self):
+        model = DynamicPowerModel(reference_power_w=1e-3)
+        assert model.power_w(process_factor=1.05) == pytest.approx(1.05e-3)
+
+    def test_negative_inputs_rejected(self):
+        model = DynamicPowerModel(reference_power_w=1e-3)
+        with pytest.raises(ConfigurationError):
+            model.power_w(activity=-1.0)
+        with pytest.raises(ConfigurationError):
+            model.power_w(voltage_v=0.0)
+        with pytest.raises(ConfigurationError):
+            DynamicPowerModel(reference_power_w=-1.0)
+
+
+class TestLeakagePowerModel:
+    def test_reference_condition_returns_reference_power(self):
+        model = LeakagePowerModel(reference_power_w=1e-6)
+        assert model.power_w() == pytest.approx(1e-6)
+
+    def test_doubling_temperature(self):
+        model = LeakagePowerModel(
+            reference_power_w=1e-6, reference_temperature_c=25.0, doubling_celsius=18.0
+        )
+        assert model.power_w(temperature_c=43.0) == pytest.approx(2e-6)
+        assert model.power_w(temperature_c=61.0) == pytest.approx(4e-6)
+
+    def test_cold_reduces_leakage(self):
+        model = LeakagePowerModel(reference_power_w=1e-6)
+        assert model.power_w(temperature_c=-40.0) < 1e-6
+
+    def test_hot_corner_increase_is_large_but_bounded(self):
+        model = LeakagePowerModel(reference_power_w=1e-6, doubling_celsius=18.0)
+        ratio = model.power_w(temperature_c=125.0) / model.power_w(temperature_c=25.0)
+        assert 20.0 <= ratio <= 100.0
+
+    def test_voltage_dependence_is_monotonic(self):
+        model = LeakagePowerModel(reference_power_w=1e-6, reference_voltage_v=1.2)
+        assert model.power_w(voltage_v=1.0) < model.power_w(voltage_v=1.2)
+        assert model.power_w(voltage_v=1.4) > model.power_w(voltage_v=1.2)
+
+    def test_voltage_factor_never_negative(self):
+        model = LeakagePowerModel(
+            reference_power_w=1e-6, reference_voltage_v=1.2, dibl_coefficient=5.0
+        )
+        assert model.power_w(voltage_v=0.1) >= 0.0
+
+    def test_process_factor(self):
+        model = LeakagePowerModel(reference_power_w=1e-6)
+        assert model.power_w(process_factor=2.6) == pytest.approx(2.6e-6)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LeakagePowerModel(reference_power_w=1e-6, doubling_celsius=0.0)
+        with pytest.raises(ConfigurationError):
+            LeakagePowerModel(reference_power_w=-1e-6)
+
+
+class TestBreakdownAt:
+    def _models(self):
+        dynamic = DynamicPowerModel(reference_power_w=1e-3, reference_voltage_v=1.2)
+        leakage = LeakagePowerModel(reference_power_w=1e-6, reference_voltage_v=1.2)
+        return dynamic, leakage
+
+    def test_nominal_point(self):
+        dynamic, leakage = self._models()
+        breakdown = breakdown_at(dynamic, leakage, OperatingPoint())
+        assert breakdown.dynamic_w == pytest.approx(1e-3)
+        assert breakdown.static_w == pytest.approx(1e-6)
+
+    def test_fast_corner_increases_both(self):
+        dynamic, leakage = self._models()
+        fast = OperatingPoint(process=ProcessVariation(corner=ProcessCorner.FAST))
+        breakdown = breakdown_at(dynamic, leakage, fast)
+        assert breakdown.dynamic_w > 1e-3
+        assert breakdown.static_w > 1e-6
+
+    def test_voltage_override_bypasses_core_supply(self):
+        dynamic, leakage = self._models()
+        breakdown = breakdown_at(
+            dynamic, leakage, OperatingPoint(), voltage_override_v=1.2
+        )
+        assert breakdown.dynamic_w == pytest.approx(1e-3)
+
+    def test_hot_point_increases_leakage_only(self):
+        dynamic, leakage = self._models()
+        hot = OperatingPoint(temperature_c=125.0)
+        breakdown = breakdown_at(dynamic, leakage, hot)
+        assert breakdown.dynamic_w == pytest.approx(1e-3)
+        assert breakdown.static_w > 1e-6
+
+
+class TestHelpers:
+    def test_energy(self):
+        assert energy_j(2e-3, 10.0) == pytest.approx(0.02)
+
+    def test_energy_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            energy_j(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            energy_j(1.0, -1.0)
+
+    def test_equivalent_current(self):
+        assert equivalent_current_a(1.2e-3, 1.2) == pytest.approx(1e-3)
+
+    def test_equivalent_current_rejects_zero_voltage(self):
+        with pytest.raises(ConfigurationError):
+            equivalent_current_a(1.0, 0.0)
+
+    def test_half_life_to_doubling(self):
+        assert half_life_to_doubling(18.0, 18.0) == pytest.approx(2.0)
+        assert half_life_to_doubling(18.0, 0.0) == pytest.approx(1.0)
+        assert half_life_to_doubling(18.0, -18.0) == pytest.approx(0.5)

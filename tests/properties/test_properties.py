@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the arithmetic backbone of the methodology: power models scale
+the way CMOS physics says they must, energy bookkeeping never goes negative,
+the wheel-round iterator always covers the cycle, storage never exceeds its
+bounds, and the balance analysis responds monotonically to its inputs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.power.models import DynamicPowerModel, LeakagePowerModel, PowerBreakdown
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+from repro.scavenger.storage import StorageElement
+from repro.timing.wheel_round import IdleInterval, WheelRound, iter_wheel_rounds
+from repro.vehicle.drive_cycle import constant_cruise
+from repro.vehicle.tyre import Tyre
+from repro.vehicle.wheel import Wheel
+
+# ---------------------------------------------------------------------------
+# Power models
+# ---------------------------------------------------------------------------
+
+voltages = st.floats(min_value=0.6, max_value=2.0)
+temperatures = st.floats(min_value=-40.0, max_value=150.0)
+powers = st.floats(min_value=1e-9, max_value=1e-1)
+speeds = st.floats(min_value=5.0, max_value=300.0)
+
+
+class TestDynamicModelProperties:
+    @given(reference=powers, voltage=voltages)
+    def test_dynamic_power_is_non_negative(self, reference, voltage):
+        model = DynamicPowerModel(reference_power_w=reference, reference_voltage_v=1.2)
+        assert model.power_w(voltage_v=voltage) >= 0.0
+
+    @given(reference=powers, low=voltages, high=voltages)
+    def test_dynamic_power_is_monotone_in_voltage(self, reference, low, high):
+        model = DynamicPowerModel(reference_power_w=reference, reference_voltage_v=1.2)
+        if low > high:
+            low, high = high, low
+        assert model.power_w(voltage_v=low) <= model.power_w(voltage_v=high) + 1e-18
+
+    @given(reference=powers, voltage=voltages)
+    def test_dynamic_voltage_scaling_is_exactly_quadratic(self, reference, voltage):
+        model = DynamicPowerModel(reference_power_w=reference, reference_voltage_v=1.0)
+        assert model.power_w(voltage_v=voltage) == pytest.approx(
+            reference * voltage**2, rel=1e-9
+        )
+
+
+class TestLeakageModelProperties:
+    @given(reference=powers, cold=temperatures, hot=temperatures)
+    def test_leakage_is_monotone_in_temperature(self, reference, cold, hot):
+        model = LeakagePowerModel(reference_power_w=reference)
+        if cold > hot:
+            cold, hot = hot, cold
+        assert model.power_w(temperature_c=cold) <= model.power_w(temperature_c=hot) + 1e-18
+
+    @given(reference=powers, temperature=temperatures, voltage=voltages)
+    def test_leakage_is_never_negative(self, reference, temperature, voltage):
+        model = LeakagePowerModel(reference_power_w=reference)
+        assert model.power_w(temperature_c=temperature, voltage_v=voltage) >= 0.0
+
+    @given(reference=powers, delta=st.floats(min_value=0.0, max_value=50.0))
+    def test_doubling_property(self, reference, delta):
+        model = LeakagePowerModel(reference_power_w=reference, doubling_celsius=18.0)
+        ratio = model.temperature_factor(25.0 + delta) / model.temperature_factor(25.0)
+        assert ratio == pytest.approx(2.0 ** (delta / 18.0), rel=1e-9)
+
+
+class TestBreakdownProperties:
+    @given(
+        dynamic=st.floats(min_value=0.0, max_value=1.0),
+        static=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_static_fraction_is_bounded(self, dynamic, static):
+        breakdown = PowerBreakdown(dynamic_w=dynamic, static_w=static)
+        assert 0.0 <= breakdown.static_fraction <= 1.0
+
+    @given(
+        a=st.floats(min_value=0.0, max_value=1.0),
+        b=st.floats(min_value=0.0, max_value=1.0),
+        c=st.floats(min_value=0.0, max_value=1.0),
+        d=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_addition_is_componentwise(self, a, b, c, d):
+        total = PowerBreakdown(a, b) + PowerBreakdown(c, d)
+        assert total.dynamic_w == pytest.approx(a + c)
+        assert total.static_w == pytest.approx(b + d)
+
+
+# ---------------------------------------------------------------------------
+# Vehicle substrate
+# ---------------------------------------------------------------------------
+
+
+class TestWheelProperties:
+    @given(speed=speeds)
+    def test_period_times_rate_is_one(self, speed):
+        wheel = Wheel()
+        assert wheel.revolution_period_s(speed) * wheel.revolutions_per_second(
+            speed
+        ) == pytest.approx(1.0)
+
+    @given(
+        width=st.floats(min_value=0.135, max_value=0.335),
+        aspect=st.floats(min_value=0.25, max_value=0.80),
+        rim=st.floats(min_value=0.30, max_value=0.60),
+    )
+    def test_rolling_radius_below_unloaded_radius(self, width, aspect, rim):
+        tyre = Tyre(width_m=width, aspect_ratio=aspect, rim_diameter_m=rim)
+        assert 0.0 < tyre.rolling_radius_m < tyre.unloaded_radius_m
+
+    @given(speed=speeds, duration=st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=25, deadline=None)
+    def test_wheel_round_iterator_covers_the_cycle(self, speed, duration):
+        wheel = Wheel()
+        cycle = constant_cruise(speed, duration_s=duration)
+        covered = sum(
+            unit.period_s if isinstance(unit, WheelRound) else unit.duration_s
+            for unit in iter_wheel_rounds(cycle, wheel)
+        )
+        assert covered == pytest.approx(duration, rel=1e-6)
+
+    @given(speed=speeds, duration=st.floats(min_value=1.0, max_value=60.0))
+    @settings(max_examples=25, deadline=None)
+    def test_wheel_round_units_never_overlap(self, speed, duration):
+        wheel = Wheel()
+        cycle = constant_cruise(speed, duration_s=duration)
+        cursor = 0.0
+        for unit in iter_wheel_rounds(cycle, wheel):
+            start = unit.start_s
+            assert start >= cursor - 1e-9
+            cursor = unit.end_s if isinstance(unit, (WheelRound, IdleInterval)) else cursor
+
+
+# ---------------------------------------------------------------------------
+# Scavenger and storage
+# ---------------------------------------------------------------------------
+
+
+class TestScavengerProperties:
+    @given(speed=speeds, factor=st.floats(min_value=0.1, max_value=10.0))
+    def test_size_scaling_is_exactly_linear(self, speed, factor):
+        scavenger = PiezoelectricScavenger()
+        assert scavenger.scaled(factor).energy_per_revolution_j(speed) == pytest.approx(
+            factor * scavenger.energy_per_revolution_j(speed), rel=1e-9
+        )
+
+    @given(low=speeds, high=speeds)
+    def test_energy_is_monotone_in_speed(self, low, high):
+        scavenger = PiezoelectricScavenger()
+        if low > high:
+            low, high = high, low
+        assert scavenger.energy_per_revolution_j(low) <= scavenger.energy_per_revolution_j(
+            high
+        ) + 1e-18
+
+
+class TestStorageProperties:
+    @given(
+        deposits=st.lists(st.floats(min_value=0.0, max_value=0.05), max_size=30),
+        withdrawals=st.lists(st.floats(min_value=0.0, max_value=0.05), max_size=30),
+    )
+    def test_charge_stays_within_bounds(self, deposits, withdrawals):
+        storage = StorageElement(capacity_j=0.5, initial_charge_j=0.25)
+        for amount in deposits:
+            storage.deposit(amount)
+            assert 0.0 <= storage.charge_j <= storage.capacity_j + 1e-12
+        for amount in withdrawals:
+            storage.withdraw(amount)
+            assert 0.0 <= storage.charge_j <= storage.capacity_j + 1e-12
+
+    @given(amount=st.floats(min_value=0.0, max_value=1.0))
+    def test_deposit_never_stores_more_than_offered(self, amount):
+        storage = StorageElement(capacity_j=1.0, initial_charge_j=0.0)
+        stored = storage.deposit(amount)
+        assert stored <= amount + 1e-12
+
+
+# ---------------------------------------------------------------------------
+# Evaluation invariants (slower: bounded example counts)
+# ---------------------------------------------------------------------------
+
+
+class TestEvaluatorProperties:
+    @given(speed=st.floats(min_value=10.0, max_value=200.0))
+    @settings(max_examples=20, deadline=None)
+    def test_energy_per_revolution_is_positive_and_finite(self, speed):
+        from repro.blocks import baseline_node
+        from repro.core.evaluator import EnergyEvaluator
+        from repro.power import reference_power_database
+
+        evaluator = EnergyEvaluator(baseline_node(), reference_power_database())
+        energy = evaluator.energy_per_revolution_j(OperatingPoint(speed_kmh=speed))
+        assert energy > 0.0
+        assert math.isfinite(energy)
+
+    @given(
+        speed=st.floats(min_value=10.0, max_value=200.0),
+        temperature=st.floats(min_value=-40.0, max_value=125.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic_and_static_split_is_consistent(self, speed, temperature):
+        from repro.blocks import baseline_node
+        from repro.core.evaluator import EnergyEvaluator
+        from repro.power import reference_power_database
+
+        evaluator = EnergyEvaluator(baseline_node(), reference_power_database())
+        report = evaluator.average_report(
+            OperatingPoint(speed_kmh=speed, temperature_c=temperature)
+        )
+        assert report.total_energy_j == pytest.approx(
+            report.dynamic_energy_j + report.static_energy_j
+        )
+        assert report.dynamic_energy_j >= 0.0
+        assert report.static_energy_j >= 0.0

@@ -1,0 +1,65 @@
+"""Tests for the ASCII curve plotting helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExportError
+from repro.reporting.ascii_plot import ascii_plot
+
+
+X = list(range(0, 101, 10))
+RISING = [float(v) for v in X]
+FALLING = [100.0 - float(v) for v in X]
+
+
+class TestAsciiPlot:
+    def test_contains_markers_for_each_series(self):
+        chart = ascii_plot(X, {"generated": RISING, "required": FALLING})
+        assert "*" in chart
+        assert "o" in chart
+
+    def test_legend_lists_series_names(self):
+        chart = ascii_plot(X, {"generated": RISING, "required": FALLING})
+        legend = chart.splitlines()[-1]
+        assert "generated" in legend
+        assert "required" in legend
+
+    def test_axis_labels_are_included(self):
+        chart = ascii_plot(X, {"y": RISING}, x_label="speed [km/h]", y_label="energy [uJ]")
+        assert "speed [km/h]" in chart
+        assert "energy [uJ]" in chart
+
+    def test_y_range_annotations(self):
+        chart = ascii_plot(X, {"y": RISING})
+        assert "100" in chart
+        assert "0" in chart
+
+    def test_height_and_width_control_output_size(self):
+        chart = ascii_plot(X, {"y": RISING}, width=40, height=10)
+        plot_lines = [line for line in chart.splitlines() if "|" in line]
+        assert len(plot_lines) == 10
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_plot(X, {"flat": [5.0] * len(X)})
+        assert "flat" in chart
+
+    def test_single_point_x_axis(self):
+        chart = ascii_plot([1.0], {"y": [2.0]})
+        assert "y" in chart
+
+    def test_empty_x_rejected(self):
+        with pytest.raises(ExportError):
+            ascii_plot([], {"y": []})
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ExportError):
+            ascii_plot(X, {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ExportError):
+            ascii_plot(X, {"y": RISING[:-1]})
+
+    def test_too_small_plot_area_rejected(self):
+        with pytest.raises(ExportError):
+            ascii_plot(X, {"y": RISING}, width=5, height=2)

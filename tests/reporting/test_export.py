@@ -1,0 +1,72 @@
+"""Tests for CSV/JSON row exports."""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+
+import pytest
+
+from repro.errors import ExportError
+from repro.reporting.export import rows_to_csv, rows_to_json
+
+
+ROWS = [
+    {"speed_kmh": 20.0, "required_uj": 90.1, "surplus": False},
+    {"speed_kmh": 80.0, "required_uj": 55.3, "surplus": True},
+]
+
+
+class TestCsvExport:
+    def test_round_trip_row_count(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "rows.csv")
+        with path.open() as handle:
+            restored = list(csv.DictReader(handle))
+        assert len(restored) == 2
+
+    def test_header_matches_columns(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "rows.csv")
+        header = path.read_text().splitlines()[0]
+        assert header == "speed_kmh,required_uj,surplus"
+
+    def test_values_survive(self, tmp_path):
+        path = rows_to_csv(ROWS, tmp_path / "rows.csv")
+        with path.open() as handle:
+            restored = list(csv.DictReader(handle))
+        assert float(restored[1]["required_uj"]) == pytest.approx(55.3)
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            rows_to_csv([], tmp_path / "rows.csv")
+
+    def test_inconsistent_columns_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            rows_to_csv(
+                [{"a": 1}, {"b": 2}],
+                tmp_path / "rows.csv",
+            )
+
+
+class TestJsonExport:
+    def test_round_trip(self, tmp_path):
+        path = rows_to_json(ROWS, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert restored[0]["speed_kmh"] == 20.0
+        assert restored[1]["surplus"] is True
+
+    def test_non_finite_floats_become_null(self, tmp_path):
+        rows = [{"value": float("nan")}, {"value": float("inf")}]
+        path = rows_to_json(rows, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert restored[0]["value"] is None
+        assert restored[1]["value"] is None
+
+    def test_finite_floats_are_preserved(self, tmp_path):
+        path = rows_to_json(ROWS, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert not math.isnan(restored[0]["required_uj"])
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ExportError):
+            rows_to_json([], tmp_path / "rows.json")

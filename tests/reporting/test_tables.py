@@ -1,0 +1,59 @@
+"""Tests for plain-text table rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExportError
+from repro.reporting.tables import render_table
+
+
+ROWS = [
+    {"block": "mcu", "energy_uj": 12.5, "share_pct": 40.0},
+    {"block": "rf_tx", "energy_uj": 35.0, "share_pct": 60.0},
+]
+
+
+class TestRenderTable:
+    def test_contains_header_and_rows(self):
+        text = render_table(ROWS)
+        assert "block" in text
+        assert "mcu" in text
+        assert "rf_tx" in text
+
+    def test_floats_use_requested_precision(self):
+        text = render_table(ROWS, float_digits=1)
+        assert "12.5" in text
+        assert "35.0" in text
+
+    def test_title_is_prepended(self):
+        text = render_table(ROWS, title="Energy per block")
+        assert text.splitlines()[0] == "Energy per block"
+
+    def test_column_selection_and_order(self):
+        text = render_table(ROWS, columns=["share_pct", "block"])
+        header = text.splitlines()[0]
+        assert header.index("share_pct") < header.index("block")
+        assert "energy_uj" not in text
+
+    def test_line_count(self):
+        text = render_table(ROWS)
+        assert len(text.splitlines()) == 2 + len(ROWS)
+
+    def test_boolean_rendering(self):
+        text = render_table([{"name": "x", "ok": True}, {"name": "y", "ok": False}])
+        assert "yes" in text
+        assert "no" in text
+
+    def test_columns_are_aligned(self):
+        lines = render_table(ROWS).splitlines()
+        separators = [line.index("|") for line in lines if "|" in line]
+        assert len(set(separators)) == 1
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ExportError):
+            render_table([])
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(ExportError):
+            render_table(ROWS, columns=["block", "latency"])

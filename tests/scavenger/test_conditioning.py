@@ -1,0 +1,87 @@
+"""Tests for the power-conditioning chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scavenger.conditioning import (
+    ConditionedScavenger,
+    PowerConditioning,
+    conditioned,
+)
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+
+
+class TestPowerConditioning:
+    def test_chain_efficiency_is_product(self):
+        chain = PowerConditioning(rectifier_efficiency=0.8, converter_efficiency=0.9)
+        assert chain.chain_efficiency == pytest.approx(0.72)
+
+    def test_banked_energy_subtracts_overhead(self):
+        chain = PowerConditioning(
+            rectifier_efficiency=1.0, converter_efficiency=1.0, startup_energy_j=1e-6
+        )
+        assert chain.banked_energy_j(10e-6) == pytest.approx(9e-6)
+
+    def test_banked_energy_floors_at_zero(self):
+        chain = PowerConditioning(startup_energy_j=5e-6)
+        assert chain.banked_energy_j(1e-6) == 0.0
+
+    def test_zero_harvest_banks_zero(self):
+        assert PowerConditioning().banked_energy_j(0.0) == 0.0
+
+    def test_negative_harvest_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerConditioning().banked_energy_j(-1.0)
+
+    def test_invalid_efficiencies_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerConditioning(rectifier_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerConditioning(converter_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            PowerConditioning(startup_energy_j=-1.0)
+
+
+class TestConditionedScavenger:
+    def test_banked_energy_is_below_raw_energy(self):
+        source = PiezoelectricScavenger()
+        wrapped = conditioned(source)
+        speed = 90.0
+        assert wrapped.energy_per_revolution_j(speed) < source.energy_per_revolution_j(speed)
+
+    def test_monotonicity_is_preserved(self):
+        wrapped = conditioned(PiezoelectricScavenger())
+        energies = [wrapped.energy_per_revolution_j(v) for v in (20.0, 60.0, 120.0)]
+        assert energies == sorted(energies)
+
+    def test_zero_below_source_cut_in(self):
+        source = PiezoelectricScavenger(minimum_speed_kmh=15.0)
+        wrapped = conditioned(source)
+        assert wrapped.energy_per_revolution_j(10.0) == 0.0
+
+    def test_technology_mentions_conditioning(self):
+        assert "conditioning" in conditioned(PiezoelectricScavenger()).technology
+
+    def test_scaling_scales_the_source(self):
+        wrapped = conditioned(PiezoelectricScavenger())
+        doubled = wrapped.scaled(2.0)
+        assert isinstance(doubled, ConditionedScavenger)
+        assert doubled.energy_per_revolution_j(80.0) > 1.9 * wrapped.energy_per_revolution_j(80.0)
+
+    def test_requires_a_source(self):
+        with pytest.raises(ConfigurationError):
+            ConditionedScavenger(source=None)
+
+    def test_perfect_chain_with_no_overhead_is_identity(self):
+        source = PiezoelectricScavenger()
+        wrapped = conditioned(
+            source,
+            PowerConditioning(
+                rectifier_efficiency=1.0, converter_efficiency=1.0, startup_energy_j=0.0
+            ),
+        )
+        assert wrapped.energy_per_revolution_j(70.0) == pytest.approx(
+            source.energy_per_revolution_j(70.0)
+        )

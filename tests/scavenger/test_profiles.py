@@ -1,0 +1,96 @@
+"""Tests for tabulated scavenger profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+from repro.scavenger.profiles import TabulatedScavenger
+
+
+def simple_table(**overrides):
+    parameters = dict(
+        speeds_kmh=(10.0, 50.0, 100.0, 200.0),
+        energies_j=(5e-6, 50e-6, 150e-6, 300e-6),
+        minimum_speed_kmh=0.0,
+    )
+    parameters.update(overrides)
+    return TabulatedScavenger(**parameters)
+
+
+class TestInterpolation:
+    def test_exact_sample_points(self):
+        table = simple_table()
+        assert table.energy_per_revolution_j(50.0) == pytest.approx(50e-6)
+
+    def test_linear_interpolation_between_points(self):
+        table = simple_table()
+        assert table.energy_per_revolution_j(75.0) == pytest.approx(100e-6)
+
+    def test_clamped_outside_range_by_default(self):
+        table = simple_table()
+        assert table.energy_per_revolution_j(500.0) == pytest.approx(300e-6)
+
+    def test_extrapolation_when_enabled(self):
+        table = simple_table(extrapolate=True)
+        assert table.energy_per_revolution_j(250.0) > 300e-6
+
+    def test_extrapolation_never_negative(self):
+        table = TabulatedScavenger(
+            speeds_kmh=(50.0, 100.0),
+            energies_j=(100e-6, 10e-6),
+            extrapolate=True,
+            minimum_speed_kmh=0.0,
+        )
+        assert table.energy_per_revolution_j(300.0) == 0.0
+
+    def test_cut_in_speed_still_applies(self):
+        table = simple_table(minimum_speed_kmh=30.0)
+        assert table.energy_per_revolution_j(20.0) == 0.0
+
+    def test_size_scaling(self):
+        table = simple_table()
+        assert table.scaled(3.0).energy_per_revolution_j(100.0) == pytest.approx(450e-6)
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedScavenger(speeds_kmh=(10.0, 20.0), energies_j=(1e-6,))
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedScavenger(speeds_kmh=(10.0,), energies_j=(1e-6,))
+
+    def test_non_increasing_speeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedScavenger(speeds_kmh=(10.0, 10.0), energies_j=(1e-6, 2e-6))
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TabulatedScavenger(speeds_kmh=(10.0, 20.0), energies_j=(1e-6, -2e-6))
+
+
+class TestFromScavenger:
+    def test_sampling_reproduces_the_source_at_sample_points(self):
+        source = PiezoelectricScavenger()
+        table = TabulatedScavenger.from_scavenger(source, [20.0, 60.0, 120.0])
+        for speed in (20.0, 60.0, 120.0):
+            assert table.energy_per_revolution_j(speed) == pytest.approx(
+                source.energy_per_revolution_j(speed)
+            )
+
+    def test_sampling_preserves_cut_in(self):
+        source = PiezoelectricScavenger(minimum_speed_kmh=12.0)
+        table = TabulatedScavenger.from_scavenger(source, [20.0, 60.0, 120.0])
+        assert table.minimum_speed_kmh == 12.0
+        assert table.energy_per_revolution_j(5.0) == 0.0
+
+    def test_interpolation_error_is_small(self):
+        source = PiezoelectricScavenger()
+        table = TabulatedScavenger.from_scavenger(source, list(range(5, 205, 5)))
+        for speed in (23.0, 67.0, 133.0):
+            assert table.energy_per_revolution_j(speed) == pytest.approx(
+                source.energy_per_revolution_j(speed), rel=0.02
+            )

@@ -1,0 +1,106 @@
+"""Tests for the harvester models (piezo, electromagnetic, electrostatic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scavenger.electromagnetic import ElectromagneticScavenger
+from repro.scavenger.electrostatic import ElectrostaticScavenger
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+
+ALL_SCAVENGERS = [
+    PiezoelectricScavenger,
+    ElectromagneticScavenger,
+    ElectrostaticScavenger,
+]
+
+
+@pytest.mark.parametrize("scavenger_type", ALL_SCAVENGERS)
+class TestCommonBehaviour:
+    def test_zero_below_cut_in_speed(self, scavenger_type):
+        scavenger = scavenger_type()
+        below = max(0.0, scavenger.minimum_speed_kmh - 1.0)
+        assert scavenger.energy_per_revolution_j(below) == 0.0
+
+    def test_zero_at_standstill(self, scavenger_type):
+        assert scavenger_type().energy_per_revolution_j(0.0) == 0.0
+
+    def test_negative_speed_rejected(self, scavenger_type):
+        with pytest.raises(ConfigurationError):
+            scavenger_type().energy_per_revolution_j(-10.0)
+
+    def test_energy_grows_with_speed(self, scavenger_type):
+        scavenger = scavenger_type()
+        speeds = (20.0, 40.0, 80.0, 160.0)
+        energies = [scavenger.energy_per_revolution_j(v) for v in speeds]
+        assert energies == sorted(energies)
+        assert energies[-1] > energies[0]
+
+    def test_energy_saturates(self, scavenger_type):
+        scavenger = scavenger_type()
+        assert scavenger.energy_per_revolution_j(400.0) <= scavenger.saturation_energy_j
+
+    def test_size_scaling_is_linear(self, scavenger_type):
+        scavenger = scavenger_type()
+        doubled = scavenger.scaled(2.0)
+        assert doubled.energy_per_revolution_j(80.0) == pytest.approx(
+            2.0 * scavenger.energy_per_revolution_j(80.0)
+        )
+
+    def test_scaled_rejects_non_positive_factor(self, scavenger_type):
+        with pytest.raises(ConfigurationError):
+            scavenger_type().scaled(0.0)
+
+    def test_average_power_is_energy_times_rev_rate(self, scavenger_type):
+        scavenger = scavenger_type()
+        speed = 90.0
+        expected = scavenger.energy_per_revolution_j(
+            speed
+        ) * scavenger.wheel.revolutions_per_second(speed)
+        assert scavenger.average_power_w(speed) == pytest.approx(expected)
+
+    def test_average_power_zero_at_standstill(self, scavenger_type):
+        assert scavenger_type().average_power_w(0.0) == 0.0
+
+    def test_energy_curve_matches_pointwise(self, scavenger_type):
+        scavenger = scavenger_type()
+        speeds = np.array([10.0, 50.0, 100.0])
+        curve = scavenger.energy_curve(speeds)
+        for value, speed in zip(curve, speeds):
+            assert value == pytest.approx(scavenger.energy_per_revolution_j(float(speed)))
+
+    def test_describe_mentions_technology(self, scavenger_type):
+        scavenger = scavenger_type()
+        assert scavenger.technology.split()[0] in scavenger.describe()
+
+    def test_invalid_reference_parameters_rejected(self, scavenger_type):
+        with pytest.raises(ConfigurationError):
+            scavenger_type(reference_energy_j=0.0)
+        with pytest.raises(ConfigurationError):
+            scavenger_type(exponent=0.0)
+
+
+class TestRelativeMagnitudes:
+    def test_piezo_reference_magnitude_is_tens_of_microjoules(self):
+        energy = PiezoelectricScavenger().energy_per_revolution_j(60.0)
+        assert 20e-6 <= energy <= 300e-6
+
+    def test_electrostatic_is_the_weakest_option(self):
+        speed = 100.0
+        electrostatic = ElectrostaticScavenger().energy_per_revolution_j(speed)
+        piezo = PiezoelectricScavenger().energy_per_revolution_j(speed)
+        electromagnetic = ElectromagneticScavenger().energy_per_revolution_j(speed)
+        assert electrostatic < piezo
+        assert electrostatic < electromagnetic
+
+    def test_electromagnetic_has_higher_cut_in(self):
+        assert (
+            ElectromagneticScavenger().minimum_speed_kmh
+            > PiezoelectricScavenger().minimum_speed_kmh
+        )
+
+    def test_average_power_at_highway_speed_is_sub_ten_milliwatt(self):
+        for scavenger_type in ALL_SCAVENGERS:
+            assert scavenger_type().average_power_w(130.0) < 10e-3

@@ -1,0 +1,75 @@
+"""Tests for scavenger sizing against an activation-speed target."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.errors import AnalysisError
+from repro.scavenger.sizing import size_for_activation_speed, sizing_table
+
+
+class TestSizeForActivationSpeed:
+    def test_sized_device_meets_the_target(self, node, database, scavenger):
+        target = 30.0
+        result = size_for_activation_speed(node, database, scavenger, target)
+        assert result.feasible
+        assert result.achieved_break_even_kmh <= target + 1.0
+
+    def test_size_is_minimal_to_first_order(self, node, database, scavenger):
+        """A device 10% smaller than the computed size misses the target."""
+        target = 30.0
+        result = size_for_activation_speed(node, database, scavenger, target)
+        undersized = EnergyBalanceAnalysis(
+            node, database, scavenger.scaled(result.size_factor * 0.9)
+        ).break_even_speed_kmh()
+        assert undersized > target
+
+    def test_easier_targets_need_smaller_devices(self, node, database, scavenger):
+        relaxed = size_for_activation_speed(node, database, scavenger, 80.0)
+        strict = size_for_activation_speed(node, database, scavenger, 30.0)
+        assert relaxed.size_factor < strict.size_factor
+
+    def test_target_below_cut_in_is_infeasible(self, node, database, scavenger):
+        result = size_for_activation_speed(
+            node, database, scavenger, scavenger.minimum_speed_kmh * 0.5
+        )
+        assert not result.feasible
+        assert result.size_factor is None
+
+    def test_size_limit_makes_aggressive_targets_infeasible(self, node, database, scavenger):
+        result = size_for_activation_speed(
+            node, database, scavenger, 10.0, max_size_factor=1.5
+        )
+        assert not result.feasible
+
+    def test_requirement_and_generation_are_reported(self, node, database, scavenger):
+        result = size_for_activation_speed(node, database, scavenger, 40.0)
+        assert result.required_energy_j > 0.0
+        assert result.generated_energy_unit_j > 0.0
+        # Consistency: size ~= required / generated (within the safety margin).
+        assert result.size_factor == pytest.approx(
+            result.required_energy_j / result.generated_energy_unit_j, rel=0.05
+        )
+
+    def test_invalid_inputs_rejected(self, node, database, scavenger):
+        with pytest.raises(AnalysisError):
+            size_for_activation_speed(node, database, scavenger, 0.0)
+        with pytest.raises(AnalysisError):
+            size_for_activation_speed(node, database, scavenger, 30.0, max_size_factor=0.0)
+
+
+class TestSizingTable:
+    def test_one_row_per_target(self, node, database, scavenger):
+        rows = sizing_table(node, database, scavenger, [30.0, 50.0, 80.0])
+        assert len(rows) == 3
+        assert [row["target_speed_kmh"] for row in rows] == [30.0, 50.0, 80.0]
+
+    def test_sizes_decrease_with_relaxed_targets(self, node, database, scavenger):
+        rows = sizing_table(node, database, scavenger, [30.0, 50.0, 80.0])
+        sizes = [row["size_factor"] for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_empty_targets_rejected(self, node, database, scavenger):
+        with pytest.raises(AnalysisError):
+            sizing_table(node, database, scavenger, [])

@@ -1,0 +1,144 @@
+"""Tests for the storage-element model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, EmulationError
+from repro.scavenger.storage import StorageElement, supercapacitor, thin_film_battery
+
+
+def ideal_storage(**overrides):
+    parameters = dict(
+        capacity_j=1.0,
+        initial_charge_j=0.5,
+        charge_efficiency=1.0,
+        discharge_efficiency=1.0,
+        self_discharge_w=0.0,
+        minimum_operating_j=0.05,
+        restart_level_j=0.10,
+    )
+    parameters.update(overrides)
+    return StorageElement(**parameters)
+
+
+class TestDeposit:
+    def test_deposit_increases_charge(self):
+        storage = ideal_storage()
+        stored = storage.deposit(0.1)
+        assert stored == pytest.approx(0.1)
+        assert storage.charge_j == pytest.approx(0.6)
+
+    def test_charge_efficiency_applies(self):
+        storage = ideal_storage(charge_efficiency=0.9)
+        stored = storage.deposit(0.1)
+        assert stored == pytest.approx(0.09)
+
+    def test_deposit_clips_at_capacity(self):
+        storage = ideal_storage(initial_charge_j=0.95)
+        stored = storage.deposit(0.2)
+        assert stored == pytest.approx(0.05)
+        assert storage.charge_j == pytest.approx(1.0)
+
+    def test_deposit_negative_rejected(self):
+        with pytest.raises(EmulationError):
+            ideal_storage().deposit(-0.1)
+
+
+class TestWithdraw:
+    def test_withdraw_decreases_charge(self):
+        storage = ideal_storage()
+        assert storage.withdraw(0.2)
+        assert storage.charge_j == pytest.approx(0.3)
+
+    def test_discharge_efficiency_increases_draw(self):
+        storage = ideal_storage(discharge_efficiency=0.5)
+        assert storage.withdraw(0.1)
+        assert storage.charge_j == pytest.approx(0.3)
+
+    def test_shortfall_returns_false_and_drains(self):
+        storage = ideal_storage(initial_charge_j=0.1)
+        assert not storage.withdraw(0.5)
+        assert storage.charge_j == 0.0
+
+    def test_withdraw_negative_rejected(self):
+        with pytest.raises(EmulationError):
+            ideal_storage().withdraw(-0.1)
+
+
+class TestLeakAndState:
+    def test_self_discharge(self):
+        storage = ideal_storage(self_discharge_w=1e-3)
+        loss = storage.leak(100.0)
+        assert loss == pytest.approx(0.1)
+        assert storage.charge_j == pytest.approx(0.4)
+
+    def test_leak_cannot_go_negative(self):
+        storage = ideal_storage(initial_charge_j=0.001, self_discharge_w=1.0)
+        storage.leak(100.0)
+        assert storage.charge_j == 0.0
+
+    def test_leak_rejects_negative_duration(self):
+        with pytest.raises(EmulationError):
+            ideal_storage().leak(-1.0)
+
+    def test_state_of_charge(self):
+        assert ideal_storage().state_of_charge == pytest.approx(0.5)
+
+    def test_depletion_and_restart_hysteresis(self):
+        storage = ideal_storage(initial_charge_j=0.06)
+        assert not storage.is_depleted
+        storage.withdraw(0.03)
+        assert storage.is_depleted
+        assert not storage.can_restart
+        storage.deposit(0.08)
+        assert storage.can_restart
+
+    def test_reset_restores_initial_charge(self):
+        storage = ideal_storage()
+        storage.withdraw(0.4)
+        storage.reset()
+        assert storage.charge_j == pytest.approx(0.5)
+
+
+class TestValidation:
+    def test_initial_charge_must_fit_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ideal_storage(initial_charge_j=2.0)
+
+    def test_restart_level_must_exceed_minimum(self):
+        with pytest.raises(ConfigurationError):
+            ideal_storage(minimum_operating_j=0.2, restart_level_j=0.1)
+
+    def test_restart_level_must_fit_capacity(self):
+        with pytest.raises(ConfigurationError):
+            ideal_storage(restart_level_j=2.0)
+
+    def test_efficiencies_must_be_valid(self):
+        with pytest.raises(ConfigurationError):
+            ideal_storage(charge_efficiency=0.0)
+        with pytest.raises(ConfigurationError):
+            ideal_storage(discharge_efficiency=1.5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ideal_storage(capacity_j=0.0)
+
+
+class TestFactories:
+    def test_supercapacitor_defaults(self):
+        storage = supercapacitor()
+        assert storage.name == "supercapacitor"
+        assert storage.charge_j == pytest.approx(0.25 * 0.4)
+
+    def test_thin_film_battery_is_larger(self):
+        assert thin_film_battery().capacity_j > supercapacitor().capacity_j
+
+    def test_supercapacitor_leaks_more_than_battery(self):
+        assert supercapacitor().self_discharge_w > thin_film_battery().self_discharge_w
+
+    def test_initial_fraction_validation(self):
+        with pytest.raises(ConfigurationError):
+            supercapacitor(initial_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            thin_film_battery(initial_fraction=-0.1)

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestArchitecturesCommand:
+    def test_lists_the_catalogue(self, capsys):
+        assert main(["architectures"]) == 0
+        output = capsys.readouterr().out
+        for name in ("legacy-tpms", "baseline", "optimized"):
+            assert name in output
+
+
+class TestBalanceCommand:
+    def test_prints_curve_and_break_even(self, capsys):
+        code = main(
+            ["balance", "--speed-min", "10", "--speed-max", "150", "--speed-step", "10"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "speed_kmh" in output
+        assert "break-even" in output
+
+    def test_unknown_architecture_fails_cleanly(self, capsys):
+        code = main(["balance", "--architecture", "does-not-exist"])
+        assert code == 1
+        assert "unknown architecture" in capsys.readouterr().err
+
+    def test_larger_scavenger_reports_lower_break_even(self, capsys):
+        main(["balance", "--scavenger-size", "1.0", "--speed-step", "10"])
+        small = capsys.readouterr().out
+        main(["balance", "--scavenger-size", "2.0", "--speed-step", "10"])
+        large = capsys.readouterr().out
+
+        def extract(text):
+            for line in text.splitlines():
+                if "break-even" in line and "km/h" in line:
+                    return float(line.split(":")[1].split("km/h")[0])
+            return None
+
+        assert extract(large) < extract(small)
+
+
+class TestTraceCommand:
+    def test_prints_segments_and_statistics(self, capsys):
+        code = main(["trace", "--speed", "60", "--window", "0.3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "transmit" in output
+        assert "peak" in output
+
+
+class TestOptimizeCommand:
+    def test_prints_assignments_and_saving(self, capsys):
+        code = main(["optimize", "--temperature", "85"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "technique" in output
+        assert "% saving" in output
+
+
+class TestEmulateCommand:
+    def test_urban_cycle_summary(self, capsys):
+        code = main(["emulate", "--cycle", "urban", "--architecture", "optimized"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "revolutions" in output
+        assert "harvested_mj" in output
+
+
+class TestReportCommand:
+    def test_full_report_without_cycle(self, capsys):
+        code = main(["report", "--architecture", "legacy-tpms"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "ENERGY ANALYSIS REPORT" in output
+        assert "Step 5" in output
+
+    def test_full_report_with_cycle(self, capsys):
+        code = main(["report", "--cycle", "urban"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Step 6" in output
+
+
+class TestArgumentParsing:
+    def test_missing_subcommand_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_cycle_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["emulate", "--cycle", "lunar"])

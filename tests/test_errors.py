@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+ALL_ERRORS = [
+    errors.ConfigurationError,
+    errors.UnknownBlockError,
+    errors.UnknownModeError,
+    errors.CharacterizationError,
+    errors.ScheduleError,
+    errors.EmulationError,
+    errors.AnalysisError,
+    errors.OptimizationError,
+    errors.ExportError,
+]
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_every_error_derives_from_repro_error(error_type):
+    assert issubclass(error_type, errors.ReproError)
+
+
+@pytest.mark.parametrize("error_type", ALL_ERRORS)
+def test_errors_are_catchable_as_base(error_type):
+    with pytest.raises(errors.ReproError):
+        raise error_type("boom")
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(errors.ReproError, Exception)
+
+
+def test_error_message_is_preserved():
+    try:
+        raise errors.AnalysisError("specific message")
+    except errors.ReproError as caught:
+        assert "specific message" in str(caught)

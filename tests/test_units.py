@@ -1,0 +1,92 @@
+"""Tests for unit conversions and quantity formatting."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestSpeedConversions:
+    def test_kmh_to_ms_known_value(self):
+        assert units.kmh_to_ms(36.0) == pytest.approx(10.0)
+
+    def test_ms_to_kmh_known_value(self):
+        assert units.ms_to_kmh(10.0) == pytest.approx(36.0)
+
+    def test_round_trip(self):
+        assert units.ms_to_kmh(units.kmh_to_ms(123.4)) == pytest.approx(123.4)
+
+    def test_zero_speed(self):
+        assert units.kmh_to_ms(0.0) == 0.0
+        assert units.ms_to_kmh(0.0) == 0.0
+
+
+class TestAngularConversions:
+    def test_rpm_to_rad_s(self):
+        assert units.rpm_to_rad_s(60.0) == pytest.approx(2.0 * math.pi)
+
+    def test_rad_s_to_rpm_round_trip(self):
+        assert units.rad_s_to_rpm(units.rpm_to_rad_s(1234.0)) == pytest.approx(1234.0)
+
+    def test_rev_per_s_to_rad_s(self):
+        assert units.rev_per_s_to_rad_s(1.0) == pytest.approx(2.0 * math.pi)
+
+
+class TestTemperatureConversions:
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.celsius_to_kelvin(25.0) == pytest.approx(298.15)
+
+    def test_kelvin_to_celsius_round_trip(self):
+        assert units.kelvin_to_celsius(units.celsius_to_kelvin(-40.0)) == pytest.approx(-40.0)
+
+
+class TestRadioPower:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert units.dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_ten_dbm_is_ten_milliwatt(self):
+        assert units.dbm_to_watt(10.0) == pytest.approx(10e-3)
+
+    def test_watt_to_dbm_round_trip(self):
+        assert units.watt_to_dbm(units.dbm_to_watt(-7.5)) == pytest.approx(-7.5)
+
+    def test_watt_to_dbm_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.watt_to_dbm(0.0)
+        with pytest.raises(ValueError):
+            units.watt_to_dbm(-1.0)
+
+
+class TestQuantityFormatting:
+    def test_microjoule(self):
+        assert units.format_energy(2.3e-6) == "2.3 uJ"
+
+    def test_milliwatt(self):
+        assert units.format_power(7.8e-3) == "7.8 mW"
+
+    def test_plain_unit(self):
+        assert units.format_quantity(3.0, "V") == "3 V"
+
+    def test_kilo_prefix(self):
+        assert units.format_quantity(50e3, "Hz") == "50 kHz"
+
+    def test_zero_has_no_prefix(self):
+        assert units.format_energy(0.0) == "0 J"
+
+    def test_non_finite_is_rendered(self):
+        assert "inf" in units.format_power(float("inf"))
+
+    def test_negative_value_keeps_sign(self):
+        rendered = units.format_current(-3.2e-3)
+        assert rendered.startswith("-3.2")
+        assert rendered.endswith("mA")
+
+    def test_nano_prefix(self):
+        assert units.format_current(4.7e-9) == "4.7 nA"
+
+    def test_digits_control(self):
+        assert units.format_quantity(1.23456e-6, "J", digits=5) == "1.2346 uJ"

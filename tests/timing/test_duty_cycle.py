@@ -1,0 +1,113 @@
+"""Tests for the per-block duty-cycle report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.errors import ScheduleError
+from repro.timing.duty_cycle import (
+    SHORT_DUTY_CYCLE_THRESHOLD,
+    duty_cycle_report,
+)
+
+
+@pytest.fixture
+def report(node, database, point):
+    schedule = node.schedule_for(point.speed_kmh, revolution_index=0)
+    return duty_cycle_report(schedule, node.adapt_database(database), point)
+
+
+class TestReportStructure:
+    def test_one_entry_per_block(self, report, node):
+        assert set(report.blocks) == set(node.block_names())
+
+    def test_period_matches_speed(self, report, node, point):
+        assert report.period_s == pytest.approx(
+            node.wheel.revolution_period_s(point.speed_kmh)
+        )
+
+    def test_for_block_lookup(self, report):
+        assert report.for_block("rf_tx").block == "rf_tx"
+
+    def test_for_missing_block_raises(self, report):
+        with pytest.raises(ScheduleError):
+            report.for_block("gpu")
+
+    def test_total_energy_positive(self, report):
+        assert report.total_energy_j() > 0.0
+
+
+class TestDutyCycleValues:
+    def test_duty_cycles_are_fractions(self, report):
+        for entry in report.entries:
+            assert 0.0 <= entry.duty_cycle <= 1.0
+
+    def test_transmitter_has_short_duty_cycle(self, report):
+        tx = report.for_block("rf_tx")
+        assert tx.duty_cycle < SHORT_DUTY_CYCLE_THRESHOLD
+        assert tx.is_short_duty_cycle
+
+    def test_always_on_lf_receiver_has_full_duty_cycle(self, report):
+        # The LF receiver rests in its active mode, so it is active all round.
+        assert report.for_block("lf_rx").duty_cycle == pytest.approx(1.0)
+
+    def test_active_time_consistent_with_duty_cycle(self, report):
+        for entry in report.entries:
+            assert entry.active_time_s == pytest.approx(
+                entry.duty_cycle * entry.period_s
+            )
+
+    def test_short_duty_cycle_blocks_subset_of_blocks(self, report):
+        assert set(report.short_duty_cycle_blocks()) <= set(report.blocks)
+
+    def test_transmit_duty_cycle_grows_with_speed(self, node, database):
+        """The paper: the TX duty cycle varies with cruising speed."""
+        adapted = node.adapt_database(database)
+        slow_point = OperatingPoint(speed_kmh=30.0)
+        fast_point = OperatingPoint(speed_kmh=150.0)
+        slow = duty_cycle_report(
+            node.schedule_for(30.0, revolution_index=0), adapted, slow_point
+        )
+        fast = duty_cycle_report(
+            node.schedule_for(150.0, revolution_index=0), adapted, fast_point
+        )
+        assert fast.for_block("rf_tx").duty_cycle > slow.for_block("rf_tx").duty_cycle
+
+
+class TestEnergySplit:
+    def test_block_energies_are_non_negative(self, report):
+        for entry in report.entries:
+            assert entry.dynamic_energy_j >= 0.0
+            assert entry.static_energy_j >= 0.0
+
+    def test_total_is_dynamic_plus_static(self, report):
+        for entry in report.entries:
+            assert entry.total_energy_j == pytest.approx(
+                entry.dynamic_energy_j + entry.static_energy_j
+            )
+
+    def test_static_fraction_in_unit_interval(self, report):
+        for entry in report.entries:
+            assert 0.0 <= entry.static_energy_fraction <= 1.0
+
+    def test_radio_energy_is_mostly_dynamic(self, report):
+        tx = report.for_block("rf_tx")
+        assert tx.static_energy_fraction < 0.5
+
+    def test_hot_condition_raises_static_fraction(self, node, database):
+        adapted = node.adapt_database(database)
+        schedule = node.schedule_for(60.0, revolution_index=0)
+        nominal = duty_cycle_report(schedule, adapted, OperatingPoint(speed_kmh=60.0))
+        hot = duty_cycle_report(
+            schedule, adapted, OperatingPoint(speed_kmh=60.0, temperature_c=125.0)
+        )
+        assert (
+            hot.for_block("mcu").static_energy_fraction
+            > nominal.for_block("mcu").static_energy_fraction
+        )
+
+    def test_report_total_matches_sum_of_entries(self, report):
+        assert report.total_energy_j() == pytest.approx(
+            sum(entry.total_energy_j for entry in report.entries)
+        )

@@ -1,0 +1,137 @@
+"""Tests for intra-revolution schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.timing.schedule import Phase, RevolutionSchedule
+
+
+BLOCKS = {"mcu": "sleep", "rf_tx": "sleep", "adc": "sleep"}
+
+
+def simple_schedule(period_s: float = 0.1) -> RevolutionSchedule:
+    return RevolutionSchedule(
+        period_s=period_s,
+        phases=(
+            Phase(name="acquire", duration_s=0.010, block_modes={"adc": "active"}),
+            Phase(name="compute", duration_s=0.005, block_modes={"mcu": "active"}),
+            Phase(name="transmit", duration_s=0.004, block_modes={"rf_tx": "active"}),
+        ),
+        blocks=BLOCKS,
+    )
+
+
+class TestPhase:
+    def test_mode_override(self):
+        phase = Phase(name="acquire", duration_s=0.01, block_modes={"adc": "active"})
+        assert phase.mode_of("adc", "sleep") == "active"
+        assert phase.mode_of("mcu", "sleep") == "sleep"
+
+    def test_activity_default(self):
+        phase = Phase(name="compute", duration_s=0.01, activities={"mcu": 0.7})
+        assert phase.activity_of("mcu") == 0.7
+        assert phase.activity_of("adc") == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            Phase(name="", duration_s=0.1)
+        with pytest.raises(ScheduleError):
+            Phase(name="x", duration_s=-0.1)
+
+
+class TestScheduleStructure:
+    def test_busy_and_resting_durations(self):
+        schedule = simple_schedule()
+        assert schedule.busy_duration_s == pytest.approx(0.019)
+        assert schedule.resting_duration_s == pytest.approx(0.081)
+
+    def test_iter_phases_appends_resting_remainder(self):
+        schedule = simple_schedule()
+        phases = list(schedule.iter_phases())
+        assert phases[-1].name == "sleep"
+        assert phases[-1].duration_s == pytest.approx(schedule.resting_duration_s)
+
+    def test_total_phase_time_equals_period(self):
+        schedule = simple_schedule()
+        assert sum(p.duration_s for p in schedule.iter_phases()) == pytest.approx(
+            schedule.period_s
+        )
+
+    def test_no_resting_phase_when_fully_busy(self):
+        schedule = RevolutionSchedule(
+            period_s=0.019,
+            phases=simple_schedule().phases,
+            blocks=BLOCKS,
+        )
+        names = [p.name for p in schedule.iter_phases()]
+        assert "sleep" not in names
+
+    def test_infeasible_schedule_rejected(self):
+        with pytest.raises(ScheduleError):
+            RevolutionSchedule(
+                period_s=0.010,
+                phases=simple_schedule().phases,
+                blocks=BLOCKS,
+            )
+
+    def test_empty_blocks_rejected(self):
+        with pytest.raises(ScheduleError):
+            RevolutionSchedule(period_s=0.1, phases=(), blocks={})
+
+    def test_modes_during_phase(self):
+        schedule = simple_schedule()
+        modes = schedule.modes_during(schedule.phase_named("compute"))
+        assert modes == {"mcu": "active", "rf_tx": "sleep", "adc": "sleep"}
+
+    def test_phase_named_missing_raises(self):
+        with pytest.raises(ScheduleError):
+            simple_schedule().phase_named("idle")
+
+    def test_has_phase(self):
+        schedule = simple_schedule()
+        assert schedule.has_phase("transmit")
+        assert not schedule.has_phase("nvm_write")
+
+
+class TestActiveTimeAndDutyCycle:
+    def test_active_time_of_block(self):
+        schedule = simple_schedule()
+        assert schedule.active_time_of("mcu", {"active"}) == pytest.approx(0.005)
+
+    def test_duty_cycle_of_block(self):
+        schedule = simple_schedule()
+        assert schedule.duty_cycle_of("rf_tx", {"active"}) == pytest.approx(0.04)
+
+    def test_resting_block_has_zero_duty_cycle(self):
+        schedule = simple_schedule()
+        assert schedule.duty_cycle_of("mcu", {"idle"}) == 0.0
+
+    def test_unknown_block_raises(self):
+        with pytest.raises(ScheduleError):
+            simple_schedule().active_time_of("pmu", {"active"})
+
+    def test_duty_cycles_sum_to_busy_fraction_for_disjoint_blocks(self):
+        schedule = simple_schedule()
+        total = sum(
+            schedule.duty_cycle_of(block, {"active"}) for block in ("mcu", "rf_tx", "adc")
+        )
+        assert total == pytest.approx(schedule.busy_duration_s / schedule.period_s)
+
+
+class TestRescaling:
+    def test_scaled_to_longer_period_keeps_busy_phases(self):
+        schedule = simple_schedule(period_s=0.1)
+        longer = schedule.scaled_to_period(0.2)
+        assert longer.busy_duration_s == pytest.approx(schedule.busy_duration_s)
+        assert longer.resting_duration_s == pytest.approx(0.2 - 0.019)
+
+    def test_scaled_to_too_short_period_raises(self):
+        with pytest.raises(ScheduleError):
+            simple_schedule().scaled_to_period(0.001)
+
+    def test_describe_lists_phases(self):
+        text = simple_schedule().describe()
+        for name in ("acquire", "compute", "transmit", "sleep"):
+            assert name in text

@@ -1,0 +1,81 @@
+"""Tests for the contact-patch acquisition-window model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.contact_patch import ContactPatchModel
+from repro.vehicle.wheel import Wheel
+
+
+@pytest.fixture
+def model():
+    return ContactPatchModel()
+
+
+class TestAcquisitionWindow:
+    def test_window_is_guard_times_patch_transit(self, model):
+        speed = 60.0
+        expected = model.wheel.contact_patch_duration_s(speed) * model.guard_factor
+        assert model.acquisition_window_s(speed) == pytest.approx(expected)
+
+    def test_window_shrinks_with_speed(self, model):
+        assert model.acquisition_window_s(30.0) > model.acquisition_window_s(120.0)
+
+    def test_duty_cycle_is_speed_independent_to_first_order(self, model):
+        assert model.acquisition_duty_cycle(20.0) == pytest.approx(
+            model.acquisition_duty_cycle(150.0), rel=1e-9
+        )
+
+    def test_duty_cycle_below_one(self, model):
+        assert 0.0 < model.acquisition_duty_cycle(60.0) < 1.0
+
+    def test_guard_factor_must_not_shrink_the_window(self):
+        with pytest.raises(ConfigurationError):
+            ContactPatchModel(guard_factor=0.5)
+
+    def test_phase_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            ContactPatchModel(phase_fraction=1.5)
+
+
+class TestSampleCounts:
+    def test_samples_scale_with_rate(self, model):
+        low = model.samples_per_revolution(60.0, sample_rate_hz=10e3)
+        high = model.samples_per_revolution(60.0, sample_rate_hz=100e3)
+        assert high > low
+
+    def test_samples_decrease_with_speed(self, model):
+        assert model.samples_per_revolution(20.0, 100e3) > model.samples_per_revolution(
+            160.0, 100e3
+        )
+
+    def test_at_least_one_sample(self, model):
+        assert model.samples_per_revolution(250.0, sample_rate_hz=10.0) == 1
+
+    def test_rejects_non_positive_rate(self, model):
+        with pytest.raises(ConfigurationError):
+            model.samples_per_revolution(60.0, 0.0)
+
+
+class TestWindowPlacement:
+    def test_window_fits_inside_revolution(self, model):
+        for speed in (10.0, 60.0, 180.0):
+            window = model.window(speed, 100e3)
+            period = model.wheel.revolution_period_s(speed)
+            assert window.start_s >= 0.0
+            assert window.start_s + window.duration_s <= period + 1e-12
+
+    def test_window_samples_match_samples_per_revolution(self, model):
+        window = model.window(60.0, 100e3)
+        assert window.samples == model.samples_per_revolution(60.0, 100e3)
+
+    def test_custom_wheel_is_used(self):
+        from repro.vehicle.tyre import tyre_from_etrto
+
+        big = ContactPatchModel(wheel=Wheel(tyre=tyre_from_etrto("255/55R19")))
+        small = ContactPatchModel(wheel=Wheel(tyre=tyre_from_etrto("175/65R14")))
+        # Same patch length but the big tyre turns more slowly, so the window
+        # is a smaller fraction of its (longer) revolution.
+        assert big.acquisition_duty_cycle(60.0) < small.acquisition_duty_cycle(60.0)

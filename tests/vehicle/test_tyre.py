@@ -1,0 +1,94 @@
+"""Tests for tyre geometry and ETRTO parsing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.tyre import REFERENCE_TYRE, Tyre, tyre_from_etrto
+
+
+class TestTyreGeometry:
+    def test_sidewall_height(self):
+        tyre = Tyre(width_m=0.225, aspect_ratio=0.45, rim_diameter_m=0.4318)
+        assert tyre.sidewall_height_m == pytest.approx(0.225 * 0.45)
+
+    def test_unloaded_radius(self):
+        tyre = Tyre(width_m=0.225, aspect_ratio=0.45, rim_diameter_m=0.4318)
+        expected = 0.4318 / 2.0 + 0.225 * 0.45
+        assert tyre.unloaded_radius_m == pytest.approx(expected)
+
+    def test_rolling_radius_smaller_than_unloaded(self):
+        assert REFERENCE_TYRE.rolling_radius_m < REFERENCE_TYRE.unloaded_radius_m
+
+    def test_rolling_circumference(self):
+        assert REFERENCE_TYRE.rolling_circumference_m == pytest.approx(
+            2.0 * math.pi * REFERENCE_TYRE.rolling_radius_m
+        )
+
+    def test_reference_tyre_circumference_is_plausible(self):
+        # A 225/45R17 travels very close to 2 m per revolution.
+        assert 1.85 <= REFERENCE_TYRE.rolling_circumference_m <= 2.05
+
+    def test_contact_patch_fraction_is_small(self):
+        assert 0.0 < REFERENCE_TYRE.contact_patch_fraction < 0.1
+
+    def test_contact_patch_angle_consistency(self):
+        fraction = REFERENCE_TYRE.contact_patch_angle_rad / (2.0 * math.pi)
+        assert REFERENCE_TYRE.contact_patch_fraction == pytest.approx(fraction)
+
+    def test_describe_mentions_designation(self):
+        assert "225/45R17" in REFERENCE_TYRE.describe()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"width_m": 0.0, "aspect_ratio": 0.45, "rim_diameter_m": 0.43},
+            {"width_m": 0.2, "aspect_ratio": 0.1, "rim_diameter_m": 0.43},
+            {"width_m": 0.2, "aspect_ratio": 0.45, "rim_diameter_m": -1.0},
+            {
+                "width_m": 0.2,
+                "aspect_ratio": 0.45,
+                "rim_diameter_m": 0.43,
+                "contact_patch_length_m": 0.0,
+            },
+        ],
+    )
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            Tyre(**kwargs)
+
+
+class TestEtrtoParsing:
+    def test_reference_size(self):
+        tyre = tyre_from_etrto("225/45R17")
+        assert tyre.width_m == pytest.approx(0.225)
+        assert tyre.aspect_ratio == pytest.approx(0.45)
+        assert tyre.rim_diameter_m == pytest.approx(17 * 0.0254)
+
+    def test_designation_is_normalized(self):
+        assert tyre_from_etrto(" 205/55 r16 ").designation == "205/55R16"
+
+    def test_lowercase_accepted(self):
+        assert tyre_from_etrto("195/65r15").rim_diameter_m == pytest.approx(15 * 0.0254)
+
+    def test_bigger_rim_means_bigger_radius(self):
+        small = tyre_from_etrto("205/55R16")
+        large = tyre_from_etrto("205/55R19")
+        assert large.rolling_radius_m > small.rolling_radius_m
+
+    def test_lower_profile_means_smaller_radius(self):
+        tall = tyre_from_etrto("225/60R17")
+        low = tyre_from_etrto("225/40R17")
+        assert low.rolling_radius_m < tall.rolling_radius_m
+
+    @pytest.mark.parametrize("bad", ["", "225-45-17", "2254517", "22/45R17", "225/45R1"])
+    def test_malformed_designations_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            tyre_from_etrto(bad)
+
+    def test_custom_contact_patch_length(self):
+        tyre = tyre_from_etrto("225/45R17", contact_patch_length_m=0.15)
+        assert tyre.contact_patch_length_m == 0.15

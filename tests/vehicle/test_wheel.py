@@ -1,0 +1,109 @@
+"""Tests for wheel kinematics: the speed <-> wheel-round bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.vehicle.tyre import tyre_from_etrto
+from repro.vehicle.wheel import Wheel
+
+
+@pytest.fixture
+def wheel():
+    return Wheel()
+
+
+class TestRevolutionPeriod:
+    def test_period_at_60_kmh_is_about_a_tenth_of_a_second(self, wheel):
+        period = wheel.revolution_period_s(60.0)
+        assert 0.10 <= period <= 0.13
+
+    def test_period_halves_when_speed_doubles(self, wheel):
+        assert wheel.revolution_period_s(40.0) == pytest.approx(
+            2.0 * wheel.revolution_period_s(80.0)
+        )
+
+    def test_period_times_rate_is_unity(self, wheel):
+        speed = 87.3
+        assert wheel.revolution_period_s(speed) * wheel.revolutions_per_second(
+            speed
+        ) == pytest.approx(1.0)
+
+    def test_zero_speed_has_no_period(self, wheel):
+        with pytest.raises(ConfigurationError):
+            wheel.revolution_period_s(0.0)
+
+    def test_speed_for_period_is_inverse(self, wheel):
+        period = wheel.revolution_period_s(123.0)
+        assert wheel.speed_for_period(period) == pytest.approx(123.0)
+
+    def test_speed_for_period_rejects_non_positive(self, wheel):
+        with pytest.raises(ConfigurationError):
+            wheel.speed_for_period(0.0)
+
+
+class TestRevolutionRate:
+    def test_rate_is_zero_at_standstill(self, wheel):
+        assert wheel.revolutions_per_second(0.0) == 0.0
+
+    def test_rate_scales_linearly_with_speed(self, wheel):
+        assert wheel.revolutions_per_second(100.0) == pytest.approx(
+            2.0 * wheel.revolutions_per_second(50.0)
+        )
+
+    def test_rate_at_120_kmh_is_plausible(self, wheel):
+        # ~33.3 m/s over ~1.95 m circumference -> roughly 17 rev/s.
+        assert 15.0 <= wheel.revolutions_per_second(120.0) <= 19.0
+
+    def test_negative_speed_rejected(self, wheel):
+        with pytest.raises(ConfigurationError):
+            wheel.revolutions_per_second(-5.0)
+
+
+class TestDistanceAndAcceleration:
+    def test_revolutions_over_circumference_is_one(self, wheel):
+        circumference = wheel.tyre.rolling_circumference_m
+        assert wheel.revolutions_over(circumference) == pytest.approx(1.0)
+
+    def test_revolutions_over_rejects_negative(self, wheel):
+        with pytest.raises(ConfigurationError):
+            wheel.revolutions_over(-1.0)
+
+    def test_centripetal_acceleration_grows_quadratically(self, wheel):
+        assert wheel.centripetal_acceleration(100.0) == pytest.approx(
+            4.0 * wheel.centripetal_acceleration(50.0)
+        )
+
+    def test_centripetal_acceleration_magnitude(self, wheel):
+        # At 100 km/h the liner sees on the order of hundreds of g.
+        acceleration = wheel.centripetal_acceleration(100.0)
+        assert 1500.0 <= acceleration <= 4000.0
+
+    def test_angular_rate_consistent_with_rev_rate(self, wheel):
+        import math
+
+        speed = 72.0
+        assert wheel.angular_rate_rad_s(speed) == pytest.approx(
+            wheel.revolutions_per_second(speed) * 2.0 * math.pi
+        )
+
+
+class TestContactPatchDuration:
+    def test_duration_shrinks_with_speed(self, wheel):
+        assert wheel.contact_patch_duration_s(30.0) > wheel.contact_patch_duration_s(90.0)
+
+    def test_duration_requires_motion(self, wheel):
+        with pytest.raises(ConfigurationError):
+            wheel.contact_patch_duration_s(0.0)
+
+    def test_duration_magnitude_at_60(self, wheel):
+        # 12 cm patch at 16.7 m/s is about 7 ms.
+        assert 0.005 <= wheel.contact_patch_duration_s(60.0) <= 0.010
+
+
+class TestDifferentTyres:
+    def test_smaller_tyre_spins_faster(self):
+        small = Wheel(tyre=tyre_from_etrto("175/65R14"))
+        large = Wheel(tyre=tyre_from_etrto("255/55R19"))
+        assert small.revolutions_per_second(80.0) > large.revolutions_per_second(80.0)
