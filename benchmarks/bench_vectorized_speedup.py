@@ -1,0 +1,114 @@
+"""Vectorized batch-evaluation engine vs the scalar reference path.
+
+The compiled power table (:mod:`repro.power.compiled`) turns every
+figure-reproduction sweep from O(points x blocks x modes) Python dispatch
+into a handful of array operations.  This benchmark quantifies that claim on
+a >= 1000-point speed x temperature condition grid and *asserts* the
+acceptance criteria of the perf work:
+
+* >= 10x speedup of the grid evaluation versus per-point scalar
+  ``average_report`` calls;
+* vectorized energies matching the scalar ones within 1e-9 relative
+  tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import emit_result
+from repro.conditions.operating_point import OperatingPoint
+from repro.core.evaluator import EnergyEvaluator
+
+SPEEDS_KMH = np.linspace(20.0, 180.0, 40)
+TEMPERATURES_C = np.linspace(-40.0, 125.0, 25)
+GRID_POINTS = len(SPEEDS_KMH) * len(TEMPERATURES_C)
+#: The acceptance bar is 10x (local headroom is ~50x).  Shared CI runners are
+#: noisy, so workflows may lower the enforced floor via the environment while
+#: the measured number is still reported; the default stays the strict bar.
+REQUIRED_SPEEDUP = float(os.environ.get("VECTORIZED_SPEEDUP_FLOOR", "10.0"))
+RTOL = 1e-9
+
+
+def _scalar_grid(evaluator: EnergyEvaluator) -> np.ndarray:
+    """Reference path: one ``average_report`` per grid point."""
+    energies = np.empty((len(SPEEDS_KMH), len(TEMPERATURES_C)))
+    for i, speed in enumerate(SPEEDS_KMH):
+        for j, temperature in enumerate(TEMPERATURES_C):
+            point = OperatingPoint(speed_kmh=float(speed), temperature_c=float(temperature))
+            energies[i, j] = evaluator.average_report(point).total_energy_j
+    return energies
+
+
+def _time(callable_, repeats: int) -> tuple[float, object]:
+    """Best-of-N wall time of ``callable_`` and its (last) return value."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = callable_()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def test_vectorized_grid_speedup(node, database):
+    """>=10x on a 1000-point grid, equal to the scalar path within 1e-9."""
+    assert GRID_POINTS >= 1000
+    evaluator = EnergyEvaluator(node, database)
+    evaluator.compiled  # build the table outside the timed region
+
+    scalar_s, scalar_energies = _time(lambda: _scalar_grid(evaluator), repeats=2)
+    vector_s, grid = _time(
+        lambda: evaluator.energy_grid(SPEEDS_KMH, TEMPERATURES_C), repeats=5
+    )
+    speedup = scalar_s / vector_s
+
+    emit_result(
+        "vectorized_speedup",
+        [
+            {
+                "workload": f"{len(SPEEDS_KMH)}x{len(TEMPERATURES_C)} speed x temperature grid",
+                "points": GRID_POINTS,
+                "scalar_ms": scalar_s * 1e3,
+                "vectorized_ms": vector_s * 1e3,
+                "speedup_x": speedup,
+            }
+        ],
+        title="Vectorized batch evaluation vs scalar reference (energy per wheel round)",
+    )
+
+    assert np.allclose(grid.energy_j, scalar_energies, rtol=RTOL, atol=0.0), (
+        "vectorized grid diverged from the scalar reference"
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"vectorized path is only {speedup:.1f}x faster "
+        f"(scalar {scalar_s * 1e3:.1f} ms vs vectorized {vector_s * 1e3:.1f} ms); "
+        f"the acceptance bar is {REQUIRED_SPEEDUP:.0f}x"
+    )
+
+
+def test_vectorized_sweep_matches_scalar_everywhere(node, database):
+    """Spot equivalence on mixed conditions (supply corners, process corners)."""
+    from repro.conditions.process import ProcessCorner, ProcessVariation
+    from repro.conditions.supply import SupplyCondition, SupplyRail
+
+    evaluator = EnergyEvaluator(node, database)
+    points = []
+    for speed in (25.0, 60.0, 140.0):
+        for corner in ProcessCorner:
+            for supply in (1.1, 1.2, 1.3):
+                rail = SupplyRail(name="vdd_core", nominal_v=supply, tolerance=0.0)
+                points.append(
+                    OperatingPoint(
+                        speed_kmh=speed,
+                        temperature_c=85.0,
+                        supply=SupplyCondition(rail=rail),
+                        process=ProcessVariation(corner=corner),
+                    )
+                )
+    batch = evaluator.average_energy_sweep(points)
+    scalar = np.array([evaluator.energy_per_revolution_j(p) for p in points])
+    assert np.allclose(batch, scalar, rtol=RTOL, atol=0.0)

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.blocks.base import BlockCategory, FunctionalBlock
 from repro.errors import ConfigurationError
 
@@ -40,8 +42,15 @@ class PmuConfig:
             description="power management: rectifier control, regulators, supervisor",
         )
 
-    def referred_to_storage(self, energy_j: float) -> float:
-        """Energy drawn from the storage element to deliver ``energy_j`` to the rails."""
-        if energy_j < 0.0:
+    def referred_to_storage(self, energy_j: float | np.ndarray) -> float | np.ndarray:
+        """Energy drawn from the storage element to deliver ``energy_j`` to the rails.
+
+        Accepts a scalar or a numpy array (the batch evaluation path refers
+        whole sweeps at once); the return type matches the input.
+        """
+        if isinstance(energy_j, (int, float)):  # fast path: per-revolution calls
+            if energy_j < 0.0:
+                raise ConfigurationError("energy must be non-negative")
+        elif np.any(np.asarray(energy_j) < 0.0):
             raise ConfigurationError("energy must be non-negative")
         return energy_j / self.regulator_efficiency

@@ -7,6 +7,7 @@ the working conditions and process variation; operating conditions live with
 the functional blocks themselves (:mod:`repro.blocks`).
 """
 
+from repro.conditions.batch import BatchConditions
 from repro.conditions.operating_point import OperatingPoint
 from repro.conditions.process import (
     MonteCarloSampler,
@@ -21,6 +22,7 @@ from repro.conditions.temperature import (
 )
 
 __all__ = [
+    "BatchConditions",
     "OperatingPoint",
     "ProcessCorner",
     "ProcessVariation",

@@ -16,6 +16,11 @@ from repro.conditions.supply import CORE_RAIL, SupplyCondition
 from repro.errors import ConfigurationError
 from repro.units import kmh_to_ms
 
+#: Modelled junction-temperature range in degrees Celsius; shared by the
+#: scalar :class:`OperatingPoint` validation and the batch-condition columns
+#: so the two paths can never disagree on what is in range.
+TEMPERATURE_RANGE_C = (-60.0, 200.0)
+
 
 @dataclass(frozen=True)
 class OperatingPoint:
@@ -41,7 +46,7 @@ class OperatingPoint:
     def __post_init__(self) -> None:
         if self.speed_kmh < 0.0:
             raise ConfigurationError("speed must be non-negative")
-        if not -60.0 <= self.temperature_c <= 200.0:
+        if not TEMPERATURE_RANGE_C[0] <= self.temperature_c <= TEMPERATURE_RANGE_C[1]:
             raise ConfigurationError(
                 f"temperature {self.temperature_c} degC is outside the modelled range"
             )

@@ -16,10 +16,11 @@
 """
 
 from repro.core.balance import BalancePoint, EnergyBalanceAnalysis, EnergyBalanceCurve
-from repro.core.emulator import EmulationResult, NodeEmulator
+from repro.core.emulator import EmulationResult, NodeEmulator, SampleLog
 from repro.core.evaluator import (
     BlockEnergy,
     EnergyEvaluator,
+    EnergyGrid,
     PhaseEnergy,
     RevolutionEnergyReport,
 )
@@ -31,6 +32,8 @@ from repro.core.trace import PowerTrace
 
 __all__ = [
     "EnergyEvaluator",
+    "EnergyGrid",
+    "SampleLog",
     "RevolutionEnergyReport",
     "BlockEnergy",
     "PhaseEnergy",

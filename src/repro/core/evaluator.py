@@ -18,10 +18,15 @@ Two evaluation paths are provided and cross-checked by the tests:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.blocks.node import SensorNode
+from repro.conditions.batch import BatchConditions
 from repro.conditions.operating_point import OperatingPoint
 from repro.errors import AnalysisError
+from repro.power.compiled import CompiledPowerTable
 from repro.power.database import PowerDatabase
 from repro.timing.duty_cycle import DutyCycleReport, duty_cycle_report
 from repro.timing.schedule import RevolutionSchedule
@@ -130,17 +135,95 @@ class RevolutionEnergyReport:
         return rows
 
 
+@dataclass(frozen=True, eq=False)
+class EnergyGrid:
+    """Vectorized energy evaluation over a speed x temperature grid.
+
+    Attributes:
+        node_name: architecture the grid refers to.
+        speeds_kmh: the ``(S,)`` speed axis.
+        temperatures_c: the ``(T,)`` temperature axis.
+        dynamic_j: dynamic energy per wheel round, shape ``(S, T)``.
+        static_j: static energy per wheel round, shape ``(S, T)``.
+        period_s: wheel-round period per speed, shape ``(S,)``.
+    """
+
+    node_name: str
+    speeds_kmh: np.ndarray
+    temperatures_c: np.ndarray
+    dynamic_j: np.ndarray
+    static_j: np.ndarray
+    period_s: np.ndarray
+
+    @property
+    def energy_j(self) -> np.ndarray:
+        """Total energy per wheel round, shape ``(S, T)``."""
+        return self.dynamic_j + self.static_j
+
+    @property
+    def average_power_w(self) -> np.ndarray:
+        """Average node power at each grid point, shape ``(S, T)``."""
+        return self.energy_j / self.period_s[:, None]
+
+    @property
+    def static_fraction(self) -> np.ndarray:
+        """Leakage share of the energy at each grid point (0 where total is 0)."""
+        total = self.energy_j
+        return np.divide(
+            self.static_j, total, out=np.zeros_like(total), where=total > 0.0
+        )
+
+
 class EnergyEvaluator:
     """Evaluates node energy per wheel round from a power database.
 
     The evaluator re-targets the database to the node's clock choices once at
     construction (see :meth:`SensorNode.adapt_database`), so the same
     instance can be reused across speeds and conditions cheaply.
+
+    Two families of APIs are exposed:
+
+    * the scalar path (:meth:`average_report`, :meth:`schedule_report`,
+      :meth:`standstill_power_w`) evaluates one :class:`OperatingPoint` at a
+      time through ``PowerEntry.breakdown`` — this is the reference
+      implementation;
+    * the batch path (:meth:`average_energy_sweep`,
+      :meth:`standstill_power_sweep`, :meth:`energy_grid`) evaluates arrays
+      of conditions through the lazily-built :class:`CompiledPowerTable` in a
+      handful of vectorized expressions.  Sweep consumers (balance curves,
+      spreadsheet sweeps, design-space exploration) use this path; its
+      results match the scalar path to floating-point round-off.
     """
 
     def __init__(self, node: SensorNode, database: PowerDatabase) -> None:
         self.node = node
+        #: The database as handed in, before re-targeting; lets callers that
+        #: share evaluators check they were built from the same source.
+        self.source_database = database
         self.database = node.adapt_database(database)
+        self._compiled: CompiledPowerTable | None = None
+        self._compiled_from: PowerDatabase | None = None
+        self._compiled_version = -1
+
+    @property
+    def compiled(self) -> CompiledPowerTable:
+        """Compiled (flattened, vectorizable) view of the adapted database.
+
+        Rebuilt automatically when the adapted database is mutated in place
+        (``add``/``remove`` bump its version counter) or when ``database`` is
+        rebound to a different object, so the batch APIs can never silently
+        diverge from the scalar path on the same evaluator.
+        """
+        version = self.database._version
+        if (
+            self._compiled is None
+            or self._compiled_from is not self.database
+            or self._compiled_version != version
+        ):
+            self._compiled = CompiledPowerTable.from_database(self.database)
+            self._compiled_from = self.database
+            self._compiled_version = version
+        return self._compiled
 
     # -- exact evaluation of one specific revolution ---------------------------
 
@@ -287,3 +370,255 @@ class EnergyEvaluator:
         """Per-block duty-cycle report for one wheel round at ``point``."""
         schedule = self.node.schedule_for(point.speed_kmh, revolution_index)
         return duty_cycle_report(schedule, self.database, point)
+
+    # -- vectorized batch evaluation ----------------------------------------------
+
+    @staticmethod
+    def _census_signature(census) -> tuple:
+        """Speed-independent structure of a phase census (names, weights, modes)."""
+        return tuple(
+            (
+                phase.name,
+                weight,
+                tuple(sorted(phase.block_modes.items())),
+                tuple(sorted(phase.activities.items())),
+            )
+            for phase, weight in census
+        )
+
+    def _as_batch(self, points) -> BatchConditions:
+        if isinstance(points, BatchConditions):
+            return points
+        return BatchConditions.from_points(points)
+
+    def _scalar_components_fallback(
+        self, batch: BatchConditions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference fallback: one scalar ``average_report`` per point."""
+        count = len(batch)
+        dynamic = np.empty(count)
+        static = np.empty(count)
+        period = np.empty(count)
+        for i in range(count):
+            point = batch.point_at(i)
+            report = self.average_report(point)
+            dynamic[i] = report.dynamic_energy_j
+            static[i] = report.static_energy_j
+            period[i] = report.period_s
+        return dynamic, static, period
+
+    def _batch_average_components(
+        self, batch: BatchConditions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-point (dynamic_j, static_j, period_s) of the average wheel round.
+
+        The computation mirrors :meth:`average_report` exactly — resting
+        energy over the full period plus the occurrence-weighted incremental
+        energy of every conditional phase, clamped at zero per block — but
+        evaluates every operating point in the batch simultaneously.  Timing
+        quantities (schedule feasibility, phase durations, wheel period) are
+        computed once per *unique speed*; power quantities are evaluated in
+        single vectorized expressions over all points.
+        """
+        if len(batch) == 0:
+            empty = np.empty(0)
+            return empty, empty.copy(), empty.copy()
+        if np.any(batch.speed_kmh <= 0.0):
+            raise AnalysisError("the average report requires a moving vehicle")
+
+        unique_speeds, inverse = np.unique(batch.speed_kmh, return_inverse=True)
+        periods_u = np.empty(len(unique_speeds))
+        census0 = None
+        signature = None
+        durations_u: np.ndarray | None = None
+        for j, speed in enumerate(unique_speeds):
+            speed = float(speed)
+            # Like the scalar path, the worst-case revolution validates that
+            # the busy phases fit in the wheel round at this speed.
+            self.node.schedule_for(speed, revolution_index=0)
+            census = self.node.phase_census(speed)
+            if census0 is None:
+                census0 = census
+                signature = self._census_signature(census)
+                durations_u = np.empty((len(census), len(unique_speeds)))
+            elif self._census_signature(census) != signature:
+                # The phase structure changed with speed (a custom node);
+                # vectorizing over speeds would be wrong, so defer to the
+                # scalar reference path.
+                return self._scalar_components_fallback(batch)
+            durations_u[:, j] = [phase.duration_s for phase, _ in census]
+            periods_u[j] = self.node.wheel.revolution_period_s(speed)
+
+        table = self.compiled
+        resting = self.node.resting_modes()
+        block_names = sorted(resting)
+        block_pos = {name: i for i, name in enumerate(block_names)}
+        rest_rows = table.rows([(name, resting[name]) for name in block_names])
+
+        override_keys: list[tuple[str, str]] = []
+        override_pos: dict[tuple[str, str], int] = {}
+        for phase, _weight in census0:
+            for block, mode in phase.block_modes.items():
+                key = (block, mode)
+                if key not in override_pos:
+                    override_pos[key] = len(override_keys)
+                    override_keys.append(key)
+
+        dyn_rest, stat_rest = table.breakdown_components(
+            rest_rows,
+            batch.supply_v,
+            batch.temperature_c,
+            process_dynamic=batch.dynamic_factor,
+            process_leakage=batch.leakage_factor,
+        )
+        if override_keys:
+            override_rows = table.rows(override_keys)
+            dyn_over, stat_over = table.breakdown_components(
+                override_rows,
+                batch.supply_v,
+                batch.temperature_c,
+                process_dynamic=batch.dynamic_factor,
+                process_leakage=batch.leakage_factor,
+            )
+        else:  # every phase runs in resting modes; keep the arrays bound
+            override_rows = np.empty(0, dtype=np.intp)
+            dyn_over = np.empty((0, len(batch)))
+            stat_over = np.empty((0, len(batch)))
+
+        period = periods_u[inverse]
+        block_dynamic = dyn_rest * period[None, :]
+        block_static = stat_rest * period[None, :]
+        for k, (phase, weight) in enumerate(census0):
+            duration = durations_u[k][inverse]
+            for block, mode in phase.block_modes.items():
+                b = block_pos[block]
+                i = override_pos[(block, mode)]
+                active_dynamic = dyn_over[i]
+                activity = phase.activity_of(block)
+                if activity != 1.0:
+                    row = override_rows[i]
+                    active_dynamic = active_dynamic * (
+                        activity ** table.activity_exponent[row]
+                    )
+                block_dynamic[b] += weight * (active_dynamic - dyn_rest[b]) * duration
+                block_static[b] += weight * (stat_over[i] - stat_rest[b]) * duration
+
+        np.maximum(block_dynamic, 0.0, out=block_dynamic)
+        np.maximum(block_static, 0.0, out=block_static)
+        return block_dynamic.sum(axis=0), block_static.sum(axis=0), period
+
+    def average_components_sweep(
+        self, points: Sequence[OperatingPoint] | BatchConditions
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Batch (dynamic_j, static_j, period_s) arrays of the average round."""
+        return self._batch_average_components(self._as_batch(points))
+
+    def average_energy_sweep(
+        self, points: Sequence[OperatingPoint] | BatchConditions
+    ) -> np.ndarray:
+        """Average energy per wheel round at every point, shape ``(N,)``.
+
+        Vectorized equivalent of calling :meth:`energy_per_revolution_j` per
+        point; results agree with the scalar path to round-off.
+        """
+        dynamic, static, _period = self._batch_average_components(self._as_batch(points))
+        return dynamic + static
+
+    def average_power_sweep(
+        self, points: Sequence[OperatingPoint] | BatchConditions
+    ) -> np.ndarray:
+        """Average node power at every (moving) point, shape ``(N,)``."""
+        dynamic, static, period = self._batch_average_components(self._as_batch(points))
+        return (dynamic + static) / period
+
+    def standstill_power_sweep(
+        self, points: Sequence[OperatingPoint] | BatchConditions
+    ) -> np.ndarray:
+        """Resting-mode node power at every point, shape ``(N,)``.
+
+        Vectorized equivalent of :meth:`standstill_power_w`; speed is
+        irrelevant (every block rests), so points may be stationary.
+        """
+        batch = self._as_batch(points)
+        if len(batch) == 0:
+            return np.empty(0)
+        resting = self.node.resting_modes()
+        rows = self.compiled.rows(list(resting.items()))
+        return self.compiled.total_power_w(
+            rows,
+            batch.supply_v,
+            batch.temperature_c,
+            process_dynamic=batch.dynamic_factor,
+            process_leakage=batch.leakage_factor,
+        )
+
+    def energy_grid(
+        self,
+        speeds_kmh,
+        temperatures_c,
+        base_point: OperatingPoint | None = None,
+    ) -> EnergyGrid:
+        """Vectorized energy evaluation over a speed x temperature grid.
+
+        Supply and process conditions come from ``base_point``; the grid is
+        evaluated without allocating a single per-point object, which makes
+        condition-sweep workloads O(array ops) instead of
+        O(points x blocks x modes) Python dispatch.
+        """
+        speeds = np.asarray(speeds_kmh, dtype=np.float64)
+        temperatures = np.asarray(temperatures_c, dtype=np.float64)
+        if speeds.size == 0 or temperatures.size == 0:
+            raise AnalysisError("the energy grid needs at least one speed and one temperature")
+        batch = BatchConditions.grid(speeds, temperatures, base_point=base_point)
+        dynamic, static, period = self._batch_average_components(batch)
+        shape = (len(speeds), len(temperatures))
+        return EnergyGrid(
+            node_name=self.node.name,
+            speeds_kmh=speeds,
+            temperatures_c=temperatures,
+            dynamic_j=dynamic.reshape(shape),
+            static_j=static.reshape(shape),
+            period_s=period.reshape(shape)[:, 0],
+        )
+
+    def schedule_energy_compiled(
+        self, schedule: RevolutionSchedule, point: OperatingPoint
+    ) -> tuple[float, tuple[tuple[str, float, float], ...]]:
+        """Total energy and per-phase (name, duration, power) of one schedule.
+
+        Compiled-table equivalent of :meth:`schedule_report` reduced to what
+        the emulator's cache-miss path needs: the revolution energy plus the
+        phase list used to reconstruct the instant-power trace.  Evaluating
+        every (block, mode) row once per condition instead of once per phase
+        removes the per-phase dataclass allocations of the scalar path.
+        """
+        table = self.compiled
+        dyn_all, stat_all = table.breakdown_components(
+            np.arange(len(table)),
+            point.supply_voltage,
+            point.temperature_c,
+            process_dynamic=point.process.dynamic_factor,
+            process_leakage=point.process.leakage_factor,
+        )
+        dynamic = dyn_all[:, 0].tolist()
+        static = stat_all[:, 0].tolist()
+        exponents = table.activity_exponent.tolist()
+        resting = self.node.resting_modes()
+
+        total = 0.0
+        phases: list[tuple[str, float, float]] = []
+        for phase in schedule.iter_phases():
+            power = 0.0
+            for block, resting_mode in resting.items():
+                mode = phase.mode_of(block, resting_mode)
+                row = table.row(block, mode)
+                dynamic_w = dynamic[row]
+                activity = phase.activity_of(block)
+                if activity != 1.0:
+                    dynamic_w *= activity ** exponents[row]
+                power += dynamic_w + static[row]
+            total += power * phase.duration_s
+            phases.append(
+                (phase.name, phase.duration_s, power if phase.duration_s > 0.0 else 0.0)
+            )
+        return total, tuple(phases)

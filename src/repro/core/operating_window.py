@@ -47,28 +47,35 @@ def find_operating_windows(
     """
     if minimum_duration_s < 0.0:
         raise AnalysisError("minimum duration must be non-negative")
-    if not result.samples:
+    if result.sample_count == 0:
         raise AnalysisError("the emulation result holds no recorded samples")
 
     arrays = result.sample_arrays()
     times = arrays["time_s"]
     active = arrays["node_active"]
 
-    windows: list[OperatingWindow] = []
-    start: float | None = None
-    for index in range(len(times)):
-        if active[index] and start is None:
-            start = float(times[index])
-        elif not active[index] and start is not None:
-            end = float(times[index])
-            if end - start >= minimum_duration_s and end > start:
-                windows.append(OperatingWindow(start_s=start, end_s=end))
-            start = None
-    if start is not None:
-        end = float(max(times[-1], result.duration_s))
-        if end - start >= minimum_duration_s and end > start:
-            windows.append(OperatingWindow(start_s=start, end_s=end))
-    return windows
+    # Vectorized run-length extraction over the (columnar) activity log: a
+    # window starts at the first sample of each active run and ends at the
+    # first inactive sample after it; a run still open at the last sample is
+    # closed at the cycle end.
+    edges = np.diff(active.astype(np.int8))
+    start_indices = np.flatnonzero(edges == 1) + 1
+    end_indices = np.flatnonzero(edges == -1) + 1
+    if active[0]:
+        start_indices = np.concatenate(([0], start_indices))
+
+    starts = times[start_indices]
+    ends = times[end_indices]
+    if len(start_indices) > len(end_indices):
+        tail_end = float(max(times[-1], result.duration_s))
+        ends = np.concatenate((ends, [tail_end]))
+
+    durations = ends - starts
+    keep = (durations >= minimum_duration_s) & (durations > 0.0)
+    return [
+        OperatingWindow(start_s=float(start), end_s=float(end))
+        for start, end in zip(starts[keep], ends[keep])
+    ]
 
 
 @dataclass(frozen=True)

@@ -57,6 +57,27 @@ class Spreadsheet:
         return self.energy_report(point).as_rows()
 
     # -- sweeps -------------------------------------------------------------------------
+    #
+    # Every sweep evaluates its points as ONE vectorized batch through the
+    # compiled power table (see repro.power.compiled); the scalar
+    # average_report path remains available as the reference implementation.
+
+    def _sweep_rows(
+        self, condition: str, values: list[float], points: list[OperatingPoint]
+    ) -> list[SweepRow]:
+        """Evaluate ``points`` as one batch and shape the result as sweep rows."""
+        dynamic, static, period = self.evaluator.average_components_sweep(points)
+        total = dynamic + static
+        return [
+            SweepRow(
+                condition=condition,
+                value=values[i],
+                energy_per_rev_j=float(total[i]),
+                average_power_w=float(total[i] / period[i]),
+                static_fraction=float(static[i] / total[i]) if total[i] > 0.0 else 0.0,
+            )
+            for i in range(len(values))
+        ]
 
     def temperature_sweep(
         self,
@@ -65,21 +86,9 @@ class Spreadsheet:
     ) -> list[SweepRow]:
         """Energy per wheel round across junction temperatures."""
         base = base_point or OperatingPoint()
-        rows = []
-        for temperature in temperatures_c:
-            report = self.evaluator.average_report(base.at_temperature(float(temperature)))
-            rows.append(
-                SweepRow(
-                    condition="temperature_c",
-                    value=float(temperature),
-                    energy_per_rev_j=report.total_energy_j,
-                    average_power_w=report.average_power_w,
-                    static_fraction=report.static_energy_j / report.total_energy_j
-                    if report.total_energy_j > 0.0
-                    else 0.0,
-                )
-            )
-        return rows
+        values = [float(t) for t in temperatures_c]
+        points = [base.at_temperature(t) for t in values]
+        return self._sweep_rows("temperature_c", values, points)
 
     def supply_sweep(
         self,
@@ -88,25 +97,14 @@ class Spreadsheet:
     ) -> list[SweepRow]:
         """Energy per wheel round across core supply voltages."""
         base = base_point or OperatingPoint()
-        rows = []
-        for voltage in voltages_v:
+        values = [float(v) for v in voltages_v]
+        points = []
+        for voltage in values:
             if voltage <= 0.0:
                 raise AnalysisError("supply voltages must be positive")
-            rail = SupplyRail(name="vdd_core", nominal_v=float(voltage), tolerance=0.0)
-            point = base.with_supply(SupplyCondition(rail=rail))
-            report = self.evaluator.average_report(point)
-            rows.append(
-                SweepRow(
-                    condition="supply_v",
-                    value=float(voltage),
-                    energy_per_rev_j=report.total_energy_j,
-                    average_power_w=report.average_power_w,
-                    static_fraction=report.static_energy_j / report.total_energy_j
-                    if report.total_energy_j > 0.0
-                    else 0.0,
-                )
-            )
-        return rows
+            rail = SupplyRail(name="vdd_core", nominal_v=voltage, tolerance=0.0)
+            points.append(base.with_supply(SupplyCondition(rail=rail)))
+        return self._sweep_rows("supply_v", values, points)
 
     def speed_sweep(
         self,
@@ -115,23 +113,22 @@ class Spreadsheet:
     ) -> list[SweepRow]:
         """Energy per wheel round across cruising speeds."""
         base = base_point or OperatingPoint()
-        rows = []
-        for speed in speeds_kmh:
-            if speed <= 0.0:
-                raise AnalysisError("sweep speeds must be positive")
-            report = self.evaluator.average_report(base.at_speed(float(speed)))
-            rows.append(
-                SweepRow(
-                    condition="speed_kmh",
-                    value=float(speed),
-                    energy_per_rev_j=report.total_energy_j,
-                    average_power_w=report.average_power_w,
-                    static_fraction=report.static_energy_j / report.total_energy_j
-                    if report.total_energy_j > 0.0
-                    else 0.0,
-                )
-            )
-        return rows
+        values = [float(s) for s in speeds_kmh]
+        if any(speed <= 0.0 for speed in values):
+            raise AnalysisError("sweep speeds must be positive")
+        points = [base.at_speed(s) for s in values]
+        return self._sweep_rows("speed_kmh", values, points)
+
+    def energy_grid(
+        self,
+        speeds_kmh: Sequence[float],
+        temperatures_c: Sequence[float],
+        base_point: OperatingPoint | None = None,
+    ):
+        """Speed x temperature grid view (see :meth:`EnergyEvaluator.energy_grid`)."""
+        return self.evaluator.energy_grid(
+            speeds_kmh, temperatures_c, base_point=base_point
+        )
 
     def process_monte_carlo(
         self,

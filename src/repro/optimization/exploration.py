@@ -17,6 +17,7 @@ from typing import Callable, Iterable, Sequence
 from repro.blocks.node import SensorNode
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.evaluator import EnergyEvaluator
 from repro.errors import AnalysisError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
@@ -63,10 +64,17 @@ def evaluate_candidate(
     candidate: ArchitectureCandidate,
     point_factory: Callable[[float], OperatingPoint] | None = None,
     high_kmh: float = 250.0,
+    evaluator: "EnergyEvaluator | None" = None,
 ) -> ExplorationResult:
-    """Break-even speed and 60 km/h snapshot of one candidate."""
+    """Break-even speed and 60 km/h snapshot of one candidate.
+
+    The break-even search runs through the vectorized batch path of
+    :class:`EnergyBalanceAnalysis` (each bracket-refinement level is one
+    compiled-table sweep).  ``evaluator`` lets callers sweeping only the
+    scavenger share one compiled table across candidates.
+    """
     analysis = EnergyBalanceAnalysis(
-        candidate.node, candidate.database, candidate.scavenger
+        candidate.node, candidate.database, candidate.scavenger, evaluator=evaluator
     )
     break_even = analysis.break_even_speed_kmh(
         high_kmh=high_kmh, point_factory=point_factory
@@ -127,7 +135,12 @@ def scavenger_size_sweep(
         )
         for factor in size_factors
     ]
+    # Only the scavenger varies across the sweep, so the re-targeted database
+    # and its compiled power table are built once and shared.
+    shared_evaluator = EnergyEvaluator(node, database)
     return [
-        evaluate_candidate(candidate, point_factory=point_factory)
+        evaluate_candidate(
+            candidate, point_factory=point_factory, evaluator=shared_evaluator
+        )
         for candidate in candidates
     ]

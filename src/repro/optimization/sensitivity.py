@@ -18,6 +18,7 @@ from repro.blocks.node import SensorNode
 from repro.blocks.radio import RadioConfig
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.evaluator import EnergyEvaluator
 from repro.errors import AnalysisError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
@@ -141,8 +142,22 @@ def break_even_sensitivity(
     if relative_step <= 0.0:
         raise AnalysisError("the relative perturbation step must be positive")
 
+    # Knobs that leave the node unchanged (scavenger size, temperature) can
+    # reuse its re-targeted database and compiled power table; each break-even
+    # search itself runs through the vectorized batch path.
+    # The cache value holds the node itself so its id cannot be recycled.
+    evaluator_cache: dict[int, tuple[SensorNode, EnergyEvaluator]] = {}
+
     def break_even(candidate_node, candidate_scavenger, candidate_temperature):
-        analysis = EnergyBalanceAnalysis(candidate_node, database, candidate_scavenger)
+        cached = evaluator_cache.get(id(candidate_node))
+        if cached is not None and cached[0] is candidate_node:
+            evaluator = cached[1]
+        else:
+            evaluator = EnergyEvaluator(candidate_node, database)
+            evaluator_cache[id(candidate_node)] = (candidate_node, evaluator)
+        analysis = EnergyBalanceAnalysis(
+            candidate_node, database, candidate_scavenger, evaluator=evaluator
+        )
         return analysis.break_even_speed_kmh(
             high_kmh=high_kmh,
             point_factory=lambda speed: OperatingPoint(

@@ -8,6 +8,7 @@ process variation) and operating conditions (block mode, clock frequency,
 activity).
 """
 
+from repro.power.compiled import CompiledPowerTable
 from repro.power.database import PowerDatabase
 from repro.power.entry import PowerEntry
 from repro.power.io import (
@@ -24,6 +25,7 @@ from repro.power.models import (
 )
 
 __all__ = [
+    "CompiledPowerTable",
     "DynamicPowerModel",
     "LeakagePowerModel",
     "PowerBreakdown",

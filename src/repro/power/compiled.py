@@ -1,0 +1,304 @@
+"""Vectorized, "compiled" view of a :class:`~repro.power.database.PowerDatabase`.
+
+The scalar evaluation path (``PowerDatabase.power`` ->
+``PowerEntry.breakdown`` -> :func:`repro.power.models.breakdown_at`) allocates
+one frozen dataclass per (block, mode, operating point) query.  That is the
+right interface for interactive spreadsheet queries, but it dominates the run
+time of every sweep workload: the Fig. 2 energy balance samples dozens of
+speeds, operating-window and design-space studies sample condition grids, and
+the long-window emulator re-evaluates wheel rounds tens of thousands of
+times.
+
+:class:`CompiledPowerTable` removes that dispatch cost by flattening the
+model coefficients of every entry into contiguous numpy arrays once, at
+construction, and evaluating whole *batches* of operating conditions with a
+handful of array expressions.
+
+Flattened layout
+----------------
+
+Each database entry occupies one **row** across a set of parallel float64
+arrays (one array per model coefficient)::
+
+    row r of entry (block, mode):
+        dynamic_reference_w[r]   dynamic power at the reference condition
+        dynamic_reference_v[r]   reference supply voltage of the dynamic model
+        frequency_scale[r]       clock_hz / reference_hz (1.0 for clockless
+                                 blocks), folded to a constant because the
+                                 entry's clock is fixed once the database has
+                                 been re-targeted to an architecture
+        activity_exponent[r]     exponent applied to the activity factor
+        leakage_reference_w[r]   leakage at the reference temperature/voltage
+        leakage_reference_t[r]   reference temperature (degC)
+        leakage_reference_v[r]   reference voltage of the leakage model
+        doubling_celsius[r]      temperature increase that doubles leakage
+        dibl_coefficient[r]      linearized supply sensitivity of leakage
+        rail_voltage_v[r]        own-rail voltage of the entry
+        tracks_core_supply[r]    True when the row follows the core supply
+
+``row_of`` maps the (block, mode) key to its row index, so callers gather the
+rows they need (for instance one row per block of an architecture's resting
+modes) and evaluate them against *arrays* of conditions.
+
+Evaluation contract
+-------------------
+
+All evaluation methods take a row-index array of shape ``(R,)`` and
+condition arrays (supply voltage, temperature, process factors) of shape
+``(P,)`` (scalars broadcast), and return ``(R, P)`` arrays.  The arithmetic
+is kept in exactly the same operation order as the scalar models in
+:mod:`repro.power.models`, so results agree with ``PowerEntry.breakdown`` to
+floating-point round-off (well inside the 1e-9 relative tolerance the
+equivalence tests assert):
+
+* dynamic: ``P_ref * (V/V_ref)^2 * f_scale * activity^exponent * process``
+* static:  ``P_ref * 2^((T-T_ref)/doubling)
+  * max(0, 1 + dibl*(V-V_ref)/V_ref) * process``
+
+Rows whose entry does not track the core supply are evaluated at their own
+rail voltage, exactly like the scalar path's ``voltage_override_v``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.power.entry import PowerEntry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.power.database import PowerDatabase
+
+
+def _as_condition_array(value, name: str) -> np.ndarray:
+    """Coerce a scalar or sequence condition to a 1-D float64 array."""
+    array = np.asarray(value, dtype=np.float64)
+    if array.ndim == 0:
+        array = array.reshape(1)
+    if array.ndim != 1:
+        raise ConfigurationError(f"{name} must be a scalar or a 1-D array")
+    return array
+
+
+class CompiledPowerTable:
+    """All (block, mode) power-model coefficients flattened into arrays.
+
+    Construction walks the database once; afterwards every evaluation is a
+    set of vectorized expressions with no per-entry Python dispatch.  The
+    table is immutable: rebuilding it after the database changes is the
+    caller's responsibility (``EnergyEvaluator`` builds it lazily from its
+    already re-targeted database).
+    """
+
+    def __init__(self, entries: Iterable[PowerEntry]) -> None:
+        ordered = list(entries)
+        if not ordered:
+            raise CharacterizationError("cannot compile an empty power database")
+        self.keys: tuple[tuple[str, str], ...] = tuple(entry.key for entry in ordered)
+        self.row_of: dict[tuple[str, str], int] = {
+            key: row for row, key in enumerate(self.keys)
+        }
+        if len(self.row_of) != len(ordered):
+            raise CharacterizationError("duplicate (block, mode) keys in entries")
+
+        def column(values, dtype=np.float64) -> np.ndarray:
+            array = np.array(values, dtype=dtype)
+            array.setflags(write=False)
+            return array
+
+        self.dynamic_reference_w = column(
+            [e.dynamic.reference_power_w for e in ordered]
+        )
+        self.dynamic_reference_v = column(
+            [e.dynamic.reference_voltage_v for e in ordered]
+        )
+        # The entry clock is constant per row, so the frequency term of the
+        # dynamic model collapses to a constant multiplier (1.0 when either
+        # the model or the entry is clockless) — same rule as the scalar
+        # ``PowerEntry.breakdown`` passing ``clock_frequency_hz or None``.
+        self.frequency_scale = column(
+            [
+                e.clock_frequency_hz / e.dynamic.reference_frequency_hz
+                if e.dynamic.reference_frequency_hz > 0.0 and e.clock_frequency_hz > 0.0
+                else 1.0
+                for e in ordered
+            ]
+        )
+        self.activity_exponent = column([e.dynamic.activity_exponent for e in ordered])
+        self.leakage_reference_w = column(
+            [e.leakage.reference_power_w for e in ordered]
+        )
+        self.leakage_reference_t = column(
+            [e.leakage.reference_temperature_c for e in ordered]
+        )
+        self.leakage_reference_v = column(
+            [e.leakage.reference_voltage_v for e in ordered]
+        )
+        self.doubling_celsius = column([e.leakage.doubling_celsius for e in ordered])
+        self.dibl_coefficient = column([e.leakage.dibl_coefficient for e in ordered])
+        self.rail_voltage_v = column([e.rail_voltage_v for e in ordered])
+        self.tracks_core_supply = column(
+            [e.tracks_core_supply for e in ordered], dtype=bool
+        )
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_database(cls, database: "PowerDatabase") -> "CompiledPowerTable":
+        """Compile every entry of ``database`` (in its iteration order)."""
+        return cls(database)
+
+    # -- row lookup -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def row(self, block: str, mode: str) -> int:
+        """Row index of (block, mode); mirrors the scalar lookup error."""
+        try:
+            return self.row_of[(block, mode)]
+        except KeyError:
+            raise CharacterizationError(
+                f"compiled table has no row for block {block!r} mode {mode!r}"
+            ) from None
+
+    def rows(self, keys: Sequence[tuple[str, str]]) -> np.ndarray:
+        """Row indices of several (block, mode) keys."""
+        return np.array([self.row(block, mode) for block, mode in keys], dtype=np.intp)
+
+    # -- vectorized evaluation ------------------------------------------------
+
+    def effective_voltage(self, rows: np.ndarray, supply_v) -> np.ndarray:
+        """Per-(row, point) evaluation voltage, shape ``(R, P)``.
+
+        Rows tracking the core supply see the per-point supply voltage; rows
+        on their own rail see their constant rail voltage.
+        """
+        supply = _as_condition_array(supply_v, "supply voltage")
+        if np.any(supply <= 0.0):
+            raise ConfigurationError("supply voltage must be positive")
+        rows = np.asarray(rows, dtype=np.intp)
+        return np.where(
+            self.tracks_core_supply[rows, None],
+            supply[None, :],
+            self.rail_voltage_v[rows, None],
+        )
+
+    def dynamic_power_w(
+        self,
+        rows: np.ndarray,
+        supply_v,
+        process_dynamic=1.0,
+        activity=1.0,
+        _voltage: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Dynamic power of ``rows`` at each condition, shape ``(R, P)``.
+
+        ``activity`` may be a scalar or an ``(R,)`` array (one factor per
+        selected row); it is raised to each row's activity exponent exactly
+        like the scalar model.  ``_voltage`` lets callers that already built
+        the effective-voltage matrix for these rows pass it in.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        voltage = self.effective_voltage(rows, supply_v) if _voltage is None else _voltage
+        process = _as_condition_array(process_dynamic, "process factor")
+        if np.any(process < 0.0):
+            raise ConfigurationError("process factor must be non-negative")
+        activity_arr = np.asarray(activity, dtype=np.float64)
+        if np.any(activity_arr < 0.0):
+            raise ConfigurationError("activity factor must be non-negative")
+        voltage_scale = (voltage / self.dynamic_reference_v[rows, None]) ** 2
+        activity_scale = activity_arr ** self.activity_exponent[rows]
+        return (
+            self.dynamic_reference_w[rows, None]
+            * voltage_scale
+            * self.frequency_scale[rows, None]
+            * np.atleast_1d(activity_scale)[:, None]
+            * process[None, :]
+        )
+
+    def static_power_w(
+        self,
+        rows: np.ndarray,
+        supply_v,
+        temperature_c,
+        process_leakage=1.0,
+        _voltage: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Static (leakage) power of ``rows`` at each condition, ``(R, P)``."""
+        rows = np.asarray(rows, dtype=np.intp)
+        voltage = self.effective_voltage(rows, supply_v) if _voltage is None else _voltage
+        temperature = _as_condition_array(temperature_c, "temperature")
+        process = _as_condition_array(process_leakage, "process factor")
+        if np.any(process < 0.0):
+            raise ConfigurationError("process factor must be non-negative")
+        temperature_factor = 2.0 ** (
+            (temperature[None, :] - self.leakage_reference_t[rows, None])
+            / self.doubling_celsius[rows, None]
+        )
+        reference_v = self.leakage_reference_v[rows, None]
+        voltage_factor = np.maximum(
+            0.0,
+            1.0 + self.dibl_coefficient[rows, None] * (voltage - reference_v) / reference_v,
+        )
+        return (
+            self.leakage_reference_w[rows, None]
+            * temperature_factor
+            * voltage_factor
+            * process[None, :]
+        )
+
+    def breakdown_components(
+        self,
+        rows: np.ndarray,
+        supply_v,
+        temperature_c,
+        process_dynamic=1.0,
+        process_leakage=1.0,
+        activity=1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dynamic and static power of ``rows``, each shaped ``(R, P)``.
+
+        This is the batch equivalent of :func:`repro.power.models.breakdown_at`
+        for the whole row selection at once.  The effective-voltage matrix is
+        built once and shared by both kernels.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        voltage = self.effective_voltage(rows, supply_v)
+        dynamic = self.dynamic_power_w(
+            rows,
+            supply_v,
+            process_dynamic=process_dynamic,
+            activity=activity,
+            _voltage=voltage,
+        )
+        static = self.static_power_w(
+            rows,
+            supply_v,
+            temperature_c,
+            process_leakage=process_leakage,
+            _voltage=voltage,
+        )
+        return dynamic, static
+
+    def total_power_w(
+        self,
+        rows: np.ndarray,
+        supply_v,
+        temperature_c,
+        process_dynamic=1.0,
+        process_leakage=1.0,
+        activity=1.0,
+    ) -> np.ndarray:
+        """Summed (dynamic + static) power of ``rows`` per condition, ``(P,)``."""
+        dynamic, static = self.breakdown_components(
+            rows,
+            supply_v,
+            temperature_c,
+            process_dynamic=process_dynamic,
+            process_leakage=process_leakage,
+            activity=activity,
+        )
+        return (dynamic + static).sum(axis=0)

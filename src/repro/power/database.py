@@ -30,6 +30,17 @@ class PowerDatabase:
 
     name: str = "sensor-node"
     _entries: dict[tuple[str, str], PowerEntry] = field(default_factory=dict)
+    #: Lazily-built per-block index: block -> {mode -> entry}.  ``None`` marks
+    #: it stale; ``add``/``remove`` invalidate it and every transformation
+    #: method returns a fresh clone (whose index starts unbuilt), so block
+    #: queries never scan all entries linearly.
+    _block_index: dict[str, dict[str, PowerEntry]] | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    #: Monotonic mutation counter bumped by ``add``/``remove``.  Derived
+    #: structures built from a snapshot of the entries (e.g. the compiled
+    #: power table) compare it to detect staleness.
+    _version: int = field(default=0, init=False, repr=False, compare=False)
 
     # -- construction -------------------------------------------------------
 
@@ -48,6 +59,8 @@ class PowerDatabase:
                 f"entry for block {entry.block!r} mode {entry.mode!r} already exists"
             )
         self._entries[entry.key] = entry
+        self._block_index = None
+        self._version += 1
 
     def remove(self, block: str, mode: str) -> None:
         """Remove one entry."""
@@ -57,8 +70,19 @@ class PowerDatabase:
                 f"no entry for block {block!r} mode {mode!r} to remove"
             )
         del self._entries[key]
+        self._block_index = None
+        self._version += 1
 
     # -- queries -------------------------------------------------------------
+
+    def _index(self) -> dict[str, dict[str, PowerEntry]]:
+        """The per-block index, rebuilt on demand after a mutation."""
+        if self._block_index is None:
+            index: dict[str, dict[str, PowerEntry]] = {}
+            for entry in self._entries.values():
+                index.setdefault(entry.block, {})[entry.mode] = entry
+            self._block_index = index
+        return self._block_index
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,16 +96,14 @@ class PowerDatabase:
     @property
     def blocks(self) -> list[str]:
         """Sorted list of distinct block names."""
-        return sorted({entry.block for entry in self._entries.values()})
+        return sorted(self._index())
 
     def modes_of(self, block: str) -> list[str]:
         """Sorted list of modes characterized for ``block``."""
-        modes = sorted(
-            entry.mode for entry in self._entries.values() if entry.block == block
-        )
-        if not modes:
+        by_mode = self._index().get(block)
+        if not by_mode:
             raise CharacterizationError(f"no entries for block {block!r}")
-        return modes
+        return sorted(by_mode)
 
     def entry(self, block: str, mode: str) -> PowerEntry:
         """Look up the entry for (block, mode).
@@ -93,7 +115,7 @@ class PowerDatabase:
         """
         key = (block, mode)
         if key not in self._entries:
-            available = [e.mode for e in self._entries.values() if e.block == block]
+            available = self._index().get(block)
             if available:
                 raise CharacterizationError(
                     f"block {block!r} has no mode {mode!r}; characterized modes: "
@@ -106,10 +128,10 @@ class PowerDatabase:
 
     def entries_for(self, block: str) -> list[PowerEntry]:
         """All entries of one block."""
-        found = [entry for entry in self._entries.values() if entry.block == block]
-        if not found:
+        by_mode = self._index().get(block)
+        if not by_mode:
             raise CharacterizationError(f"no entries for block {block!r}")
-        return sorted(found, key=lambda e: e.mode)
+        return sorted(by_mode.values(), key=lambda e: e.mode)
 
     def power(
         self, block: str, mode: str, point: OperatingPoint, activity: float = 1.0

@@ -1,0 +1,166 @@
+"""Scalar <-> compiled-table equivalence tests for the power layer.
+
+The compiled table is only correct if it reproduces the scalar
+``PowerEntry.breakdown`` path bit-for-bit (well within 1e-9 relative) across
+the whole condition space: temperatures, supply corners, activity factors and
+process corners, for rows on the core supply and rows on their own rails.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions.operating_point import OperatingPoint
+from repro.conditions.process import ProcessCorner, ProcessVariation
+from repro.conditions.supply import SupplyCondition, SupplyRail
+from repro.errors import CharacterizationError, ConfigurationError
+from repro.power.compiled import CompiledPowerTable
+from repro.power.database import PowerDatabase
+from repro.power.entry import make_entry
+from repro.power.library import reference_power_database
+
+TEMPERATURES_C = (-40.0, -5.0, 25.0, 60.0, 125.0)
+SUPPLIES_V = (1.0, 1.08, 1.2, 1.32)
+ACTIVITIES = (0.0, 0.25, 1.0, 1.7)
+CORNERS = tuple(ProcessCorner)
+
+
+def condition_points():
+    """Cross product of working conditions used by the equivalence sweeps."""
+    points = []
+    for temperature in TEMPERATURES_C:
+        for supply in SUPPLIES_V:
+            for corner in CORNERS:
+                rail = SupplyRail(name="vdd_core", nominal_v=supply, tolerance=0.0)
+                points.append(
+                    OperatingPoint(
+                        temperature_c=temperature,
+                        supply=SupplyCondition(rail=rail),
+                        process=ProcessVariation(corner=corner),
+                        speed_kmh=60.0,
+                    )
+                )
+    return points
+
+
+@pytest.fixture(scope="module")
+def database() -> PowerDatabase:
+    return reference_power_database()
+
+
+@pytest.fixture(scope="module")
+def table(database) -> CompiledPowerTable:
+    return CompiledPowerTable.from_database(database)
+
+
+class TestConstruction:
+    def test_one_row_per_entry(self, database, table):
+        assert len(table) == len(database)
+        assert set(table.keys) == {entry.key for entry in database}
+
+    def test_row_lookup(self, database, table):
+        for entry in database:
+            row = table.row(entry.block, entry.mode)
+            assert table.keys[row] == entry.key
+
+    def test_missing_row_raises(self, table):
+        with pytest.raises(CharacterizationError):
+            table.row("no-such-block", "active")
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(CharacterizationError):
+            CompiledPowerTable([])
+
+    def test_columns_are_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.dynamic_reference_w[0] = 1.0
+
+
+class TestScalarEquivalence:
+    """Property-style: compiled rows match PowerEntry.breakdown to 1e-9."""
+
+    def test_breakdown_matches_across_condition_space(self, database, table):
+        points = condition_points()
+        supply = np.array([p.supply_voltage for p in points])
+        temperature = np.array([p.temperature_c for p in points])
+        dynamic_factor = np.array([p.process.dynamic_factor for p in points])
+        leakage_factor = np.array([p.process.leakage_factor for p in points])
+        rows = np.arange(len(table))
+        dynamic, static = table.breakdown_components(
+            rows,
+            supply,
+            temperature,
+            process_dynamic=dynamic_factor,
+            process_leakage=leakage_factor,
+        )
+        for row, key in enumerate(table.keys):
+            entry = database.entry(*key)
+            for column, point in enumerate(points):
+                scalar = entry.breakdown(point)
+                assert dynamic[row, column] == pytest.approx(
+                    scalar.dynamic_w, rel=1e-9, abs=1e-30
+                )
+                assert static[row, column] == pytest.approx(
+                    scalar.static_w, rel=1e-9, abs=1e-30
+                )
+
+    def test_activity_factors_match(self, database, table):
+        point = OperatingPoint(temperature_c=85.0, speed_kmh=60.0)
+        rows = np.arange(len(table))
+        for activity in ACTIVITIES:
+            dynamic = table.dynamic_power_w(
+                rows,
+                point.supply_voltage,
+                process_dynamic=point.process.dynamic_factor,
+                activity=activity,
+            )
+            for row, key in enumerate(table.keys):
+                scalar = database.entry(*key).breakdown(point, activity=activity)
+                assert dynamic[row, 0] == pytest.approx(
+                    scalar.dynamic_w, rel=1e-9, abs=1e-30
+                )
+
+    def test_own_rail_rows_ignore_core_supply(self, table):
+        """Rows not tracking the core supply are flat across supply sweeps."""
+        own_rail_rows = np.flatnonzero(~table.tracks_core_supply)
+        if own_rail_rows.size == 0:
+            pytest.skip("reference database has no own-rail entries")
+        dynamic = table.dynamic_power_w(own_rail_rows, np.array(SUPPLIES_V))
+        assert np.allclose(dynamic, dynamic[:, :1], rtol=0.0, atol=0.0)
+
+    def test_total_power_matches_database_total(self, database, table):
+        point = OperatingPoint(temperature_c=50.0, speed_kmh=60.0)
+        modes: dict[str, str] = {}
+        for block, mode in table.keys:
+            modes.setdefault(block, mode)
+        keys = list(modes.items())
+        rows = table.rows(keys)
+        total = table.total_power_w(
+            rows,
+            point.supply_voltage,
+            point.temperature_c,
+            process_dynamic=point.process.dynamic_factor,
+            process_leakage=point.process.leakage_factor,
+        )
+        scalar = database.total_power(modes, point)
+        assert total[0] == pytest.approx(scalar.total_w, rel=1e-9)
+
+
+class TestValidation:
+    def test_non_positive_supply_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            table.dynamic_power_w(np.arange(len(table)), 0.0)
+
+    def test_negative_activity_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            table.dynamic_power_w(np.arange(len(table)), 1.2, activity=-0.5)
+
+    def test_negative_process_factor_rejected(self, table):
+        with pytest.raises(ConfigurationError):
+            table.static_power_w(np.arange(len(table)), 1.2, 25.0, process_leakage=-1.0)
+
+    def test_duplicate_keys_rejected(self):
+        entry = make_entry("mcu", "active", dynamic_uw=100.0, leakage_uw=1.0)
+        with pytest.raises(CharacterizationError):
+            CompiledPowerTable([entry, entry])

@@ -193,3 +193,57 @@ class TestTableAndValidation:
     def test_validate_against_reports_missing_modes(self):
         with pytest.raises(CharacterizationError, match="mcu/idle"):
             small_database().validate_against({"mcu": ("active", "idle")})
+
+
+class TestBlockIndex:
+    """The lazy per-block index must stay consistent through mutations."""
+
+    def test_index_is_built_lazily(self):
+        database = small_database()
+        assert database._block_index is None
+        database.modes_of("mcu")
+        assert database._block_index is not None
+
+    def test_add_invalidates_index(self):
+        database = small_database()
+        assert database.modes_of("mcu") == ["active", "sleep"]
+        database.add(make_entry("mcu", "idle", 10.0, 5.0))
+        assert database.modes_of("mcu") == ["active", "idle", "sleep"]
+        assert database.blocks == ["mcu", "rf_tx"]
+
+    def test_remove_invalidates_index(self):
+        database = small_database()
+        assert database.modes_of("rf_tx") == ["active", "sleep"]
+        database.remove("rf_tx", "active")
+        assert database.modes_of("rf_tx") == ["sleep"]
+        database.remove("rf_tx", "sleep")
+        with pytest.raises(CharacterizationError):
+            database.modes_of("rf_tx")
+        assert database.blocks == ["mcu"]
+
+    def test_copy_starts_with_a_fresh_index(self):
+        database = small_database()
+        database.modes_of("mcu")  # build the original's index
+        clone = database.copy()
+        assert clone._block_index is None
+        clone.add(make_entry("adc", "active", 50.0, 1.0))
+        assert clone.blocks == ["adc", "mcu", "rf_tx"]
+        # The original is unaffected by mutations of the clone.
+        assert database.blocks == ["mcu", "rf_tx"]
+
+    def test_transformations_see_current_entries(self):
+        database = small_database()
+        database.modes_of("mcu")
+        scaled = database.scale_block("mcu", dynamic_factor=0.5)
+        assert scaled.modes_of("mcu") == ["active", "sleep"]
+        merged = database.merged_with(
+            PowerDatabase.from_entries([make_entry("adc", "active", 5.0, 0.2)])
+        )
+        assert merged.blocks == ["adc", "mcu", "rf_tx"]
+
+    def test_entry_error_message_uses_index(self):
+        database = small_database()
+        with pytest.raises(CharacterizationError, match="characterized modes"):
+            database.entry("mcu", "hibernate")
+        with pytest.raises(CharacterizationError, match="known blocks"):
+            database.entry("fpga", "active")
