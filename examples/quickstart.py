@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: run the full energy analysis flow on the baseline Sensor Node.
 
-This is the five-minute tour of the toolkit: build the reference
-architecture, load the power characterization, pick a scavenger and a storage
-element, run the Fig. 1 flow (estimate, evaluate, optimize, re-estimate,
-integrate the source model, emulate) and print the headline numbers.
+This is the five-minute tour of the toolkit, driven through the declarative
+scenario API: describe the experiment as a :class:`~repro.scenario.ScenarioSpec`
+(architecture, power characterization, scavenger, storage, drive cycle,
+environment — all by registry name), build the Fig. 1 flow from it and print
+the headline numbers.  The same spec, saved as JSON
+(``examples/scenarios/quickstart.json``), reproduces this output through::
+
+    tpms-energy run --scenario examples/scenarios/quickstart.json
 
 Run with::
 
@@ -13,40 +17,36 @@ Run with::
 
 from __future__ import annotations
 
-from repro import (
-    EnergyAnalysisFlow,
-    PiezoelectricScavenger,
-    baseline_node,
-    reference_power_database,
-    supercapacitor,
-    urban_cycle,
-)
-from repro.reporting.tables import render_table
+from repro.core.report import render_flow_headlines
+from repro.scenario import ScenarioSpec
+from repro import EnergyAnalysisFlow
+
+
+def quickstart_spec() -> ScenarioSpec:
+    """The quickstart experiment as a declarative scenario."""
+    return ScenarioSpec(
+        name="quickstart",
+        architecture="baseline",
+        power_database="reference",
+        scavenger="piezoelectric",
+        storage="supercapacitor",
+        drive_cycle={"name": "urban", "params": {"repetitions": 2}},
+        temperature_c=25.0,
+        speed_kmh=60.0,
+    )
 
 
 def main() -> None:
-    node = baseline_node()
-    database = reference_power_database()
-    scavenger = PiezoelectricScavenger()
+    spec = quickstart_spec()
+    flow = EnergyAnalysisFlow.from_spec(spec)
 
-    print(node.describe())
+    print(flow.node.describe())
     print()
-    print(scavenger.describe())
-    print()
-
-    flow = EnergyAnalysisFlow(node, database, scavenger, storage=supercapacitor())
-    report = flow.run(drive_cycle=urban_cycle(repetitions=2))
-
-    print("Per-block energy over one wheel round at 60 km/h")
-    print(render_table(report.energy_report.as_rows(), float_digits=2))
+    print(flow.scavenger.describe())
     print()
 
-    print("Selected optimization techniques")
-    print(render_table(report.optimization.as_rows()))
-    print()
-
-    summary_rows = [{"figure": key, "value": value} for key, value in report.summary().items()]
-    print(render_table(summary_rows, title="Flow summary", float_digits=2))
+    report = flow.run()
+    print(render_flow_headlines(report))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Grid study: sweep temperature x architecture with one scenario document.
+
+The declarative API's main payoff: one :class:`~repro.scenario.ScenarioSpec`
+plus axis overrides expands into a scenario grid, and the
+:class:`~repro.scenario.Study` runner executes the energy-balance analysis
+over every point on the vectorized batch path — grid points sharing an
+architecture and power database reuse one compiled power table.
+
+The same study runs from the shell::
+
+    tpms-energy run --scenario examples/scenarios/quickstart.json \\
+        --set temperature=-20,25,85 --set architecture=baseline,optimized
+
+Run with::
+
+    python examples/scenario_grid.py
+"""
+
+from __future__ import annotations
+
+from repro.scenario import ScenarioSpec, Study
+
+
+def main() -> None:
+    spec = ScenarioSpec(name="winter-vs-summer")
+    study = Study(
+        spec,
+        axes={
+            "temperature": [-20.0, 25.0, 85.0],
+            "architecture": ["baseline", "optimized"],
+        },
+    )
+
+    result = study.run("balance")
+    print(result.as_table(title="Break-even speed across the grid"))
+    print(
+        f"\n{len(result)} scenarios, "
+        f"{result.metadata['evaluator_builds']} evaluator builds, "
+        f"{result.metadata['evaluator_cache_hits']} cache hits"
+    )
+
+    # The emulation kind reuses the same grid; the spec just needs a cycle.
+    emulation = Study(
+        spec.with_axes(cycle={"name": "urban", "params": {"repetitions": 2}}),
+        axes={"architecture": ["baseline", "optimized"]},
+    ).run("emulate")
+    print()
+    print(emulation.as_table(title="Urban-cycle emulation per architecture"))
+
+
+if __name__ == "__main__":
+    main()

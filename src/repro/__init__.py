@@ -9,7 +9,18 @@ power estimation, duty-cycle-aware energy evaluation over the wheel round,
 optimization-technique selection, energy-balance analysis versus cruising
 speed (break-even point) and long-window emulation against drive cycles.
 
-Quickstart::
+Quickstart — the declarative scenario API is the front door::
+
+    from repro import EnergyAnalysisFlow, ScenarioSpec, Study
+
+    spec = ScenarioSpec(architecture="baseline", drive_cycle="nedc")
+    report = EnergyAnalysisFlow.from_spec(spec).run()
+    print(report.summary())
+
+    grid = Study(spec, axes={"temperature": [-20.0, 25.0, 85.0]})
+    print(grid.run("balance").as_table())
+
+The objects behind the registries remain directly constructible::
 
     from repro import (
         EnergyAnalysisFlow, baseline_node, reference_power_database,
@@ -67,6 +78,14 @@ from repro.optimization import (
     select_techniques,
 )
 from repro.power import PowerDatabase, PowerEntry, reference_power_database
+from repro.scenario import (
+    ComponentRef,
+    ScenarioSpec,
+    Study,
+    StudyResult,
+    load_scenario,
+    run_study,
+)
 from repro.scavenger import (
     ElectromagneticScavenger,
     ElectrostaticScavenger,
@@ -151,5 +170,12 @@ __all__ = [
     "select_techniques",
     "apply_assignments",
     "default_technique_catalogue",
+    # scenario front door
+    "ScenarioSpec",
+    "ComponentRef",
+    "load_scenario",
+    "Study",
+    "StudyResult",
+    "run_study",
     "__version__",
 ]

@@ -11,7 +11,7 @@ one of them (the database) without touching the others.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError, UnknownModeError
 

@@ -3,6 +3,12 @@
 Exposes the everyday questions as subcommands so the tools can be driven from
 a shell (or a Makefile) without writing Python::
 
+    tpms-energy scenarios                                  # registry contents
+    tpms-energy cycles                                     # drive-cycle list
+    tpms-energy run --scenario exp.json                    # full flow of one scenario
+    tpms-energy run --scenario exp.json \\
+        --set temperature=-20,25,85 --set architecture=baseline,optimized \\
+        --kind balance --export grid.csv                   # grid study
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -10,55 +16,132 @@ a shell (or a Makefile) without writing Python::
     tpms-energy emulate   --cycle nedc --architecture optimized
     tpms-energy report    --architecture baseline
 
+``run`` is the declarative front door: it reads a JSON
+:class:`~repro.scenario.spec.ScenarioSpec` document, optionally expands
+``--set axis=v1,v2,...`` overrides into a scenario grid
+(:class:`~repro.scenario.study.Study`), and executes an analysis kind
+(``balance``, ``report``, ``optimize``, ``emulate``, ``explore``) over it.
+Without ``--set``/``--kind`` it runs the full Fig. 1 analysis flow of the
+scenario.  The classic subcommands resolve their ``--architecture`` and
+``--cycle`` arguments through the same registries
+(:mod:`repro.scenario.registry`), so user-registered components work
+everywhere.
+
 Every subcommand prints plain-text tables (see :mod:`repro.reporting`) and
-returns a non-zero exit code on analysis errors.
+returns a non-zero exit code with a one-line ``error:`` message on analysis
+or configuration errors — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Sequence
 
 import numpy as np
 
-from repro.blocks.architectures import architecture_catalogue
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis
 from repro.core.emulator import NodeEmulator
 from repro.core.evaluator import EnergyEvaluator
 from repro.core.flow import EnergyAnalysisFlow
-from repro.core.report import render_flow_report
-from repro.errors import ReproError
+from repro.core.report import render_flow_headlines, render_flow_report
+from repro.errors import ConfigError, ReproError
 from repro.optimization.apply import apply_assignments
 from repro.optimization.selection import select_techniques
-from repro.power.library import reference_power_database
+from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
+from repro.scenario.registry import (
+    ARCHITECTURES,
+    DRIVE_CYCLES,
+    POWER_DATABASES,
+    SCAVENGERS,
+    STORAGE_ELEMENTS,
+)
+from repro.scenario.spec import ScenarioSpec, load_scenario
+from repro.scenario.study import STUDY_KINDS, Study, StudyResult
 from repro.scavenger.piezoelectric import PiezoelectricScavenger
 from repro.scavenger.storage import supercapacitor
-from repro.vehicle.drive_cycle import highway_cycle, nedc_like_cycle, urban_cycle
-
-_CYCLES = {
-    "urban": lambda: urban_cycle(repetitions=4),
-    "nedc": nedc_like_cycle,
-    "highway": highway_cycle,
-}
 
 
 def _resolve_node(name: str):
-    catalogue = architecture_catalogue()
-    if name not in catalogue:
-        raise ReproError(
-            f"unknown architecture {name!r}; available: {sorted(catalogue)}"
-        )
-    return catalogue[name]
+    """Architecture lookup through the scenario registry."""
+    return ARCHITECTURES.create(name)
+
+
+def _resolve_cycle(name: str):
+    """Drive-cycle lookup through the scenario registry.
+
+    Cycles with required parameters (``constant``, ``ramp``) cannot be named
+    bare on the command line; point the user at the scenario document form
+    instead of echoing a missing-argument message.
+    """
+    try:
+        return DRIVE_CYCLES.create(name)
+    except ConfigError as error:
+        if name not in DRIVE_CYCLES:
+            raise
+        parameters = ", ".join(inspect.signature(DRIVE_CYCLES.factory(name)).parameters)
+        raise ConfigError(
+            f"drive cycle {name!r} needs parameters ({parameters}); use a scenario "
+            f'file with {{"drive_cycle": {{"name": "{name}", "params": {{...}}}}}}'
+        ) from error
+
+
+def _parse_set_overrides(entries: Sequence[str]) -> dict[str, list[object]]:
+    """Parse repeated ``--set axis=v1,v2,...`` options into study axes."""
+
+    def coerce(token: str) -> object:
+        try:
+            return int(token)
+        except ValueError:
+            pass
+        try:
+            return float(token)
+        except ValueError:
+            return token
+
+    axes: dict[str, list[object]] = {}
+    for entry in entries:
+        axis, separator, values = entry.partition("=")
+        axis = axis.strip()
+        if not separator or not axis:
+            raise ConfigError(
+                f"malformed --set {entry!r}; expected axis=value1,value2,..."
+            )
+        tokens = [token.strip() for token in values.split(",")]
+        if not values.strip() or any(not token for token in tokens):
+            raise ConfigError(
+                f"malformed --set {entry!r}; expected axis=value1,value2,..."
+            )
+        if axis in axes:
+            raise ConfigError(f"axis {axis!r} given more than once in --set")
+        axes[axis] = [coerce(token) for token in tokens]
+    return axes
+
+
+def _validate_export_path(path: str | None) -> None:
+    """Reject an unusable --export path *before* any analysis runs."""
+    if path is not None and not path.endswith((".csv", ".json")):
+        raise ConfigError(f"export path {path!r} must end in .csv or .json")
+
+
+def _export_rows(rows: list[dict[str, object]], path: str) -> None:
+    """Write rows to ``path`` as CSV or JSON, by extension."""
+    _validate_export_path(path)
+    if path.endswith(".json"):
+        rows_to_json(rows, path)
+    else:
+        rows_to_csv(rows, path)
+    print(f"\nexported {len(rows)} rows to {path}")
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--architecture",
         default="baseline",
-        help="architecture name (see the 'architectures' subcommand)",
+        help="architecture name (see the 'scenarios' subcommand)",
     )
     parser.add_argument(
         "--temperature",
@@ -81,6 +164,38 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
+    run = subparsers.add_parser(
+        "run", help="run a declarative scenario file (optionally as a grid study)"
+    )
+    run.add_argument(
+        "--scenario", required=True, help="path to a scenario JSON document"
+    )
+    run.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2,...",
+        help="sweep a grid axis (repeatable), e.g. --set temperature=-20,25,85",
+    )
+    run.add_argument(
+        "--kind",
+        choices=STUDY_KINDS,
+        default=None,
+        help="analysis kind for study mode (default: the full flow, "
+        "or 'balance' when --set is given)",
+    )
+    run.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH.{csv,json}",
+        help="export the result rows as CSV or JSON",
+    )
+
+    subparsers.add_parser(
+        "scenarios", help="list the registered scenario components and grid axes"
+    )
+    subparsers.add_parser("cycles", help="list the registered drive cycles")
     subparsers.add_parser("architectures", help="list the predefined architectures")
 
     balance = subparsers.add_parser(
@@ -109,14 +224,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_common_arguments(emulate)
     emulate.add_argument(
-        "--cycle", choices=sorted(_CYCLES), default="urban", help="drive cycle to play"
+        "--cycle",
+        default="urban",
+        help="drive cycle name (see the 'cycles' subcommand)",
     )
 
     report = subparsers.add_parser(
         "report", help="run the full analysis flow and print the complete report"
     )
     _add_common_arguments(report)
-    report.add_argument("--cycle", choices=sorted(_CYCLES), default=None)
+    report.add_argument("--cycle", default=None, help="optional drive cycle name")
 
     return parser
 
@@ -126,9 +243,98 @@ def _build_parser() -> argparse.ArgumentParser:
 # ---------------------------------------------------------------------------
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    _validate_export_path(args.export)
+    spec = load_scenario(args.scenario)
+    axes = _parse_set_overrides(args.overrides)
+    if axes or args.kind is not None:
+        kind = args.kind or "balance"
+        study = Study(spec, axes=axes)
+        result: StudyResult = study.run(kind)
+        print(
+            result.as_table(
+                title=f"Study — {spec.name} ({kind}), {len(result)} scenario(s)"
+            )
+        )
+        print(
+            f"\n{result.metadata['evaluator_builds']} evaluator build(s), "
+            f"{result.metadata['evaluator_cache_hits']} cache hit(s) "
+            "across the grid"
+        )
+        if args.export:
+            _export_rows(result.as_rows(), args.export)
+        return 0
+
+    flow = EnergyAnalysisFlow.from_spec(spec)
+    print(flow.node.describe())
+    print()
+    print(flow.scavenger.describe())
+    print()
+    report = flow.run()
+    print(render_flow_headlines(report))
+    if args.export:
+        _export_rows(report.energy_report.as_rows(), args.export)
+    return 0
+
+
+def _cmd_scenarios(_: argparse.Namespace) -> int:
+    registries = (
+        ("architecture", ARCHITECTURES),
+        ("power_database", POWER_DATABASES),
+        ("scavenger", SCAVENGERS),
+        ("storage", STORAGE_ELEMENTS),
+        ("drive_cycle", DRIVE_CYCLES),
+    )
+    rows = []
+    for kind, registry in registries:
+        for name in registry.names():
+            parameters = inspect.signature(registry.factory(name)).parameters
+            rows.append(
+                {
+                    "component": kind,
+                    "name": name,
+                    "params": ", ".join(parameters) if parameters else "-",
+                }
+            )
+    print(render_table(rows, title="Registered scenario components"))
+    print(f"\ngrid axes for --set: {', '.join(ScenarioSpec.axis_names())}")
+    return 0
+
+
+def _cmd_cycles(_: argparse.Namespace) -> int:
+    rows = []
+    for name in DRIVE_CYCLES.names():
+        try:
+            cycle = _resolve_cycle(name)
+        except ConfigError:
+            parameters = inspect.signature(DRIVE_CYCLES.factory(name)).parameters
+            rows.append(
+                {
+                    "cycle": name,
+                    "duration_s": "-",
+                    "mean_kmh": "-",
+                    "max_kmh": "-",
+                    "note": f"parametric ({', '.join(parameters)})",
+                }
+            )
+            continue
+        rows.append(
+            {
+                "cycle": name,
+                "duration_s": cycle.duration_s,
+                "mean_kmh": cycle.mean_speed_kmh(),
+                "max_kmh": cycle.max_speed_kmh(),
+                "note": cycle.name,
+            }
+        )
+    print(render_table(rows, title="Registered drive cycles", float_digits=1))
+    return 0
+
+
 def _cmd_architectures(_: argparse.Namespace) -> int:
     rows = []
-    for name, node in architecture_catalogue().items():
+    for name in ARCHITECTURES.names():
+        node = _resolve_node(name)
         rows.append(
             {
                 "architecture": name,
@@ -145,7 +351,7 @@ def _cmd_architectures(_: argparse.Namespace) -> int:
 def _cmd_balance(args: argparse.Namespace) -> int:
     node = _resolve_node(args.architecture)
     scavenger = PiezoelectricScavenger().scaled(args.scavenger_size)
-    analysis = EnergyBalanceAnalysis(node, reference_power_database(), scavenger)
+    analysis = EnergyBalanceAnalysis(node, POWER_DATABASES.create("reference"), scavenger)
     speeds = np.arange(args.speed_min, args.speed_max + args.speed_step / 2, args.speed_step)
     curve = analysis.curve(
         speeds,
@@ -172,7 +378,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     node = _resolve_node(args.architecture)
     emulator = NodeEmulator(
         node,
-        reference_power_database(),
+        POWER_DATABASES.create("reference"),
         PiezoelectricScavenger().scaled(args.scavenger_size),
         supercapacitor(),
         base_point=OperatingPoint(temperature_c=args.temperature),
@@ -196,7 +402,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
     node = _resolve_node(args.architecture)
-    database = reference_power_database()
+    database = POWER_DATABASES.create("reference")
     point = OperatingPoint(speed_kmh=args.speed, temperature_c=args.temperature)
     evaluator = EnergyEvaluator(node, database)
     assignments = select_techniques(evaluator.duty_cycles(point), database=database)
@@ -213,10 +419,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 def _cmd_emulate(args: argparse.Namespace) -> int:
     node = _resolve_node(args.architecture)
-    cycle = _CYCLES[args.cycle]()
+    cycle = _resolve_cycle(args.cycle)
     emulator = NodeEmulator(
         node,
-        reference_power_database(),
+        POWER_DATABASES.create("reference"),
         PiezoelectricScavenger().scaled(args.scavenger_size),
         supercapacitor(initial_fraction=0.2),
         base_point=OperatingPoint(temperature_c=args.temperature),
@@ -232,11 +438,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
     node = _resolve_node(args.architecture)
     flow = EnergyAnalysisFlow(
         node,
-        reference_power_database(),
+        POWER_DATABASES.create("reference"),
         PiezoelectricScavenger().scaled(args.scavenger_size),
         storage=supercapacitor(initial_fraction=0.2),
     )
-    cycle = _CYCLES[args.cycle]() if args.cycle else None
+    cycle = _resolve_cycle(args.cycle) if args.cycle else None
     flow_report = flow.run(
         point=OperatingPoint(speed_kmh=60.0, temperature_c=args.temperature),
         drive_cycle=cycle,
@@ -246,6 +452,9 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "run": _cmd_run,
+    "scenarios": _cmd_scenarios,
+    "cycles": _cmd_cycles,
     "architectures": _cmd_architectures,
     "balance": _cmd_balance,
     "trace": _cmd_trace,

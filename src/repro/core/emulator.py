@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError, EmulationError, ScheduleError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
 from repro.scavenger.storage import StorageElement
-from repro.timing.wheel_round import IdleInterval, WheelRound, iter_wheel_rounds
+from repro.timing.wheel_round import WheelRound, iter_wheel_rounds
 from repro.vehicle.drive_cycle import DriveCycle
 
 #: Quantization used by the revolution-energy cache: speeds within 0.5 km/h
@@ -312,6 +312,9 @@ class NodeEmulator:
         thermal_model: optional in-tyre thermal model driven by the emulated
             speed; when omitted, the base point's temperature is used
             throughout.
+        evaluator: optional prebuilt evaluator for ``node``/``database``;
+            lets scenario studies share one compiled power table across
+            emulation runs.
     """
 
     def __init__(
@@ -322,9 +325,19 @@ class NodeEmulator:
         storage: StorageElement,
         base_point: OperatingPoint | None = None,
         thermal_model: TyreThermalModel | None = None,
+        evaluator: EnergyEvaluator | None = None,
     ) -> None:
         self.node = node
-        self.evaluator = EnergyEvaluator(node, database)
+        # A study sweeping only the environment can pass a prebuilt evaluator
+        # so the re-targeted database and the compiled power table are shared
+        # across emulation runs instead of rebuilt per run.
+        if evaluator is not None and (
+            evaluator.node is not node or evaluator.source_database is not database
+        ):
+            raise EmulationError(
+                "the shared evaluator was built for a different node or database"
+            )
+        self.evaluator = evaluator or EnergyEvaluator(node, database)
         self.scavenger = scavenger
         self.storage = storage
         self.base_point = base_point or OperatingPoint()

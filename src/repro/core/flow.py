@@ -12,7 +12,7 @@ order and returns every intermediate artifact in a :class:`FlowReport`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -35,8 +35,16 @@ from repro.scavenger.storage import StorageElement
 from repro.timing.duty_cycle import DutyCycleReport
 from repro.vehicle.drive_cycle import DriveCycle
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.scenario.spec import ScenarioSpec
+
 #: Default speed grid of the balance step (km/h), matching the Fig. 2 range.
 DEFAULT_SPEED_GRID = tuple(float(v) for v in range(5, 205, 5))
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None`` in
+#: :meth:`EnergyAnalysisFlow.run`, so a spec-built flow can still be asked to
+#: skip its default drive cycle by passing ``drive_cycle=None``.
+_UNSET: object = object()
 
 
 @dataclass
@@ -120,12 +128,41 @@ class EnergyAnalysisFlow:
         self.scavenger = scavenger
         self.storage = storage
         self.policy = policy or SelectionPolicy()
+        #: Defaults installed by :meth:`from_spec`; ``run`` falls back to
+        #: them when ``point`` / ``drive_cycle`` are omitted.
+        self.default_point: OperatingPoint | None = None
+        self.default_cycle: DriveCycle | None = None
+
+    @classmethod
+    def from_spec(
+        cls, spec: "ScenarioSpec", policy: SelectionPolicy | None = None
+    ) -> "EnergyAnalysisFlow":
+        """Build the flow from a declarative :class:`ScenarioSpec`.
+
+        The spec's environment becomes the default operating point of
+        :meth:`run` and the spec's drive cycle (when named) becomes the
+        default emulation cycle, so ``EnergyAnalysisFlow.from_spec(spec).run()``
+        executes exactly the experiment the scenario document describes.
+        """
+        flow = cls(
+            spec.build_node(),
+            spec.build_database(),
+            spec.build_scavenger(),
+            storage=spec.build_storage(),
+            policy=policy,
+        )
+        flow.default_point = spec.operating_point()
+        # A spec without storage promises "skip emulation", so its cycle (if
+        # any) must not become a default that would make run() demand storage.
+        if flow.storage is not None:
+            flow.default_cycle = spec.build_drive_cycle()
+        return flow
 
     def run(
         self,
         point: OperatingPoint | None = None,
         speeds_kmh: Sequence[float] | None = None,
-        drive_cycle: DriveCycle | None = None,
+        drive_cycle: DriveCycle | None = _UNSET,  # type: ignore[assignment]
         optimize: bool = True,
     ) -> FlowReport:
         """Run the full flow and return every artifact.
@@ -136,11 +173,15 @@ class EnergyAnalysisFlow:
             speeds_kmh: speed grid of the balance step (Fig. 2 range by
                 default).
             drive_cycle: cruising-speed profile of the emulation step;
-                requires ``storage`` to have been provided.
+                requires ``storage`` to have been provided.  When omitted, a
+                flow built by :meth:`from_spec` plays the spec's cycle; pass
+                ``None`` explicitly to skip the emulation step.
             optimize: set to False to stop after the evaluation step (useful
                 when the caller only wants the un-optimized picture).
         """
-        condition = point or OperatingPoint(speed_kmh=60.0)
+        condition = point or self.default_point or OperatingPoint(speed_kmh=60.0)
+        if drive_cycle is _UNSET:
+            drive_cycle = self.default_cycle
         if not condition.is_moving:
             raise AnalysisError("the analysis flow needs a moving operating point")
         grid = np.asarray(
@@ -174,7 +215,8 @@ class EnergyAnalysisFlow:
             ).average_report(condition)
 
         # Step 5 — integration with the energy-source model (Fig. 2 curves).
-        point_factory = lambda speed: condition.at_speed(speed)
+        def point_factory(speed: float) -> OperatingPoint:
+            return condition.at_speed(speed)
         report.balance_before = EnergyBalanceAnalysis(
             self.node, self.database, self.scavenger
         ).curve(grid, point_factory=point_factory)

@@ -146,3 +146,34 @@ def render_flow_report(report: FlowReport, max_power_rows: int = 40) -> str:
     lines.append(_SUBRULE)
     lines.append("end of report")
     return "\n".join(lines)
+
+
+def render_flow_headlines(report: FlowReport) -> str:
+    """The quickstart-style headline view of a flow run.
+
+    Three sections: the per-block energy table at the evaluation point, the
+    selected optimization techniques, and the scalar flow summary.  Shared by
+    ``examples/quickstart.py`` and ``tpms-energy run`` so a scenario document
+    and the hand-wired quickstart produce byte-identical tables.
+
+    Raises:
+        AnalysisError: if the report holds no evaluation artifacts.
+    """
+    if report.energy_report is None:
+        raise AnalysisError("the flow report holds no evaluation results to render")
+    lines: list[str] = []
+    lines.append(
+        "Per-block energy over one wheel round at "
+        f"{report.point.speed_kmh:.0f} km/h"
+    )
+    lines.append(render_table(report.energy_report.as_rows(), float_digits=2))
+    lines.append("")
+    if report.optimization is not None:
+        lines.append("Selected optimization techniques")
+        lines.append(render_table(report.optimization.as_rows()))
+        lines.append("")
+    summary_rows = [
+        {"figure": key, "value": value} for key, value in report.summary().items()
+    ]
+    lines.append(render_table(summary_rows, title="Flow summary", float_digits=2))
+    return "\n".join(lines)

@@ -16,6 +16,16 @@ class ConfigurationError(ReproError):
     """An object was constructed or configured with inconsistent parameters."""
 
 
+class ConfigError(ConfigurationError):
+    """A declarative scenario document (dict/JSON) is malformed or invalid.
+
+    Raised by :mod:`repro.scenario` when a spec references an unknown
+    component, carries an unknown field, or fails component construction.
+    Subclasses :class:`ConfigurationError` so existing ``except`` clauses
+    keep working.
+    """
+
+
 class UnknownBlockError(ReproError):
     """A functional block name was not found in a node or database."""
 

@@ -66,6 +66,7 @@ def apply_assignments(
     database: PowerDatabase,
     assignments: list[TechniqueAssignment],
     point: OperatingPoint | None = None,
+    evaluator: EnergyEvaluator | None = None,
 ) -> OptimizationOutcome:
     """Apply technique assignments to the database and re-estimate the energy.
 
@@ -80,9 +81,19 @@ def apply_assignments(
         assignments: the selected (block, technique) pairs.
         point: working condition of the before/after evaluation (nominal by
             default).
+        evaluator: optional prebuilt evaluator for ``node``/``database``; a
+            scenario study passes its shared instance so the "before" figure
+            reuses the already re-targeted database and compiled table.
     """
     condition = point or OperatingPoint()
-    before = EnergyEvaluator(node, database).energy_per_revolution_j(condition)
+    if evaluator is not None and (
+        evaluator.node is not node or evaluator.source_database is not database
+    ):
+        raise OptimizationError(
+            "the shared evaluator was built for a different node or database"
+        )
+    before_evaluator = evaluator or EnergyEvaluator(node, database)
+    before = before_evaluator.energy_per_revolution_j(condition)
 
     rewritten = database
     applied: list[TechniqueAssignment] = []

@@ -15,7 +15,6 @@ from typing import Callable
 
 from repro.blocks.adc import AdcConfig
 from repro.blocks.node import SensorNode
-from repro.blocks.radio import RadioConfig
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis
 from repro.core.evaluator import EnergyEvaluator

@@ -21,6 +21,8 @@ identical whichever numbers the spreadsheet holds.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.power.database import PowerDatabase
 from repro.power.entry import PowerEntry, make_entry
 
@@ -174,12 +176,9 @@ def _pmu_entries() -> list[PowerEntry]:
     ]
 
 
-def reference_power_database() -> PowerDatabase:
-    """Build the default characterization database of the reference Sensor Node.
-
-    Returns a fresh database on every call so tests and optimization flows
-    can mutate their copy freely.
-    """
+@lru_cache(maxsize=1)
+def _reference_entries() -> tuple[PowerEntry, ...]:
+    """The characterization rows, built once (entries are frozen dataclasses)."""
     entries: list[PowerEntry] = []
     entries.extend(_sensor_entries())
     entries.extend(_adc_entries())
@@ -187,7 +186,19 @@ def reference_power_database() -> PowerDatabase:
     entries.extend(_memory_entries())
     entries.extend(_radio_entries())
     entries.extend(_pmu_entries())
-    return PowerDatabase.from_entries(entries, name="reference-sensor-node")
+    return tuple(entries)
+
+
+def reference_power_database() -> PowerDatabase:
+    """Build the default characterization database of the reference Sensor Node.
+
+    Returns a fresh :class:`PowerDatabase` on every call so tests and
+    optimization flows can mutate their copy freely; the immutable
+    :class:`PowerEntry` rows behind it are memoized (copy-on-return), so
+    repeated CLI/registry lookups no longer rebuild the characterization
+    library from scratch.
+    """
+    return PowerDatabase.from_entries(_reference_entries(), name="reference-sensor-node")
 
 
 def low_power_process_database() -> PowerDatabase:

@@ -1,4 +1,16 @@
-"""CSV / JSON export of tabular results."""
+"""CSV / JSON export of tabular results.
+
+Non-finite floats (``nan``, ``inf``) have no representation in strict JSON
+and are ambiguous in CSV, so both writers normalize them:
+
+* :func:`rows_to_json` serializes every non-finite float — including numpy
+  scalars and values nested inside lists/tuples/dicts — as ``null``, and
+  passes ``allow_nan=False`` to :func:`json.dumps` so an unnormalized value
+  can never slip through as invalid JSON.
+* :func:`rows_to_csv` writes an empty cell for non-finite floats (the CSV
+  counterpart of ``null``), so downstream parsers see a missing value rather
+  than a locale-dependent ``nan``/``inf`` string.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +19,8 @@ import json
 import math
 from pathlib import Path
 from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.errors import ExportError
 
@@ -25,8 +39,47 @@ def _validate_rows(rows: Sequence[Mapping[str, object]]) -> list[str]:
     return columns
 
 
+def _is_non_finite_float(value: object) -> bool:
+    """True for float-like scalars (including numpy) that are nan or +/-inf."""
+    if isinstance(value, float):
+        return not math.isfinite(value)
+    if isinstance(value, np.floating):
+        return not math.isfinite(float(value))
+    return False
+
+
+def _json_safe(value: object) -> object:
+    """Normalize one cell for strict JSON.
+
+    Non-finite floats become ``None`` (documented as ``null`` in the file),
+    numpy scalars become their Python equivalents, and containers are
+    normalized recursively.
+    """
+    if _is_non_finite_float(value):
+        return None
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, Mapping):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return value
+
+
+def _csv_safe(value: object) -> object:
+    """Normalize one cell for CSV: non-finite floats become an empty cell."""
+    if _is_non_finite_float(value):
+        return ""
+    return value
+
+
 def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
-    """Write dict rows to a CSV file and return the path."""
+    """Write dict rows to a CSV file and return the path.
+
+    Non-finite floats are written as empty cells (see the module docstring).
+    """
     columns = _validate_rows(rows)
     target = Path(path)
     try:
@@ -34,26 +87,27 @@ def rows_to_csv(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
             writer = csv.DictWriter(handle, fieldnames=columns)
             writer.writeheader()
             for row in rows:
-                writer.writerow(dict(row))
+                writer.writerow({key: _csv_safe(value) for key, value in row.items()})
     except OSError as exc:
         raise ExportError(f"cannot write CSV to {target}") from exc
     return target
 
 
-def _json_safe(value: object) -> object:
-    """Replace non-finite floats (not representable in strict JSON) with None."""
-    if isinstance(value, float) and not math.isfinite(value):
-        return None
-    return value
-
-
 def rows_to_json(rows: Sequence[Mapping[str, object]], path: str | Path) -> Path:
-    """Write dict rows to a JSON file (list of objects) and return the path."""
+    """Write dict rows to a JSON file (list of objects) and return the path.
+
+    Non-finite floats serialize as ``null`` (see the module docstring); the
+    output is always strict JSON.
+    """
     _validate_rows(rows)
     target = Path(path)
     payload = [{key: _json_safe(value) for key, value in row.items()} for row in rows]
     try:
-        target.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+        text = json.dumps(payload, indent=2, allow_nan=False)
+    except (TypeError, ValueError) as exc:
+        raise ExportError(f"rows are not JSON-serializable: {exc}") from exc
+    try:
+        target.write_text(text, encoding="utf-8")
     except OSError as exc:
         raise ExportError(f"cannot write JSON to {target}") from exc
     return target

@@ -1,0 +1,211 @@
+"""String-keyed component registries backing the declarative scenario API.
+
+A :class:`~repro.scenario.spec.ScenarioSpec` references every component of an
+experiment — architecture, power database, scavenger, storage element, drive
+cycle — by *name plus parameters* instead of holding the objects themselves,
+so scenarios can be serialized, diffed and grid-swept.  The registries in
+this module map those names to factories.
+
+Each registry is seeded from the existing catalogues
+(:func:`repro.blocks.architectures.architecture_catalogue`, the
+characterization libraries of :mod:`repro.power.library`, the scavenger and
+storage models, the drive-cycle builders) and stays user-extensible through a
+``register`` decorator::
+
+    from repro.scenario import register_architecture
+
+    @register_architecture("my-node")
+    def my_node(tx_interval_revs: int = 8):
+        return baseline_node().with_radio(
+            RadioConfig(tx_interval_revs=tx_interval_revs)
+        )
+
+After which ``{"architecture": {"name": "my-node", "params": {...}}}`` is a
+valid scenario fragment and ``my-node`` appears in ``tpms-energy scenarios``.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterator, TypeVar
+
+from repro.blocks.architectures import baseline_node, legacy_tpms_node, optimized_node
+from repro.errors import ConfigError
+from repro.power.library import (
+    high_performance_process_database,
+    low_power_process_database,
+    reference_power_database,
+)
+from repro.scavenger.electromagnetic import ElectromagneticScavenger
+from repro.scavenger.electrostatic import ElectrostaticScavenger
+from repro.scavenger.piezoelectric import PiezoelectricScavenger
+from repro.scavenger.storage import supercapacitor, thin_film_battery
+from repro.vehicle.drive_cycle import (
+    constant_cruise,
+    highway_cycle,
+    nedc_like_cycle,
+    ramp_cycle,
+    urban_cycle,
+)
+
+_T = TypeVar("_T", bound=Callable[..., object])
+
+
+class Registry:
+    """A named mapping from component names to factory callables.
+
+    Factories are invoked with the scenario's keyword parameters; a factory
+    that rejects its parameters (``TypeError``) is reported as a
+    :class:`~repro.errors.ConfigError` naming the component, so malformed
+    scenario documents fail with a readable message instead of a traceback
+    from deep inside a constructor.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable[..., object]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, name: str, factory: Callable[..., object] | None = None):
+        """Register ``factory`` under ``name``; usable as a decorator.
+
+        Re-registering an existing name raises :class:`ConfigError`; use
+        :meth:`unregister` first to replace a seeded component.
+        """
+        if not name or not isinstance(name, str):
+            raise ConfigError(f"{self.kind} name must be a non-empty string")
+
+        def _store(target: _T) -> _T:
+            if name in self._factories:
+                raise ConfigError(
+                    f"{self.kind} {name!r} is already registered; "
+                    "unregister it first to replace it"
+                )
+            self._factories[name] = target
+            return target
+
+        if factory is None:
+            return _store
+        return _store(factory)
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered component (no-op safety net not provided)."""
+        if name not in self._factories:
+            raise ConfigError(f"no {self.kind} named {name!r} to unregister")
+        del self._factories[name]
+
+    # -- lookup -------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Registered names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def factory(self, name: str) -> Callable[..., object]:
+        """The factory registered under ``name``."""
+        self.validate(name)
+        return self._factories[name]
+
+    def validate(self, name: str) -> None:
+        """Raise a helpful :class:`ConfigError` when ``name`` is unknown."""
+        if name not in self._factories:
+            raise ConfigError(f"unknown {self.kind} {name!r}; available: {self.names()}")
+
+    def create(self, name: str, **params: object) -> object:
+        """Instantiate the component ``name`` with keyword ``params``.
+
+        Parameters are validated against the factory signature *before* the
+        call, so a malformed scenario document becomes a one-line
+        :class:`ConfigError` while a genuine bug inside a factory still
+        surfaces as its own traceback.
+        """
+        factory = self.factory(name)
+        try:
+            signature = inspect.signature(factory)
+        except (TypeError, ValueError):  # pragma: no cover - C callables
+            signature = None
+        if signature is not None:
+            try:
+                signature.bind(**params)
+            except TypeError as exc:
+                raise ConfigError(
+                    f"invalid parameters {sorted(params)} for {self.kind} "
+                    f"{name!r}: {exc}"
+                ) from exc
+        return factory(**params)
+
+
+#: Sensor Node architectures (see :mod:`repro.blocks.architectures`).
+ARCHITECTURES = Registry("architecture")
+
+#: Power characterization libraries (see :mod:`repro.power.library`).
+POWER_DATABASES = Registry("power database")
+
+#: Energy-scavenger models (see :mod:`repro.scavenger`).
+SCAVENGERS = Registry("scavenger")
+
+#: Storage elements (see :mod:`repro.scavenger.storage`).
+STORAGE_ELEMENTS = Registry("storage element")
+
+#: Drive cycles (see :mod:`repro.vehicle.drive_cycle`).
+DRIVE_CYCLES = Registry("drive cycle")
+
+
+def register_architecture(name: str, factory: Callable[..., object] | None = None):
+    """Register a Sensor Node architecture factory (decorator-friendly)."""
+    return ARCHITECTURES.register(name, factory)
+
+
+def register_power_database(name: str, factory: Callable[..., object] | None = None):
+    """Register a power-database factory (decorator-friendly)."""
+    return POWER_DATABASES.register(name, factory)
+
+
+def register_scavenger(name: str, factory: Callable[..., object] | None = None):
+    """Register an energy-scavenger factory (decorator-friendly)."""
+    return SCAVENGERS.register(name, factory)
+
+
+def register_storage(name: str, factory: Callable[..., object] | None = None):
+    """Register a storage-element factory (decorator-friendly)."""
+    return STORAGE_ELEMENTS.register(name, factory)
+
+
+def register_drive_cycle(name: str, factory: Callable[..., object] | None = None):
+    """Register a drive-cycle factory (decorator-friendly)."""
+    return DRIVE_CYCLES.register(name, factory)
+
+
+# ---------------------------------------------------------------------------
+# Seed the registries from the existing catalogues.
+# ---------------------------------------------------------------------------
+
+ARCHITECTURES.register("baseline", baseline_node)
+ARCHITECTURES.register("optimized", optimized_node)
+ARCHITECTURES.register("legacy-tpms", legacy_tpms_node)
+
+POWER_DATABASES.register("reference", reference_power_database)
+POWER_DATABASES.register("low-power", low_power_process_database)
+POWER_DATABASES.register("high-performance", high_performance_process_database)
+
+SCAVENGERS.register("piezoelectric", PiezoelectricScavenger)
+SCAVENGERS.register("electromagnetic", ElectromagneticScavenger)
+SCAVENGERS.register("electrostatic", ElectrostaticScavenger)
+
+STORAGE_ELEMENTS.register("supercapacitor", supercapacitor)
+STORAGE_ELEMENTS.register("thin-film-battery", thin_film_battery)
+
+DRIVE_CYCLES.register("urban", urban_cycle)
+DRIVE_CYCLES.register("nedc", nedc_like_cycle)
+DRIVE_CYCLES.register("highway", highway_cycle)
+DRIVE_CYCLES.register("constant", constant_cruise)
+DRIVE_CYCLES.register("ramp", ramp_cycle)

@@ -1,0 +1,354 @@
+"""The :class:`Study` runner — grid-expand a scenario and run any analysis kind.
+
+A study is one :class:`~repro.scenario.spec.ScenarioSpec` plus *axis
+overrides*: lists of values per grid axis, e.g. ``temperature=[-20, 25, 85]``
+and ``architecture=["baseline", "optimized"]``.  The runner expands the cross
+product into a scenario grid and executes one analysis kind over every grid
+point:
+
+``balance``
+    Break-even (minimum activation) speed plus the energy balance at the
+    scenario's operating point (the Fig. 2 figures).
+``report``
+    Average per-wheel-round energy split (dynamic/static), average power and
+    the stand-still floor.
+``optimize``
+    Duty-cycle-driven technique selection and re-estimation (energy before /
+    after, saving).
+``emulate``
+    Long-window emulation over the scenario's drive cycle (operating windows,
+    harvested/consumed energy, brown-outs).
+``explore``
+    Design-space snapshot: break-even speed and the 60 km/h energy snapshot,
+    matching :mod:`repro.optimization.exploration`.
+
+Grid points that share an architecture, workload and power database also
+share one :class:`~repro.core.evaluator.EnergyEvaluator` — and therefore one
+compiled power table — so a temperature sweep over the PR-1 batch path pays
+the database re-targeting and table compilation once.  The sharing is
+observable through ``StudyResult.metadata['evaluator_builds']`` /
+``['evaluator_cache_hits']``, which the regression tests pin down.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.emulator import NodeEmulator
+from repro.core.evaluator import EnergyEvaluator
+from repro.errors import ConfigError
+from repro.optimization.apply import apply_assignments
+from repro.optimization.selection import select_techniques
+from repro.reporting.export import rows_to_csv, rows_to_json
+from repro.reporting.tables import render_table
+from repro.scenario.spec import ComponentRef, ScenarioSpec
+
+#: Analysis kinds the runner understands.
+STUDY_KINDS = ("balance", "report", "optimize", "emulate", "explore")
+
+#: Default speed grid of the balance/explore kinds (km/h), Fig. 2 range.
+DEFAULT_BREAK_EVEN_RANGE = (5.0, 250.0)
+
+
+def _axis_display(value: object) -> object:
+    """How an axis value appears in result rows (components by their name)."""
+    if isinstance(value, ComponentRef):
+        return value.describe()
+    return value
+
+
+@dataclass(frozen=True)
+class StudyResult:
+    """Uniform result of one study run: per-scenario rows plus metadata.
+
+    Attributes:
+        kind: the analysis kind that produced the rows.
+        axes: the grid-axis names, in expansion order.
+        rows: one mapping per grid point; every row shares the same columns
+            (scenario label, axis values, then the kind's figures), so the
+            whole result exports directly through
+            :mod:`repro.reporting.export`.
+        metadata: run bookkeeping — grid shape, evaluator build/cache-hit
+            counters, the base scenario document.
+    """
+
+    kind: str
+    axes: tuple[str, ...]
+    rows: tuple[Mapping[str, object], ...]
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def as_rows(self) -> list[dict[str, object]]:
+        """The rows as plain dicts (for tables and exports)."""
+        return [dict(row) for row in self.rows]
+
+    def column(self, name: str) -> list[object]:
+        """One column across every row."""
+        if self.rows and name not in self.rows[0]:
+            raise ConfigError(
+                f"study result has no column {name!r}; "
+                f"columns: {list(self.rows[0])}"
+            )
+        return [row[name] for row in self.rows]
+
+    def as_table(self, title: str | None = None, float_digits: int = 2) -> str:
+        """Plain-text table of the rows (see :func:`render_table`)."""
+        return render_table(
+            self.as_rows(),
+            title=title or f"Study — {self.kind}",
+            float_digits=float_digits,
+        )
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Export the rows as CSV through :mod:`repro.reporting.export`."""
+        return rows_to_csv(self.as_rows(), path)
+
+    def to_json(self, path: str | Path) -> Path:
+        """Export the rows as JSON through :mod:`repro.reporting.export`."""
+        return rows_to_json(self.as_rows(), path)
+
+
+class Study:
+    """Expands a spec plus axis overrides into a grid and runs an analysis.
+
+    Args:
+        spec: the base scenario every grid point derives from.
+        axes: mapping of axis name (see
+            :meth:`ScenarioSpec.axis_names`) to the list of values to sweep.
+            Omitted or empty means a single-scenario study.
+
+    Example::
+
+        study = Study(spec, axes={
+            "temperature": [-20.0, 25.0, 85.0],
+            "architecture": ["baseline", "optimized"],
+        })
+        result = study.run("balance")
+        result.to_csv("grid.csv")
+    """
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        axes: Mapping[str, Sequence[object]] | None = None,
+    ) -> None:
+        if not isinstance(spec, ScenarioSpec):
+            raise ConfigError(f"a study needs a ScenarioSpec, got {type(spec).__name__}")
+        self.spec = spec
+        normalized: dict[str, list[object]] = {}
+        canonical_fields: dict[str, str] = {}
+        for axis, values in (axes or {}).items():
+            if axis not in ScenarioSpec.axis_names():
+                raise ConfigError(
+                    f"unknown scenario axis {axis!r}; "
+                    f"known axes: {ScenarioSpec.axis_names()}"
+                )
+            # Aliases resolve to one spec field; two axes driving the same
+            # field ("temperature" + "temperature_c") would silently let the
+            # later override win, so reject the collision up front.
+            field = ScenarioSpec._AXIS_ALIASES[axis]
+            if field in canonical_fields:
+                raise ConfigError(
+                    f"axes {canonical_fields[field]!r} and {axis!r} both drive "
+                    f"the scenario field {field!r}; give only one of them"
+                )
+            canonical_fields[field] = axis
+            values = list(values)
+            if not values:
+                raise ConfigError(f"axis {axis!r} needs at least one value")
+            normalized[axis] = values
+        self.axes = normalized
+        # (architecture ref, workload overrides, database ref) -> shared
+        # (node, database, evaluator); grid points differing only in
+        # environment or scavenger/storage reuse the compiled table.
+        self._evaluators: dict[str, tuple] = {}
+        self.evaluator_builds = 0
+        self.evaluator_cache_hits = 0
+
+    # -- grid expansion -----------------------------------------------------
+
+    def scenarios(self) -> list[tuple[dict[str, object], ScenarioSpec]]:
+        """The expanded grid: ``(axis_values, spec)`` per grid point."""
+        if not self.axes:
+            return [({}, self.spec)]
+        names = list(self.axes)
+        grid: list[tuple[dict[str, object], ScenarioSpec]] = []
+        for combination in itertools.product(*(self.axes[name] for name in names)):
+            overrides = dict(zip(names, combination))
+            spec = self.spec
+            for axis, value in overrides.items():
+                spec = spec.with_axis(axis, value)
+            grid.append((overrides, spec))
+        return grid
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    # -- shared evaluator cache ---------------------------------------------
+
+    def _evaluator_for(self, spec: ScenarioSpec):
+        """The shared (node, database, evaluator) triple of one grid point."""
+        # repr-keyed rather than hashed: component params may hold unhashable
+        # JSON values (lists, dicts), and dataclass reprs of equal refs match.
+        key = repr(
+            (
+                spec.architecture,
+                spec.tx_interval_revs,
+                spec.payload_bits,
+                spec.power_database,
+            )
+        )
+        cached = self._evaluators.get(key)
+        if cached is not None:
+            self.evaluator_cache_hits += 1
+            return cached
+        node = spec.build_node()
+        database = spec.build_database()
+        evaluator = EnergyEvaluator(node, database)
+        self.evaluator_builds += 1
+        self._evaluators[key] = (node, database, evaluator)
+        return self._evaluators[key]
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, kind: str = "balance") -> StudyResult:
+        """Execute ``kind`` over every grid point and collect uniform rows."""
+        if kind not in STUDY_KINDS:
+            raise ConfigError(f"unknown analysis kind {kind!r}; available: {list(STUDY_KINDS)}")
+        runner = getattr(self, f"_run_{kind}")
+        builds_before = self.evaluator_builds
+        hits_before = self.evaluator_cache_hits
+        rows: list[dict[str, object]] = []
+        for overrides, spec in self.scenarios():
+            row: dict[str, object] = {"scenario": spec.name}
+            for axis in self.axes:
+                row[axis] = _axis_display(overrides[axis])
+            row.update(runner(spec))
+            rows.append(row)
+        metadata = {
+            "kind": kind,
+            "grid_points": len(rows),
+            "axes": {name: [_axis_display(v) for v in vals] for name, vals in self.axes.items()},
+            # Per-run deltas: the Study-level counters keep accumulating so a
+            # second run() on a warm study reports its own builds/hits.
+            "evaluator_builds": self.evaluator_builds - builds_before,
+            "evaluator_cache_hits": self.evaluator_cache_hits - hits_before,
+            "base_scenario": self.spec.to_dict(),
+        }
+        return StudyResult(kind=kind, axes=tuple(self.axes), rows=tuple(rows), metadata=metadata)
+
+    # -- per-kind row builders ----------------------------------------------
+
+    def _run_balance(self, spec: ScenarioSpec) -> dict[str, object]:
+        node, database, evaluator = self._evaluator_for(spec)
+        analysis = EnergyBalanceAnalysis(
+            node, database, spec.build_scavenger(), evaluator=evaluator
+        )
+        point = spec.operating_point()
+
+        def factory(speed: float):
+            return point.at_speed(speed)
+
+        low, high = DEFAULT_BREAK_EVEN_RANGE
+        break_even = analysis.break_even_speed_kmh(
+            low_kmh=low, high_kmh=high, point_factory=factory
+        )
+        required = float(analysis.required_energy_sweep([point])[0])
+        generated = analysis.generated_energy_j(point.speed_kmh)
+        return {
+            "break_even_kmh": break_even if break_even is not None else float("nan"),
+            "required_uj_per_rev": required * 1e6,
+            "generated_uj_per_rev": generated * 1e6,
+            "margin_uj_per_rev": (generated - required) * 1e6,
+            "surplus": generated >= required,
+        }
+
+    def _run_report(self, spec: ScenarioSpec) -> dict[str, object]:
+        _node, _database, evaluator = self._evaluator_for(spec)
+        point = spec.operating_point()
+        dynamic, static, period = evaluator.average_components_sweep([point])
+        standstill = evaluator.standstill_power_sweep([point.at_speed(0.0)])
+        total = float(dynamic[0] + static[0])
+        return {
+            "energy_per_rev_uj": total * 1e6,
+            "dynamic_uj": float(dynamic[0]) * 1e6,
+            "static_uj": float(static[0]) * 1e6,
+            "average_power_uw": total / float(period[0]) * 1e6,
+            "standstill_uw": float(standstill[0]) * 1e6,
+        }
+
+    def _run_optimize(self, spec: ScenarioSpec) -> dict[str, object]:
+        node, database, evaluator = self._evaluator_for(spec)
+        point = spec.operating_point()
+        assignments = select_techniques(evaluator.duty_cycles(point), database=database)
+        outcome = apply_assignments(
+            node, database, assignments, point=point, evaluator=evaluator
+        )
+        return {
+            "energy_before_uj": outcome.energy_before_j * 1e6,
+            "energy_after_uj": outcome.energy_after_j * 1e6,
+            "saving_pct": outcome.saving_fraction * 100.0,
+            "techniques": len(outcome.assignments),
+        }
+
+    def _run_emulate(self, spec: ScenarioSpec) -> dict[str, object]:
+        cycle = spec.build_drive_cycle()
+        if cycle is None:
+            raise ConfigError("the 'emulate' kind needs the scenario to name a drive_cycle")
+        storage = spec.build_storage()
+        if storage is None:
+            raise ConfigError("the 'emulate' kind needs the scenario to name a storage")
+        node, database, evaluator = self._evaluator_for(spec)
+        emulator = NodeEmulator(
+            node,
+            database,
+            spec.build_scavenger(),
+            storage,
+            base_point=spec.operating_point(),
+            evaluator=evaluator,
+        )
+        result = emulator.emulate(cycle)
+        # "cycle_name", not "cycle": the latter is a grid-axis alias and the
+        # axis column must keep the swept value, not the cycle's own label.
+        return {"cycle_name": cycle.name, **result.summary()}
+
+    def _run_explore(self, spec: ScenarioSpec) -> dict[str, object]:
+        node, database, evaluator = self._evaluator_for(spec)
+        analysis = EnergyBalanceAnalysis(
+            node, database, spec.build_scavenger(), evaluator=evaluator
+        )
+        point = spec.operating_point()
+
+        def factory(speed: float):
+            return point.at_speed(speed)
+
+        low, high = DEFAULT_BREAK_EVEN_RANGE
+        break_even = analysis.break_even_speed_kmh(
+            low_kmh=low, high_kmh=high, point_factory=factory
+        )
+        snapshot = factory(60.0)
+        required_60 = float(analysis.required_energy_sweep([snapshot])[0])
+        return {
+            "break_even_kmh": break_even if break_even is not None else float("nan"),
+            "required_uj_per_rev_60kmh": required_60 * 1e6,
+            "generated_uj_per_rev_60kmh": analysis.generated_energy_j(60.0) * 1e6,
+            "activates": break_even is not None,
+        }
+
+
+def run_study(
+    spec: ScenarioSpec,
+    axes: Mapping[str, Sequence[object]] | None = None,
+    kind: str = "balance",
+) -> StudyResult:
+    """One-call convenience wrapper: build a :class:`Study` and run it."""
+    return Study(spec, axes=axes).run(kind)

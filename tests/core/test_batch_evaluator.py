@@ -247,7 +247,8 @@ class TestStalenessAndRemapping:
     ):
         """A factory that remaps the sweep speed must not split the paths."""
         analysis = EnergyBalanceAnalysis(node, database, scavenger)
-        factory = lambda speed: OperatingPoint(speed_kmh=1.05 * speed)
+        def factory(speed):
+            return OperatingPoint(speed_kmh=1.05 * speed)
         speeds = [20.0, 60.0, 120.0]
         batched = analysis.curve(speeds, point_factory=factory, use_batch=True)
         scalar = analysis.curve(speeds, point_factory=factory, use_batch=False)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.conditions.operating_point import OperatingPoint
 from repro.conditions.temperature import TyreThermalModel
 from repro.core.emulator import NodeEmulator
 from repro.errors import EmulationError

@@ -115,3 +115,59 @@ class TestCrossArchitectureFlow:
 
     def test_flow_report_carries_architecture_name(self, report):
         assert report.node_name == "baseline"
+
+
+class TestFlowFromSpec:
+    def test_from_spec_builds_the_described_experiment(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(architecture="optimized", temperature_c=85.0)
+        flow = EnergyAnalysisFlow.from_spec(spec)
+        assert flow.node.name == "optimized"
+        assert flow.default_point.temperature_c == 85.0
+        assert flow.storage is not None
+
+    def test_from_spec_run_uses_the_spec_environment(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(speed_kmh=90.0, temperature_c=-20.0)
+        report = EnergyAnalysisFlow.from_spec(spec).run(speeds_kmh=[20.0, 60.0, 120.0])
+        assert report.point.speed_kmh == 90.0
+        assert report.point.temperature_c == -20.0
+
+    def test_from_spec_cycle_becomes_the_default_emulation(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(
+            drive_cycle={"name": "urban", "params": {"repetitions": 1}}
+        )
+        report = EnergyAnalysisFlow.from_spec(spec).run(speeds_kmh=[20.0, 60.0, 120.0])
+        assert report.emulation is not None
+        assert report.emulation.cycle_name == "urban-x1"
+
+    def test_spec_without_storage_skips_emulation_despite_cycle(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(storage=None, drive_cycle="nedc")
+        report = EnergyAnalysisFlow.from_spec(spec).run(speeds_kmh=[20.0, 60.0, 120.0])
+        assert report.emulation is None
+
+    def test_explicit_none_cycle_skips_the_emulation(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(
+            drive_cycle={"name": "urban", "params": {"repetitions": 1}}
+        )
+        report = EnergyAnalysisFlow.from_spec(spec).run(
+            drive_cycle=None, speeds_kmh=[20.0, 60.0, 120.0]
+        )
+        assert report.emulation is None
+
+    def test_explicit_arguments_still_win(self):
+        from repro.scenario import ScenarioSpec
+
+        spec = ScenarioSpec(speed_kmh=90.0)
+        report = EnergyAnalysisFlow.from_spec(spec).run(
+            point=OperatingPoint(speed_kmh=60.0), speeds_kmh=[20.0, 60.0, 120.0]
+        )
+        assert report.point.speed_kmh == 60.0

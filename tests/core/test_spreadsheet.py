@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.conditions.operating_point import OperatingPoint
 from repro.core.spreadsheet import Spreadsheet
 from repro.errors import AnalysisError
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.blocks import SensorNode, baseline_node
+from repro.blocks import SensorNode
 from repro.blocks.radio import RadioConfig
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis

@@ -1,0 +1,64 @@
+"""Acceptance: the declarative front door reproduces the hand-wired quickstart.
+
+The quickstart example and ``tpms-energy run --scenario quickstart.json``
+must agree on the headline numbers — balance break-even, per-block energy —
+with byte-identical table output, because both are now two doors into the
+same :class:`~repro.scenario.spec.ScenarioSpec`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.scenario.spec import load_scenario
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = REPO_ROOT / "examples"
+QUICKSTART_SCENARIO = EXAMPLES / "scenarios" / "quickstart.json"
+
+
+@pytest.fixture(scope="module")
+def quickstart_module():
+    sys.path.insert(0, str(EXAMPLES))
+    try:
+        import quickstart
+    finally:
+        sys.path.remove(str(EXAMPLES))
+    return quickstart
+
+
+class TestQuickstartEquivalence:
+    def test_scenario_file_matches_the_python_spec(self, quickstart_module):
+        assert load_scenario(QUICKSTART_SCENARIO) == quickstart_module.quickstart_spec()
+
+    def test_cli_run_output_is_byte_identical_to_quickstart(
+        self, capsys, quickstart_module
+    ):
+        quickstart_module.main()
+        example_output = capsys.readouterr().out
+
+        assert main(["run", "--scenario", str(QUICKSTART_SCENARIO)]) == 0
+        cli_output = capsys.readouterr().out
+
+        assert cli_output == example_output
+        # The headline tables really are in there.
+        assert "Per-block energy over one wheel round at 60 km/h" in cli_output
+        assert "break_even_before_kmh" in cli_output
+
+
+class TestScenarioGridExample:
+    def test_grid_example_runs(self, capsys):
+        sys.path.insert(0, str(EXAMPLES))
+        try:
+            import scenario_grid
+        finally:
+            sys.path.remove(str(EXAMPLES))
+        scenario_grid.main()
+        output = capsys.readouterr().out
+        assert "Break-even speed across the grid" in output
+        assert "2 evaluator builds" in output
+        assert "4 cache hits" in output

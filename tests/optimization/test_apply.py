@@ -52,6 +52,26 @@ class TestOutcome:
         assert outcome.skipped == ()
 
 
+class TestSharedEvaluator:
+    def test_shared_evaluator_matches_fresh_one(self, node, database, duty_report, point):
+        assignments = select_techniques(duty_report, database=database)
+        shared = EnergyEvaluator(node, database)
+        with_shared = apply_assignments(
+            node, database, assignments, point=point, evaluator=shared
+        )
+        fresh = apply_assignments(node, database, assignments, point=point)
+        assert with_shared.energy_before_j == fresh.energy_before_j
+        assert with_shared.energy_after_j == fresh.energy_after_j
+
+    def test_mismatched_evaluator_rejected(self, node, database, point):
+        from repro.blocks import optimized_node
+        from repro.errors import OptimizationError
+
+        other = EnergyEvaluator(optimized_node(), database)
+        with pytest.raises(OptimizationError, match="different node or database"):
+            apply_assignments(node, database, [], point=point, evaluator=other)
+
+
 class TestSkippedAssignments:
     def test_inapplicable_technique_is_skipped_not_fatal(self, node, database, point):
         assignments = [

@@ -6,7 +6,7 @@ import pytest
 
 from repro.conditions.operating_point import OperatingPoint
 from repro.errors import ConfigurationError
-from repro.power.entry import PowerEntry, make_entry
+from repro.power.entry import make_entry
 
 
 @pytest.fixture

@@ -58,6 +58,41 @@ class TestCoverage:
         assert reference_power_database() is not reference_power_database()
 
 
+class TestMemoization:
+    """The entry rows are built once; the databases stay independent."""
+
+    def test_entry_rows_are_cached(self):
+        from repro.power.library import _reference_entries
+
+        assert _reference_entries() is _reference_entries()
+
+    def test_two_lookups_share_no_mutable_state(self):
+        first = reference_power_database()
+        second = reference_power_database()
+
+        first.remove("mcu", "active")
+        assert ("mcu", "active") not in first
+        assert ("mcu", "active") in second
+
+        point = OperatingPoint()
+        entry = second.entry("mcu", "active")
+        first.add(entry.scaled(dynamic_factor=0.5, static_factor=0.5))
+        assert first.power("mcu", "active", point).total_w < (
+            second.power("mcu", "active", point).total_w
+        )
+        # A third lookup is unaffected by either mutation.
+        third = reference_power_database()
+        assert third.power("mcu", "active", point).total_w == pytest.approx(
+            second.power("mcu", "active", point).total_w
+        )
+
+    def test_mutated_copy_does_not_poison_the_cache(self):
+        mutated = reference_power_database()
+        mutated.remove("nvm", "active")
+        fresh = reference_power_database()
+        assert ("nvm", "active") in fresh
+
+
 class TestMagnitudes:
     """Sanity checks that the synthetic figures stay in the published ranges."""
 

@@ -6,6 +6,7 @@ import csv
 import json
 import math
 
+import numpy as np
 import pytest
 
 from repro.errors import ExportError
@@ -70,3 +71,70 @@ class TestJsonExport:
     def test_empty_rows_rejected(self, tmp_path):
         with pytest.raises(ExportError):
             rows_to_json([], tmp_path / "rows.json")
+
+
+class TestNonFiniteHandling:
+    """NaN/inf must never reach a file as invalid JSON or ambiguous CSV."""
+
+    def test_nested_non_finite_floats_become_null(self, tmp_path):
+        rows = [
+            {
+                "values": [1.0, float("nan"), float("-inf")],
+                "nested": {"margin": float("inf"), "ok": 2.5},
+            }
+        ]
+        path = rows_to_json(rows, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert restored[0]["values"] == [1.0, None, None]
+        assert restored[0]["nested"] == {"margin": None, "ok": 2.5}
+
+    def test_numpy_scalars_are_normalized(self, tmp_path):
+        rows = [
+            {
+                "nan": np.float64("nan"),
+                "value": np.float64(3.5),
+                "count": np.int64(7),
+                "flag": np.bool_(True),
+            }
+        ]
+        path = rows_to_json(rows, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert restored[0] == {"nan": None, "value": 3.5, "count": 7, "flag": True}
+
+    def test_numpy_arrays_serialize_with_nulls(self, tmp_path):
+        rows = [{"curve": np.array([1.0, float("nan"), 3.0])}]
+        path = rows_to_json(rows, tmp_path / "rows.json")
+        restored = json.loads(path.read_text())
+        assert restored[0]["curve"] == [1.0, None, 3.0]
+
+    def test_output_is_strict_json(self, tmp_path):
+        rows = [{"value": float("nan")}]
+        path = rows_to_json(rows, tmp_path / "rows.json")
+        text = path.read_text()
+        assert "NaN" not in text
+        assert "Infinity" not in text
+        json.loads(text)  # strict parser accepts the file
+
+    def test_csv_non_finite_floats_become_empty_cells(self, tmp_path):
+        rows = [
+            {"speed": 20.0, "margin": float("nan")},
+            {"speed": 40.0, "margin": float("inf")},
+            {"speed": 60.0, "margin": 1.25},
+        ]
+        path = rows_to_csv(rows, tmp_path / "rows.csv")
+        with path.open() as handle:
+            restored = list(csv.DictReader(handle))
+        assert restored[0]["margin"] == ""
+        assert restored[1]["margin"] == ""
+        assert float(restored[2]["margin"]) == pytest.approx(1.25)
+
+    def test_csv_numpy_nan_becomes_empty_cell(self, tmp_path):
+        rows = [{"margin": np.float64("nan")}]
+        path = rows_to_csv(rows, tmp_path / "rows.csv")
+        with path.open() as handle:
+            restored = list(csv.DictReader(handle))
+        assert restored[0]["margin"] == ""
+
+    def test_unserializable_value_raises_export_error(self, tmp_path):
+        with pytest.raises(ExportError, match="not JSON-serializable"):
+            rows_to_json([{"value": object()}], tmp_path / "rows.json")

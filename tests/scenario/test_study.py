@@ -1,0 +1,237 @@
+"""Tests for the Study runner: grid expansion, evaluator sharing, analysis kinds."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.evaluator import EnergyEvaluator
+from repro.errors import ConfigError
+from repro.power.compiled import CompiledPowerTable
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.study import STUDY_KINDS, Study, run_study
+
+
+@pytest.fixture
+def grid_study():
+    """The acceptance grid: 3 temperatures x 2 architectures."""
+    return Study(
+        ScenarioSpec(name="grid"),
+        axes={
+            "temperature": [-20.0, 25.0, 85.0],
+            "architecture": ["baseline", "optimized"],
+        },
+    )
+
+
+class TestGridExpansion:
+    def test_grid_size(self, grid_study):
+        assert len(grid_study) == 6
+        assert len(grid_study.scenarios()) == 6
+
+    def test_scenarios_carry_overrides(self, grid_study):
+        overrides, spec = grid_study.scenarios()[0]
+        assert overrides == {"temperature": -20.0, "architecture": "baseline"}
+        assert spec.temperature_c == -20.0
+        assert spec.architecture.name == "baseline"
+
+    def test_no_axes_is_single_scenario(self):
+        study = Study(ScenarioSpec())
+        assert len(study) == 1
+        assert study.scenarios()[0][0] == {}
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scenario axis"):
+            Study(ScenarioSpec(), axes={"humidity": [0.1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="at least one value"):
+            Study(ScenarioSpec(), axes={"temperature": []})
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ConfigError, match="needs a ScenarioSpec"):
+            Study({"architecture": "baseline"})
+
+    def test_alias_collision_rejected(self):
+        with pytest.raises(ConfigError, match="both drive the scenario field"):
+            Study(
+                ScenarioSpec(),
+                axes={"temperature": [-20.0, 85.0], "temperature_c": [25.0]},
+            )
+
+
+class TestEvaluatorSharing:
+    def test_one_evaluator_per_architecture(self, grid_study):
+        result = grid_study.run("balance")
+        assert result.metadata["evaluator_builds"] == 2
+        assert result.metadata["evaluator_cache_hits"] == 4
+
+    def test_single_compiled_table_per_database(self, grid_study, monkeypatch):
+        """The acceptance bar: the 3x2 grid compiles one table per database."""
+        compilations = []
+        original = CompiledPowerTable.from_database.__func__
+
+        def counting(cls, database):
+            compilations.append(database.name)
+            return original(cls, database)
+
+        monkeypatch.setattr(CompiledPowerTable, "from_database", classmethod(counting))
+        result = grid_study.run("balance")
+        assert len(result) == 6
+        # Two architectures on one characterization library: exactly two
+        # (node-adapted) databases, one compiled table each.
+        assert len(compilations) == 2
+
+    def test_workload_override_splits_the_cache(self):
+        study = Study(
+            ScenarioSpec(),
+            axes={"tx_interval_revs": [1, 4], "temperature": [25.0, 85.0]},
+        )
+        result = study.run("report")
+        assert result.metadata["evaluator_builds"] == 2
+        assert result.metadata["evaluator_cache_hits"] == 2
+
+    def test_counters_are_per_run(self):
+        study = Study(ScenarioSpec(), axes={"temperature": [-20.0, 25.0]})
+        first = study.run("report")
+        assert first.metadata["evaluator_builds"] == 1
+        assert first.metadata["evaluator_cache_hits"] == 1
+        second = study.run("report")
+        # The warm study rebuilds nothing; the metadata reports this run only.
+        assert second.metadata["evaluator_builds"] == 0
+        assert second.metadata["evaluator_cache_hits"] == 2
+
+    def test_unhashable_component_params_are_cacheable(self):
+        from repro.scenario.registry import ARCHITECTURES
+
+        def nicknamed(nicknames=()):
+            node = ARCHITECTURES.create("baseline")
+            return node.renamed("-".join(["custom", *nicknames]))
+
+        ARCHITECTURES.register("custom", nicknamed)
+        try:
+            spec = ScenarioSpec(
+                architecture={"name": "custom", "params": {"nicknames": ["a", "b"]}}
+            )
+            result = Study(spec, axes={"temperature": [25.0, 85.0]}).run("report")
+            assert len(result) == 2
+            assert result.metadata["evaluator_builds"] == 1
+        finally:
+            ARCHITECTURES.unregister("custom")
+
+
+class TestKinds:
+    def test_balance_rows(self, grid_study):
+        result = grid_study.run("balance")
+        assert result.kind == "balance"
+        row = result.rows[0]
+        assert set(row) == {
+            "scenario",
+            "temperature",
+            "architecture",
+            "break_even_kmh",
+            "required_uj_per_rev",
+            "generated_uj_per_rev",
+            "margin_uj_per_rev",
+            "surplus",
+        }
+        for value in result.column("break_even_kmh"):
+            assert 20.0 < value < 100.0
+
+    def test_balance_matches_scalar_reference(self):
+        spec = ScenarioSpec()
+        result = run_study(spec, kind="balance")
+        evaluator = EnergyEvaluator(spec.build_node(), spec.build_database())
+        point = spec.operating_point()
+        scalar = evaluator.energy_per_revolution_j(point)
+        scalar = spec.build_node().pmu.referred_to_storage(scalar)
+        assert result.rows[0]["required_uj_per_rev"] == pytest.approx(scalar * 1e6, rel=1e-9)
+
+    def test_report_rows_match_scalar_reference(self):
+        spec = ScenarioSpec(temperature_c=85.0)
+        result = run_study(spec, kind="report")
+        report = EnergyEvaluator(
+            spec.build_node(), spec.build_database()
+        ).average_report(spec.operating_point())
+        row = result.rows[0]
+        assert row["energy_per_rev_uj"] == pytest.approx(report.total_energy_j * 1e6, rel=1e-9)
+        assert row["dynamic_uj"] == pytest.approx(report.dynamic_energy_j * 1e6, rel=1e-9)
+
+    def test_optimize_rows_report_a_saving(self):
+        result = run_study(ScenarioSpec(), kind="optimize")
+        row = result.rows[0]
+        assert row["energy_after_uj"] < row["energy_before_uj"]
+        assert row["saving_pct"] > 0.0
+        assert row["techniques"] >= 1
+
+    def test_emulate_rows(self):
+        spec = ScenarioSpec(drive_cycle={"name": "urban", "params": {"repetitions": 1}})
+        result = run_study(spec, kind="emulate")
+        row = result.rows[0]
+        assert row["cycle_name"] == "urban-x1"
+        assert row["revolutions"] > 0
+        assert "brownout_events" in row
+
+    def test_emulate_cycle_axis_column_keeps_the_axis_value(self):
+        spec = ScenarioSpec()
+        result = run_study(spec, axes={"cycle": ["urban", "nedc"]}, kind="emulate")
+        # The swept axis value survives; the cycle's own label sits beside it.
+        assert result.column("cycle") == ["urban", "nedc"]
+        assert result.column("cycle_name") == ["urban-x4", "nedc-like"]
+
+    def test_emulate_requires_cycle(self):
+        with pytest.raises(ConfigError, match="drive_cycle"):
+            run_study(ScenarioSpec(), kind="emulate")
+
+    def test_emulate_requires_storage(self):
+        spec = ScenarioSpec(storage=None, drive_cycle="nedc")
+        with pytest.raises(ConfigError, match="storage"):
+            run_study(spec, kind="emulate")
+
+    def test_explore_rows(self):
+        result = run_study(ScenarioSpec(), axes={"scavenger_size": [0.5, 1.0, 2.0]}, kind="explore")
+        break_evens = result.column("break_even_kmh")
+        # A larger scavenger activates earlier.
+        assert break_evens[0] > break_evens[1] > break_evens[2]
+        assert all(result.column("activates"))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown analysis kind"):
+            run_study(ScenarioSpec(), kind="interpolate")
+
+    def test_every_kind_is_runnable(self):
+        spec = ScenarioSpec(drive_cycle={"name": "urban", "params": {"repetitions": 1}})
+        for kind in STUDY_KINDS:
+            result = run_study(spec, kind=kind)
+            assert len(result) == 1
+
+
+class TestStudyResult:
+    def test_rows_share_columns(self, grid_study):
+        result = grid_study.run("balance")
+        columns = list(result.rows[0])
+        for row in result.rows:
+            assert list(row) == columns
+
+    def test_exports(self, grid_study, tmp_path):
+        result = grid_study.run("balance")
+        csv_path = result.to_csv(tmp_path / "grid.csv")
+        json_path = result.to_json(tmp_path / "grid.json")
+        assert len(csv_path.read_text().splitlines()) == 7
+        assert len(json.loads(json_path.read_text())) == 6
+
+    def test_as_table_renders(self, grid_study):
+        table = grid_study.run("balance").as_table()
+        assert "break_even_kmh" in table
+
+    def test_unknown_column_rejected(self, grid_study):
+        result = grid_study.run("balance")
+        with pytest.raises(ConfigError, match="no column"):
+            result.column("flux_capacitance")
+
+    def test_metadata_records_the_grid(self, grid_study):
+        result = grid_study.run("balance")
+        assert result.metadata["grid_points"] == 6
+        assert result.metadata["axes"]["temperature"] == [-20.0, 25.0, 85.0]
+        assert result.metadata["base_scenario"]["name"] == "grid"

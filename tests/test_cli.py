@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -92,6 +94,243 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             main([])
 
-    def test_unknown_cycle_rejected(self):
+    def test_unknown_kind_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
-            main(["emulate", "--cycle", "lunar"])
+            main(["run", "--scenario", "x.json", "--kind", "interpolate"])
+
+
+class TestScenariosCommand:
+    def test_lists_every_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for name in (
+            "baseline",
+            "reference",
+            "piezoelectric",
+            "supercapacitor",
+            "urban",
+            "architecture",
+            "drive_cycle",
+        ):
+            assert name in output
+
+    def test_lists_grid_axes(self, capsys):
+        main(["scenarios"])
+        output = capsys.readouterr().out
+        assert "grid axes" in output
+        assert "temperature" in output
+
+
+class TestCyclesCommand:
+    def test_lists_cycles_with_durations(self, capsys):
+        assert main(["cycles"]) == 0
+        output = capsys.readouterr().out
+        for name in ("urban", "nedc", "highway", "constant", "ramp"):
+            assert name in output
+        assert "parametric" in output
+
+
+class TestRunCommand:
+    @pytest.fixture
+    def scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-test",
+                    "architecture": "optimized",
+                    "environment": {"temperature_c": 25.0, "speed_kmh": 60.0},
+                }
+            )
+        )
+        return str(path)
+
+    def test_flow_mode_prints_headlines(self, capsys, scenario_path):
+        assert main(["run", "--scenario", scenario_path]) == 0
+        output = capsys.readouterr().out
+        assert "Per-block energy over one wheel round at 60 km/h" in output
+        assert "Flow summary" in output
+        assert "break_even_before_kmh" in output
+
+    def test_grid_mode_runs_study(self, capsys, scenario_path):
+        code = main(
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--set",
+                "temperature=-20,85",
+                "--kind",
+                "balance",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "break_even_kmh" in output
+        assert "evaluator build(s)" in output
+
+    def test_export_writes_rows(self, capsys, scenario_path, tmp_path):
+        target = tmp_path / "rows.json"
+        code = main(
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "report",
+                "--export",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert json.loads(target.read_text())
+
+
+class TestErrorPaths:
+    """Every CLI failure exits non-zero with a one-line message, no traceback."""
+
+    def _assert_clean_failure(self, capsys, argv, fragment):
+        code = main(argv)
+        captured = capsys.readouterr()
+        assert code == 1
+        error_lines = [line for line in captured.err.splitlines() if line]
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("error: ")
+        assert fragment in error_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_unknown_architecture(self, capsys):
+        self._assert_clean_failure(
+            capsys,
+            ["balance", "--architecture", "does-not-exist"],
+            "unknown architecture",
+        )
+
+    def test_unknown_cycle(self, capsys):
+        self._assert_clean_failure(
+            capsys, ["emulate", "--cycle", "lunar"], "unknown drive cycle"
+        )
+
+    def test_parametric_cycle_points_to_scenario_form(self, capsys):
+        self._assert_clean_failure(
+            capsys, ["emulate", "--cycle", "constant"], "needs parameters"
+        )
+
+    def test_unknown_report_cycle(self, capsys):
+        self._assert_clean_failure(
+            capsys, ["report", "--cycle", "lunar"], "unknown drive cycle"
+        )
+
+    def test_missing_scenario_file(self, capsys, tmp_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", str(tmp_path / "missing.json")],
+            "cannot read scenario file",
+        )
+
+    def test_invalid_scenario_json(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        self._assert_clean_failure(
+            capsys, ["run", "--scenario", str(path)], "not valid JSON"
+        )
+
+    def test_unknown_scenario_field(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"architecture": "baseline", "wheelz": 4}))
+        self._assert_clean_failure(
+            capsys, ["run", "--scenario", str(path)], "unknown scenario field"
+        )
+
+    def test_unknown_scenario_architecture(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"architecture": "warp-drive"}))
+        self._assert_clean_failure(
+            capsys, ["run", "--scenario", str(path)], "unknown architecture"
+        )
+
+    @pytest.fixture
+    def scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({"architecture": "baseline"}))
+        return str(path)
+
+    def test_malformed_set_missing_equals(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--set", "temperature"],
+            "malformed --set",
+        )
+
+    def test_malformed_set_empty_values(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--set", "temperature=25,,85"],
+            "malformed --set",
+        )
+
+    def test_unknown_set_axis(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--set", "humidity=10,20"],
+            "unknown scenario axis",
+        )
+
+    def test_colliding_set_aliases(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--set",
+                "temperature=10",
+                "--set",
+                "temperature_c=20",
+            ],
+            "both drive the scenario field",
+        )
+
+    def test_non_finite_set_value(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--set", "speed=inf,60"],
+            "finite",
+        )
+
+    def test_duplicate_set_axis(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--set",
+                "temperature=10",
+                "--set",
+                "temperature=20",
+            ],
+            "more than once",
+        )
+
+    def test_bad_export_extension(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "report",
+                "--export",
+                "rows.xlsx",
+            ],
+            "must end in .csv or .json",
+        )
+
+    def test_emulate_kind_without_cycle(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--kind", "emulate"],
+            "drive_cycle",
+        )
