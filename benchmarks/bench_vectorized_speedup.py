@@ -19,7 +19,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import emit_result
+from benchmarks.conftest import emit_result, emit_timing
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.evaluator import EnergyEvaluator
 
@@ -78,6 +78,12 @@ def test_vectorized_grid_speedup(node, database):
             }
         ],
         title="Vectorized batch evaluation vs scalar reference (energy per wheel round)",
+    )
+    emit_timing(
+        "vectorized_speedup",
+        wall_times_s={"scalar": scalar_s, "vectorized": vector_s},
+        speedups={"vectorized_vs_scalar": speedup},
+        extra={"points": GRID_POINTS, "required_speedup": REQUIRED_SPEEDUP},
     )
 
     assert np.allclose(grid.energy_j, scalar_energies, rtol=RTOL, atol=0.0), (

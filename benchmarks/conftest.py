@@ -4,29 +4,100 @@ Every benchmark regenerates one of the paper's figures (or a methodology
 claim from the text), times it with pytest-benchmark, prints the resulting
 rows/series, and writes them to ``benchmarks/results/`` so they can be
 inspected or plotted after the run.
+
+Machine-readable trajectory: alongside each ``<name>.csv`` table the harness
+writes ``<name>.json`` (the same rows) and — for benchmarks that call
+:func:`emit_timing` — ``<name>.timing.json`` with the measured wall times and
+speedup factors.  A session-level ``bench_wall_times.json`` records the wall
+time of every benchmark test that ran, so the perf trajectory can be tracked
+across commits from CI artifacts without parsing pytest output.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
 
 from repro.blocks import baseline_node, legacy_tpms_node, optimized_node
 from repro.power import reference_power_database
-from repro.reporting.export import rows_to_csv
+from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
 from repro.scavenger import PiezoelectricScavenger, supercapacitor
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: Per-test wall times collected over the session (nodeid -> seconds).
+_SESSION_WALL_TIMES: dict[str, float] = {}
+
 
 def emit_result(name: str, rows: list[dict[str, object]], title: str, columns=None) -> None:
-    """Print a result table and persist it as CSV under benchmarks/results/."""
+    """Print a result table and persist it as CSV + JSON under benchmarks/results/."""
     RESULTS_DIR.mkdir(exist_ok=True)
     rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
+    rows_to_json(rows, RESULTS_DIR / f"{name}.json")
     print()
     print(render_table(rows, columns=columns, title=title))
+
+
+def emit_timing(
+    name: str,
+    wall_times_s: dict[str, float],
+    speedups: dict[str, float] | None = None,
+    extra: dict[str, object] | None = None,
+) -> None:
+    """Persist a benchmark's wall times and speedup factors as JSON.
+
+    Args:
+        name: benchmark name; the payload lands in ``<name>.timing.json``.
+        wall_times_s: measured wall times per labelled variant (seconds).
+        speedups: speedup factors per labelled comparison (dimensionless).
+        extra: any further machine-readable context (workload sizes, floors).
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload: dict[str, object] = {
+        "bench": name,
+        "wall_times_s": dict(wall_times_s),
+        "speedups": dict(speedups or {}),
+    }
+    if extra:
+        payload["extra"] = dict(extra)
+    target = RESULTS_DIR / f"{name}.timing.json"
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def pytest_runtest_logreport(report) -> None:
+    """Collect each benchmark test's call-phase wall time."""
+    if report.when == "call" and report.passed:
+        _SESSION_WALL_TIMES[report.nodeid] = report.duration
+
+
+def pytest_sessionfinish(session) -> None:
+    """Merge this session's per-bench wall times into one JSON document.
+
+    CI runs the benchmark files as separate pytest invocations, so the
+    document is merged with (not overwritten by) previous sessions —
+    re-running a bench refreshes its entry, and the uploaded artifact keeps
+    every benchmark's wall time.
+    """
+    if not _SESSION_WALL_TIMES:
+        return
+    RESULTS_DIR.mkdir(exist_ok=True)
+    target = RESULTS_DIR / "bench_wall_times.json"
+    wall_times: dict[str, float] = {}
+    if target.exists():
+        try:
+            wall_times = dict(
+                json.loads(target.read_text(encoding="utf-8"))["wall_times_s"]
+            )
+        except (ValueError, KeyError, TypeError):
+            wall_times = {}
+    wall_times.update(_SESSION_WALL_TIMES)
+    target.write_text(
+        json.dumps({"wall_times_s": wall_times}, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 @pytest.fixture(scope="session")

@@ -27,6 +27,26 @@ from repro.vehicle.contact_patch import ContactPatchModel
 from repro.vehicle.wheel import Wheel
 
 
+def _instance_memo(node: "SensorNode", slot: str, build):
+    """Identity-keyed memo stored on a frozen node instance.
+
+    Schedule construction needs several pure derivations of the node (the
+    resting-mode mapping, the default contact-patch model, the fixed
+    transmit phases) for every build; recreating them per wheel round
+    dominated the cost of workload sweeps that build thousands of schedules.
+    The node is a frozen dataclass, so the derivations are pure functions of
+    its value — they are stashed in non-field slots via
+    ``object.__setattr__`` (equality, hash and repr only look at declared
+    fields) and keyed by *identity*, avoiding the recursive dataclass hash
+    that a value-keyed cache would pay per lookup.
+    """
+    cached = node.__dict__.get(slot)
+    if cached is None:
+        cached = build()
+        object.__setattr__(node, slot, cached)
+    return cached
+
+
 @dataclass(frozen=True)
 class SensorNode:
     """A complete Sensor Node architecture.
@@ -65,7 +85,9 @@ class SensorNode:
         """Contact-patch model, defaulting to one built on the node's wheel."""
         if self.contact_patch is not None:
             return self.contact_patch
-        return ContactPatchModel(wheel=self.wheel)
+        return _instance_memo(
+            self, "_patch_model_memo", lambda: ContactPatchModel(wheel=self.wheel)
+        )
 
     def blocks(self) -> list[FunctionalBlock]:
         """Every functional block of the architecture."""
@@ -93,8 +115,18 @@ class SensorNode:
         )
 
     def resting_modes(self) -> dict[str, str]:
-        """Block -> resting-mode mapping used as the schedule baseline."""
-        return {block.name: block.resting_mode for block in self.blocks()}
+        """Block -> resting-mode mapping used as the schedule baseline.
+
+        Derived once per node instance and memoized (see
+        :func:`_instance_memo`); every call returns a fresh dict so callers
+        stay free to mutate their copy.
+        """
+        pairs = _instance_memo(
+            self,
+            "_resting_modes_memo",
+            lambda: tuple((block.name, block.resting_mode) for block in self.blocks()),
+        )
+        return dict(pairs)
 
     def required_characterization(self) -> dict[str, tuple[str, ...]]:
         """The (block -> modes) coverage the power database must provide."""
@@ -140,13 +172,12 @@ class SensorNode:
         """Raw acquired data volume per revolution, in bits."""
         return self.adc.bits_for(self.samples_per_revolution(speed_kmh))
 
-    def _acquire_phase(self, speed_kmh: float, revolution_index: int) -> Phase:
+    def _acquire_phase(self, speed_kmh: float, refresh_slow: bool) -> Phase:
         """The acquisition phase: sensors + ADC on, MCU idle buffering."""
         modes: dict[str, str] = {"adc": "active", "mcu": "idle", "sram": "active",
                                  "pmu": "active"}
         if self.sensors.use_accelerometer:
             modes["accelerometer"] = "active"
-        refresh_slow = self.sensors.refreshes_slow_sensors(revolution_index)
         if refresh_slow and self.sensors.use_pressure:
             modes["pressure_sensor"] = "active"
         if refresh_slow and self.sensors.use_temperature:
@@ -166,32 +197,94 @@ class SensorNode:
         return Phase(name="compute", duration_s=duration, block_modes=modes)
 
     def _transmit_phases(self) -> list[Phase]:
-        """Synthesizer start-up followed by the transmission burst."""
-        phases: list[Phase] = []
-        if self.radio.startup_s > 0.0:
+        """Synthesizer start-up followed by the transmission burst.
+
+        Speed-independent, so the (frozen) phases are built once per node
+        instance and shared by every schedule.
+        """
+
+        def build() -> tuple[Phase, ...]:
+            phases: list[Phase] = []
+            if self.radio.startup_s > 0.0:
+                phases.append(
+                    Phase(
+                        name="tx_startup",
+                        duration_s=self.radio.startup_s,
+                        block_modes={"rf_tx": "idle", "mcu": "idle", "pmu": "active"},
+                    )
+                )
+            burst = self.radio.burst_duration_s(payload_scale=self.mcu.compression_ratio)
             phases.append(
                 Phase(
-                    name="tx_startup",
-                    duration_s=self.radio.startup_s,
-                    block_modes={"rf_tx": "idle", "mcu": "idle", "pmu": "active"},
+                    name="transmit",
+                    duration_s=burst,
+                    block_modes={"rf_tx": "active", "mcu": "idle", "pmu": "active"},
                 )
             )
-        burst = self.radio.burst_duration_s(payload_scale=self.mcu.compression_ratio)
-        phases.append(
-            Phase(
-                name="transmit",
-                duration_s=burst,
-                block_modes={"rf_tx": "active", "mcu": "idle", "pmu": "active"},
-            )
-        )
-        return phases
+            return tuple(phases)
+
+        return list(_instance_memo(self, "_transmit_phases_memo", build))
 
     def _nvm_phase(self) -> Phase:
-        """Occasional non-volatile log write."""
-        return Phase(
-            name="nvm_write",
-            duration_s=self.memory.nvm_write_duration_s,
-            block_modes={"nvm": "active", "mcu": "idle", "pmu": "active"},
+        """Occasional non-volatile log write (speed-independent, memoized)."""
+        return _instance_memo(
+            self,
+            "_nvm_phase_memo",
+            lambda: Phase(
+                name="nvm_write",
+                duration_s=self.memory.nvm_write_duration_s,
+                block_modes={"nvm": "active", "mcu": "idle", "pmu": "active"},
+            ),
+        )
+
+    def phase_pattern(self, revolution_index: int) -> tuple[bool, bool, bool]:
+        """The conditional-phase pattern of one revolution.
+
+        Returns the ``(transmits, refreshes_slow, writes_nvm)`` triple that,
+        together with the speed, fully determines the revolution's schedule.
+        The emulator's revolution-energy cache and the batch sweep APIs key
+        on this pattern instead of the raw revolution index.
+        """
+        return (
+            self.radio.transmits(revolution_index),
+            self.sensors.refreshes_slow_sensors(revolution_index),
+            self.memory.writes_nvm(revolution_index),
+        )
+
+    def schedule_for_pattern(
+        self,
+        speed_kmh: float,
+        transmits: bool,
+        refreshes_slow: bool,
+        writes_nvm: bool,
+    ) -> RevolutionSchedule:
+        """Build the schedule of a wheel round with an explicit phase pattern.
+
+        This is the pattern-addressed form of :meth:`schedule_for`: instead of
+        deriving the conditional phases from a revolution index, the caller
+        states them directly.  Batch sweeps (Monte-Carlo workload sampling,
+        the emulator's cache prefill) use it to build one schedule per unique
+        (speed, pattern) bin without inventing representative indices.
+
+        Raises:
+            ScheduleError: if the busy phases do not fit into the wheel-round
+                period (the node cannot keep up at this speed).
+        """
+        if speed_kmh <= 0.0:
+            raise ConfigurationError("a revolution schedule requires a positive speed")
+        period = self.wheel.revolution_period_s(speed_kmh)
+        phases: list[Phase] = [
+            self._acquire_phase(speed_kmh, refreshes_slow),
+            self._compute_phase(speed_kmh),
+        ]
+        if transmits:
+            phases.extend(self._transmit_phases())
+        if writes_nvm:
+            phases.append(self._nvm_phase())
+        return RevolutionSchedule(
+            period_s=period,
+            phases=tuple(phases),
+            blocks=self.resting_modes(),
         )
 
     def schedule_for(
@@ -209,21 +302,12 @@ class SensorNode:
             ScheduleError: if the busy phases do not fit into the wheel-round
                 period (the node cannot keep up at this speed).
         """
-        if speed_kmh <= 0.0:
-            raise ConfigurationError("a revolution schedule requires a positive speed")
-        period = self.wheel.revolution_period_s(speed_kmh)
-        phases: list[Phase] = [
-            self._acquire_phase(speed_kmh, revolution_index),
-            self._compute_phase(speed_kmh),
-        ]
-        if self.radio.transmits(revolution_index):
-            phases.extend(self._transmit_phases())
-        if self.memory.writes_nvm(revolution_index):
-            phases.append(self._nvm_phase())
-        return RevolutionSchedule(
-            period_s=period,
-            phases=tuple(phases),
-            blocks=self.resting_modes(),
+        transmits, refreshes_slow, writes_nvm = self.phase_pattern(revolution_index)
+        return self.schedule_for_pattern(
+            speed_kmh,
+            transmits=transmits,
+            refreshes_slow=refreshes_slow,
+            writes_nvm=writes_nvm,
         )
 
     def average_schedule_weights(self) -> dict[str, float]:
@@ -271,7 +355,7 @@ class SensorNode:
         # greater than one, so it yields the "plain" acquire phase; when the
         # interval is exactly one the refresh is already part of every acquire
         # phase and no separate increment must be added.
-        acquire = self._acquire_phase(speed_kmh, revolution_index=0 if refresh_every_revolution else 1)
+        acquire = self._acquire_phase(speed_kmh, refresh_slow=refresh_every_revolution)
         census.append((acquire, 1.0))
 
         slow_modes: dict[str, str] = {}

@@ -9,6 +9,8 @@ a shell (or a Makefile) without writing Python::
     tpms-energy run --scenario exp.json \\
         --set temperature=-20,25,85 --set architecture=baseline,optimized \\
         --kind balance --export grid.csv                   # grid study
+    tpms-energy run --scenario exp.json \\
+        --kind montecarlo --mc-samples 2000 --workers 4    # Monte-Carlo sweep
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -59,6 +61,7 @@ from repro.scenario.registry import (
     SCAVENGERS,
     STORAGE_ELEMENTS,
 )
+from repro.scenario.montecarlo import MonteCarloConfig
 from repro.scenario.spec import ScenarioSpec, load_scenario
 from repro.scenario.study import STUDY_KINDS, Study, StudyResult
 from repro.scavenger.piezoelectric import PiezoelectricScavenger
@@ -191,6 +194,28 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH.{csv,json}",
         help="export the result rows as CSV or JSON",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the study grid on N worker threads (rows stay in "
+        "sequential order with identical values)",
+    )
+    run.add_argument(
+        "--mc-samples",
+        type=int,
+        default=None,
+        metavar="N",
+        help="population size per grid point for --kind montecarlo",
+    )
+    run.add_argument(
+        "--mc-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="base random seed for --kind montecarlo",
+    )
 
     subparsers.add_parser(
         "scenarios", help="list the registered scenario components and grid axes"
@@ -247,10 +272,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     _validate_export_path(args.export)
     spec = load_scenario(args.scenario)
     axes = _parse_set_overrides(args.overrides)
+    montecarlo_given = args.mc_samples is not None or args.mc_seed is not None
+    if montecarlo_given and args.kind != "montecarlo":
+        raise ConfigError("--mc-samples/--mc-seed require --kind montecarlo")
     if axes or args.kind is not None:
         kind = args.kind or "balance"
-        study = Study(spec, axes=axes)
-        result: StudyResult = study.run(kind)
+        montecarlo = None
+        if montecarlo_given:
+            defaults = MonteCarloConfig()
+            montecarlo = MonteCarloConfig(
+                samples=args.mc_samples if args.mc_samples is not None else defaults.samples,
+                seed=args.mc_seed if args.mc_seed is not None else defaults.seed,
+            )
+        study = Study(spec, axes=axes, montecarlo=montecarlo)
+        result: StudyResult = study.run(kind, workers=args.workers)
         print(
             result.as_table(
                 title=f"Study — {spec.name} ({kind}), {len(result)} scenario(s)"
@@ -259,11 +294,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"\n{result.metadata['evaluator_builds']} evaluator build(s), "
             f"{result.metadata['evaluator_cache_hits']} cache hit(s) "
-            "across the grid"
+            f"across the grid in {result.metadata['wall_time_s']:.2f} s "
+            f"({result.metadata['workers']} worker(s))"
         )
         if args.export:
             _export_rows(result.as_rows(), args.export)
         return 0
+    if args.workers is not None:
+        raise ConfigError("--workers requires study mode (--set and/or --kind)")
 
     flow = EnergyAnalysisFlow.from_spec(spec)
     print(flow.node.describe())

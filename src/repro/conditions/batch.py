@@ -41,6 +41,12 @@ class BatchConditions:
         supply_v: core supply voltage per point.
         dynamic_factor: process multiplier on dynamic power per point.
         leakage_factor: process multiplier on leakage power per point.
+        activity: per-point workload activity factor.  It multiplies the
+            activity factor of every block a phase overrides out of its
+            resting mode (the paper's workload-intensity knob), so
+            Monte-Carlo workload sweeps can vary the computational load per
+            sample; 1.0 (the default) reproduces the scalar
+            :class:`OperatingPoint` semantics exactly.
     """
 
     speed_kmh: np.ndarray
@@ -48,10 +54,19 @@ class BatchConditions:
     supply_v: np.ndarray
     dynamic_factor: np.ndarray
     leakage_factor: np.ndarray
+    activity: np.ndarray = None  # type: ignore[assignment]  # filled in __post_init__
 
     def __post_init__(self) -> None:
         count = len(self.speed_kmh)
-        for name in ("temperature_c", "supply_v", "dynamic_factor", "leakage_factor"):
+        if self.activity is None:
+            object.__setattr__(self, "activity", np.ones(count))
+        for name in (
+            "temperature_c",
+            "supply_v",
+            "dynamic_factor",
+            "leakage_factor",
+            "activity",
+        ):
             if len(getattr(self, name)) != count:
                 raise ConfigurationError("batch condition columns must be equal length")
         if np.any(self.speed_kmh < 0.0):
@@ -71,6 +86,9 @@ class BatchConditions:
         # inputs instead of silently computing zero/negative power.
         if np.any(self.dynamic_factor <= 0.0) or np.any(self.leakage_factor <= 0.0):
             raise ConfigurationError("process factors must be positive")
+        # Written as not-all-valid so NaN activities are rejected too.
+        if not np.all(self.activity >= 0.0):
+            raise ConfigurationError("activity factors must be non-negative")
 
     def __len__(self) -> int:
         return len(self.speed_kmh)
@@ -101,12 +119,15 @@ class BatchConditions:
         supply_v=None,
         dynamic_factor=None,
         leakage_factor=None,
+        activity=None,
     ) -> "BatchConditions":
         """Build a batch from speed/temperature arrays plus shared conditions.
 
         ``base_point`` supplies the (scalar) core supply and process
         conditions when per-point overrides are not given; this is the grid
         evaluator's constructor, and it never allocates per-point objects.
+        ``activity`` optionally gives the per-point workload activity factor
+        (scalar or length-N array, default 1.0 everywhere).
         """
         base = base_point or OperatingPoint()
         speeds = np.asarray(speed_kmh, dtype=np.float64)
@@ -133,6 +154,9 @@ class BatchConditions:
                 count,
                 "leakage process factor",
             ),
+            activity=_column(
+                1.0 if activity is None else activity, count, "activity factor"
+            ),
         )
 
     def point_at(self, index: int) -> OperatingPoint:
@@ -140,7 +164,11 @@ class BatchConditions:
 
         Used by reference/fallback paths that need to hand one batch row to
         the scalar evaluator.  The process factors are re-expressed as extra
-        spread around the typical corner (they must be positive).
+        spread around the typical corner (they must be positive).  The
+        activity column has no scalar :class:`OperatingPoint` counterpart —
+        scalar reference paths take it as an explicit ``activity_scale``
+        argument instead (see ``EnergyEvaluator.schedule_report``) — so
+        callers falling back through ``point_at`` must check it is 1.0.
         """
         from repro.conditions.process import ProcessVariation
         from repro.conditions.supply import SupplyCondition, SupplyRail

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.blocks.node import SensorNode
+from repro.conditions.batch import BatchConditions
 from repro.conditions.operating_point import TEMPERATURE_RANGE_C, OperatingPoint
 from repro.conditions.temperature import TyreThermalModel
 from repro.core.evaluator import EnergyEvaluator
@@ -25,6 +26,7 @@ from repro.errors import ConfigurationError, EmulationError, ScheduleError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
 from repro.scavenger.storage import StorageElement
+from repro.timing.schedule import RevolutionSchedule
 from repro.timing.wheel_round import WheelRound, iter_wheel_rounds
 from repro.vehicle.drive_cycle import DriveCycle
 
@@ -40,6 +42,12 @@ _TEMPERATURE_QUANTUM_C = 1.0
 #: with continuously varying speeds can accumulate, and the cap keeps the
 #: run-persistent cache from growing without bound over an emulator's life.
 _MAX_ENERGY_CACHE_ENTRIES = 65536
+
+#: Upper bound on the number of bins the pre-integration batch prefill
+#: collects from one drive cycle.  Cycles with more unique quantized bins
+#: (pathological continuously-varying boundary speeds) fill the remainder
+#: through the ordinary per-miss path inside the integration loop.
+_MAX_PREFILL_KEYS = 8192
 
 
 @dataclass(frozen=True)
@@ -365,6 +373,10 @@ class NodeEmulator:
         #: evaluated and keyed on the exact speed — an unsustainable actual
         #: speed then raises naturally on its own schedule build.
         self._exact_speed_keys: set[tuple] = set()
+        #: (id(cycle), idle step) pairs whose prefill pre-scan completed
+        #: against the current caches; re-scanning them would walk the whole
+        #: cycle to find nothing pending (see ``_prefill_energy_cache``).
+        self._prefilled_cycles: set[tuple] = set()
         self._cache_node = self.node
         self._cache_evaluator = self.evaluator
         self._cache_database = self.evaluator.database
@@ -392,6 +404,7 @@ class NodeEmulator:
             self._infeasible_center_keys.clear()
             self._trusted_speed_keys.clear()
             self._exact_speed_keys.clear()
+            self._prefilled_cycles.clear()
             self._cache_node = self.node
             self._cache_evaluator = self.evaluator
             self._cache_database = self.evaluator.database
@@ -437,26 +450,20 @@ class NodeEmulator:
             self._standstill_cache[key] = cached
         return cached
 
-    def _revolution_energy(
-        self, unit: WheelRound, temperature_c: float
-    ) -> tuple[float, tuple[tuple[str, float, float], ...]]:
-        """Energy of one revolution plus its per-phase (label, duration, power) list.
+    def _speed_key_for(
+        self, speed_kmh: float, revolution_index: int, pattern: tuple[bool, bool, bool]
+    ) -> tuple[object, float, bool]:
+        """Resolve the cache speed key of one revolution.
 
-        Cached on quantized speed/temperature and on the conditional-phase
-        pattern of the revolution index, because those five values fully
-        determine the schedule energy.
+        Returns ``(speed_key, evaluation_speed, use_bin)``.  Bin 0 has no
+        positive representative speed, and bins whose center proved
+        infeasible are memoized; both are keyed on the exact speed instead —
+        the cached value stays a pure function of the key either way.  Exact
+        keys are tagged so they can never collide with an int bin key
+        (Python dicts treat 999 and 999.0 as the same key).
         """
-        transmits = self.node.radio.transmits(unit.index)
-        refreshes = self.node.sensors.refreshes_slow_sensors(unit.index)
-        writes_nvm = self.node.memory.writes_nvm(unit.index)
-        speed_bin = round(unit.speed_kmh / _SPEED_QUANTUM_KMH)
-        temperature_bin = self._temperature_bin(temperature_c)
-        # Bin 0 has no positive representative speed, and bins whose center
-        # proved infeasible are memoized; both are keyed on the exact speed
-        # instead — the cached value stays a pure function of the key either
-        # way.  Exact keys are tagged so they can never collide with an int
-        # bin key (Python dicts treat 999 and 999.0 as the same key).
-        pattern_key = (speed_bin, transmits, refreshes, writes_nvm)
+        speed_bin = round(speed_kmh / _SPEED_QUANTUM_KMH)
+        pattern_key = (speed_bin, *pattern)
         use_bin = speed_bin > 0 and pattern_key not in self._infeasible_center_keys
         if use_bin and pattern_key not in self._trusted_speed_keys:
             if pattern_key in self._exact_speed_keys:
@@ -471,18 +478,42 @@ class NodeEmulator:
                 # emulators always agree.
                 upper_edge = (speed_bin + 0.5) * _SPEED_QUANTUM_KMH
                 try:
-                    self.node.schedule_for(upper_edge, unit.index)
+                    self.node.schedule_for(upper_edge, revolution_index)
                     self._trusted_speed_keys.add(pattern_key)
                 except ScheduleError:
                     self._exact_speed_keys.add(pattern_key)
                     use_bin = False
         if use_bin:
-            speed = speed_bin * _SPEED_QUANTUM_KMH
-            speed_key: object = speed_bin
-        else:
-            speed = unit.speed_kmh
-            speed_key = ("exact", unit.speed_kmh)
-        key = (speed_key, temperature_bin, transmits, refreshes, writes_nvm)
+            return speed_bin, speed_bin * _SPEED_QUANTUM_KMH, True
+        return ("exact", speed_kmh), speed_kmh, False
+
+    def _store_energy(
+        self, key: tuple, value: tuple[float, tuple[tuple[str, float, float], ...]]
+    ) -> None:
+        """Insert one revolution-energy cache entry, honouring the size cap."""
+        if len(self._energy_cache) >= _MAX_ENERGY_CACHE_ENTRIES:
+            # Exact-keyed entries from continuously varying boundary speeds
+            # are the only unbounded population; dropping the whole cache is
+            # cheap to rebuild and keeps memory flat over the emulator's life.
+            self._energy_cache.clear()
+            self._prefilled_cycles.clear()
+        self._energy_cache[key] = value
+
+    def _revolution_energy(
+        self, unit: WheelRound, temperature_c: float
+    ) -> tuple[float, tuple[tuple[str, float, float], ...]]:
+        """Energy of one revolution plus its per-phase (label, duration, power) list.
+
+        Cached on quantized speed/temperature and on the conditional-phase
+        pattern of the revolution index, because those five values fully
+        determine the schedule energy.
+        """
+        pattern = self.node.phase_pattern(unit.index)
+        temperature_bin = self._temperature_bin(temperature_c)
+        speed_key, speed, use_bin = self._speed_key_for(
+            unit.speed_kmh, unit.index, pattern
+        )
+        key = (speed_key, temperature_bin, *pattern)
         cached = self._energy_cache.get(key)
         if cached is not None:
             return cached
@@ -500,9 +531,9 @@ class NodeEmulator:
                 # above): memoize the (bin, pattern) so later rounds skip
                 # the doomed attempt, and key this round on its exact speed.
                 schedule = self.node.schedule_for(unit.speed_kmh, unit.index)
-                self._infeasible_center_keys.add(pattern_key)
+                self._infeasible_center_keys.add((speed_key, *pattern))
                 speed = unit.speed_kmh
-                key = (("exact", speed), temperature_bin, transmits, refreshes, writes_nvm)
+                key = (("exact", speed), temperature_bin, *pattern)
                 cached = self._energy_cache.get(key)
                 if cached is not None:
                     return cached
@@ -513,13 +544,125 @@ class NodeEmulator:
         # pass over all (block, mode) rows) instead of the scalar
         # per-phase-per-block dataclass path.
         value = self.evaluator.schedule_energy_compiled(schedule, point)
-        if len(self._energy_cache) >= _MAX_ENERGY_CACHE_ENTRIES:
-            # Exact-keyed entries from continuously varying boundary speeds
-            # are the only unbounded population; dropping the whole cache is
-            # cheap to rebuild and keeps memory flat over the emulator's life.
-            self._energy_cache.clear()
-        self._energy_cache[key] = value
+        self._store_energy(key, value)
         return value
+
+    def _pending_energy_bins(
+        self, cycle: DriveCycle, idle_step_s: float
+    ) -> dict[tuple, tuple[float, float, RevolutionSchedule]]:
+        """Pre-scan the cycle for uncached quantized bins and their schedules.
+
+        Walks the drive cycle once (advancing — and afterwards resetting —
+        the thermal model exactly like the integration loop will) and
+        collects the unique quantized (speed, temperature, phase-pattern)
+        bins that are not cached yet, as ``key -> (evaluation speed,
+        evaluation temperature degC, schedule)``.  One schedule object is
+        shared per unique (speed, pattern): keys differing only in
+        temperature bin then group into one vectorized accumulation in the
+        batch kernel instead of N width-1 ones.
+
+        Bins whose schedule cannot be built (an unsustainable speed, an
+        out-of-range temperature) are deliberately skipped so the
+        integration loop raises at exactly the same simulated instant it
+        always did.
+        """
+        pending: dict[tuple, tuple[float, float, RevolutionSchedule]] = {}
+        built: dict[tuple, RevolutionSchedule] = {}
+        temperature_c = (
+            self.thermal_model.current_celsius
+            if self.thermal_model is not None
+            else self.base_point.temperature_c
+        )
+        for unit in iter_wheel_rounds(cycle, self.node.wheel, idle_step_s=idle_step_s):
+            duration = (
+                unit.period_s if isinstance(unit, WheelRound) else unit.duration_s
+            )
+            speed = unit.speed_kmh if isinstance(unit, WheelRound) else 0.0
+            if self.thermal_model is not None:
+                temperature_c = self.thermal_model.advance(duration, speed / 3.6)
+            if not isinstance(unit, WheelRound):
+                continue
+            if len(pending) >= _MAX_PREFILL_KEYS:
+                break
+            pattern = self.node.phase_pattern(unit.index)
+            try:
+                temperature_bin = self._temperature_bin(temperature_c)
+            except ConfigurationError:
+                # Out-of-range temperature: the integration loop must raise
+                # on this round itself, not the prefill.
+                break
+            speed_key, eval_speed, _use_bin = self._speed_key_for(
+                unit.speed_kmh, unit.index, pattern
+            )
+            key = (speed_key, temperature_bin, *pattern)
+            if key in self._energy_cache or key in pending:
+                continue
+            schedule_key = (eval_speed, *pattern)
+            schedule = built.get(schedule_key)
+            if schedule is None:
+                try:
+                    schedule = self.node.schedule_for(eval_speed, unit.index)
+                except ScheduleError:
+                    # Bin-center infeasibility (or an unsustainable exact
+                    # speed): leave the round to the integration loop, which
+                    # handles the fallback — and the error timing — exactly
+                    # as before.
+                    continue
+                built[schedule_key] = schedule
+            pending[key] = (
+                eval_speed,
+                temperature_bin * _TEMPERATURE_QUANTUM_C,
+                schedule,
+            )
+        if self.thermal_model is not None:
+            self.thermal_model.reset()
+        return pending
+
+    def _prefill_energy_cache(self, cycle: DriveCycle, idle_step_s: float) -> int:
+        """Fill the revolution-energy cache with ONE batch call before the loop.
+
+        The bins come from :meth:`_pending_energy_bins`; all of them are
+        evaluated through ``EnergyEvaluator._schedule_energy_batch`` in a
+        single vectorized pass.  Cached values are pure functions of their
+        keys, so prefilled entries are indistinguishable from per-miss
+        entries: the integration loop produces byte-identical results either
+        way, just without thousands of scalar cache-miss evaluations.
+
+        A cycle object whose scan already completed against the current
+        caches is remembered and not re-scanned: on a warm emulator the
+        pre-scan would walk every wheel round only to find nothing pending.
+        (Skipping a prefill can never change results — it is purely an
+        optimization — so the identity-keyed memo is safe even if a caller
+        mutates the cycle in place.)
+
+        Returns the number of prefilled cache entries.
+        """
+        memo_key = (id(cycle), idle_step_s)
+        if memo_key in self._prefilled_cycles:
+            return 0
+        pending = self._pending_energy_bins(cycle, idle_step_s)
+        if len(pending) < _MAX_PREFILL_KEYS:
+            # The scan covered the whole cycle: a later run with the same
+            # (unchanged) caches has nothing left to discover.
+            self._prefilled_cycles.add(memo_key)
+        if not pending:
+            return 0
+
+        keys = list(pending)
+        speeds = np.array([pending[key][0] for key in keys])
+        temperatures = np.array([pending[key][1] for key in keys])
+        schedules = [pending[key][2] for key in keys]
+        batch = BatchConditions.from_arrays(
+            speeds, temperatures, base_point=self.base_point
+        )
+        energies, phase_lists = self.evaluator._schedule_energy_batch(
+            batch, schedules, include_phases=True
+        )
+        for position, key in enumerate(keys):
+            self._store_energy(
+                key, (float(energies[position]), phase_lists[position])
+            )
+        return len(keys)
 
     def _record_trace_revolution(
         self,
@@ -550,6 +693,7 @@ class NodeEmulator:
         record_interval_s: float = 1.0,
         trace_window: tuple[float, float] | None = None,
         idle_step_s: float = 1.0,
+        prefill: bool = True,
     ) -> EmulationResult:
         """Run the emulation over ``cycle``.
 
@@ -560,6 +704,11 @@ class NodeEmulator:
             trace_window: optional ``(start_s, end_s)`` window over which the
                 instant-power trace (Fig. 3) is recorded.
             idle_step_s: time step used while the vehicle is stationary.
+            prefill: pre-scan the cycle and fill the revolution-energy cache
+                with one vectorized batch call before the state-of-charge
+                integration loop (see :meth:`_prefill_energy_cache`).  The
+                result is byte-identical with or without prefill — the flag
+                exists for benchmarking and regression tests.
 
         Returns:
             An :class:`EmulationResult` with totals, the sampled state log and
@@ -582,6 +731,8 @@ class NodeEmulator:
         # invalidating event — an in-place mutation of the database — is
         # detected via its version counter.
         self._ensure_caches_fresh()
+        if prefill:
+            self._prefill_energy_cache(cycle, idle_step_s)
 
         result = EmulationResult(
             node_name=self.node.name,

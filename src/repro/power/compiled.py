@@ -196,10 +196,14 @@ class CompiledPowerTable:
     ) -> np.ndarray:
         """Dynamic power of ``rows`` at each condition, shape ``(R, P)``.
 
-        ``activity`` may be a scalar or an ``(R,)`` array (one factor per
-        selected row); it is raised to each row's activity exponent exactly
-        like the scalar model.  ``_voltage`` lets callers that already built
-        the effective-voltage matrix for these rows pass it in.
+        ``activity`` may be a scalar, an ``(R,)`` array (one factor per
+        selected row), or a 2-D array broadcastable to ``(R, P)`` — pass
+        ``(R, P)`` for per-(row, point) factors or ``activity[None, :]``
+        (shape ``(1, P)``) for a per-point workload column.  A 1-D array is
+        always interpreted per *row*, never per point.  The factor is raised
+        to each row's activity exponent exactly like the scalar model.
+        ``_voltage`` lets callers that already built the effective-voltage
+        matrix for these rows pass it in.
         """
         rows = np.asarray(rows, dtype=np.intp)
         voltage = self.effective_voltage(rows, supply_v) if _voltage is None else _voltage
@@ -210,12 +214,19 @@ class CompiledPowerTable:
         if np.any(activity_arr < 0.0):
             raise ConfigurationError("activity factor must be non-negative")
         voltage_scale = (voltage / self.dynamic_reference_v[rows, None]) ** 2
-        activity_scale = activity_arr ** self.activity_exponent[rows]
+        if activity_arr.ndim == 2:
+            # Per-(row, point) factors: broadcast against the (R, 1) exponent
+            # column so every element keeps the scalar model's a**exponent.
+            activity_scale = activity_arr ** self.activity_exponent[rows, None]
+        else:
+            activity_scale = np.atleast_1d(
+                activity_arr ** self.activity_exponent[rows]
+            )[:, None]
         return (
             self.dynamic_reference_w[rows, None]
             * voltage_scale
             * self.frequency_scale[rows, None]
-            * np.atleast_1d(activity_scale)[:, None]
+            * activity_scale
             * process[None, :]
         )
 

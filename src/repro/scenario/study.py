@@ -21,6 +21,12 @@ point:
 ``explore``
     Design-space snapshot: break-even speed and the 60 km/h energy snapshot,
     matching :mod:`repro.optimization.exploration`.
+``montecarlo``
+    Seeded Monte-Carlo workload sweep: N (speed, temperature, activity,
+    phase-pattern) samples around the scenario's operating point, evaluated
+    through the workload-vectorized
+    :meth:`~repro.core.evaluator.EnergyEvaluator.schedule_energy_sweep`
+    (see :mod:`repro.scenario.montecarlo`).
 
 Grid points that share an architecture, workload and power database also
 share one :class:`~repro.core.evaluator.EnergyEvaluator` — and therefore one
@@ -28,11 +34,22 @@ compiled power table — so a temperature sweep over the PR-1 batch path pays
 the database re-targeting and table compilation once.  The sharing is
 observable through ``StudyResult.metadata['evaluator_builds']`` /
 ``['evaluator_cache_hits']``, which the regression tests pin down.
+
+``Study.run(workers=N)`` executes the grid points on a thread pool: the
+evaluator cache is lock-protected, random streams are derived per scenario
+(never from execution order), and rows keep the sequential order — a
+parallel run returns rows identical, order and values, to the sequential
+one.  Per-run wall time and per-row timings land in
+``StudyResult.metadata['wall_time_s']`` / ``['row_wall_times_s']`` so
+performance regressions are observable from the result alone.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
@@ -45,10 +62,11 @@ from repro.optimization.apply import apply_assignments
 from repro.optimization.selection import select_techniques
 from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
+from repro.scenario.montecarlo import MonteCarloConfig, summarize_energies
 from repro.scenario.spec import ComponentRef, ScenarioSpec
 
 #: Analysis kinds the runner understands.
-STUDY_KINDS = ("balance", "report", "optimize", "emulate", "explore")
+STUDY_KINDS = ("balance", "report", "optimize", "emulate", "explore", "montecarlo")
 
 #: Default speed grid of the balance/explore kinds (km/h), Fig. 2 range.
 DEFAULT_BREAK_EVEN_RANGE = (5.0, 250.0)
@@ -137,10 +155,16 @@ class Study:
         self,
         spec: ScenarioSpec,
         axes: Mapping[str, Sequence[object]] | None = None,
+        montecarlo: MonteCarloConfig | None = None,
     ) -> None:
         if not isinstance(spec, ScenarioSpec):
             raise ConfigError(f"a study needs a ScenarioSpec, got {type(spec).__name__}")
+        if montecarlo is not None and not isinstance(montecarlo, MonteCarloConfig):
+            raise ConfigError(
+                f"montecarlo must be a MonteCarloConfig, got {type(montecarlo).__name__}"
+            )
         self.spec = spec
+        self.montecarlo = montecarlo or MonteCarloConfig()
         normalized: dict[str, list[object]] = {}
         canonical_fields: dict[str, str] = {}
         for axis, values in (axes or {}).items():
@@ -166,8 +190,11 @@ class Study:
         self.axes = normalized
         # (architecture ref, workload overrides, database ref) -> shared
         # (node, database, evaluator); grid points differing only in
-        # environment or scavenger/storage reuse the compiled table.
+        # environment or scavenger/storage reuse the compiled table.  The
+        # lock makes lookups/builds single-flight when run(workers=N)
+        # executes grid points on a thread pool.
         self._evaluators: dict[str, tuple] = {}
+        self._evaluator_lock = threading.Lock()
         self.evaluator_builds = 0
         self.evaluator_cache_hits = 0
 
@@ -207,33 +234,62 @@ class Study:
                 spec.power_database,
             )
         )
-        cached = self._evaluators.get(key)
-        if cached is not None:
-            self.evaluator_cache_hits += 1
-            return cached
-        node = spec.build_node()
-        database = spec.build_database()
-        evaluator = EnergyEvaluator(node, database)
-        self.evaluator_builds += 1
-        self._evaluators[key] = (node, database, evaluator)
-        return self._evaluators[key]
+        with self._evaluator_lock:
+            cached = self._evaluators.get(key)
+            if cached is not None:
+                self.evaluator_cache_hits += 1
+                return cached
+            node = spec.build_node()
+            database = spec.build_database()
+            evaluator = EnergyEvaluator(node, database)
+            self.evaluator_builds += 1
+            self._evaluators[key] = (node, database, evaluator)
+            return self._evaluators[key]
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, kind: str = "balance") -> StudyResult:
-        """Execute ``kind`` over every grid point and collect uniform rows."""
+    def run(self, kind: str = "balance", workers: int | None = None) -> StudyResult:
+        """Execute ``kind`` over every grid point and collect uniform rows.
+
+        Args:
+            kind: one of :data:`STUDY_KINDS`.
+            workers: optional thread-pool width.  ``None`` or 1 runs the grid
+                sequentially; larger values execute grid points concurrently
+                while preserving the sequential row order and values exactly
+                (evaluator sharing is lock-protected and every random stream
+                is derived per scenario, never from execution order).
+        """
         if kind not in STUDY_KINDS:
             raise ConfigError(f"unknown analysis kind {kind!r}; available: {list(STUDY_KINDS)}")
+        if workers is None:
+            workers = 1
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ConfigError(f"workers must be a positive integer, got {workers!r}")
         runner = getattr(self, f"_run_{kind}")
         builds_before = self.evaluator_builds
         hits_before = self.evaluator_cache_hits
-        rows: list[dict[str, object]] = []
-        for overrides, spec in self.scenarios():
+        grid = self.scenarios()
+
+        def execute(item: tuple[dict[str, object], ScenarioSpec]):
+            overrides, spec = item
+            started = time.perf_counter()
             row: dict[str, object] = {"scenario": spec.name}
             for axis in self.axes:
                 row[axis] = _axis_display(overrides[axis])
             row.update(runner(spec))
-            rows.append(row)
+            return row, time.perf_counter() - started
+
+        run_started = time.perf_counter()
+        if workers == 1 or len(grid) <= 1:
+            outcomes = [execute(item) for item in grid]
+        else:
+            # Grid points sharing an evaluator warm each other's caches, so a
+            # pool map (which preserves input order) is all the coordination
+            # the rows need.
+            with ThreadPoolExecutor(max_workers=min(workers, len(grid))) as pool:
+                outcomes = list(pool.map(execute, grid))
+        wall_time_s = time.perf_counter() - run_started
+        rows = [row for row, _elapsed in outcomes]
         metadata = {
             "kind": kind,
             "grid_points": len(rows),
@@ -243,6 +299,12 @@ class Study:
             "evaluator_builds": self.evaluator_builds - builds_before,
             "evaluator_cache_hits": self.evaluator_cache_hits - hits_before,
             "base_scenario": self.spec.to_dict(),
+            # Timing bookkeeping: total wall time of this run plus each grid
+            # point's own wall time (sequential row order), so perf
+            # regressions are observable from the StudyResult alone.
+            "workers": workers,
+            "wall_time_s": wall_time_s,
+            "row_wall_times_s": tuple(elapsed for _row, elapsed in outcomes),
         }
         return StudyResult(kind=kind, axes=tuple(self.axes), rows=tuple(rows), metadata=metadata)
 
@@ -321,6 +383,19 @@ class Study:
         # axis column must keep the swept value, not the cycle's own label.
         return {"cycle_name": cycle.name, **result.summary()}
 
+    def _run_montecarlo(self, spec: ScenarioSpec) -> dict[str, object]:
+        node, _database, evaluator = self._evaluator_for(spec)
+        config = self.montecarlo
+        # The stream is a pure function of (config, scenario document):
+        # identical draws whether the grid runs sequentially or on a pool.
+        rng = config.rng_for(spec.to_json())
+        draws = config.draw(node, spec.operating_point(), rng)
+        energies = evaluator.schedule_energy_sweep(draws.conditions, draws.patterns)
+        periods = node.wheel.revolution_periods_s(draws.conditions.speed_kmh)
+        row = summarize_energies(energies, periods, len(draws))
+        row["seed"] = config.seed
+        return row
+
     def _run_explore(self, spec: ScenarioSpec) -> dict[str, object]:
         node, database, evaluator = self._evaluator_for(spec)
         analysis = EnergyBalanceAnalysis(
@@ -349,6 +424,8 @@ def run_study(
     spec: ScenarioSpec,
     axes: Mapping[str, Sequence[object]] | None = None,
     kind: str = "balance",
+    workers: int | None = None,
+    montecarlo: MonteCarloConfig | None = None,
 ) -> StudyResult:
     """One-call convenience wrapper: build a :class:`Study` and run it."""
-    return Study(spec, axes=axes).run(kind)
+    return Study(spec, axes=axes, montecarlo=montecarlo).run(kind, workers=workers)

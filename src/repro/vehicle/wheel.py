@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import kmh_to_ms, ms_to_kmh
 from repro.vehicle.tyre import REFERENCE_TYRE, Tyre
@@ -33,6 +35,20 @@ class Wheel:
                 "revolution period is undefined at zero or negative speed"
             )
         return self.tyre.rolling_circumference_m / kmh_to_ms(speed_kmh)
+
+    def revolution_periods_s(self, speeds_kmh) -> np.ndarray:
+        """Vectorized :meth:`revolution_period_s` over an array of speeds.
+
+        Keeps the period definition in one place for batch consumers
+        (Monte-Carlo sweeps, grid evaluators); same positivity contract as
+        the scalar method.
+        """
+        speeds = np.asarray(speeds_kmh, dtype=np.float64)
+        if np.any(speeds <= 0.0):
+            raise ConfigurationError(
+                "revolution period is undefined at zero or negative speed"
+            )
+        return self.tyre.rolling_circumference_m / kmh_to_ms(speeds)
 
     def revolutions_per_second(self, speed_kmh: float) -> float:
         """Wheel revolution rate in Hz at ``speed_kmh`` (0 when stationary)."""

@@ -321,3 +321,48 @@ class TestCompiledSchedulePath:
                 assert name == phase.phase
                 assert duration == pytest.approx(phase.duration_s, rel=RTOL)
                 assert power == pytest.approx(phase.average_power_w, rel=RTOL)
+
+
+class TestEnergyGridEdgeCases:
+    def test_empty_speed_axis_rejected(self, evaluator):
+        with pytest.raises(AnalysisError, match="at least one speed"):
+            evaluator.energy_grid(np.empty(0), np.array([25.0]))
+
+    def test_empty_temperature_axis_rejected(self, evaluator):
+        with pytest.raises(AnalysisError, match="at least one speed"):
+            evaluator.energy_grid(np.array([60.0]), np.empty(0))
+
+    def test_single_point_grid(self, evaluator):
+        grid = evaluator.energy_grid(np.array([60.0]), np.array([25.0]))
+        assert grid.energy_j.shape == (1, 1)
+        scalar = evaluator.energy_per_revolution_j(
+            OperatingPoint(speed_kmh=60.0, temperature_c=25.0)
+        )
+        assert grid.energy_j[0, 0] == pytest.approx(scalar, rel=RTOL)
+        assert grid.period_s.shape == (1,)
+
+    def test_non_contiguous_input_arrays(self, evaluator):
+        """Strided views (e.g. every other element) must work unchanged."""
+        speeds = np.linspace(20.0, 160.0, 12)[::2]
+        temperatures = np.linspace(-40.0, 125.0, 10)[::3]
+        assert not speeds.flags["C_CONTIGUOUS"] or speeds.base is not None
+        strided = evaluator.energy_grid(speeds, temperatures)
+        contiguous = evaluator.energy_grid(
+            np.ascontiguousarray(speeds), np.ascontiguousarray(temperatures)
+        )
+        assert np.array_equal(strided.energy_j, contiguous.energy_j)
+        assert np.array_equal(strided.period_s, contiguous.period_s)
+
+    def test_reversed_axes_match_point_queries(self, evaluator):
+        """Descending (negatively strided) axes keep row-major correspondence."""
+        speeds = np.array([120.0, 60.0, 30.0])[::-1]
+        temperatures = np.array([85.0, -10.0])[::-1]
+        grid = evaluator.energy_grid(speeds, temperatures)
+        for i, speed in enumerate(speeds):
+            for j, temperature in enumerate(temperatures):
+                scalar = evaluator.energy_per_revolution_j(
+                    OperatingPoint(
+                        speed_kmh=float(speed), temperature_c=float(temperature)
+                    )
+                )
+                assert grid.energy_j[i, j] == pytest.approx(scalar, rel=RTOL)

@@ -1,0 +1,210 @@
+"""Tests for the emulator's batch prefill of the revolution-energy cache.
+
+The contract is strict: ``emulate(prefill=True)`` must produce *byte
+identical* output to ``emulate(prefill=False)`` — same totals, same
+``SampleLog`` bytes, same trace — because prefilled cache entries are pure
+functions of the same quantized keys the per-miss path uses, evaluated
+through the same batch kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions.temperature import TyreThermalModel
+from repro.core.emulator import NodeEmulator
+from repro.scavenger.storage import supercapacitor
+from repro.vehicle.drive_cycle import DriveCycle, DriveCyclePhase, urban_cycle
+
+
+def _thermal_emulator(node, database, scavenger) -> NodeEmulator:
+    return NodeEmulator(
+        node,
+        database,
+        scavenger,
+        supercapacitor(initial_fraction=0.3),
+        thermal_model=TyreThermalModel(time_constant_s=120.0),
+    )
+
+
+def _hour_cycle() -> DriveCycle:
+    """An hour-long profile mixing cruises, ramps and a stop."""
+    phases = [
+        DriveCyclePhase(duration_s=600.0, start_kmh=30.0, end_kmh=120.0),
+        DriveCyclePhase(duration_s=900.0, start_kmh=120.0, end_kmh=120.0),
+        DriveCyclePhase(duration_s=300.0, start_kmh=120.0, end_kmh=0.0),
+        DriveCyclePhase(duration_s=300.0, start_kmh=0.0, end_kmh=0.0),
+        DriveCyclePhase(duration_s=600.0, start_kmh=0.0, end_kmh=90.0),
+        DriveCyclePhase(duration_s=900.0, start_kmh=90.0, end_kmh=45.0),
+    ]
+    return DriveCycle(phases=phases, name="hour")
+
+
+class TestPrefillByteIdentity:
+    def test_hour_long_cycle_samplelog_is_byte_identical(
+        self, node, database, scavenger
+    ):
+        cycle = _hour_cycle()
+        with_prefill = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, prefill=True
+        )
+        without = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, prefill=False
+        )
+        ours, theirs = with_prefill.sample_arrays(), without.sample_arrays()
+        for key in ours:
+            assert ours[key].tobytes() == theirs[key].tobytes(), key
+        assert with_prefill == without
+
+    def test_trace_window_is_identical(self, node, database, scavenger):
+        cycle = urban_cycle(repetitions=1)
+        window = (10.0, 12.0)
+        with_prefill = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, trace_window=window, prefill=True
+        )
+        without = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, trace_window=window, prefill=False
+        )
+        assert with_prefill.trace == without.trace
+
+    def test_constant_temperature_run_is_identical(self, node, database, scavenger):
+        cycle = urban_cycle(repetitions=2)
+        with_prefill = NodeEmulator(
+            node, database, scavenger, supercapacitor()
+        ).emulate(cycle, prefill=True)
+        without = NodeEmulator(
+            node, database, scavenger, supercapacitor()
+        ).emulate(cycle, prefill=False)
+        assert with_prefill == without
+
+
+class TestPrefillMechanics:
+    def test_prefill_fills_the_cache_before_the_loop(self, node, database, scavenger):
+        emulator = _thermal_emulator(node, database, scavenger)
+        filled = emulator._prefill_energy_cache(_hour_cycle(), idle_step_s=1.0)
+        assert filled > 0
+        assert len(emulator._energy_cache) == filled
+
+    def test_second_prefill_is_a_no_op(self, node, database, scavenger):
+        emulator = _thermal_emulator(node, database, scavenger)
+        cycle = _hour_cycle()
+        first = emulator._prefill_energy_cache(cycle, idle_step_s=1.0)
+        assert first > 0
+        assert emulator._prefill_energy_cache(cycle, idle_step_s=1.0) == 0
+
+    def test_warm_cycle_skips_the_rescan(self, node, database, scavenger, monkeypatch):
+        """A completed scan is memoized: warm emulate() runs do not re-walk."""
+        emulator = _thermal_emulator(node, database, scavenger)
+        cycle = _hour_cycle()
+        emulator.emulate(cycle)
+        scans = []
+        original = NodeEmulator._pending_energy_bins
+
+        def counting(self, *args, **kwargs):
+            scans.append(args)
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(NodeEmulator, "_pending_energy_bins", counting)
+        warm = emulator.emulate(cycle)
+        assert scans == [], "warm run re-scanned the cycle"
+        fresh = _thermal_emulator(node, database, scavenger).emulate(cycle)
+        assert warm == fresh
+
+    def test_base_point_change_invalidates_the_scan_memo(
+        self, node, database, scavenger
+    ):
+        from repro.conditions.operating_point import OperatingPoint
+
+        emulator = _thermal_emulator(node, database, scavenger)
+        cycle = _hour_cycle()
+        emulator.emulate(cycle)
+        assert emulator._prefilled_cycles
+        emulator.base_point = OperatingPoint(temperature_c=40.0)
+        emulator.emulate(cycle)  # _ensure_caches_fresh clears the memo
+        assert emulator._prefilled_cycles  # re-scanned and re-memoized
+
+    def test_prefill_resets_the_thermal_model(self, node, database, scavenger):
+        emulator = _thermal_emulator(node, database, scavenger)
+        ambient = emulator.thermal_model.current_celsius
+        emulator._prefill_energy_cache(_hour_cycle(), idle_step_s=1.0)
+        assert emulator.thermal_model.current_celsius == ambient
+
+    def test_prefill_skips_infeasible_bins(self, node, database, scavenger, monkeypatch):
+        """Rounds whose schedule cannot be built are left to the main loop."""
+        from repro.blocks.node import SensorNode
+        from repro.errors import ScheduleError
+
+        original = SensorNode.schedule_for
+
+        def limited(self, speed_kmh, revolution_index=0):
+            if speed_kmh >= 100.0:
+                raise ScheduleError("limited test node")
+            return original(self, speed_kmh, revolution_index)
+
+        monkeypatch.setattr(SensorNode, "schedule_for", limited)
+        emulator = NodeEmulator(node, database, scavenger, supercapacitor())
+        cycle = DriveCycle(
+            phases=[DriveCyclePhase(duration_s=60.0, start_kmh=80.0, end_kmh=130.0)],
+            name="ramp-past-limit",
+        )
+        emulator._prefill_energy_cache(cycle, idle_step_s=1.0)
+        assert all(
+            not (isinstance(key[0], int) and key[0] >= 200)
+            for key in emulator._energy_cache
+        ), "a bin past the feasibility limit was prefilled"
+        # The integration loop then raises at the first unsustainable round,
+        # exactly as without prefill.
+        with pytest.raises(ScheduleError):
+            emulator.emulate(cycle, prefill=True)
+
+    def test_prefill_entries_match_miss_entries(self, node, database, scavenger):
+        """Prefilled values must be bitwise what the miss path computes."""
+        cycle = _hour_cycle()
+        prefilled = _thermal_emulator(node, database, scavenger)
+        prefilled._prefill_energy_cache(cycle, idle_step_s=1.0)
+        scalar = _thermal_emulator(node, database, scavenger)
+        scalar.emulate(cycle, prefill=False)
+        shared = set(prefilled._energy_cache) & set(scalar._energy_cache)
+        assert shared, "no common cache keys between prefill and miss paths"
+        for key in shared:
+            assert prefilled._energy_cache[key] == scalar._energy_cache[key], key
+
+
+class TestEnergyCacheCap:
+    def test_cache_cap_eviction_clears_and_refills(
+        self, node, database, scavenger, monkeypatch
+    ):
+        """Hitting the entry cap drops the cache, and emulation still works."""
+        import repro.core.emulator as emulator_module
+
+        monkeypatch.setattr(emulator_module, "_MAX_ENERGY_CACHE_ENTRIES", 8)
+        emulator = _thermal_emulator(node, database, scavenger)
+        result = emulator.emulate(_hour_cycle(), prefill=False)
+        assert result.revolutions > 0
+        assert len(emulator._energy_cache) <= 8
+        fresh = _thermal_emulator(node, database, scavenger).emulate(
+            _hour_cycle(), prefill=False
+        )
+        assert result == fresh
+
+    def test_cap_applies_to_prefill_inserts(
+        self, node, database, scavenger, monkeypatch
+    ):
+        import repro.core.emulator as emulator_module
+
+        monkeypatch.setattr(emulator_module, "_MAX_ENERGY_CACHE_ENTRIES", 8)
+        emulator = _thermal_emulator(node, database, scavenger)
+        emulator._prefill_energy_cache(_hour_cycle(), idle_step_s=1.0)
+        assert len(emulator._energy_cache) <= 8
+
+    def test_capped_run_matches_uncapped_run(
+        self, node, database, scavenger, monkeypatch
+    ):
+        """Eviction is a perf knob only: results must not change."""
+        import repro.core.emulator as emulator_module
+
+        cycle = _hour_cycle()
+        uncapped = _thermal_emulator(node, database, scavenger).emulate(cycle)
+        monkeypatch.setattr(emulator_module, "_MAX_ENERGY_CACHE_ENTRIES", 4)
+        capped = _thermal_emulator(node, database, scavenger).emulate(cycle)
+        assert capped == uncapped

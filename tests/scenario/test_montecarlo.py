@@ -1,0 +1,138 @@
+"""Tests for the Monte-Carlo workload study kind and its sampling config."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import EnergyEvaluator
+from repro.errors import ConfigError
+from repro.scenario.montecarlo import MonteCarloConfig
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.study import Study
+
+RTOL = 1e-9
+
+
+class TestMonteCarloConfig:
+    def test_defaults_are_valid(self):
+        config = MonteCarloConfig()
+        assert config.samples >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"samples": 0},
+            {"samples": 2.5},
+            {"seed": -1},
+            {"speed_rel_std": -0.1},
+            {"temperature_std_c": -1.0},
+            {"activity_range": (0.0, 1.0)},
+            {"activity_range": (1.2, 0.8)},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            MonteCarloConfig(**kwargs)
+
+    def test_draws_are_deterministic_per_scenario(self, node):
+        spec = ScenarioSpec(name="deterministic")
+        config = MonteCarloConfig(samples=64)
+        first = config.draw(node, spec.operating_point(), config.rng_for(spec.to_json()))
+        second = config.draw(node, spec.operating_point(), config.rng_for(spec.to_json()))
+        assert np.array_equal(first.conditions.speed_kmh, second.conditions.speed_kmh)
+        assert np.array_equal(first.conditions.activity, second.conditions.activity)
+        assert np.array_equal(first.patterns, second.patterns)
+
+    def test_different_scenarios_draw_different_streams(self, node):
+        config = MonteCarloConfig(samples=64)
+        base = ScenarioSpec(name="one")
+        other = ScenarioSpec(name="two")
+        first = config.draw(node, base.operating_point(), config.rng_for(base.to_json()))
+        second = config.draw(node, other.operating_point(), config.rng_for(other.to_json()))
+        assert not np.array_equal(first.conditions.speed_kmh, second.conditions.speed_kmh)
+
+    def test_draws_respect_model_ranges(self, node):
+        spec = ScenarioSpec(name="ranges")
+        config = MonteCarloConfig(samples=512, speed_rel_std=1.5, temperature_std_c=80.0)
+        draws = config.draw(node, spec.operating_point(), config.rng_for(spec.to_json()))
+        assert np.all(draws.conditions.speed_kmh > 0.0)
+        assert np.all(draws.conditions.speed_kmh <= node.max_sustainable_speed_kmh())
+        from repro.conditions.operating_point import TEMPERATURE_RANGE_C
+
+        low_t, high_t = TEMPERATURE_RANGE_C
+        assert np.all(draws.conditions.temperature_c >= low_t)
+        assert np.all(draws.conditions.temperature_c <= high_t)
+        low, high = config.activity_range
+        assert np.all((draws.conditions.activity >= low) & (draws.conditions.activity <= high))
+        assert draws.patterns.shape == (512, 3)
+
+
+class TestMonteCarloKind:
+    def test_rows_match_scalar_reference(self, database):
+        """The montecarlo kind rides on the 1e-9-equivalent sweep path."""
+        spec = ScenarioSpec(name="equivalence")
+        config = MonteCarloConfig(samples=48, seed=13)
+        study = Study(spec, montecarlo=config)
+        result = study.run("montecarlo")
+        row = result.rows[0]
+
+        node = spec.build_node()
+        evaluator = EnergyEvaluator(node, spec.build_database())
+        draws = config.draw(node, spec.operating_point(), config.rng_for(spec.to_json()))
+        batch = draws.conditions
+        reference = np.empty(len(batch))
+        for i in range(len(batch)):
+            speed = float(batch.speed_kmh[i])
+            point = (
+                spec.operating_point()
+                .at_speed(speed)
+                .at_temperature(float(batch.temperature_c[i]))
+            )
+            schedule = node.schedule_for_pattern(
+                speed,
+                transmits=bool(draws.patterns[i, 0]),
+                refreshes_slow=bool(draws.patterns[i, 1]),
+                writes_nvm=bool(draws.patterns[i, 2]),
+            )
+            reference[i] = evaluator.schedule_report(
+                schedule, point, activity_scale=float(batch.activity[i])
+            ).total_energy_j
+        assert row["samples"] == 48
+        assert row["mean_uj_per_rev"] == pytest.approx(float(np.mean(reference)) * 1e6, rel=RTOL)
+        assert row["p95_uj_per_rev"] == pytest.approx(
+            float(np.percentile(reference, 95.0)) * 1e6, rel=RTOL
+        )
+
+    def test_same_seed_reproduces_rows(self):
+        spec = ScenarioSpec(name="repro")
+        axes = {"temperature": [0.0, 50.0]}
+        config = MonteCarloConfig(samples=32, seed=21)
+        first = Study(spec, axes=axes, montecarlo=config).run("montecarlo")
+        second = Study(spec, axes=axes, montecarlo=config).run("montecarlo")
+        assert first.rows == second.rows
+
+    def test_different_seed_changes_rows(self):
+        spec = ScenarioSpec(name="seeded")
+        first = Study(spec, montecarlo=MonteCarloConfig(samples=32, seed=1)).run("montecarlo")
+        second = Study(spec, montecarlo=MonteCarloConfig(samples=32, seed=2)).run("montecarlo")
+        assert first.rows != second.rows
+
+    def test_montecarlo_default_config(self):
+        result = Study(ScenarioSpec(name="default")).run("montecarlo")
+        assert len(result) == 1
+        assert result.rows[0]["samples"] == MonteCarloConfig().samples
+
+    def test_invalid_montecarlo_argument_rejected(self):
+        with pytest.raises(ConfigError, match="MonteCarloConfig"):
+            Study(ScenarioSpec(), montecarlo={"samples": 8})
+
+    def test_workers_return_identical_rows(self):
+        """The acceptance bar: parallel montecarlo == sequential montecarlo."""
+        spec = ScenarioSpec(name="parallel")
+        axes = {"temperature": [-20.0, 25.0, 85.0], "speed": [40.0, 100.0]}
+        config = MonteCarloConfig(samples=64, seed=3)
+        sequential = Study(spec, axes=axes, montecarlo=config).run("montecarlo")
+        parallel = Study(spec, axes=axes, montecarlo=config).run("montecarlo", workers=4)
+        assert sequential.rows == parallel.rows
+        assert sequential.axes == parallel.axes

@@ -235,3 +235,65 @@ class TestStudyResult:
         assert result.metadata["grid_points"] == 6
         assert result.metadata["axes"]["temperature"] == [-20.0, 25.0, 85.0]
         assert result.metadata["base_scenario"]["name"] == "grid"
+
+
+class TestParallelExecution:
+    """Study.run(workers=N): identical rows, deterministic order, shared caches."""
+
+    @pytest.mark.parametrize("kind", ["balance", "report", "montecarlo"])
+    def test_workers_match_sequential_rows(self, kind):
+        spec = ScenarioSpec(name="parallel")
+        axes = {
+            "temperature": [-20.0, 25.0, 85.0],
+            "architecture": ["baseline", "optimized"],
+        }
+        sequential = Study(spec, axes=axes).run(kind)
+        parallel = Study(spec, axes=axes).run(kind, workers=4)
+        assert parallel.rows == sequential.rows
+        assert parallel.axes == sequential.axes
+
+    def test_workers_match_sequential_emulate(self):
+        spec = ScenarioSpec(drive_cycle={"name": "urban", "params": {"repetitions": 1}})
+        axes = {"temperature": [0.0, 40.0]}
+        sequential = Study(spec, axes=axes).run("emulate")
+        parallel = Study(spec, axes=axes).run("emulate", workers=2)
+        assert parallel.rows == sequential.rows
+
+    def test_workers_share_the_evaluator_cache(self):
+        spec = ScenarioSpec(name="shared")
+        axes = {"temperature": [-20.0, 0.0, 25.0, 50.0, 85.0]}
+        result = Study(spec, axes=axes).run("report", workers=4)
+        metadata = result.metadata
+        assert metadata["evaluator_builds"] == 1
+        assert metadata["evaluator_cache_hits"] == 4
+        assert metadata["workers"] == 4
+
+    def test_invalid_workers_rejected(self):
+        study = Study(ScenarioSpec())
+        for bad in (0, -2, 1.5, True, "many"):
+            with pytest.raises(ConfigError, match="workers"):
+                study.run("report", workers=bad)
+
+    def test_single_worker_is_sequential(self):
+        result = Study(ScenarioSpec()).run("report", workers=1)
+        assert result.metadata["workers"] == 1
+
+
+class TestTimingMetadata:
+    def test_wall_time_and_per_row_timings_recorded(self, grid_study):
+        result = grid_study.run("balance")
+        metadata = result.metadata
+        assert metadata["wall_time_s"] > 0.0
+        assert len(metadata["row_wall_times_s"]) == len(result)
+        assert all(elapsed > 0.0 for elapsed in metadata["row_wall_times_s"])
+        # Sequentially, the per-row times cannot exceed the total wall time.
+        assert sum(metadata["row_wall_times_s"]) <= metadata["wall_time_s"] * 1.5
+
+    def test_timing_metadata_present_for_every_kind(self):
+        spec = ScenarioSpec(drive_cycle={"name": "urban", "params": {"repetitions": 1}})
+        for kind in STUDY_KINDS:
+            metadata = run_study(spec, kind=kind).metadata
+            assert metadata["kind"] == kind
+            assert "wall_time_s" in metadata
+            assert "row_wall_times_s" in metadata
+            assert "workers" in metadata

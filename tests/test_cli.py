@@ -185,6 +185,47 @@ class TestRunCommand:
         assert code == 0
         assert json.loads(target.read_text())
 
+    def test_montecarlo_kind_with_workers(self, capsys, scenario_path):
+        code = main(
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "montecarlo",
+                "--mc-samples",
+                "32",
+                "--mc-seed",
+                "7",
+                "--workers",
+                "2",
+                "--set",
+                "temperature=0,50",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "mean_uj_per_rev" in output
+        assert "2 worker(s)" in output
+
+    def test_montecarlo_runs_are_reproducible(self, capsys, scenario_path):
+        arguments = [
+            "run",
+            "--scenario",
+            scenario_path,
+            "--kind",
+            "montecarlo",
+            "--mc-samples",
+            "32",
+            "--mc-seed",
+            "5",
+        ]
+        assert main(arguments) == 0
+        first = capsys.readouterr().out
+        assert main(arguments) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
 
 class TestErrorPaths:
     """Every CLI failure exits non-zero with a one-line message, no traceback."""
@@ -333,4 +374,41 @@ class TestErrorPaths:
             capsys,
             ["run", "--scenario", scenario_path, "--kind", "emulate"],
             "drive_cycle",
+        )
+
+    def test_mc_flags_without_montecarlo_kind(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "report",
+                "--mc-samples",
+                "16",
+            ],
+            "--kind montecarlo",
+        )
+
+    def test_workers_without_study_mode(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["run", "--scenario", scenario_path, "--workers", "2"],
+            "study mode",
+        )
+
+    def test_invalid_worker_count(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "report",
+                "--workers",
+                "0",
+            ],
+            "workers must be a positive integer",
         )

@@ -107,3 +107,20 @@ class TestDifferentTyres:
         small = Wheel(tyre=tyre_from_etrto("175/65R14"))
         large = Wheel(tyre=tyre_from_etrto("255/55R19"))
         assert small.revolutions_per_second(80.0) > large.revolutions_per_second(80.0)
+
+
+class TestVectorizedPeriods:
+    def test_matches_scalar_periods(self):
+        import numpy as np
+
+        wheel = Wheel()
+        speeds = np.array([5.0, 60.0, 133.7])
+        vectorized = wheel.revolution_periods_s(speeds)
+        for speed, period in zip(speeds, vectorized):
+            assert period == wheel.revolution_period_s(float(speed))
+
+    def test_rejects_non_positive_speeds(self):
+        import numpy as np
+
+        with pytest.raises(ConfigurationError):
+            Wheel().revolution_periods_s(np.array([60.0, 0.0]))
