@@ -11,6 +11,9 @@ a shell (or a Makefile) without writing Python::
         --kind balance --export grid.csv                   # grid study
     tpms-energy run --scenario exp.json \\
         --kind montecarlo --mc-samples 2000 --workers 4    # Monte-Carlo sweep
+    tpms-energy run --scenario exp.json \\
+        --set temperature=-20,25,85 --kind emulate \\
+        --workers 4 --backend process                      # process-pool study
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -199,8 +202,15 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="run the study grid on N worker threads (rows stay in "
+        help="run the study grid on N workers (rows stay in "
         "sequential order with identical values)",
+    )
+    run.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="worker pool backend for --workers: 'thread' (default; shared "
+        "evaluator cache) or 'process' (CPU-bound kinds like optimize/emulate)",
     )
     run.add_argument(
         "--mc-samples",
@@ -277,6 +287,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ConfigError("--mc-samples/--mc-seed require --kind montecarlo")
     if axes or args.kind is not None:
         kind = args.kind or "balance"
+        if args.backend == "process" and (args.workers is None or args.workers <= 1):
+            raise ConfigError(
+                "--backend process needs --workers greater than 1 "
+                "(a single worker runs sequentially in this process)"
+            )
         montecarlo = None
         if montecarlo_given:
             defaults = MonteCarloConfig()
@@ -285,7 +300,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 seed=args.mc_seed if args.mc_seed is not None else defaults.seed,
             )
         study = Study(spec, axes=axes, montecarlo=montecarlo)
-        result: StudyResult = study.run(kind, workers=args.workers)
+        result: StudyResult = study.run(
+            kind, workers=args.workers, backend=args.backend or "thread"
+        )
         print(
             result.as_table(
                 title=f"Study — {spec.name} ({kind}), {len(result)} scenario(s)"
@@ -295,13 +312,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"\n{result.metadata['evaluator_builds']} evaluator build(s), "
             f"{result.metadata['evaluator_cache_hits']} cache hit(s) "
             f"across the grid in {result.metadata['wall_time_s']:.2f} s "
-            f"({result.metadata['workers']} worker(s))"
+            f"({result.metadata['workers']} worker(s), "
+            f"{result.metadata['backend']} backend)"
         )
         if args.export:
             _export_rows(result.as_rows(), args.export)
         return 0
     if args.workers is not None:
         raise ConfigError("--workers requires study mode (--set and/or --kind)")
+    if args.backend is not None:
+        raise ConfigError("--backend requires study mode (--set and/or --kind)")
 
     flow = EnergyAnalysisFlow.from_spec(spec)
     print(flow.node.describe())

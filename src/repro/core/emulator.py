@@ -25,7 +25,14 @@ from repro.core.trace import PowerTrace
 from repro.errors import ConfigurationError, EmulationError, ScheduleError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
-from repro.scavenger.storage import StorageElement
+from repro.scavenger.storage import (
+    StorageElement,
+    StorageTrajectory,
+    deposit_step,
+    leak_step,
+    trajectory,
+    withdraw_step,
+)
 from repro.timing.schedule import RevolutionSchedule
 from repro.timing.wheel_round import WheelRound, iter_wheel_rounds
 from repro.vehicle.drive_cycle import DriveCycle
@@ -685,6 +692,194 @@ class NodeEmulator:
         if cursor < unit.end_s - 1e-12:
             trace.append(cursor, unit.end_s - cursor, sleep_power_w, "sleep")
 
+    # -- array-based integration core ------------------------------------------------
+
+    def _collect_cycle(
+        self, cycle: DriveCycle, idle_step_s: float
+    ) -> tuple[list, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Materialize the cycle as per-unit arrays (one walk, thermal replay).
+
+        Returns ``(units, is_round, durations, speeds, ends, temps)``.  The
+        thermal model is advanced through the whole cycle here — exactly the
+        trajectory the old per-revolution loop produced — and left at its
+        end-of-cycle state.
+        """
+        units = list(iter_wheel_rounds(cycle, self.node.wheel, idle_step_s=idle_step_s))
+        count = len(units)
+        is_round = np.empty(count, dtype=bool)
+        durations = np.empty(count)
+        speeds = np.zeros(count)
+        ends = np.empty(count)
+        temps = np.empty(count)
+        thermal = self.thermal_model
+        temperature_c = (
+            thermal.current_celsius if thermal is not None else self.base_point.temperature_c
+        )
+        for i, unit in enumerate(units):
+            if isinstance(unit, WheelRound):
+                is_round[i] = True
+                durations[i] = unit.period_s
+                speeds[i] = unit.speed_kmh
+            else:
+                is_round[i] = False
+                durations[i] = unit.duration_s
+            ends[i] = unit.end_s
+            if thermal is not None:
+                temperature_c = thermal.advance(float(durations[i]), speeds[i] / 3.6)
+            temps[i] = temperature_c
+        return units, is_round, durations, speeds, ends, temps
+
+    def _resolve_round_energies(
+        self,
+        units: list,
+        is_round: np.ndarray,
+        temps: np.ndarray,
+    ) -> tuple[np.ndarray, list, np.ndarray]:
+        """Gather each wheel round's cached revolution energy, where available.
+
+        Returns ``(energies, phase_lists, resolved)``: per-unit energy (NaN
+        where unknown), the per-phase tuples of resolved rounds, and the
+        resolution mask.  After a prefill every feasible bin is already
+        cached, so this is normally a pure dict-gather; rounds whose bin is
+        uncached (boundary speeds past the prefill cap, infeasible centers)
+        stay unresolved and are evaluated inside the integration loop only
+        when the node is actually active — preserving the scalar path's
+        error timing exactly.
+        """
+        count = len(units)
+        energies = np.full(count, np.nan)
+        phase_lists: list = [None] * count
+        resolved = np.zeros(count, dtype=bool)
+        low, high = TEMPERATURE_RANGE_C
+        cache = self._energy_cache
+        for i in np.flatnonzero(is_round):
+            temperature_c = float(temps[i])
+            if not low <= temperature_c <= high:
+                # The loop must raise on this round itself (via the
+                # standstill evaluation), not the pre-pass.
+                continue
+            unit = units[i]
+            pattern = self.node.phase_pattern(unit.index)
+            speed_key, _speed, _use_bin = self._speed_key_for(
+                unit.speed_kmh, unit.index, pattern
+            )
+            key = (speed_key, round(temperature_c / _TEMPERATURE_QUANTUM_C), *pattern)
+            cached = cache.get(key)
+            if cached is not None:
+                energies[i] = cached[0]
+                phase_lists[i] = cached[1]
+                resolved[i] = True
+        return energies, phase_lists, resolved
+
+    def _standstill_power_sweep(self, temps: np.ndarray) -> np.ndarray:
+        """Per-unit resting-mode power via the quantized standstill memo."""
+        bins, inverse = np.unique(np.rint(temps / _TEMPERATURE_QUANTUM_C), return_inverse=True)
+        per_bin = np.array(
+            [self._standstill_power(float(b) * _TEMPERATURE_QUANTUM_C) for b in bins]
+        )
+        return per_bin[inverse]
+
+    def _integrate_stepwise(
+        self,
+        units: list,
+        is_round: np.ndarray,
+        durations: np.ndarray,
+        temps: np.ndarray,
+        harvest: np.ndarray,
+        energies: np.ndarray,
+        phase_lists: list,
+        resolved: np.ndarray,
+    ) -> tuple[StorageTrajectory, np.ndarray]:
+        """Reference integration loop for cycles the pure kernel cannot cover.
+
+        Used when some rounds have unresolved revolution energies (evaluated
+        here only while the node is active, so infeasible speeds keep raising
+        at exactly the simulated instant the scalar path raised) or when a
+        temperature leaves the modelled range (the standstill evaluation
+        raises on the offending unit).  The ledger arithmetic goes through
+        the same storage step primitives as :func:`repro.scavenger.storage.trajectory`,
+        so both integration paths produce byte-identical trajectories.
+
+        Returns the trajectory plus the (possibly lazily filled) per-unit
+        sleep-power array.
+        """
+        storage = self.storage
+        count = len(units)
+        charge = storage.initial_charge_j
+        active = not storage.is_depleted
+        capacity = storage.capacity_j
+        restart = storage.restart_level_j
+        charge_eff = storage.charge_efficiency
+        discharge_eff = storage.discharge_efficiency
+        self_discharge_w = storage.self_discharge_w
+        pmu = self.node.pmu
+
+        sleep_power = np.empty(count)
+        charge_out = np.empty(count)
+        active_out = np.empty(count, dtype=bool)
+        banked_out = np.empty(count)
+        drawn_out = np.zeros(count)
+        attempted = np.zeros(count, dtype=bool)
+        withdrew = np.zeros(count, dtype=bool)
+        brownouts = 0
+        for i in range(count):
+            temperature_c = float(temps[i])
+            # May raise for an out-of-range temperature — on the same unit,
+            # in the same loop position, as the scalar path did.
+            sleep_power[i] = self._standstill_power(temperature_c)
+            duration = float(durations[i])
+            if not active and charge >= restart:
+                active = True
+            if is_round[i]:
+                charge, banked_out[i] = deposit_step(
+                    charge, harvest[i] * charge_eff, capacity
+                )
+                if active:
+                    attempted[i] = True
+                    if resolved[i]:
+                        energy = float(energies[i])
+                    else:
+                        energy, phases = self._revolution_energy(
+                            units[i], temperature_c
+                        )
+                        energies[i] = energy
+                        phase_lists[i] = phases
+                        resolved[i] = True
+                    load = pmu.referred_to_storage(energy)
+                    charge, success = withdraw_step(charge, load / discharge_eff)
+                    if success:
+                        withdrew[i] = True
+                        drawn_out[i] = load
+                    else:
+                        active = False
+                        brownouts += 1
+            else:
+                banked_out[i] = 0.0
+                if active:
+                    attempted[i] = True
+                    load = pmu.referred_to_storage(float(sleep_power[i]) * duration)
+                    charge, success = withdraw_step(charge, load / discharge_eff)
+                    if success:
+                        withdrew[i] = True
+                        drawn_out[i] = load
+                    else:
+                        active = False
+                        brownouts += 1
+            charge, _loss = leak_step(charge, self_discharge_w * duration)
+            charge_out[i] = charge
+            active_out[i] = active
+        traj = StorageTrajectory(
+            charge_j=charge_out,
+            active=active_out,
+            banked_j=banked_out,
+            drawn_j=drawn_out,
+            attempted=attempted,
+            withdrew=withdrew,
+            brownout_events=brownouts,
+            final_charge_j=float(charge),
+        )
+        return traj, sleep_power
+
     # -- main entry point ----------------------------------------------------------------
 
     def emulate(
@@ -697,6 +892,18 @@ class NodeEmulator:
     ) -> EmulationResult:
         """Run the emulation over ``cycle``.
 
+        The integration consumes precomputed per-round arrays end to end: the
+        cycle is materialized once (:meth:`_collect_cycle`), the scavenger
+        output of every wheel round comes from ONE vectorized
+        ``energy_sweep_j`` call, the revolution energies are gathered from
+        the (batch-prefilled) cache, and the state of charge is integrated by
+        the pure :func:`repro.scavenger.storage.trajectory` kernel.  Cycles
+        the kernel cannot cover — uncached bins whose evaluation must stay
+        lazy, out-of-range temperatures — fall back to a stepwise loop built
+        on the same storage step primitives; both paths are byte-identical
+        (asserted by the prefill/cache-cap regression tests, since
+        ``prefill=False`` on a cold emulator exercises the stepwise path).
+
         Args:
             cycle: the cruising-speed profile.
             record_interval_s: sampling interval of the state-of-charge /
@@ -706,9 +913,9 @@ class NodeEmulator:
             idle_step_s: time step used while the vehicle is stationary.
             prefill: pre-scan the cycle and fill the revolution-energy cache
                 with one vectorized batch call before the state-of-charge
-                integration loop (see :meth:`_prefill_energy_cache`).  The
-                result is byte-identical with or without prefill — the flag
-                exists for benchmarking and regression tests.
+                integration (see :meth:`_prefill_energy_cache`).  The result
+                is byte-identical with or without prefill — the flag exists
+                for benchmarking and regression tests.
 
         Returns:
             An :class:`EmulationResult` with totals, the sampled state log and
@@ -734,97 +941,146 @@ class NodeEmulator:
         if prefill:
             self._prefill_energy_cache(cycle, idle_step_s)
 
+        units, is_round, durations, speeds, ends, temps = self._collect_cycle(
+            cycle, idle_step_s
+        )
+        round_indices = np.flatnonzero(is_round)
+
+        # Supply side: every wheel round's harvest in one vectorized sweep.
+        harvest = np.zeros(len(units))
+        harvest[round_indices] = self.scavenger.energy_sweep_j(speeds[round_indices])
+        if np.any(harvest < 0.0):
+            raise EmulationError("cannot deposit negative energy")
+
+        energies, phase_lists, resolved = self._resolve_round_energies(
+            units, is_round, temps
+        )
+
+        low_t, high_t = TEMPERATURE_RANGE_C
+        temps_in_range = bool(np.all((temps >= low_t) & (temps <= high_t)))
+        all_resolved = bool(np.all(resolved[round_indices]))
+        if temps_in_range and all_resolved:
+            # Pure-kernel path: every per-unit quantity is known up front.
+            sleep_power = self._standstill_power_sweep(temps)
+            load = np.zeros(len(units))
+            load[round_indices] = self.node.pmu.referred_to_storage(
+                energies[round_indices]
+            )
+            idle = ~is_round
+            load[idle] = self.node.pmu.referred_to_storage(
+                sleep_power[idle] * durations[idle]
+            )
+            traj = trajectory(
+                self.storage,
+                harvest,
+                load,
+                durations,
+                initial_charge_j=self.storage.initial_charge_j,
+                initially_active=not self.storage.is_depleted,
+            )
+        else:
+            traj, sleep_power = self._integrate_stepwise(
+                units,
+                is_round,
+                durations,
+                temps,
+                harvest,
+                energies,
+                phase_lists,
+                resolved,
+            )
+        # The mutating element is the scalar reference, not the integrator:
+        # leave it holding the trajectory's final charge, exactly as the old
+        # per-revolution deposit/withdraw/leak calls did.
+        self.storage._charge_j = traj.final_charge_j
+
         result = EmulationResult(
             node_name=self.node.name,
             cycle_name=cycle.name,
             duration_s=cycle.duration_s,
             trace=PowerTrace() if trace_window is not None else None,
         )
-        node_active = not self.storage.is_depleted
+        result.revolutions = int(is_round.sum())
+        result.moving_time_s = float(durations[is_round].sum())
+        result.harvested_j = float(traj.banked_j.sum())
+        result.discarded_j = float(np.maximum(0.0, harvest - traj.banked_j).sum())
+        result.consumed_j = float(traj.drawn_j.sum())
+        result.active_revolutions = int((is_round & traj.withdrew).sum())
+        result.active_time_s = float(durations[traj.withdrew].sum())
+        result.brownout_events = traj.brownout_events
+
+        # State log: same per-unit sampling walk, reading the trajectory.
+        capacity = self.storage.capacity_j
         next_record_s = 0.0
-        temperature_c = (
-            self.thermal_model.current_celsius
-            if self.thermal_model is not None
-            else self.base_point.temperature_c
-        )
-
-        for unit in iter_wheel_rounds(cycle, self.node.wheel, idle_step_s=idle_step_s):
-            duration = (
-                unit.period_s if isinstance(unit, WheelRound) else unit.duration_s
-            )
-            speed = unit.speed_kmh if isinstance(unit, WheelRound) else 0.0
-
-            if self.thermal_model is not None:
-                temperature_c = self.thermal_model.advance(duration, speed / 3.6)
-            sleep_power = self._standstill_power(temperature_c)
-
-            # -- restart hysteresis --------------------------------------------------
-            if not node_active and self.storage.can_restart:
-                node_active = True
-
-            if isinstance(unit, WheelRound):
-                result.revolutions += 1
-                result.moving_time_s += duration
-
-                harvested = self.scavenger.energy_per_revolution_j(unit.speed_kmh)
-                banked = self.storage.deposit(harvested)
-                result.harvested_j += banked
-                result.discarded_j += max(0.0, harvested - banked)
-
-                if node_active:
-                    energy, phases = self._revolution_energy(unit, temperature_c)
-                    drawn = self.node.pmu.referred_to_storage(energy)
-                    if self.storage.withdraw(drawn):
-                        result.consumed_j += drawn
-                        result.active_revolutions += 1
-                        result.active_time_s += duration
-                        if result.trace is not None and trace_window is not None:
-                            if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
-                                self._record_trace_revolution(
-                                    result.trace, unit, phases, True, sleep_power
-                                )
-                    else:
-                        node_active = False
-                        result.brownout_events += 1
-                elif result.trace is not None and trace_window is not None:
-                    if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
-                        self._record_trace_revolution(result.trace, unit, (), False, sleep_power)
-            else:
-                # Stationary: nothing harvested, the node sits in its resting
-                # modes (if it still has energy to do so).
-                if node_active:
-                    drawn = self.node.pmu.referred_to_storage(sleep_power * duration)
-                    if self.storage.withdraw(drawn):
-                        result.consumed_j += drawn
-                        result.active_time_s += duration
-                    else:
-                        node_active = False
-                        result.brownout_events += 1
-                if result.trace is not None and trace_window is not None:
-                    if unit.start_s < trace_window[1] and unit.end_s > trace_window[0]:
-                        result.trace.append(
-                            unit.start_s,
-                            duration,
-                            sleep_power if node_active else 0.0,
-                            "standstill" if node_active else "inactive",
-                        )
-
-            self.storage.leak(duration)
-
-            end_time = unit.end_s
+        log = result.log
+        charge_out = traj.charge_j
+        active_out = traj.active
+        for i in range(len(units)):
+            end_time = ends[i]
             while next_record_s <= end_time:
-                result.log.append(
+                log.append(
                     next_record_s,
-                    speed,
-                    temperature_c,
-                    self.storage.state_of_charge,
-                    node_active,
+                    speeds[i],
+                    temps[i],
+                    charge_out[i] / capacity,
+                    bool(active_out[i]),
                 )
                 next_record_s += record_interval_s
 
-        if result.trace is not None and trace_window is not None and not result.trace.is_empty:
-            result.trace = result.trace.windowed(*trace_window)
+        if result.trace is not None and trace_window is not None:
+            self._record_trace(
+                result.trace,
+                trace_window,
+                units,
+                is_round,
+                durations,
+                traj,
+                phase_lists,
+                sleep_power,
+            )
+            if not result.trace.is_empty:
+                result.trace = result.trace.windowed(*trace_window)
         return result
+
+    def _record_trace(
+        self,
+        trace: PowerTrace,
+        trace_window: tuple[float, float],
+        units: list,
+        is_round: np.ndarray,
+        durations: np.ndarray,
+        traj: StorageTrajectory,
+        phase_lists: list,
+        sleep_power: np.ndarray,
+    ) -> None:
+        """Reconstruct the instant-power trace from the integration arrays.
+
+        Entry for entry what the per-revolution loop recorded: successful
+        rounds play their cached phase list, rounds the node slept through
+        are "inactive", brown-out rounds record nothing, and idle units
+        record the standstill floor (or "inactive" once the node is down).
+        """
+        window_start, window_end = trace_window
+        for i, unit in enumerate(units):
+            if not (unit.start_s < window_end and unit.end_s > window_start):
+                continue
+            if is_round[i]:
+                if traj.withdrew[i]:
+                    self._record_trace_revolution(
+                        trace, unit, phase_lists[i], True, float(sleep_power[i])
+                    )
+                elif not traj.attempted[i]:
+                    self._record_trace_revolution(
+                        trace, unit, (), False, float(sleep_power[i])
+                    )
+            else:
+                active = bool(traj.active[i])
+                trace.append(
+                    unit.start_s,
+                    float(durations[i]),
+                    float(sleep_power[i]) if active else 0.0,
+                    "standstill" if active else "inactive",
+                )
 
     def steady_state_trace(
         self,

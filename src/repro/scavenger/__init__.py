@@ -14,7 +14,13 @@ from repro.scavenger.electromagnetic import ElectromagneticScavenger
 from repro.scavenger.electrostatic import ElectrostaticScavenger
 from repro.scavenger.piezoelectric import PiezoelectricScavenger
 from repro.scavenger.profiles import TabulatedScavenger
-from repro.scavenger.storage import StorageElement, supercapacitor, thin_film_battery
+from repro.scavenger.storage import (
+    StorageElement,
+    StorageTrajectory,
+    supercapacitor,
+    thin_film_battery,
+    trajectory,
+)
 
 __all__ = [
     "EnergyScavenger",
@@ -24,6 +30,8 @@ __all__ = [
     "TabulatedScavenger",
     "PowerConditioning",
     "StorageElement",
+    "StorageTrajectory",
     "supercapacitor",
     "thin_film_battery",
+    "trajectory",
 ]

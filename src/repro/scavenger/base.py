@@ -53,6 +53,21 @@ class EnergyScavenger(abc.ABC):
     def technology(self) -> str:
         """Short technology label used in reports (e.g. ``"piezoelectric"``)."""
 
+    def raw_energy_sweep_j(self, speeds_kmh: np.ndarray | list[float]) -> np.ndarray:
+        """Vectorized :meth:`raw_energy_per_revolution_j` over an array of speeds.
+
+        Concrete models override this with a numpy implementation mirroring
+        their scalar method operation for operation; the base implementation
+        falls back to per-point scalar calls so third-party subclasses that
+        only implement the scalar contract keep working on every sweep
+        consumer (at scalar speed).  Never called for non-positive speeds by
+        the public sweep path.
+        """
+        speeds = np.asarray(speeds_kmh, dtype=float)
+        return np.array(
+            [self.raw_energy_per_revolution_j(float(v)) for v in speeds]
+        ).reshape(speeds.shape)
+
     # -- derived quantities ----------------------------------------------------
 
     def energy_per_revolution_j(self, speed_kmh: float) -> float:
@@ -74,9 +89,31 @@ class EnergyScavenger(abc.ABC):
         revolutions_per_second = self.wheel.revolutions_per_second(speed_kmh)
         return self.energy_per_revolution_j(speed_kmh) * revolutions_per_second
 
+    def energy_sweep_j(self, speeds_kmh: np.ndarray | list[float]) -> np.ndarray:
+        """Vectorized :meth:`energy_per_revolution_j`, shape ``(N,)``.
+
+        The harvest-side counterpart of the compiled power table's batch
+        path: one call evaluates the whole speed array through the model's
+        numpy sweep, with the same cut-in/standstill zeroing and
+        ``size_factor`` scaling (same operation order) as the scalar
+        reference, so results agree to round-off.
+        """
+        speeds = np.asarray(speeds_kmh, dtype=float)
+        if np.any(speeds < 0.0):
+            raise ConfigurationError("speed must be non-negative")
+        energies = np.zeros(speeds.shape)
+        mask = (speeds > 0.0) & (speeds >= self.minimum_speed_kmh)
+        if np.any(mask):
+            energies[mask] = self.size_factor * self.raw_energy_sweep_j(speeds[mask])
+        return energies
+
     def energy_curve(self, speeds_kmh: np.ndarray | list[float]) -> np.ndarray:
-        """Vector of energy-per-revolution values over an array of speeds."""
-        return np.array([self.energy_per_revolution_j(float(v)) for v in speeds_kmh])
+        """Vector of energy-per-revolution values over an array of speeds.
+
+        Alias of :meth:`energy_sweep_j`, kept for the exported-profile and
+        plotting call sites that predate the sweep API.
+        """
+        return self.energy_sweep_j(speeds_kmh)
 
     def scaled(self, factor: float) -> "EnergyScavenger":
         """Return a copy of the scavenger with its size multiplied by ``factor``."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.scavenger.base import EnergyScavenger
 
@@ -60,6 +62,17 @@ class PowerConditioning:
         net = harvested_j * self.chain_efficiency - self.startup_energy_j
         return max(0.0, net)
 
+    def banked_energy_sweep_j(self, harvested_j) -> np.ndarray:
+        """Vectorized :meth:`banked_energy_j` over an array of harvested energies."""
+        harvested = np.asarray(harvested_j, dtype=float)
+        if np.any(harvested < 0.0):
+            raise ConfigurationError("harvested energy must be non-negative")
+        net = np.maximum(0.0, harvested * self.chain_efficiency - self.startup_energy_j)
+        # A zero input never runs the chain, so it cannot even owe the
+        # startup overhead (the scalar method short-circuits the same way).
+        net[harvested == 0.0] = 0.0
+        return net
+
 
 @dataclass(frozen=True)
 class ConditionedScavenger(EnergyScavenger):
@@ -86,6 +99,11 @@ class ConditionedScavenger(EnergyScavenger):
         harvested = self.source.energy_per_revolution_j(speed_kmh)
         return self.conditioning.banked_energy_j(harvested)
 
+    def raw_energy_sweep_j(self, speeds_kmh) -> np.ndarray:
+        """Vectorized source harvest pushed through the conditioning chain."""
+        harvested = self.source.energy_sweep_j(speeds_kmh)
+        return self.conditioning.banked_energy_sweep_j(harvested)
+
     def energy_per_revolution_j(self, speed_kmh: float) -> float:
         """Banked energy per revolution (cut-in handled by the source model)."""
         if speed_kmh < 0.0:
@@ -93,6 +111,17 @@ class ConditionedScavenger(EnergyScavenger):
         if speed_kmh <= 0.0:
             return 0.0
         return self.size_factor * self.raw_energy_per_revolution_j(speed_kmh)
+
+    def energy_sweep_j(self, speeds_kmh) -> np.ndarray:
+        """Vectorized banked energy (cut-in handled by the source sweep)."""
+        speeds = np.asarray(speeds_kmh, dtype=float)
+        if np.any(speeds < 0.0):
+            raise ConfigurationError("speed must be non-negative")
+        energies = np.zeros(speeds.shape)
+        mask = speeds > 0.0
+        if np.any(mask):
+            energies[mask] = self.size_factor * self.raw_energy_sweep_j(speeds[mask])
+        return energies
 
     def scaled(self, factor: float) -> "ConditionedScavenger":
         """Scaling a conditioned scavenger scales the underlying device."""

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.scavenger.base import EnergyScavenger
 
@@ -51,5 +53,13 @@ class ElectrostaticScavenger(EnergyScavenger):
     def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
         unsaturated = self.reference_energy_j * (
             speed_kmh / self.reference_speed_kmh
+        ) ** self.exponent
+        return 1.0 / (1.0 / unsaturated + 1.0 / self.saturation_energy_j)
+
+    def raw_energy_sweep_j(self, speeds_kmh) -> np.ndarray:
+        """Vectorized power law + pull-in saturation (same operation order)."""
+        speeds = np.asarray(speeds_kmh, dtype=float)
+        unsaturated = self.reference_energy_j * (
+            speeds / self.reference_speed_kmh
         ) ** self.exponent
         return 1.0 / (1.0 / unsaturated + 1.0 / self.saturation_energy_j)

@@ -64,6 +64,27 @@ class TabulatedScavenger(EnergyScavenger):
         slope = (energies[-1] - energies[-2]) / (speeds[-1] - speeds[-2])
         return float(max(0.0, energies[-1] + slope * (speed_kmh - speeds[-1])))
 
+    def raw_energy_sweep_j(self, speeds_kmh) -> np.ndarray:
+        """Vectorized table interpolation (clamped or slope-extrapolated)."""
+        query = np.asarray(speeds_kmh, dtype=float)
+        speeds = np.asarray(self.speeds_kmh, dtype=float)
+        energies = np.asarray(self.energies_j, dtype=float)
+        values = np.interp(query, speeds, energies)
+        if self.extrapolate:
+            below = query < speeds[0]
+            if np.any(below):
+                slope = (energies[1] - energies[0]) / (speeds[1] - speeds[0])
+                values[below] = np.maximum(
+                    0.0, energies[0] + slope * (query[below] - speeds[0])
+                )
+            above = query > speeds[-1]
+            if np.any(above):
+                slope = (energies[-1] - energies[-2]) / (speeds[-1] - speeds[-2])
+                values[above] = np.maximum(
+                    0.0, energies[-1] + slope * (query[above] - speeds[-1])
+                )
+        return values
+
     @classmethod
     def from_scavenger(
         cls,
@@ -73,7 +94,7 @@ class TabulatedScavenger(EnergyScavenger):
     ) -> "TabulatedScavenger":
         """Sample an analytical scavenger into a table (useful for exporting)."""
         speeds = [float(v) for v in speeds_kmh]
-        energies = [source.energy_per_revolution_j(v) for v in speeds]
+        energies = [float(e) for e in source.energy_sweep_j(speeds)]
         return cls(
             wheel=source.wheel,
             minimum_speed_kmh=source.minimum_speed_kmh,

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from repro.blocks.node import SensorNode
 from repro.conditions.operating_point import OperatingPoint
 from repro.core.balance import EnergyBalanceAnalysis
+from repro.core.evaluator import EnergyEvaluator
 from repro.errors import AnalysisError
 from repro.power.database import PowerDatabase
 from repro.scavenger.base import EnergyScavenger
@@ -52,6 +53,7 @@ def size_for_activation_speed(
     target_speed_kmh: float,
     max_size_factor: float = 16.0,
     tolerance: float = 0.01,
+    evaluator: EnergyEvaluator | None = None,
 ) -> SizingResult:
     """Find the smallest scavenger size that activates the node at the target speed.
 
@@ -70,6 +72,9 @@ def size_for_activation_speed(
         max_size_factor: largest size the mechanical integration allows.
         tolerance: relative margin added to the computed size so the result
             is robustly on the surplus side.
+        evaluator: optional prebuilt evaluator for ``node``/``database``,
+            shared by both the requirement lookup and the verification run
+            (a sizing table passes one evaluator across all its targets).
 
     Raises:
         AnalysisError: for non-positive targets or size limits.
@@ -79,10 +84,12 @@ def size_for_activation_speed(
     if max_size_factor <= 0.0:
         raise AnalysisError("the maximum size factor must be positive")
 
-    analysis = EnergyBalanceAnalysis(node, database, scavenger)
-    balance = analysis.balance_at(OperatingPoint(speed_kmh=target_speed_kmh))
-    required = balance.required_j
-    generated_unit = balance.generated_j
+    analysis = EnergyBalanceAnalysis(node, database, scavenger, evaluator=evaluator)
+    point = OperatingPoint(speed_kmh=target_speed_kmh)
+    # Both sides ride the batch paths (compiled power table, harvest sweep);
+    # a width-1 sweep matches the scalar reference to round-off.
+    required = float(analysis.required_energy_sweep([point])[0])
+    generated_unit = float(analysis.generated_energy_sweep([target_speed_kmh])[0])
 
     if generated_unit <= 0.0:
         return SizingResult(
@@ -104,7 +111,9 @@ def size_for_activation_speed(
             generated_energy_unit_j=generated_unit,
         )
 
-    sized = EnergyBalanceAnalysis(node, database, scavenger.scaled(factor))
+    sized = EnergyBalanceAnalysis(
+        node, database, scavenger.scaled(factor), evaluator=analysis.evaluator
+    )
     achieved = sized.break_even_speed_kmh(high_kmh=max(250.0, target_speed_kmh * 2.0))
     return SizingResult(
         target_speed_kmh=target_speed_kmh,
@@ -122,13 +131,24 @@ def sizing_table(
     target_speeds_kmh: list[float],
     max_size_factor: float = 16.0,
 ) -> list[dict[str, object]]:
-    """Tabulate the required scavenger size for several activation-speed targets."""
+    """Tabulate the required scavenger size for several activation-speed targets.
+
+    One :class:`~repro.core.evaluator.EnergyEvaluator` (and therefore one
+    database re-targeting and one compiled power table) is shared across
+    every target and every verification run.
+    """
     if not target_speeds_kmh:
         raise AnalysisError("at least one target speed is required")
+    evaluator = EnergyEvaluator(node, database)
     rows: list[dict[str, object]] = []
     for target in target_speeds_kmh:
         result = size_for_activation_speed(
-            node, database, scavenger, float(target), max_size_factor=max_size_factor
+            node,
+            database,
+            scavenger,
+            float(target),
+            max_size_factor=max_size_factor,
+            evaluator=evaluator,
         )
         rows.append(
             {

@@ -12,7 +12,51 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import ConfigurationError, EmulationError
+
+# ---------------------------------------------------------------------------
+# Ledger step primitives
+#
+# The charge/discharge/leak arithmetic is defined ONCE here and shared by
+# three consumers: the mutating :class:`StorageElement` methods (the scalar,
+# authoritative reference), the pure :func:`trajectory` kernel, and the
+# emulator's array-based integration loop.  Keeping them single-sourced is
+# what makes the emulator's byte-identity contract cheap to maintain — a
+# change to the ledger semantics cannot desynchronize the paths.
+# ---------------------------------------------------------------------------
+
+
+def deposit_step(
+    charge_j: float, stored_j: float, capacity_j: float
+) -> tuple[float, float]:
+    """One deposit: bank ``stored_j`` (already after charging losses).
+
+    Returns ``(new_charge, banked)`` where ``banked`` is clipped to the
+    remaining headroom (the conditioning circuit shunts the excess once the
+    storage is full).
+    """
+    headroom = capacity_j - charge_j
+    banked = min(stored_j, headroom)
+    return charge_j + banked, banked
+
+
+def withdraw_step(charge_j: float, required_j: float) -> tuple[float, bool]:
+    """One withdrawal: drain ``required_j`` (already including discharge losses).
+
+    Returns ``(new_charge, success)``; a shortfall drains the element to zero
+    and reports failure — the brown-out semantics of the emulation.
+    """
+    if required_j > charge_j:
+        return 0.0, False
+    return charge_j - required_j, True
+
+
+def leak_step(charge_j: float, leak_j: float) -> tuple[float, float]:
+    """One self-discharge step; returns ``(new_charge, loss)``."""
+    loss = min(charge_j, leak_j)
+    return charge_j - loss, loss
 
 
 @dataclass
@@ -104,10 +148,9 @@ class StorageElement:
         """
         if energy_j < 0.0:
             raise EmulationError("cannot deposit negative energy")
-        stored = energy_j * self.charge_efficiency
-        headroom = self.capacity_j - self._charge_j
-        stored = min(stored, headroom)
-        self._charge_j += stored
+        self._charge_j, stored = deposit_step(
+            self._charge_j, energy_j * self.charge_efficiency, self.capacity_j
+        )
         return stored
 
     def withdraw(self, energy_j: float) -> bool:
@@ -118,19 +161,18 @@ class StorageElement:
         """
         if energy_j < 0.0:
             raise EmulationError("cannot withdraw negative energy")
-        required = energy_j / self.discharge_efficiency
-        if required > self._charge_j:
-            self._charge_j = 0.0
-            return False
-        self._charge_j -= required
-        return True
+        self._charge_j, success = withdraw_step(
+            self._charge_j, energy_j / self.discharge_efficiency
+        )
+        return success
 
     def leak(self, duration_s: float) -> float:
         """Apply self-discharge over ``duration_s`` seconds; returns the loss."""
         if duration_s < 0.0:
             raise EmulationError("duration must be non-negative")
-        loss = min(self._charge_j, self.self_discharge_w * duration_s)
-        self._charge_j -= loss
+        self._charge_j, loss = leak_step(
+            self._charge_j, self.self_discharge_w * duration_s
+        )
         return loss
 
 
@@ -168,4 +210,154 @@ def thin_film_battery(capacity_j: float = 2.5, initial_fraction: float = 0.5) ->
         minimum_operating_j=capacity_j * 0.04,
         restart_level_j=capacity_j * 0.08,
         name="thin-film battery",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized trajectory kernel
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StorageTrajectory:
+    """State-of-charge trajectory of one integration window.
+
+    All arrays share the step axis of the inputs; the recorded values are the
+    state *after* each step completed (deposit, conditional withdrawal,
+    leak), which is exactly what the emulator samples into its log.
+
+    Attributes:
+        charge_j: stored energy after each step.
+        active: node-active flag after each step (restart hysteresis and
+            brown-outs applied).
+        banked_j: energy actually stored per step (post-efficiency, clipped
+            to the capacity headroom).
+        drawn_j: load energy actually delivered per step (the requested load
+            where the withdrawal succeeded, zero where the node was inactive
+            or browned out).
+        attempted: True where the node was active and a withdrawal was
+            attempted (whether or not it succeeded).
+        withdrew: True where an attempted withdrawal succeeded.
+        brownout_events: number of failed withdrawals.
+        final_charge_j: stored energy after the last step (``charge_j[-1]``,
+            or the initial charge for an empty window).
+    """
+
+    charge_j: np.ndarray
+    active: np.ndarray
+    banked_j: np.ndarray
+    drawn_j: np.ndarray
+    attempted: np.ndarray
+    withdrew: np.ndarray
+    brownout_events: int
+    final_charge_j: float
+
+    def __len__(self) -> int:
+        return len(self.charge_j)
+
+
+def trajectory(
+    storage: StorageElement,
+    harvest_j,
+    load_j,
+    leak_s,
+    initial_charge_j: float | None = None,
+    initially_active: bool | None = None,
+) -> StorageTrajectory:
+    """Pure, array-based replay of the storage ledger over N steps.
+
+    The vectorized counterpart of stepping a :class:`StorageElement` through
+    ``deposit(harvest_j[i])`` / ``withdraw(load_j[i])`` / ``leak(leak_s[i])``
+    with the emulator's restart-threshold hysteresis: at each step a
+    browned-out node restarts when the charge has recovered to
+    ``restart_level_j``, an active node draws its load (a shortfall drains
+    the element and counts one brown-out), and an inactive node draws
+    nothing.  ``storage`` provides the parameters only — its state is
+    neither read (beyond defaults) nor mutated.
+
+    The per-step efficiencies, leakage and clipping are applied through the
+    same module-level step primitives the mutating methods use, in the same
+    operation order, so the trajectory is bitwise identical to the scalar
+    replay (property-tested).
+
+    Args:
+        storage: parameter source (capacity, efficiencies, thresholds).
+        harvest_j: per-step harvested energy at the storage input, ``(N,)``.
+        load_j: per-step load energy the node *wants* delivered, ``(N,)``;
+            only drawn while the node is active.
+        leak_s: per-step self-discharge duration in seconds, ``(N,)`` or a
+            scalar broadcast over the window.
+        initial_charge_j: starting charge; defaults to the element's
+            ``initial_charge_j``.
+        initially_active: starting activity; defaults to the brown-out test
+            on the starting charge (``charge >= minimum_operating_j``).
+
+    Returns:
+        A :class:`StorageTrajectory` with per-step charge/activity/flows.
+    """
+    harvest = np.asarray(harvest_j, dtype=float)
+    load = np.asarray(load_j, dtype=float)
+    count = len(harvest)
+    leak = np.broadcast_to(np.asarray(leak_s, dtype=float), (count,))
+    if len(load) != count:
+        raise EmulationError("harvest and load arrays must have the same length")
+    if np.any(harvest < 0.0):
+        raise EmulationError("cannot deposit negative energy")
+    if np.any(load < 0.0):
+        raise EmulationError("cannot withdraw negative energy")
+    if np.any(leak < 0.0):
+        raise EmulationError("duration must be non-negative")
+
+    charge = (
+        storage.initial_charge_j if initial_charge_j is None else float(initial_charge_j)
+    )
+    if not 0.0 <= charge <= storage.capacity_j:
+        raise EmulationError(
+            "the initial charge must lie within the storage capacity"
+        )
+    active = (
+        charge >= storage.minimum_operating_j
+        if initially_active is None
+        else bool(initially_active)
+    )
+    capacity = storage.capacity_j
+    restart = storage.restart_level_j
+    # Hoist the per-step conversions out of the scan: these are the exact
+    # expressions the scalar methods apply per call, evaluated elementwise.
+    stored = harvest * storage.charge_efficiency
+    required = load / storage.discharge_efficiency
+    leak_amounts = storage.self_discharge_w * leak
+
+    charge_out = np.empty(count)
+    active_out = np.empty(count, dtype=bool)
+    banked_out = np.empty(count)
+    drawn_out = np.zeros(count)
+    attempted = np.zeros(count, dtype=bool)
+    withdrew = np.zeros(count, dtype=bool)
+    brownouts = 0
+    for i in range(count):
+        if not active and charge >= restart:
+            active = True
+        charge, banked_out[i] = deposit_step(charge, stored[i], capacity)
+        if active:
+            attempted[i] = True
+            charge, success = withdraw_step(charge, required[i])
+            if success:
+                withdrew[i] = True
+                drawn_out[i] = load[i]
+            else:
+                active = False
+                brownouts += 1
+        charge, _loss = leak_step(charge, leak_amounts[i])
+        charge_out[i] = charge
+        active_out[i] = active
+    return StorageTrajectory(
+        charge_j=charge_out,
+        active=active_out,
+        banked_j=banked_out,
+        drawn_j=drawn_out,
+        attempted=attempted,
+        withdrew=withdrew,
+        brownout_events=brownouts,
+        final_charge_j=float(charge),
     )

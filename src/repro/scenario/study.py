@@ -39,17 +39,23 @@ observable through ``StudyResult.metadata['evaluator_builds']`` /
 evaluator cache is lock-protected, random streams are derived per scenario
 (never from execution order), and rows keep the sequential order — a
 parallel run returns rows identical, order and values, to the sequential
-one.  Per-run wall time and per-row timings land in
-``StudyResult.metadata['wall_time_s']`` / ``['row_wall_times_s']`` so
-performance regressions are observable from the result alone.
+one.  ``backend="process"`` swaps the thread pool for a process pool:
+each grid point's spec travels to the worker as its JSON-round-trippable
+document and is rebuilt there, which sidesteps the GIL for CPU-bound kinds
+(``optimize``, ``emulate``) at the cost of per-worker evaluator builds.
+Per-run wall time and per-row timings land in
+``StudyResult.metadata['wall_time_s']`` / ``['row_wall_times_s']`` (and the
+``backend``) so performance regressions are observable from the result
+alone.
 """
 
 from __future__ import annotations
 
 import itertools
+import multiprocessing
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
@@ -248,16 +254,32 @@ class Study:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, kind: str = "balance", workers: int | None = None) -> StudyResult:
+    def run(
+        self,
+        kind: str = "balance",
+        workers: int | None = None,
+        backend: str = "thread",
+    ) -> StudyResult:
         """Execute ``kind`` over every grid point and collect uniform rows.
 
         Args:
             kind: one of :data:`STUDY_KINDS`.
-            workers: optional thread-pool width.  ``None`` or 1 runs the grid
+            workers: optional pool width.  ``None`` or 1 runs the grid
                 sequentially; larger values execute grid points concurrently
                 while preserving the sequential row order and values exactly
                 (evaluator sharing is lock-protected and every random stream
                 is derived per scenario, never from execution order).
+            backend: ``"thread"`` (default) shares one process and the
+                evaluator cache across workers — right when numpy releases
+                the GIL on large arrays.  ``"process"`` ships each grid
+                point's spec document to a worker process (riding on the
+                JSON round-trip) and rebuilds the components there — right
+                for CPU-bound kinds (``optimize``, ``emulate``) whose
+                per-row Python work serializes under the GIL.  Rows are
+                identical either way; with the process backend the evaluator
+                builds happen in the workers, so the parent's
+                ``evaluator_builds``/``evaluator_cache_hits`` counters stay
+                at zero.
         """
         if kind not in STUDY_KINDS:
             raise ConfigError(f"unknown analysis kind {kind!r}; available: {list(STUDY_KINDS)}")
@@ -265,6 +287,10 @@ class Study:
             workers = 1
         if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
             raise ConfigError(f"workers must be a positive integer, got {workers!r}")
+        if backend not in ("thread", "process"):
+            raise ConfigError(
+                f"unknown study backend {backend!r}; available: ['thread', 'process']"
+            )
         runner = getattr(self, f"_run_{kind}")
         builds_before = self.evaluator_builds
         hits_before = self.evaluator_cache_hits
@@ -282,6 +308,24 @@ class Study:
         run_started = time.perf_counter()
         if workers == 1 or len(grid) <= 1:
             outcomes = [execute(item) for item in grid]
+        elif backend == "process":
+            # Each worker rebuilds its grid point from the spec's JSON
+            # document and computes the row kernel; the parent only wraps
+            # the scenario/axis columns around the returned figures, so the
+            # row ordering and key order match the sequential run exactly.
+            payloads = [(spec.to_dict(), kind, self.montecarlo) for _, spec in grid]
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(grid)),
+                mp_context=_process_pool_context(),
+            ) as pool:
+                kernel_outcomes = list(pool.map(_process_grid_point, payloads))
+            outcomes = []
+            for (overrides, spec), (kernel_row, elapsed) in zip(grid, kernel_outcomes):
+                row = {"scenario": spec.name}
+                for axis in self.axes:
+                    row[axis] = _axis_display(overrides[axis])
+                row.update(kernel_row)
+                outcomes.append((row, elapsed))
         else:
             # Grid points sharing an evaluator warm each other's caches, so a
             # pool map (which preserves input order) is all the coordination
@@ -303,121 +347,232 @@ class Study:
             # point's own wall time (sequential row order), so perf
             # regressions are observable from the StudyResult alone.
             "workers": workers,
+            "backend": backend,
             "wall_time_s": wall_time_s,
             "row_wall_times_s": tuple(elapsed for _row, elapsed in outcomes),
         }
         return StudyResult(kind=kind, axes=tuple(self.axes), rows=tuple(rows), metadata=metadata)
 
-    # -- per-kind row builders ----------------------------------------------
+    # -- per-kind row builders (thin wrappers over the module-level kernels) --
 
     def _run_balance(self, spec: ScenarioSpec) -> dict[str, object]:
         node, database, evaluator = self._evaluator_for(spec)
-        analysis = EnergyBalanceAnalysis(
-            node, database, spec.build_scavenger(), evaluator=evaluator
-        )
-        point = spec.operating_point()
-
-        def factory(speed: float):
-            return point.at_speed(speed)
-
-        low, high = DEFAULT_BREAK_EVEN_RANGE
-        break_even = analysis.break_even_speed_kmh(
-            low_kmh=low, high_kmh=high, point_factory=factory
-        )
-        required = float(analysis.required_energy_sweep([point])[0])
-        generated = analysis.generated_energy_j(point.speed_kmh)
-        return {
-            "break_even_kmh": break_even if break_even is not None else float("nan"),
-            "required_uj_per_rev": required * 1e6,
-            "generated_uj_per_rev": generated * 1e6,
-            "margin_uj_per_rev": (generated - required) * 1e6,
-            "surplus": generated >= required,
-        }
+        return _balance_row(spec, node, database, evaluator)
 
     def _run_report(self, spec: ScenarioSpec) -> dict[str, object]:
         _node, _database, evaluator = self._evaluator_for(spec)
-        point = spec.operating_point()
-        dynamic, static, period = evaluator.average_components_sweep([point])
-        standstill = evaluator.standstill_power_sweep([point.at_speed(0.0)])
-        total = float(dynamic[0] + static[0])
-        return {
-            "energy_per_rev_uj": total * 1e6,
-            "dynamic_uj": float(dynamic[0]) * 1e6,
-            "static_uj": float(static[0]) * 1e6,
-            "average_power_uw": total / float(period[0]) * 1e6,
-            "standstill_uw": float(standstill[0]) * 1e6,
-        }
+        return _report_row(spec, evaluator)
 
     def _run_optimize(self, spec: ScenarioSpec) -> dict[str, object]:
         node, database, evaluator = self._evaluator_for(spec)
-        point = spec.operating_point()
-        assignments = select_techniques(evaluator.duty_cycles(point), database=database)
-        outcome = apply_assignments(
-            node, database, assignments, point=point, evaluator=evaluator
-        )
-        return {
-            "energy_before_uj": outcome.energy_before_j * 1e6,
-            "energy_after_uj": outcome.energy_after_j * 1e6,
-            "saving_pct": outcome.saving_fraction * 100.0,
-            "techniques": len(outcome.assignments),
-        }
+        return _optimize_row(spec, node, database, evaluator)
 
     def _run_emulate(self, spec: ScenarioSpec) -> dict[str, object]:
-        cycle = spec.build_drive_cycle()
-        if cycle is None:
-            raise ConfigError("the 'emulate' kind needs the scenario to name a drive_cycle")
-        storage = spec.build_storage()
-        if storage is None:
-            raise ConfigError("the 'emulate' kind needs the scenario to name a storage")
         node, database, evaluator = self._evaluator_for(spec)
-        emulator = NodeEmulator(
-            node,
-            database,
-            spec.build_scavenger(),
-            storage,
-            base_point=spec.operating_point(),
-            evaluator=evaluator,
-        )
-        result = emulator.emulate(cycle)
-        # "cycle_name", not "cycle": the latter is a grid-axis alias and the
-        # axis column must keep the swept value, not the cycle's own label.
-        return {"cycle_name": cycle.name, **result.summary()}
+        return _emulate_row(spec, node, database, evaluator)
 
     def _run_montecarlo(self, spec: ScenarioSpec) -> dict[str, object]:
         node, _database, evaluator = self._evaluator_for(spec)
-        config = self.montecarlo
-        # The stream is a pure function of (config, scenario document):
-        # identical draws whether the grid runs sequentially or on a pool.
-        rng = config.rng_for(spec.to_json())
-        draws = config.draw(node, spec.operating_point(), rng)
-        energies = evaluator.schedule_energy_sweep(draws.conditions, draws.patterns)
-        periods = node.wheel.revolution_periods_s(draws.conditions.speed_kmh)
-        row = summarize_energies(energies, periods, len(draws))
-        row["seed"] = config.seed
-        return row
+        return _montecarlo_row(spec, node, evaluator, self.montecarlo)
 
     def _run_explore(self, spec: ScenarioSpec) -> dict[str, object]:
         node, database, evaluator = self._evaluator_for(spec)
-        analysis = EnergyBalanceAnalysis(
-            node, database, spec.build_scavenger(), evaluator=evaluator
-        )
-        point = spec.operating_point()
+        return _explore_row(spec, node, database, evaluator)
 
-        def factory(speed: float):
-            return point.at_speed(speed)
 
-        low, high = DEFAULT_BREAK_EVEN_RANGE
-        break_even = analysis.break_even_speed_kmh(
-            low_kmh=low, high_kmh=high, point_factory=factory
+# ---------------------------------------------------------------------------
+# Per-kind row kernels
+#
+# Module-level (picklable, self-contained) so the process-pool backend can
+# execute them in worker processes against a spec rebuilt from its JSON
+# document; the in-process runners above call the same functions with the
+# study's shared evaluator.
+# ---------------------------------------------------------------------------
+
+
+def _balance_row(spec, node, database, evaluator) -> dict[str, object]:
+    analysis = EnergyBalanceAnalysis(
+        node, database, spec.build_scavenger(), evaluator=evaluator
+    )
+    point = spec.operating_point()
+
+    def factory(speed: float):
+        return point.at_speed(speed)
+
+    low, high = DEFAULT_BREAK_EVEN_RANGE
+    break_even = analysis.break_even_speed_kmh(
+        low_kmh=low, high_kmh=high, point_factory=factory
+    )
+    required = float(analysis.required_energy_sweep([point])[0])
+    generated = analysis.generated_energy_j(point.speed_kmh)
+    return {
+        "break_even_kmh": break_even if break_even is not None else float("nan"),
+        "required_uj_per_rev": required * 1e6,
+        "generated_uj_per_rev": generated * 1e6,
+        "margin_uj_per_rev": (generated - required) * 1e6,
+        "surplus": generated >= required,
+    }
+
+
+def _report_row(spec, evaluator) -> dict[str, object]:
+    point = spec.operating_point()
+    dynamic, static, period = evaluator.average_components_sweep([point])
+    standstill = evaluator.standstill_power_sweep([point.at_speed(0.0)])
+    total = float(dynamic[0] + static[0])
+    return {
+        "energy_per_rev_uj": total * 1e6,
+        "dynamic_uj": float(dynamic[0]) * 1e6,
+        "static_uj": float(static[0]) * 1e6,
+        "average_power_uw": total / float(period[0]) * 1e6,
+        "standstill_uw": float(standstill[0]) * 1e6,
+    }
+
+
+def _optimize_row(spec, node, database, evaluator) -> dict[str, object]:
+    point = spec.operating_point()
+    assignments = select_techniques(evaluator.duty_cycles(point), database=database)
+    outcome = apply_assignments(
+        node, database, assignments, point=point, evaluator=evaluator
+    )
+    return {
+        "energy_before_uj": outcome.energy_before_j * 1e6,
+        "energy_after_uj": outcome.energy_after_j * 1e6,
+        "saving_pct": outcome.saving_fraction * 100.0,
+        "techniques": len(outcome.assignments),
+    }
+
+
+def _emulate_row(spec, node, database, evaluator) -> dict[str, object]:
+    cycle = spec.build_drive_cycle()
+    if cycle is None:
+        raise ConfigError("the 'emulate' kind needs the scenario to name a drive_cycle")
+    storage = spec.build_storage()
+    if storage is None:
+        raise ConfigError("the 'emulate' kind needs the scenario to name a storage")
+    emulator = NodeEmulator(
+        node,
+        database,
+        spec.build_scavenger(),
+        storage,
+        base_point=spec.operating_point(),
+        evaluator=evaluator,
+    )
+    result = emulator.emulate(cycle)
+    # "cycle_name", not "cycle": the latter is a grid-axis alias and the
+    # axis column must keep the swept value, not the cycle's own label.
+    return {"cycle_name": cycle.name, **result.summary()}
+
+
+def _montecarlo_row(spec, node, evaluator, config: MonteCarloConfig) -> dict[str, object]:
+    # The stream is a pure function of (config, scenario document):
+    # identical draws whether the grid runs sequentially, on a thread pool
+    # or in worker processes.
+    rng = config.rng_for(spec.to_json())
+    draws = config.draw(node, spec.operating_point(), rng)
+    energies = evaluator.schedule_energy_sweep(draws.conditions, draws.patterns)
+    periods = node.wheel.revolution_periods_s(draws.conditions.speed_kmh)
+    row = summarize_energies(energies, periods, len(draws))
+    row["seed"] = config.seed
+    return row
+
+
+def _explore_row(spec, node, database, evaluator) -> dict[str, object]:
+    analysis = EnergyBalanceAnalysis(
+        node, database, spec.build_scavenger(), evaluator=evaluator
+    )
+    point = spec.operating_point()
+
+    def factory(speed: float):
+        return point.at_speed(speed)
+
+    low, high = DEFAULT_BREAK_EVEN_RANGE
+    break_even = analysis.break_even_speed_kmh(
+        low_kmh=low, high_kmh=high, point_factory=factory
+    )
+    snapshot = factory(60.0)
+    required_60 = float(analysis.required_energy_sweep([snapshot])[0])
+    return {
+        "break_even_kmh": break_even if break_even is not None else float("nan"),
+        "required_uj_per_rev_60kmh": required_60 * 1e6,
+        "generated_uj_per_rev_60kmh": analysis.generated_energy_j(60.0) * 1e6,
+        "activates": break_even is not None,
+    }
+
+
+def _process_pool_context():
+    """The multiprocessing context of the process backend.
+
+    Forked workers inherit user registry registrations (and the loaded
+    modules), which is what lets a spec referencing a ``register_*``-ed
+    component rebuild inside the pool.  Platforms without fork (Windows;
+    macOS defaults to spawn) fall back to the default context, where only
+    importable registrations survive — the explicit request keeps the
+    behaviour deterministic instead of riding the interpreter's changing
+    default (spawn/forkserver).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+#: Per-worker-process evaluator memo of the process backend, keyed like
+#: ``Study._evaluator_for``.  Forked workers start with the parent's (empty)
+#: dict and warm it independently, so a grid sharing one architecture pays
+#: the database re-targeting and table compilation once per *worker*, not
+#: once per row.
+_WORKER_EVALUATORS: dict[str, tuple] = {}
+
+
+def _worker_components(spec: ScenarioSpec):
+    """The (node, database, evaluator) triple of one worker-side grid point."""
+    key = repr(
+        (
+            spec.architecture,
+            spec.tx_interval_revs,
+            spec.payload_bits,
+            spec.power_database,
         )
-        snapshot = factory(60.0)
-        required_60 = float(analysis.required_energy_sweep([snapshot])[0])
-        return {
-            "break_even_kmh": break_even if break_even is not None else float("nan"),
-            "required_uj_per_rev_60kmh": required_60 * 1e6,
-            "generated_uj_per_rev_60kmh": analysis.generated_energy_j(60.0) * 1e6,
-            "activates": break_even is not None,
-        }
+    )
+    cached = _WORKER_EVALUATORS.get(key)
+    if cached is None:
+        node = spec.build_node()
+        database = spec.build_database()
+        cached = (node, database, EnergyEvaluator(node, database))
+        _WORKER_EVALUATORS[key] = cached
+    return cached
+
+
+def _process_grid_point(
+    payload: tuple[object, str, MonteCarloConfig],
+) -> tuple[dict[str, object], float]:
+    """Worker entry of the process backend: one grid point, self-contained.
+
+    Receives the grid point's scenario as its JSON-round-trippable document,
+    rebuilds the spec through the registries (workers inherit user
+    registrations via the fork context) and evaluates the kind's row with a
+    per-worker shared evaluator.  Every kind is a pure function of the spec,
+    so the row is identical — values and key order — to the sequential one.
+    """
+    document, kind, montecarlo = payload
+    started = time.perf_counter()
+    spec = ScenarioSpec.from_dict(document)
+    node, database, evaluator = _worker_components(spec)
+    if kind == "balance":
+        row = _balance_row(spec, node, database, evaluator)
+    elif kind == "report":
+        row = _report_row(spec, evaluator)
+    elif kind == "optimize":
+        row = _optimize_row(spec, node, database, evaluator)
+    elif kind == "emulate":
+        row = _emulate_row(spec, node, database, evaluator)
+    elif kind == "montecarlo":
+        row = _montecarlo_row(spec, node, evaluator, montecarlo)
+    elif kind == "explore":
+        row = _explore_row(spec, node, database, evaluator)
+    else:  # pragma: no cover - validated before dispatch
+        raise ConfigError(f"unknown analysis kind {kind!r}")
+    return row, time.perf_counter() - started
 
 
 def run_study(
@@ -425,7 +580,10 @@ def run_study(
     axes: Mapping[str, Sequence[object]] | None = None,
     kind: str = "balance",
     workers: int | None = None,
+    backend: str = "thread",
     montecarlo: MonteCarloConfig | None = None,
 ) -> StudyResult:
     """One-call convenience wrapper: build a :class:`Study` and run it."""
-    return Study(spec, axes=axes, montecarlo=montecarlo).run(kind, workers=workers)
+    return Study(spec, axes=axes, montecarlo=montecarlo).run(
+        kind, workers=workers, backend=backend
+    )

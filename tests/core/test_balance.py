@@ -112,6 +112,27 @@ class TestCurveValidation:
         with pytest.raises(AnalysisError):
             analysis.curve([0.0, 10.0])
 
+    def test_curve_accepts_a_generator_of_speeds(self, analysis):
+        """Speeds stream through one pass — no double materialization."""
+        import numpy as np
+
+        streamed = analysis.curve(float(v) for v in (20.0, 60.0, 120.0))
+        listed = analysis.curve([20.0, 60.0, 120.0])
+        assert np.array_equal(streamed.required_j, listed.required_j)
+        assert np.array_equal(streamed.generated_j, listed.generated_j)
+
+    def test_batch_curve_generated_matches_the_harvest_sweep(self, analysis):
+        """The batch curve's supply side is the scavenger sweep, verbatim."""
+        import numpy as np
+
+        speeds = np.linspace(10.0, 150.0, 15)
+        curve = analysis.curve(speeds)
+        assert np.array_equal(
+            curve.generated_j, analysis.generated_energy_sweep(speeds)
+        )
+        scalar = np.array([analysis.generated_energy_j(float(v)) for v in speeds])
+        np.testing.assert_allclose(curve.generated_j, scalar, rtol=1e-9, atol=0.0)
+
 
 class TestBreakEven:
     def test_bisection_matches_curve_estimate(self, analysis):

@@ -170,6 +170,124 @@ class TestPrefillMechanics:
             assert prefilled._energy_cache[key] == scalar._energy_cache[key], key
 
 
+class TestArrayCoreByteIdentity:
+    """The array-based integration core: kernel path ≡ stepwise reference.
+
+    ``emulate()`` integrates through the pure ``storage.trajectory`` kernel
+    whenever every per-round quantity is known up front, and falls back to
+    the stepwise loop (same storage step primitives) otherwise.  Both paths
+    must produce byte-identical ``SampleLog`` output — the same contract the
+    prefill flag has always carried, extended to the integration core.
+    """
+
+    def test_kernel_path_is_actually_taken(self, node, database, scavenger, monkeypatch):
+        import repro.core.emulator as emulator_module
+
+        calls = []
+        original = emulator_module.trajectory
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(emulator_module, "trajectory", counting)
+        _thermal_emulator(node, database, scavenger).emulate(_hour_cycle())
+        assert calls, "a fully prefilled cycle should integrate through the kernel"
+
+    def test_forced_stepwise_loop_is_byte_identical(
+        self, node, database, scavenger, monkeypatch
+    ):
+        """Marking every round unresolved forces the stepwise reference loop."""
+        cycle = _hour_cycle()
+        kernel = _thermal_emulator(node, database, scavenger).emulate(cycle)
+
+        original = NodeEmulator._resolve_round_energies
+
+        def unresolved(self, units, is_round, temps):
+            energies, phase_lists, resolved = original(self, units, is_round, temps)
+            resolved[:] = False
+            return energies, [None] * len(phase_lists), resolved
+
+        monkeypatch.setattr(NodeEmulator, "_resolve_round_energies", unresolved)
+        stepwise = _thermal_emulator(node, database, scavenger).emulate(cycle)
+        ours, theirs = kernel.sample_arrays(), stepwise.sample_arrays()
+        for key in ours:
+            assert ours[key].tobytes() == theirs[key].tobytes(), key
+        assert kernel == stepwise
+
+    def test_stepwise_trace_matches_kernel_trace(
+        self, node, database, scavenger, monkeypatch
+    ):
+        cycle = urban_cycle(repetitions=1)
+        window = (20.0, 24.0)
+        kernel = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, trace_window=window
+        )
+        original = NodeEmulator._resolve_round_energies
+
+        def unresolved(self, units, is_round, temps):
+            energies, phase_lists, resolved = original(self, units, is_round, temps)
+            resolved[:] = False
+            return energies, [None] * len(phase_lists), resolved
+
+        monkeypatch.setattr(NodeEmulator, "_resolve_round_energies", unresolved)
+        stepwise = _thermal_emulator(node, database, scavenger).emulate(
+            cycle, trace_window=window
+        )
+        assert kernel.trace == stepwise.trace
+
+    def test_storage_holds_the_final_charge(
+        self, node, database, scavenger, monkeypatch
+    ):
+        """Both integration paths leave the element at the same final charge."""
+        cycle = _hour_cycle()
+        kernel_emulator = _thermal_emulator(node, database, scavenger)
+        kernel_emulator.emulate(cycle)
+        kernel_charge = kernel_emulator.storage.charge_j
+        assert 0.0 <= kernel_charge <= kernel_emulator.storage.capacity_j
+
+        original = NodeEmulator._resolve_round_energies
+
+        def unresolved(self, units, is_round, temps):
+            energies, phase_lists, resolved = original(self, units, is_round, temps)
+            resolved[:] = False
+            return energies, [None] * len(phase_lists), resolved
+
+        monkeypatch.setattr(NodeEmulator, "_resolve_round_energies", unresolved)
+        stepwise_emulator = _thermal_emulator(node, database, scavenger)
+        stepwise_emulator.emulate(cycle)
+        assert stepwise_emulator.storage.charge_j == kernel_charge
+
+    def test_harvest_rides_the_vectorized_sweep(
+        self, node, database, scavenger, monkeypatch
+    ):
+        """emulate() calls energy_sweep_j once instead of N scalar calls."""
+        from repro.scavenger.piezoelectric import PiezoelectricScavenger
+
+        sweeps = []
+        scalars = []
+        original_sweep = PiezoelectricScavenger.energy_sweep_j
+        original_scalar = PiezoelectricScavenger.energy_per_revolution_j
+
+        def counting_sweep(self, speeds):
+            sweeps.append(len(speeds))
+            return original_sweep(self, speeds)
+
+        def counting_scalar(self, speed):
+            scalars.append(speed)
+            return original_scalar(self, speed)
+
+        monkeypatch.setattr(PiezoelectricScavenger, "energy_sweep_j", counting_sweep)
+        monkeypatch.setattr(
+            PiezoelectricScavenger, "energy_per_revolution_j", counting_scalar
+        )
+        result = NodeEmulator(
+            node, database, PiezoelectricScavenger(), supercapacitor()
+        ).emulate(urban_cycle(repetitions=1))
+        assert sweeps == [result.revolutions]
+        assert scalars == []
+
+
 class TestEnergyCacheCap:
     def test_cache_cap_eviction_clears_and_refills(
         self, node, database, scavenger, monkeypatch

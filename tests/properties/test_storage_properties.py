@@ -1,0 +1,191 @@
+"""Property-based tests (hypothesis) for the storage ledger.
+
+The mutating :class:`StorageElement` is the scalar reference for the energy
+bookkeeping; the pure :func:`repro.scavenger.storage.trajectory` kernel must
+replay it bit for bit.  Properties covered: the charge never leaves
+``[0, capacity]``, ``deposit`` reports exactly what fit (the overflow is the
+exact complement), ``withdraw`` is atomic (full success, or a drain-to-zero
+brown-out — never a partial withdrawal that reports success), and the
+trajectory kernel equals a step-by-step scalar replay including the restart
+hysteresis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scavenger.storage import StorageElement, trajectory
+
+energies = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=3600.0, allow_nan=False)
+
+
+def make_storage(initial_fraction: float = 0.5) -> StorageElement:
+    return StorageElement(
+        capacity_j=0.5,
+        initial_charge_j=0.5 * initial_fraction,
+        charge_efficiency=0.95,
+        discharge_efficiency=0.90,
+        self_discharge_w=1e-5,
+        minimum_operating_j=0.02,
+        restart_level_j=0.05,
+    )
+
+
+# Mixed op streams: (kind, amount) with kind 0=deposit, 1=withdraw, 2=leak.
+operations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=2), energies), max_size=60
+)
+
+
+class TestLedgerInvariants:
+    @given(ops=operations)
+    @settings(max_examples=200)
+    def test_charge_always_within_bounds(self, ops):
+        storage = make_storage()
+        for kind, amount in ops:
+            if kind == 0:
+                storage.deposit(amount)
+            elif kind == 1:
+                storage.withdraw(amount)
+            else:
+                storage.leak(amount * 100.0)
+            assert 0.0 <= storage.charge_j <= storage.capacity_j
+
+    @given(initial=st.floats(min_value=0.0, max_value=1.0), energy=energies)
+    def test_deposit_returns_exactly_what_fit(self, initial, energy):
+        storage = make_storage(initial_fraction=initial)
+        before = storage.charge_j
+        banked = storage.deposit(energy)
+        # The banked amount is exactly the post-efficiency energy clipped to
+        # the headroom, and the charge moves by exactly that amount — so the
+        # overflow (what the deposit did NOT return) is exact by
+        # construction.
+        assert banked == min(energy * storage.charge_efficiency, 0.5 - before)
+        assert storage.charge_j == before + banked
+        assert energy * storage.charge_efficiency - banked >= 0.0
+
+    @given(initial=st.floats(min_value=0.0, max_value=1.0), energy=energies)
+    def test_withdraw_is_atomic(self, initial, energy):
+        storage = make_storage(initial_fraction=initial)
+        before = storage.charge_j
+        required = energy / storage.discharge_efficiency
+        success = storage.withdraw(energy)
+        if success:
+            # Full withdrawal: the charge drops by exactly the required
+            # amount, never by part of it.
+            assert required <= before
+            assert storage.charge_j == before - required
+        else:
+            # Shortfall: brown-out semantics, the element drains to zero.
+            assert required > before
+            assert storage.charge_j == 0.0
+
+    @given(initial=st.floats(min_value=0.0, max_value=1.0), duration=durations)
+    def test_leak_never_overdraws(self, initial, duration):
+        storage = make_storage(initial_fraction=initial)
+        before = storage.charge_j
+        loss = storage.leak(duration)
+        assert loss == min(before, storage.self_discharge_w * duration)
+        assert storage.charge_j == before - loss
+
+
+harvest_arrays = st.lists(
+    st.floats(min_value=0.0, max_value=5e-4), min_size=0, max_size=80
+)
+load_arrays = st.lists(st.floats(min_value=0.0, max_value=5e-4), min_size=0, max_size=80)
+
+
+class TestTrajectoryEqualsScalarReplay:
+    @given(
+        harvest=harvest_arrays,
+        load=load_arrays,
+        leak_s=st.floats(min_value=0.0, max_value=10.0),
+        initial=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=150)
+    def test_trajectory_replays_the_mutating_element_bit_for_bit(
+        self, harvest, load, leak_s, initial
+    ):
+        count = min(len(harvest), len(load))
+        harvest, load = harvest[:count], load[:count]
+        storage = make_storage(initial_fraction=initial)
+        traj = trajectory(storage, harvest, load, leak_s)
+
+        # Scalar replay: the emulator's step semantics spelled out with the
+        # reference StorageElement methods.
+        replay = make_storage(initial_fraction=initial)
+        active = not replay.is_depleted
+        brownouts = 0
+        for i in range(count):
+            if not active and replay.can_restart:
+                active = True
+            banked = replay.deposit(harvest[i])
+            assert banked == traj.banked_j[i]
+            if active:
+                assert traj.attempted[i]
+                if replay.withdraw(load[i]):
+                    assert traj.withdrew[i]
+                    assert traj.drawn_j[i] == load[i]
+                else:
+                    active = False
+                    brownouts += 1
+                    assert not traj.withdrew[i]
+                    assert traj.drawn_j[i] == 0.0
+            else:
+                assert not traj.attempted[i]
+            replay.leak(leak_s)
+            assert traj.charge_j[i] == replay.charge_j
+            assert bool(traj.active[i]) == active
+        assert traj.brownout_events == brownouts
+        assert traj.final_charge_j == replay.charge_j
+        assert len(traj) == count
+
+    @given(harvest=harvest_arrays)
+    def test_trajectory_charge_stays_within_bounds(self, harvest):
+        storage = make_storage()
+        traj = trajectory(storage, harvest, np.zeros(len(harvest)), 1.0)
+        assert np.all(traj.charge_j >= 0.0)
+        assert np.all(traj.charge_j <= storage.capacity_j)
+
+    def test_mismatched_lengths_rejected(self):
+        import pytest
+
+        from repro.errors import EmulationError
+
+        with pytest.raises(EmulationError):
+            trajectory(make_storage(), [1e-6, 1e-6], [1e-6], 1.0)
+
+    def test_negative_inputs_rejected(self):
+        import pytest
+
+        from repro.errors import EmulationError
+
+        storage = make_storage()
+        with pytest.raises(EmulationError):
+            trajectory(storage, [-1e-9], [0.0], 1.0)
+        with pytest.raises(EmulationError):
+            trajectory(storage, [0.0], [-1e-9], 1.0)
+        with pytest.raises(EmulationError):
+            trajectory(storage, [0.0], [0.0], -1.0)
+
+    def test_out_of_range_initial_charge_rejected(self):
+        import pytest
+
+        from repro.errors import EmulationError
+
+        storage = make_storage()
+        with pytest.raises(EmulationError):
+            trajectory(storage, [1e-6], [0.0], 1.0, initial_charge_j=-0.1)
+        with pytest.raises(EmulationError):
+            trajectory(
+                storage, [1e-6], [0.0], 1.0, initial_charge_j=storage.capacity_j * 2.0
+            )
+
+    def test_element_state_is_untouched(self):
+        storage = make_storage()
+        before = storage.charge_j
+        trajectory(storage, [1e-4] * 5, [2e-4] * 5, 1.0)
+        assert storage.charge_j == before

@@ -1,0 +1,152 @@
+"""Harvest-side sweep contract: vectorized supply ≡ scalar reference.
+
+Every scavenger model now exposes ``raw_energy_sweep_j``/``energy_sweep_j``,
+the supply-side mirror of the compiled power table's batch path.  The scalar
+``energy_per_revolution_j`` stays the authoritative reference; these tests
+pin the 1e-9 equivalence for every concrete model, the cut-in/standstill
+zeroing, the ``size_factor`` semantics and the scalar fallback for
+third-party subclasses that only implement the scalar contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scavenger import (
+    ElectromagneticScavenger,
+    ElectrostaticScavenger,
+    EnergyScavenger,
+    PiezoelectricScavenger,
+    TabulatedScavenger,
+)
+from repro.scavenger.conditioning import PowerConditioning, conditioned
+
+SPEEDS = np.linspace(0.0, 260.0, 521)  # includes 0, sub-cut-in and saturation
+
+ALL_MODELS = [
+    PiezoelectricScavenger(),
+    ElectromagneticScavenger(),
+    ElectrostaticScavenger(),
+    TabulatedScavenger(
+        speeds_kmh=(10.0, 40.0, 90.0, 180.0),
+        energies_j=(2e-6, 40e-6, 150e-6, 320e-6),
+    ),
+    TabulatedScavenger(
+        speeds_kmh=(10.0, 40.0, 90.0, 180.0),
+        energies_j=(2e-6, 40e-6, 150e-6, 320e-6),
+        extrapolate=True,
+    ),
+    conditioned(PiezoelectricScavenger()),
+    conditioned(ElectromagneticScavenger().scaled(3.0)),
+]
+
+
+def _ids(models):
+    return [f"{type(m).__name__}-{m.describe()}" for m in models]
+
+
+class TestSweepEquivalence:
+    @pytest.mark.parametrize("scavenger", ALL_MODELS, ids=_ids(ALL_MODELS))
+    def test_sweep_matches_scalar_reference(self, scavenger):
+        sweep = scavenger.energy_sweep_j(SPEEDS)
+        scalar = np.array(
+            [scavenger.energy_per_revolution_j(float(v)) for v in SPEEDS]
+        )
+        assert sweep.shape == scalar.shape
+        np.testing.assert_allclose(sweep, scalar, rtol=1e-9, atol=0.0)
+
+    @pytest.mark.parametrize("scavenger", ALL_MODELS, ids=_ids(ALL_MODELS))
+    def test_raw_sweep_matches_scalar_raw(self, scavenger):
+        positive = SPEEDS[SPEEDS > 0.0]
+        sweep = scavenger.raw_energy_sweep_j(positive)
+        scalar = np.array(
+            [scavenger.raw_energy_per_revolution_j(float(v)) for v in positive]
+        )
+        np.testing.assert_allclose(sweep, scalar, rtol=1e-9, atol=0.0)
+
+    @pytest.mark.parametrize("scavenger", ALL_MODELS, ids=_ids(ALL_MODELS))
+    def test_energy_curve_delegates_to_the_sweep(self, scavenger):
+        curve = scavenger.energy_curve(SPEEDS)
+        assert np.array_equal(curve, scavenger.energy_sweep_j(SPEEDS))
+
+
+class TestSweepSemantics:
+    def test_zero_and_sub_cut_in_speeds_harvest_nothing(self):
+        scavenger = PiezoelectricScavenger(minimum_speed_kmh=12.0)
+        sweep = scavenger.energy_sweep_j([0.0, 5.0, 11.99, 12.0, 30.0])
+        assert sweep[0] == 0.0
+        assert sweep[1] == 0.0
+        assert sweep[2] == 0.0
+        assert sweep[3] > 0.0
+        assert sweep[4] > 0.0
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PiezoelectricScavenger().energy_sweep_j([10.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            conditioned(PiezoelectricScavenger()).energy_sweep_j([-5.0])
+
+    def test_size_factor_scales_linearly(self):
+        unit = PiezoelectricScavenger()
+        tripled = unit.scaled(3.0)
+        speeds = np.linspace(10.0, 200.0, 50)
+        np.testing.assert_allclose(
+            tripled.energy_sweep_j(speeds),
+            3.0 * unit.energy_sweep_j(speeds),
+            rtol=1e-12,
+        )
+
+    def test_empty_sweep(self):
+        assert PiezoelectricScavenger().energy_sweep_j([]).shape == (0,)
+
+    def test_conditioned_cut_in_comes_from_the_source(self):
+        source = ElectromagneticScavenger()  # 10 km/h cut-in
+        wrapped = conditioned(source)
+        sweep = wrapped.energy_sweep_j([5.0, 9.9, 10.0])
+        assert sweep[0] == 0.0
+        assert sweep[1] == 0.0
+        assert sweep[2] > 0.0
+
+    def test_conditioning_bank_sweep_matches_scalar(self):
+        chain = PowerConditioning()
+        harvested = np.concatenate(([0.0], np.geomspace(1e-8, 1e-3, 60)))
+        sweep = chain.banked_energy_sweep_j(harvested)
+        scalar = np.array([chain.banked_energy_j(float(h)) for h in harvested])
+        np.testing.assert_allclose(sweep, scalar, rtol=1e-12, atol=0.0)
+        assert sweep[0] == 0.0
+
+    def test_conditioning_bank_sweep_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            PowerConditioning().banked_energy_sweep_j([1e-6, -1e-9])
+
+
+@dataclass(frozen=True)
+class _ScalarOnlyScavenger(EnergyScavenger):
+    """A subclass implementing only the scalar contract (no numpy override)."""
+
+    @property
+    def technology(self) -> str:
+        return "scalar-only"
+
+    def raw_energy_per_revolution_j(self, speed_kmh: float) -> float:
+        return 1e-6 * speed_kmh
+
+
+class TestScalarFallback:
+    def test_base_class_sweep_falls_back_to_scalar_calls(self):
+        scavenger = _ScalarOnlyScavenger(size_factor=2.0)
+        speeds = np.array([0.0, 3.0, 10.0, 120.0])
+        sweep = scavenger.energy_sweep_j(speeds)
+        scalar = np.array(
+            [scavenger.energy_per_revolution_j(float(v)) for v in speeds]
+        )
+        assert np.array_equal(sweep, scalar)
+
+    def test_fallback_preserves_cut_in(self):
+        scavenger = _ScalarOnlyScavenger(minimum_speed_kmh=50.0)
+        sweep = scavenger.energy_sweep_j([10.0, 49.0, 51.0])
+        assert sweep[0] == 0.0 and sweep[1] == 0.0 and sweep[2] > 0.0

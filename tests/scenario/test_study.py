@@ -279,6 +279,107 @@ class TestParallelExecution:
         assert result.metadata["workers"] == 1
 
 
+class TestProcessBackend:
+    """Study.run(backend="process"): rows identical, spec shipped as JSON."""
+
+    def test_default_backend_is_thread(self):
+        result = Study(ScenarioSpec()).run("report")
+        assert result.metadata["backend"] == "thread"
+
+    @pytest.mark.parametrize("kind", ["balance", "optimize", "montecarlo"])
+    def test_process_rows_match_sequential(self, kind):
+        spec = ScenarioSpec(name="proc")
+        axes = {"temperature": [-20.0, 25.0, 85.0]}
+        sequential = Study(spec, axes=axes).run(kind)
+        process = Study(spec, axes=axes).run(kind, workers=3, backend="process")
+        assert process.rows == sequential.rows
+        assert process.metadata["backend"] == "process"
+        # Same columns in the same order: the exports must not care which
+        # backend produced the rows.
+        assert [list(row) for row in process.rows] == [
+            list(row) for row in sequential.rows
+        ]
+
+    def test_process_emulate_matches_sequential(self):
+        spec = ScenarioSpec(
+            drive_cycle={"name": "urban", "params": {"repetitions": 1}},
+            storage="supercapacitor",
+        )
+        axes = {"temperature": [0.0, 40.0]}
+        sequential = Study(spec, axes=axes).run("emulate")
+        process = Study(spec, axes=axes).run("emulate", workers=2, backend="process")
+        assert process.rows == sequential.rows
+
+    def test_process_backend_timing_metadata(self):
+        spec = ScenarioSpec(name="proc-meta")
+        axes = {"temperature": [0.0, 25.0]}
+        metadata = Study(spec, axes=axes).run(
+            "report", workers=2, backend="process"
+        ).metadata
+        assert metadata["workers"] == 2
+        assert metadata["wall_time_s"] > 0.0
+        assert len(metadata["row_wall_times_s"]) == 2
+        assert all(elapsed > 0.0 for elapsed in metadata["row_wall_times_s"])
+        # Evaluators are built inside the worker processes, not the parent.
+        assert metadata["evaluator_builds"] == 0
+        assert metadata["evaluator_cache_hits"] == 0
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            Study(ScenarioSpec()).run("report", backend="fork-bomb")
+
+    def test_process_workers_see_user_registrations(self):
+        """Forked workers inherit register_*-ed components from the parent."""
+        from repro.scenario.registry import SCAVENGERS
+        from repro.scavenger import PiezoelectricScavenger
+
+        @SCAVENGERS.register("test-study-proc-scavenger")
+        def _scavenger(size_factor: float = 2.0):
+            return PiezoelectricScavenger().scaled(size_factor)
+
+        try:
+            spec = ScenarioSpec(
+                name="proc-registry", scavenger="test-study-proc-scavenger"
+            )
+            axes = {"temperature": [0.0, 25.0]}
+            sequential = Study(spec, axes=axes).run("balance")
+            process = Study(spec, axes=axes).run(
+                "balance", workers=2, backend="process"
+            )
+            assert process.rows == sequential.rows
+        finally:
+            SCAVENGERS.unregister("test-study-proc-scavenger")
+
+    def test_worker_components_memo_shares_evaluators(self):
+        """Within one worker process, equal specs share one evaluator."""
+        from repro.scenario.study import _WORKER_EVALUATORS, _worker_components
+
+        _WORKER_EVALUATORS.clear()
+        try:
+            spec = ScenarioSpec(name="memo")
+            first = _worker_components(spec)
+            cold = _worker_components(spec.with_axis("temperature", 85.0))
+            assert cold is first  # temperature is not part of the evaluator key
+            assert len(_WORKER_EVALUATORS) == 1
+            other = _worker_components(spec.with_axis("architecture", "optimized"))
+            assert other is not first
+            assert len(_WORKER_EVALUATORS) == 2
+        finally:
+            _WORKER_EVALUATORS.clear()
+
+    def test_run_study_passes_the_backend_through(self):
+        spec = ScenarioSpec(name="proc-conv")
+        result = run_study(
+            spec,
+            axes={"temperature": [0.0, 25.0]},
+            kind="report",
+            workers=2,
+            backend="process",
+        )
+        assert result.metadata["backend"] == "process"
+        assert len(result) == 2
+
+
 class TestTimingMetadata:
     def test_wall_time_and_per_row_timings_recorded(self, grid_study):
         result = grid_study.run("balance")

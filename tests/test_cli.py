@@ -208,6 +208,54 @@ class TestRunCommand:
         assert "mean_uj_per_rev" in output
         assert "2 worker(s)" in output
 
+    def test_process_backend_matches_thread_backend(self, capsys, scenario_path):
+        arguments = [
+            "run",
+            "--scenario",
+            scenario_path,
+            "--kind",
+            "report",
+            "--set",
+            "temperature=0,50",
+            "--workers",
+            "2",
+        ]
+        assert main(arguments + ["--backend", "thread"]) == 0
+        thread_out = capsys.readouterr().out
+        assert main(arguments + ["--backend", "process"]) == 0
+        process_out = capsys.readouterr().out
+        assert "process backend" in process_out
+        # Identical result tables; only the backend/evaluator summary differs.
+        def table(text):
+            return text.split("\n\n")[0]
+
+        assert table(process_out) == table(thread_out)
+
+    def test_backend_requires_study_mode(self, capsys, scenario_path):
+        code = main(["run", "--scenario", scenario_path, "--backend", "process"])
+        assert code == 1
+        assert "--backend requires study mode" in capsys.readouterr().err
+
+    def test_process_backend_requires_multiple_workers(self, capsys, scenario_path):
+        """--backend process must not silently run sequentially."""
+        code = main(
+            [
+                "run",
+                "--scenario",
+                scenario_path,
+                "--kind",
+                "report",
+                "--backend",
+                "process",
+            ]
+        )
+        assert code == 1
+        assert "--workers greater than 1" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, scenario_path):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", scenario_path, "--backend", "rocket"])
+
     def test_montecarlo_runs_are_reproducible(self, capsys, scenario_path):
         arguments = [
             "run",
