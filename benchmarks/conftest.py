@@ -6,23 +6,33 @@ rows/series, and writes them to ``benchmarks/results/`` so they can be
 inspected or plotted after the run.
 
 Machine-readable trajectory: alongside each ``<name>.csv`` table the harness
-writes ``<name>.json`` (the same rows) and — for benchmarks that call
-:func:`emit_timing` — ``<name>.timing.json`` with the measured wall times and
-speedup factors.  A session-level ``bench_wall_times.json`` records the wall
-time of every benchmark test that ran, so the perf trajectory can be tracked
-across commits from CI artifacts without parsing pytest output.
+writes ``<name>.json`` (the same rows plus an environment stamp) and — for
+benchmarks that call :func:`emit_timing` — ``<name>.timing.json`` with the
+measured wall times and speedup factors.  A session-level
+``bench_wall_times.json`` records the wall time of every benchmark test that
+ran, so the perf trajectory can be tracked across commits from CI artifacts
+without parsing pytest output.
+
+Every JSON artifact is stamped with the python/numpy versions, the platform
+and the CPU count (plus worker/backend counts where the benchmark runs a
+pool) — without the stamp, a wall-time trajectory across PRs is
+uninterpretable once the interpreter, numpy build or runner hardware moves
+underneath it.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.blocks import baseline_node, legacy_tpms_node, optimized_node
 from repro.power import reference_power_database
-from repro.reporting.export import rows_to_csv, rows_to_json
+from repro.reporting.export import json_ready, rows_to_csv
 from repro.reporting.tables import render_table
 from repro.scavenger import PiezoelectricScavenger, supercapacitor
 
@@ -32,11 +42,46 @@ RESULTS_DIR = Path(__file__).parent / "results"
 _SESSION_WALL_TIMES: dict[str, float] = {}
 
 
-def emit_result(name: str, rows: list[dict[str, object]], title: str, columns=None) -> None:
-    """Print a result table and persist it as CSV + JSON under benchmarks/results/."""
+def environment_stamp(
+    workers: int | None = None, backend: str | None = None
+) -> dict[str, object]:
+    """The machine/runtime context stamped into every benchmark JSON artifact."""
+    stamp: dict[str, object] = {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    if workers is not None:
+        stamp["workers"] = workers
+    if backend is not None:
+        stamp["backend"] = backend
+    return stamp
+
+
+def emit_result(
+    name: str,
+    rows: list[dict[str, object]],
+    title: str,
+    columns=None,
+    workers: int | None = None,
+    backend: str | None = None,
+) -> None:
+    """Print a result table and persist it as CSV + JSON under benchmarks/results/.
+
+    The JSON document wraps the rows with the environment stamp
+    (``{"environment": ..., "rows": [...]}``); the CSV twin keeps the bare
+    table for spreadsheet use.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     rows_to_csv(rows, RESULTS_DIR / f"{name}.csv")
-    rows_to_json(rows, RESULTS_DIR / f"{name}.json")
+    payload = {
+        "environment": environment_stamp(workers=workers, backend=backend),
+        "rows": json_ready(rows),
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n", encoding="utf-8"
+    )
     print()
     print(render_table(rows, columns=columns, title=title))
 
@@ -46,6 +91,8 @@ def emit_timing(
     wall_times_s: dict[str, float],
     speedups: dict[str, float] | None = None,
     extra: dict[str, object] | None = None,
+    workers: int | None = None,
+    backend: str | None = None,
 ) -> None:
     """Persist a benchmark's wall times and speedup factors as JSON.
 
@@ -54,17 +101,25 @@ def emit_timing(
         wall_times_s: measured wall times per labelled variant (seconds).
         speedups: speedup factors per labelled comparison (dimensionless).
         extra: any further machine-readable context (workload sizes, floors).
+        workers: pool width used by the benchmark, when it ran one.
+        backend: pool backend used by the benchmark, when it ran one.
     """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload: dict[str, object] = {
         "bench": name,
+        "environment": environment_stamp(workers=workers, backend=backend),
         "wall_times_s": dict(wall_times_s),
         "speedups": dict(speedups or {}),
     }
     if extra:
         payload["extra"] = dict(extra)
     target = RESULTS_DIR / f"{name}.timing.json"
-    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    # Strict JSON throughout: a degenerate speedup (zero wall time, NaN
+    # placeholder) must become null, not an unparsable Infinity literal.
+    target.write_text(
+        json.dumps(json_ready(payload), indent=2, allow_nan=False) + "\n",
+        encoding="utf-8",
+    )
 
 
 def pytest_runtest_logreport(report) -> None:
@@ -95,7 +150,12 @@ def pytest_sessionfinish(session) -> None:
             wall_times = {}
     wall_times.update(_SESSION_WALL_TIMES)
     target.write_text(
-        json.dumps({"wall_times_s": wall_times}, indent=2, sort_keys=True) + "\n",
+        json.dumps(
+            {"environment": environment_stamp(), "wall_times_s": wall_times},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n",
         encoding="utf-8",
     )
 

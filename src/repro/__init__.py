@@ -77,6 +77,14 @@ from repro.optimization import (
     default_technique_catalogue,
     select_techniques,
 )
+from repro.fleet import (
+    DistributionSpec,
+    FleetResult,
+    FleetRunner,
+    FleetSpec,
+    load_fleet,
+    run_fleet,
+)
 from repro.power import PowerDatabase, PowerEntry, reference_power_database
 from repro.scenario import (
     ComponentRef,
@@ -177,5 +185,12 @@ __all__ = [
     "Study",
     "StudyResult",
     "run_study",
+    # fleet
+    "FleetSpec",
+    "FleetRunner",
+    "FleetResult",
+    "DistributionSpec",
+    "load_fleet",
+    "run_fleet",
     "__version__",
 ]

@@ -14,6 +14,9 @@ a shell (or a Makefile) without writing Python::
     tpms-energy run --scenario exp.json \\
         --set temperature=-20,25,85 --kind emulate \\
         --workers 4 --backend process                      # process-pool study
+    tpms-energy fleet --scenario exp.json \\
+        --vehicles 500 --seed 42 --workers 4               # population simulation
+    tpms-energy fleet --fleet winter.json --export agg.csv # explicit fleet doc
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -27,10 +30,12 @@ a shell (or a Makefile) without writing Python::
 (:class:`~repro.scenario.study.Study`), and executes an analysis kind
 (``balance``, ``report``, ``optimize``, ``emulate``, ``explore``) over it.
 Without ``--set``/``--kind`` it runs the full Fig. 1 analysis flow of the
-scenario.  The classic subcommands resolve their ``--architecture`` and
-``--cycle`` arguments through the same registries
-(:mod:`repro.scenario.registry`), so user-registered components work
-everywhere.
+scenario.  ``fleet`` scales a scenario to a whole vehicle population
+(:mod:`repro.fleet`): per-vehicle distributions, shared-bin emulation, and
+aggregate survival/brown-out/energy-margin statistics.  The classic
+subcommands resolve their ``--architecture`` and ``--cycle`` arguments
+through the same registries (:mod:`repro.scenario.registry`), so
+user-registered components work everywhere.
 
 Every subcommand prints plain-text tables (see :mod:`repro.reporting`) and
 returns a non-zero exit code with a one-line ``error:`` message on analysis
@@ -53,6 +58,7 @@ from repro.core.evaluator import EnergyEvaluator
 from repro.core.flow import EnergyAnalysisFlow
 from repro.core.report import render_flow_headlines, render_flow_report
 from repro.errors import ConfigError, ReproError
+from repro.fleet import FleetRunner, FleetSpec, load_fleet
 from repro.optimization.apply import apply_assignments
 from repro.optimization.selection import select_techniques
 from repro.reporting.export import rows_to_csv, rows_to_json
@@ -227,6 +233,60 @@ def _build_parser() -> argparse.ArgumentParser:
         help="base random seed for --kind montecarlo",
     )
 
+    fleet = subparsers.add_parser(
+        "fleet", help="population-scale fleet simulation over per-vehicle distributions"
+    )
+    fleet.add_argument(
+        "--fleet",
+        dest="fleet_path",
+        default=None,
+        metavar="FLEET.json",
+        help="path to a fleet JSON document (base scenario + distributions)",
+    )
+    fleet.add_argument(
+        "--scenario",
+        default=None,
+        metavar="SCENARIO.json",
+        help="base scenario JSON; the default population distributions apply",
+    )
+    fleet.add_argument(
+        "--vehicles", type=int, default=None, metavar="N", help="population size override"
+    )
+    fleet.add_argument(
+        "--seed", type=int, default=None, metavar="SEED", help="materialization seed override"
+    )
+    fleet.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the vehicles on N workers (aggregates are identical for any N)",
+    )
+    fleet.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default=None,
+        help="worker pool backend for --workers (same semantics as 'run')",
+    )
+    fleet.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH.{csv,json}",
+        help="export the aggregate row as CSV or JSON",
+    )
+    fleet.add_argument(
+        "--export-survival",
+        default=None,
+        metavar="PATH.{csv,json}",
+        help="export the survival-vs-time curve",
+    )
+    fleet.add_argument(
+        "--export-vehicles",
+        default=None,
+        metavar="PATH.{csv,json}",
+        help="export the per-vehicle rows",
+    )
+
     subparsers.add_parser(
         "scenarios", help="list the registered scenario components and grid axes"
     )
@@ -332,6 +392,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(render_flow_headlines(report))
     if args.export:
         _export_rows(report.energy_report.as_rows(), args.export)
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    for path in (args.export, args.export_survival, args.export_vehicles):
+        _validate_export_path(path)
+    if (args.fleet_path is None) == (args.scenario is None):
+        raise ConfigError("give exactly one of --fleet or --scenario")
+    if args.backend == "process" and (args.workers is None or args.workers <= 1):
+        raise ConfigError(
+            "--backend process needs --workers greater than 1 "
+            "(a single worker runs sequentially in this process)"
+        )
+    if args.fleet_path is not None:
+        fleet = load_fleet(args.fleet_path)
+    else:
+        fleet = FleetSpec.from_base(load_scenario(args.scenario))
+    fleet = fleet.with_population(vehicles=args.vehicles, seed=args.seed)
+
+    runner = FleetRunner(
+        fleet, workers=args.workers, backend=args.backend or "thread"
+    )
+    result = runner.run()
+    print(f"fleet {fleet.name}: {fleet.describe()}")
+    print()
+    print(result.as_table())
+    print()
+    print(result.survival_table())
+    metadata = result.metadata
+    print(
+        f"\n{metadata['vehicles']} vehicle(s) in {metadata['cohorts']} cohort(s) "
+        f"across {metadata['groups']} evaluator group(s); "
+        f"{metadata['shared_energy_bins']} shared energy bin(s) swept once; "
+        f"{metadata['wall_time_s']:.2f} s on {metadata['workers']} worker(s) "
+        f"({metadata['backend']} backend)"
+    )
+    if args.export:
+        _export_rows([dict(result.summary)], args.export)
+    if args.export_survival:
+        _export_rows([dict(row) for row in result.survival], args.export_survival)
+    if args.export_vehicles:
+        _export_rows([dict(row) for row in result.vehicle_rows], args.export_vehicles)
     return 0
 
 
@@ -511,6 +613,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "fleet": _cmd_fleet,
     "scenarios": _cmd_scenarios,
     "cycles": _cmd_cycles,
     "architectures": _cmd_architectures,

@@ -13,6 +13,7 @@ power of Fig. 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Mapping
 
 import numpy as np
 
@@ -21,6 +22,14 @@ from repro.conditions.batch import BatchConditions
 from repro.conditions.operating_point import TEMPERATURE_RANGE_C, OperatingPoint
 from repro.conditions.temperature import TyreThermalModel
 from repro.core.evaluator import EnergyEvaluator
+from repro.core.quantize import (
+    speed_bin,
+    speed_bin_center_kmh,
+    speed_bin_upper_edge_kmh,
+    temperature_bin,
+    temperature_bin_center_c,
+    temperature_bins,
+)
 from repro.core.trace import PowerTrace
 from repro.errors import ConfigurationError, EmulationError, ScheduleError
 from repro.power.database import PowerDatabase
@@ -37,12 +46,16 @@ from repro.timing.schedule import RevolutionSchedule
 from repro.timing.wheel_round import WheelRound, iter_wheel_rounds
 from repro.vehicle.drive_cycle import DriveCycle
 
-#: Quantization used by the revolution-energy cache: speeds within 0.5 km/h
-#: and temperatures within 1 degC share a cache entry.  The resulting energy
-#: error is well below the modelling uncertainty and makes hour-long cycles
-#: emulate in well under a second.
-_SPEED_QUANTUM_KMH = 0.5
-_TEMPERATURE_QUANTUM_C = 1.0
+#: Quantization used by the revolution-energy cache: speeds within
+#: ``SPEED_QUANTUM_KMH`` and temperatures within ``TEMPERATURE_QUANTUM_C``
+#: share a cache entry.  The quanta (and the bin arithmetic) are
+#: single-sourced in :mod:`repro.core.quantize` so consumers that share bins
+#: across emulators — the fleet runner's cross-vehicle sweep — can never
+#: drift from the cache keys used here.
+from repro.core.quantize import (
+    SPEED_QUANTUM_KMH as _SPEED_QUANTUM_KMH,  # noqa: F401  (compatibility re-export)
+    TEMPERATURE_QUANTUM_C as _TEMPERATURE_QUANTUM_C,
+)
 
 #: Upper bound on revolution-energy cache entries.  Ordinary cycles produce a
 #: few dozen (binned) entries; only exact-keyed boundary/sub-quantum rounds
@@ -437,7 +450,7 @@ class NodeEmulator:
             raise ConfigurationError(
                 f"temperature {temperature_c} degC is outside the modelled range"
             )
-        return round(temperature_c / _TEMPERATURE_QUANTUM_C)
+        return temperature_bin(temperature_c)
 
     def _standstill_power(self, temperature_c: float) -> float:
         """Resting-mode node power, memoized on the quantized temperature.
@@ -452,7 +465,7 @@ class NodeEmulator:
         key = self._temperature_bin(temperature_c)
         cached = self._standstill_cache.get(key)
         if cached is None:
-            point = self._operating_point(0.0, key * _TEMPERATURE_QUANTUM_C)
+            point = self._operating_point(0.0, temperature_bin_center_c(key))
             cached = self.evaluator.standstill_power_w(point)
             self._standstill_cache[key] = cached
         return cached
@@ -469,9 +482,9 @@ class NodeEmulator:
         keys are tagged so they can never collide with an int bin key
         (Python dicts treat 999 and 999.0 as the same key).
         """
-        speed_bin = round(speed_kmh / _SPEED_QUANTUM_KMH)
-        pattern_key = (speed_bin, *pattern)
-        use_bin = speed_bin > 0 and pattern_key not in self._infeasible_center_keys
+        bin_index = speed_bin(speed_kmh)
+        pattern_key = (bin_index, *pattern)
+        use_bin = bin_index > 0 and pattern_key not in self._infeasible_center_keys
         if use_bin and pattern_key not in self._trusted_speed_keys:
             if pattern_key in self._exact_speed_keys:
                 use_bin = False
@@ -483,7 +496,7 @@ class NodeEmulator:
                 # limit and its rounds must be handled exactly.  The
                 # classification depends only on the key, so warm and fresh
                 # emulators always agree.
-                upper_edge = (speed_bin + 0.5) * _SPEED_QUANTUM_KMH
+                upper_edge = speed_bin_upper_edge_kmh(bin_index)
                 try:
                     self.node.schedule_for(upper_edge, revolution_index)
                     self._trusted_speed_keys.add(pattern_key)
@@ -491,7 +504,7 @@ class NodeEmulator:
                     self._exact_speed_keys.add(pattern_key)
                     use_bin = False
         if use_bin:
-            return speed_bin, speed_bin * _SPEED_QUANTUM_KMH, True
+            return bin_index, speed_bin_center_kmh(bin_index), True
         return ("exact", speed_kmh), speed_kmh, False
 
     def _store_energy(
@@ -516,11 +529,11 @@ class NodeEmulator:
         determine the schedule energy.
         """
         pattern = self.node.phase_pattern(unit.index)
-        temperature_bin = self._temperature_bin(temperature_c)
+        temp_bin = self._temperature_bin(temperature_c)
         speed_key, speed, use_bin = self._speed_key_for(
             unit.speed_kmh, unit.index, pattern
         )
-        key = (speed_key, temperature_bin, *pattern)
+        key = (speed_key, temp_bin, *pattern)
         cached = self._energy_cache.get(key)
         if cached is not None:
             return cached
@@ -540,13 +553,13 @@ class NodeEmulator:
                 schedule = self.node.schedule_for(unit.speed_kmh, unit.index)
                 self._infeasible_center_keys.add((speed_key, *pattern))
                 speed = unit.speed_kmh
-                key = (("exact", speed), temperature_bin, *pattern)
+                key = (("exact", speed), temp_bin, *pattern)
                 cached = self._energy_cache.get(key)
                 if cached is not None:
                     return cached
         else:
             schedule = self.node.schedule_for(speed, unit.index)
-        point = self._operating_point(speed, temperature_bin * _TEMPERATURE_QUANTUM_C)
+        point = self._operating_point(speed, temperature_bin_center_c(temp_bin))
         # The evaluation runs through the compiled power table (one vectorized
         # pass over all (block, mode) rows) instead of the scalar
         # per-phase-per-block dataclass path.
@@ -593,7 +606,7 @@ class NodeEmulator:
                 break
             pattern = self.node.phase_pattern(unit.index)
             try:
-                temperature_bin = self._temperature_bin(temperature_c)
+                temp_bin = self._temperature_bin(temperature_c)
             except ConfigurationError:
                 # Out-of-range temperature: the integration loop must raise
                 # on this round itself, not the prefill.
@@ -601,7 +614,7 @@ class NodeEmulator:
             speed_key, eval_speed, _use_bin = self._speed_key_for(
                 unit.speed_kmh, unit.index, pattern
             )
-            key = (speed_key, temperature_bin, *pattern)
+            key = (speed_key, temp_bin, *pattern)
             if key in self._energy_cache or key in pending:
                 continue
             schedule_key = (eval_speed, *pattern)
@@ -618,7 +631,7 @@ class NodeEmulator:
                 built[schedule_key] = schedule
             pending[key] = (
                 eval_speed,
-                temperature_bin * _TEMPERATURE_QUANTUM_C,
+                temperature_bin_center_c(temp_bin),
                 schedule,
             )
         if self.thermal_model is not None:
@@ -655,6 +668,27 @@ class NodeEmulator:
         if not pending:
             return 0
 
+        for key, value in self.evaluate_energy_bins(pending).items():
+            self._store_energy(key, value)
+        return len(pending)
+
+    def evaluate_energy_bins(
+        self, pending: Mapping[tuple, tuple[float, float, RevolutionSchedule]]
+    ) -> dict[tuple, tuple[float, tuple[tuple[str, float, float], ...]]]:
+        """Evaluate quantized bins in ONE vectorized batch call.
+
+        ``pending`` maps cache keys to ``(evaluation speed, evaluation
+        temperature degC, schedule)`` exactly as produced by
+        :meth:`_pending_energy_bins`; the return value maps each key to the
+        ``(energy, per-phase list)`` entry the per-miss path would have
+        cached.  The batch kernel accumulates in the scalar operation order,
+        so the values are bitwise identical to per-miss evaluations — which
+        is what lets the fleet runner evaluate the *union* of bins across a
+        whole vehicle population once and hand the entries to every
+        vehicle's emulator (:meth:`seed_energy_cache`).
+        """
+        if not pending:
+            return {}
         keys = list(pending)
         speeds = np.array([pending[key][0] for key in keys])
         temperatures = np.array([pending[key][1] for key in keys])
@@ -665,11 +699,29 @@ class NodeEmulator:
         energies, phase_lists = self.evaluator._schedule_energy_batch(
             batch, schedules, include_phases=True
         )
-        for position, key in enumerate(keys):
-            self._store_energy(
-                key, (float(energies[position]), phase_lists[position])
-            )
-        return len(keys)
+        return {
+            key: (float(energies[position]), phase_lists[position])
+            for position, key in enumerate(keys)
+        }
+
+    def seed_energy_cache(
+        self,
+        entries: Mapping[tuple, tuple[float, tuple[tuple[str, float, float], ...]]],
+    ) -> int:
+        """Pre-load revolution-energy cache entries computed elsewhere.
+
+        Entries must come from an emulator with the same node, database
+        coefficients and supply/process conditions (cached values are pure
+        functions of their quantized keys under those inputs); the fleet
+        runner uses this to share one cross-vehicle bin sweep between all
+        vehicles of a group.  Returns the number of entries accepted.  The
+        cache-size cap is honoured entry by entry, exactly like per-miss
+        inserts.
+        """
+        self._ensure_caches_fresh()
+        for key, value in entries.items():
+            self._store_energy(key, value)
+        return len(entries)
 
     def _record_trace_revolution(
         self,
@@ -763,7 +815,7 @@ class NodeEmulator:
             speed_key, _speed, _use_bin = self._speed_key_for(
                 unit.speed_kmh, unit.index, pattern
             )
-            key = (speed_key, round(temperature_c / _TEMPERATURE_QUANTUM_C), *pattern)
+            key = (speed_key, temperature_bin(temperature_c), *pattern)
             cached = cache.get(key)
             if cached is not None:
                 energies[i] = cached[0]
@@ -773,9 +825,9 @@ class NodeEmulator:
 
     def _standstill_power_sweep(self, temps: np.ndarray) -> np.ndarray:
         """Per-unit resting-mode power via the quantized standstill memo."""
-        bins, inverse = np.unique(np.rint(temps / _TEMPERATURE_QUANTUM_C), return_inverse=True)
+        bins, inverse = np.unique(temperature_bins(temps), return_inverse=True)
         per_bin = np.array(
-            [self._standstill_power(float(b) * _TEMPERATURE_QUANTUM_C) for b in bins]
+            [self._standstill_power(temperature_bin_center_c(int(b))) for b in bins]
         )
         return per_bin[inverse]
 

@@ -1,0 +1,661 @@
+"""The fleet runner: cohort-shared emulation of a whole vehicle population.
+
+Running ``NodeEmulator.emulate()`` once per vehicle is correct but wasteful
+at fleet scale: every vehicle would rebuild the evaluator (and compiled
+power table), re-walk its drive cycle round by round, re-classify the same
+quantized speed bins and re-evaluate the same revolution energies.  The
+runner shares all of that across the population:
+
+* **Groups** — vehicles with the same (architecture, workload, power
+  database) share one :class:`~repro.core.evaluator.EnergyEvaluator` and
+  therefore one compiled power table, exactly like study grid points.
+* **Cohorts** — vehicles with the same (group, drive cycle, quantized
+  speed scale) share one materialized cycle: the per-unit arrays, the
+  quantized speed-bin classification, the per-round bin indices and the
+  state-log sampling walk are computed once per cohort, not per vehicle.
+* **One cross-vehicle sweep** — the union of quantized
+  (speed, temperature, phase-pattern) energy bins over all vehicles of a
+  group is evaluated in ONE vectorized batch call
+  (:meth:`~repro.core.emulator.NodeEmulator.evaluate_energy_bins`) before
+  any emulation starts; the batch kernel is bitwise-identical to the
+  per-miss path, so shared bins cannot change results.
+
+Each vehicle then reduces to pure array work — its own harvest sweep, load
+referral and :func:`~repro.scavenger.storage.trajectory` kernel — streamed
+through the shared :class:`~repro.scenario.engine.ChunkedEngine` into the
+fleet accumulators.  Per-vehicle figures are bit-identical to a naive
+``emulate()`` of the same vehicle scenario (the storage-ledger and batch
+contracts guarantee it; the throughput benchmark asserts it), which is what
+makes the aggregates independent of worker counts and backends.
+
+Cycles the shared path cannot cover — a speed bin whose schedule cannot be
+built (feasibility straddles) — fall back to the ordinary per-vehicle
+``emulate()`` with the shared bins seeded into its cache, so error timing
+and results stay exactly those of the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.emulator import EmulationResult, NodeEmulator
+from repro.core.evaluator import EnergyEvaluator
+from repro.core.quantize import (
+    SPEED_QUANTUM_KMH,
+    TEMPERATURE_QUANTUM_C,
+    temperature_bin,
+    temperature_bin_center_c,
+)
+from repro.errors import ConfigError, EmulationError, ScheduleError
+from repro.fleet.aggregate import (
+    DEFAULT_SURVIVAL_BUCKETS,
+    FleetAccumulator,
+    FleetResult,
+)
+from repro.fleet.spec import FleetSpec, FleetVehicle
+from repro.scavenger.storage import scaled_storage, trajectory
+from repro.scenario.engine import ChunkedEngine
+from repro.scenario.spec import ScenarioSpec
+
+__all__ = ["FleetRunner", "run_fleet"]
+
+
+def _group_key(spec: ScenarioSpec) -> str:
+    """The evaluator-sharing key of one vehicle scenario.
+
+    Single-sourced on the spec (``ScenarioSpec.evaluator_group_key``) so
+    fleet groups can never drift from the study evaluator cache keyed the
+    same way.
+    """
+    return spec.evaluator_group_key()
+
+
+def _cohort_key(vehicle: FleetVehicle) -> str:
+    """The cycle-materialization key: (group, cycle reference, speed scale)."""
+    return repr(
+        (
+            _group_key(vehicle.scenario),
+            vehicle.scenario.drive_cycle,
+            vehicle.speed_scale,
+        )
+    )
+
+
+class _CohortTable:
+    """Shared per-cohort cycle materialization (read-only after build).
+
+    Holds everything about one (cycle, speed scale) pairing that does not
+    depend on the individual vehicle: the per-unit arrays of the walked
+    cycle, the per-round quantized bin structure, and the state-log sampling
+    walk.  ``fallback`` marks cohorts whose bin classification hit a
+    schedule that cannot be built — their vehicles run the ordinary
+    per-vehicle ``emulate()`` so errors surface at exactly the simulated
+    instant the scalar path raises them.
+    """
+
+    __slots__ = (
+        "cycle_name",
+        "duration_s",
+        "is_round",
+        "durations",
+        "speeds",
+        "ends",
+        "round_indices",
+        "unique_bins",
+        "inverse",
+        "sample_times",
+        "sample_units",
+        "fallback",
+    )
+
+    def __init__(self) -> None:
+        self.fallback = False
+        self.unique_bins = []
+
+
+def _build_cohort_table(
+    probe: NodeEmulator,
+    cycle,
+    record_interval_s: float,
+    idle_step_s: float,
+) -> _CohortTable:
+    """Materialize one cohort's cycle through the probe emulator.
+
+    The probe supplies the exact walk (`_collect_cycle`) and speed-bin
+    classification (`_speed_key_for`) the per-vehicle emulator would run, so
+    the table can never drift from what ``emulate()`` does.
+    """
+    table = _CohortTable()
+    table.cycle_name = cycle.name
+    table.duration_s = cycle.duration_s
+    units, is_round, durations, speeds, ends, _temps = probe._collect_cycle(cycle, idle_step_s)
+    table.is_round = is_round
+    table.durations = durations
+    table.speeds = speeds
+    table.ends = ends
+    table.round_indices = np.flatnonzero(is_round)
+
+    # Per-round quantized bin structure: one (speed key, pattern) entry per
+    # distinct bin, plus the per-round index into that list.  Schedules are
+    # built once per entry (pattern-addressed), for the cross-vehicle sweep.
+    node = probe.node
+    positions: dict[tuple, int] = {}
+    unique: list[tuple[tuple, tuple, float, object]] = []
+    inverse = np.empty(len(table.round_indices), dtype=np.intp)
+    for position, i in enumerate(table.round_indices):
+        unit = units[i]
+        pattern = node.phase_pattern(unit.index)
+        speed_key, eval_speed, _use_bin = probe._speed_key_for(unit.speed_kmh, unit.index, pattern)
+        ukey = (speed_key, pattern)
+        slot = positions.get(ukey)
+        if slot is None:
+            try:
+                schedule = node.schedule_for_pattern(eval_speed, *pattern)
+            except ScheduleError:
+                # The bin straddles the node's feasibility limit (or the
+                # speed is unsustainable): this cohort's vehicles take the
+                # per-vehicle emulate() path, which raises — or recovers —
+                # with the scalar path's exact timing.
+                table.fallback = True
+                return table
+            slot = len(unique)
+            positions[ukey] = slot
+            unique.append((speed_key, pattern, eval_speed, schedule))
+        inverse[position] = slot
+    table.unique_bins = unique
+    table.inverse = inverse
+
+    # State-log sampling walk: the exact accumulation emulate() performs
+    # when recording the log, shared by every vehicle of the cohort (sample
+    # times — and their unit assignment — depend only on the cycle).
+    sample_times: list[float] = []
+    sample_units: list[int] = []
+    next_record_s = 0.0
+    for i in range(len(units)):
+        end_time = ends[i]
+        while next_record_s <= end_time:
+            sample_times.append(next_record_s)
+            sample_units.append(i)
+            next_record_s += record_interval_s
+    table.sample_times = np.array(sample_times)
+    table.sample_units = np.array(sample_units, dtype=np.intp)
+    return table
+
+
+def _survival_from_samples(
+    times: np.ndarray, active: np.ndarray, duration_s: float, buckets: int
+) -> tuple:
+    """Per-bucket active fraction of one vehicle's sampled state log.
+
+    Used identically by the cohort fast path (samples reconstructed from the
+    trajectory) and the per-vehicle fallback (samples from the recorded
+    log), so both paths bucket the same values the same way.
+    """
+    if times.size == 0 or duration_s <= 0.0:
+        return tuple([float("nan")] * buckets)
+    index = np.minimum((times / duration_s * buckets).astype(np.intp), buckets - 1)
+    counts = np.bincount(index, minlength=buckets)
+    active_counts = np.bincount(index, weights=active.astype(float), minlength=buckets)
+    with np.errstate(invalid="ignore"):
+        fractions = np.where(counts > 0, active_counts / np.maximum(counts, 1), np.nan)
+    return tuple(float(value) for value in fractions)
+
+
+def _vehicle_row(
+    vehicle_index: int,
+    spec: ScenarioSpec,
+    speed_scale: float,
+    storage_scale: float,
+    result: EmulationResult,
+    active_at_end: bool,
+) -> dict[str, object]:
+    """The per-vehicle result row (identical key order on every path)."""
+    summary = result.summary()
+    hours = result.duration_s / 3600.0
+    row: dict[str, object] = {
+        "vehicle": vehicle_index,
+        "scenario": spec.name,
+        "cycle": result.cycle_name,
+        "speed_scale": speed_scale,
+        "temperature_c": spec.temperature_c,
+        "scavenger_size": spec.scavenger_size,
+        "storage_scale": storage_scale,
+    }
+    row.update(summary)
+    row["brownout_per_hour"] = summary["brownout_events"] / hours if hours > 0.0 else float("nan")
+    row["active_at_end"] = bool(active_at_end)
+    return row
+
+
+def _cohort_vehicle_outcome(
+    vehicle_index: int,
+    spec: ScenarioSpec,
+    speed_scale: float,
+    storage_scale: float,
+    node,
+    table: _CohortTable,
+    bins: dict,
+    standstill: dict,
+    buckets: int,
+) -> dict[str, object]:
+    """One vehicle through the shared-cohort fast path (pure array work).
+
+    Mirrors the pure-kernel branch of ``NodeEmulator.emulate()`` operation
+    for operation — harvest sweep, bin gather, load referral, trajectory
+    kernel, summary — against the cohort's shared cycle table and the
+    group's shared bin store, so the figures are bit-identical to a naive
+    per-vehicle ``emulate()``.
+    """
+    scavenger = spec.build_scavenger()
+    storage = scaled_storage(spec.build_storage(), storage_scale)
+    temp_bin = temperature_bin(spec.temperature_c)
+
+    # Supply side: every wheel round's harvest in one vectorized sweep.
+    count = len(table.is_round)
+    harvest = np.zeros(count)
+    round_indices = table.round_indices
+    harvest[round_indices] = scavenger.energy_sweep_j(table.speeds[round_indices])
+    if np.any(harvest < 0.0):
+        raise EmulationError("cannot deposit negative energy")
+
+    # Demand side: gather the shared bins at this vehicle's temperature.
+    energies_unique = np.array(
+        [
+            bins[(speed_key, temp_bin, *pattern)][0]
+            for speed_key, pattern, _eval_speed, _schedule in table.unique_bins
+        ]
+    )
+    load = np.zeros(count)
+    if round_indices.size:
+        load[round_indices] = node.pmu.referred_to_storage(energies_unique[table.inverse])
+    sleep_power_w = standstill[temp_bin]
+    idle = ~table.is_round
+    load[idle] = node.pmu.referred_to_storage(sleep_power_w * table.durations[idle])
+
+    traj = trajectory(
+        storage,
+        harvest,
+        load,
+        table.durations,
+        initial_charge_j=storage.initial_charge_j,
+        initially_active=not storage.is_depleted,
+    )
+
+    result = EmulationResult(
+        node_name=node.name,
+        cycle_name=table.cycle_name,
+        duration_s=table.duration_s,
+    )
+    result.revolutions = int(table.is_round.sum())
+    result.moving_time_s = float(table.durations[table.is_round].sum())
+    result.harvested_j = float(traj.banked_j.sum())
+    result.discarded_j = float(np.maximum(0.0, harvest - traj.banked_j).sum())
+    result.consumed_j = float(traj.drawn_j.sum())
+    result.active_revolutions = int((table.is_round & traj.withdrew).sum())
+    result.active_time_s = float(table.durations[traj.withdrew].sum())
+    result.brownout_events = traj.brownout_events
+
+    sample_active = traj.active[table.sample_units]
+    survival = _survival_from_samples(table.sample_times, sample_active, table.duration_s, buckets)
+    active_at_end = bool(sample_active[-1]) if sample_active.size else False
+    return {
+        "row": _vehicle_row(
+            vehicle_index, spec, speed_scale, storage_scale, result, active_at_end
+        ),
+        "survival": survival,
+    }
+
+
+def _emulate_vehicle_outcome(
+    vehicle_index: int,
+    spec: ScenarioSpec,
+    speed_scale: float,
+    storage_scale: float,
+    node,
+    database,
+    evaluator: EnergyEvaluator,
+    bins: dict,
+    buckets: int,
+    record_interval_s: float,
+    idle_step_s: float,
+) -> dict[str, object]:
+    """One vehicle through the ordinary per-vehicle ``emulate()`` path.
+
+    The fallback for cohorts the fast path cannot cover (and for worker
+    processes without the fork-inherited shared tables); shared bins — when
+    available — still seed the emulator's cache, and the outcome is
+    bit-identical to the fast path by the emulator's byte-identity contract.
+    """
+    cycle = spec.build_drive_cycle()
+    if cycle is None:  # pragma: no cover - FleetSpec validation prevents it
+        raise ConfigError("fleet vehicles need a drive cycle")
+    cycle = cycle.scaled(speed_scale)
+    storage = scaled_storage(spec.build_storage(), storage_scale)
+    emulator = NodeEmulator(
+        node,
+        database,
+        spec.build_scavenger(),
+        storage,
+        base_point=spec.operating_point(),
+        evaluator=evaluator,
+    )
+    if bins:
+        emulator.seed_energy_cache(bins)
+    result = emulator.emulate(cycle, record_interval_s=record_interval_s, idle_step_s=idle_step_s)
+    arrays = result.sample_arrays()
+    survival = _survival_from_samples(
+        arrays["time_s"], arrays["node_active"], result.duration_s, buckets
+    )
+    active = arrays["node_active"]
+    active_at_end = bool(active[-1]) if active.size else False
+    return {
+        "row": _vehicle_row(
+            vehicle_index, spec, speed_scale, storage_scale, result, active_at_end
+        ),
+        "survival": survival,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Process-backend sharing
+#
+# The shared cohort tables, bin stores and standstill memos are stashed in
+# module globals *before* the engine creates its process pool: the fork
+# context snapshots them into every worker for free (the same mechanism that
+# carries user registry registrations).  On platforms without fork the
+# workers simply find the globals empty and take the per-vehicle emulate()
+# path — slower, bit-identical.
+# ---------------------------------------------------------------------------
+
+_SHARED_TABLES: dict[str, _CohortTable] = {}
+_SHARED_BINS: dict[str, dict] = {}
+_SHARED_STANDSTILL: dict[str, dict[int, float]] = {}
+
+#: Per-worker-process component memo, keyed like ``_group_key``.
+_WORKER_COMPONENTS: dict[str, tuple] = {}
+
+
+def _worker_components(spec: ScenarioSpec):
+    """The (node, database, evaluator) triple of one worker-side vehicle."""
+    key = _group_key(spec)
+    cached = _WORKER_COMPONENTS.get(key)
+    if cached is None:
+        cached = spec.build_components()
+        _WORKER_COMPONENTS[key] = cached
+    return cached
+
+
+def _process_vehicle(payload) -> dict[str, object]:
+    """Worker entry of the process backend: one vehicle, self-contained."""
+    (
+        document,
+        vehicle_index,
+        speed_scale,
+        storage_scale,
+        cohort_key,
+        group_key,
+        buckets,
+        record_interval_s,
+        idle_step_s,
+    ) = payload
+    spec = ScenarioSpec.from_dict(document)
+    node, database, evaluator = _worker_components(spec)
+    table = _SHARED_TABLES.get(cohort_key)
+    bins = _SHARED_BINS.get(group_key, {})
+    if table is not None and not table.fallback:
+        return _cohort_vehicle_outcome(
+            vehicle_index,
+            spec,
+            speed_scale,
+            storage_scale,
+            node,
+            table,
+            bins,
+            _SHARED_STANDSTILL.get(group_key, {}),
+            buckets,
+        )
+    return _emulate_vehicle_outcome(
+        vehicle_index,
+        spec,
+        speed_scale,
+        storage_scale,
+        node,
+        database,
+        evaluator,
+        bins,
+        buckets,
+        record_interval_s,
+        idle_step_s,
+    )
+
+
+class FleetRunner:
+    """Materializes a fleet and runs it on the shared execution engine.
+
+    Args:
+        fleet: the population description.
+        workers: engine pool width (``None``/1 = sequential).
+        backend: ``"thread"`` (default) or ``"process"`` — the same
+            semantics as ``Study.run``; aggregate rows are identical across
+            all settings.
+        survival_buckets: normalized-time resolution of the survival curve.
+        keep_vehicle_rows: keep per-vehicle rows on the result (``False``
+            aggregates streaming-only).
+        record_interval_s: state-log sampling interval of each vehicle.
+        idle_step_s: stationary-time step of each vehicle.
+    """
+
+    def __init__(
+        self,
+        fleet: FleetSpec,
+        workers: int | None = None,
+        backend: str = "thread",
+        survival_buckets: int = DEFAULT_SURVIVAL_BUCKETS,
+        keep_vehicle_rows: bool = True,
+        record_interval_s: float = 1.0,
+        idle_step_s: float = 1.0,
+    ) -> None:
+        if not isinstance(fleet, FleetSpec):
+            raise ConfigError(f"a fleet runner needs a FleetSpec, got {type(fleet).__name__}")
+        if record_interval_s <= 0.0:
+            raise ConfigError("record interval must be positive")
+        if idle_step_s <= 0.0:
+            raise ConfigError("idle step must be positive")
+        self.fleet = fleet
+        self.workers = workers
+        self.backend = backend
+        self.survival_buckets = FleetAccumulator.validate_buckets(survival_buckets)
+        self.keep_vehicle_rows = keep_vehicle_rows
+        self.record_interval_s = record_interval_s
+        self.idle_step_s = idle_step_s
+        # Validates workers/backend eagerly (same rules as studies).
+        self._engine = ChunkedEngine(workers=workers, backend=backend)
+        self.evaluator_builds = 0
+
+    # -- shared-state construction ------------------------------------------
+
+    def _build_shared_state(self, vehicles: list[FleetVehicle]):
+        """Groups, cohort tables, standstill memos and the cross-vehicle sweep."""
+        groups: dict[str, tuple] = {}
+        probes: dict[str, NodeEmulator] = {}
+        tables: dict[str, _CohortTable] = {}
+        for vehicle in vehicles:
+            spec = vehicle.scenario
+            gkey = _group_key(spec)
+            if gkey not in groups:
+                groups[gkey] = spec.build_components()
+                self.evaluator_builds += 1
+            ckey = _cohort_key(vehicle)
+            if ckey not in tables:
+                node, database, evaluator = groups[gkey]
+                probe = probes.get(gkey)
+                if probe is None:
+                    probe = NodeEmulator(
+                        node,
+                        database,
+                        spec.build_scavenger(),
+                        spec.build_storage(),
+                        base_point=spec.operating_point(),
+                        evaluator=evaluator,
+                    )
+                    probes[gkey] = probe
+                cycle = spec.build_drive_cycle().scaled(vehicle.speed_scale)
+                tables[ckey] = _build_cohort_table(
+                    probe, cycle, self.record_interval_s, self.idle_step_s
+                )
+
+        # ONE cross-vehicle sweep per group: the union of quantized bins over
+        # every vehicle of the group, evaluated in a single batch call.
+        bins: dict[str, dict] = {gkey: {} for gkey in groups}
+        standstill: dict[str, dict[int, float]] = {gkey: {} for gkey in groups}
+        pending: dict[str, dict] = {gkey: {} for gkey in groups}
+        for vehicle in vehicles:
+            gkey = _group_key(vehicle.scenario)
+            table = tables[_cohort_key(vehicle)]
+            temp_bin = temperature_bin(vehicle.scenario.temperature_c)
+            if temp_bin not in standstill[gkey]:
+                standstill[gkey][temp_bin] = probes[gkey]._standstill_power(
+                    temperature_bin_center_c(temp_bin)
+                )
+            if table.fallback:
+                continue
+            group_pending = pending[gkey]
+            for speed_key, pattern, eval_speed, schedule in table.unique_bins:
+                key = (speed_key, temp_bin, *pattern)
+                if key not in group_pending:
+                    group_pending[key] = (
+                        eval_speed,
+                        temperature_bin_center_c(temp_bin),
+                        schedule,
+                    )
+        for gkey, group_pending in pending.items():
+            bins[gkey] = probes[gkey].evaluate_energy_bins(group_pending)
+        return groups, tables, bins, standstill
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> FleetResult:
+        """Materialize, share, fan out, aggregate."""
+        fleet = self.fleet
+        vehicles = fleet.materialize()
+        groups, tables, bins, standstill = self._build_shared_state(vehicles)
+
+        accumulator = FleetAccumulator(
+            buckets=self.survival_buckets,
+            keep_vehicle_rows=self.keep_vehicle_rows,
+        )
+        buckets = self.survival_buckets
+
+        def kernel(vehicle: FleetVehicle) -> dict[str, object]:
+            spec = vehicle.scenario
+            gkey = _group_key(spec)
+            node, database, evaluator = groups[gkey]
+            table = tables[_cohort_key(vehicle)]
+            if not table.fallback:
+                return _cohort_vehicle_outcome(
+                    vehicle.index,
+                    spec,
+                    vehicle.speed_scale,
+                    vehicle.storage_scale,
+                    node,
+                    table,
+                    bins[gkey],
+                    standstill[gkey],
+                    buckets,
+                )
+            return _emulate_vehicle_outcome(
+                vehicle.index,
+                spec,
+                vehicle.speed_scale,
+                vehicle.storage_scale,
+                node,
+                database,
+                evaluator,
+                bins[gkey],
+                buckets,
+                self.record_interval_s,
+                self.idle_step_s,
+            )
+
+        def payload(vehicle: FleetVehicle):
+            return (
+                vehicle.scenario.to_dict(),
+                vehicle.index,
+                vehicle.speed_scale,
+                vehicle.storage_scale,
+                _cohort_key(vehicle),
+                _group_key(vehicle.scenario),
+                buckets,
+                self.record_interval_s,
+                self.idle_step_s,
+            )
+
+        if self.backend == "process":
+            # Fork-inherited sharing: stash the shared state where worker
+            # processes (created by the engine below) will find it.  One
+            # process-backend fleet run at a time per parent process — a
+            # concurrent run would clobber these and silently demote the
+            # first run's workers to the per-vehicle fallback.
+            _SHARED_TABLES.clear()
+            _SHARED_TABLES.update(tables)
+            _SHARED_BINS.clear()
+            _SHARED_BINS.update(bins)
+            _SHARED_STANDSTILL.clear()
+            _SHARED_STANDSTILL.update(standstill)
+        try:
+            report = self._engine.run(
+                vehicles,
+                kernel,
+                lambda _index, outcome: accumulator.add(outcome),
+                process_worker=_process_vehicle,
+                process_payload=payload,
+            )
+        finally:
+            if self.backend == "process":
+                # The forked pool snapshotted the globals at creation; the
+                # parent must not keep the cohort tables/bin stores alive
+                # (or visible to a later run) once the run is over.
+                _SHARED_TABLES.clear()
+                _SHARED_BINS.clear()
+                _SHARED_STANDSTILL.clear()
+
+        shared_bin_count = sum(len(store) for store in bins.values())
+        metadata = {
+            "kind": "fleet",
+            "fleet": fleet.name,
+            "vehicles": fleet.vehicles,
+            "seed": fleet.seed,
+            "base_scenario": fleet.base.to_dict(),
+            "fleet_document": fleet.to_dict(),
+            "groups": len(groups),
+            "cohorts": len(tables),
+            "fallback_cohorts": sum(1 for table in tables.values() if table.fallback),
+            "shared_energy_bins": shared_bin_count,
+            "speed_quantum_kmh": SPEED_QUANTUM_KMH,
+            "temperature_quantum_c": TEMPERATURE_QUANTUM_C,
+            "scale_quantum": fleet.scale_quantum,
+            "evaluator_builds": self.evaluator_builds,
+            "survival_buckets": buckets,
+            "workers": self.workers or 1,
+            "backend": self.backend,
+            "engine_backend": report.backend,
+            "wall_time_s": report.wall_time_s,
+            "vehicle_wall_times_s": report.item_wall_times_s,
+        }
+        return FleetResult(
+            name=fleet.name,
+            summary=accumulator.summary_row(fleet.name, fleet.seed),
+            survival=accumulator.survival_rows(fleet.name),
+            vehicle_rows=accumulator.vehicle_rows if self.keep_vehicle_rows else None,
+            metadata=metadata,
+        )
+
+
+def run_fleet(
+    fleet: FleetSpec,
+    workers: int | None = None,
+    backend: str = "thread",
+    **options,
+) -> FleetResult:
+    """One-call convenience wrapper: build a :class:`FleetRunner` and run it."""
+    return FleetRunner(fleet, workers=workers, backend=backend, **options).run()

@@ -1,0 +1,400 @@
+"""The :class:`FleetSpec` — a frozen, declarative description of a vehicle population.
+
+A fleet is a base :class:`~repro.scenario.spec.ScenarioSpec` plus named
+per-vehicle *distributions*: how drive styles scale the cycle speeds, how
+ambient temperature varies (correlated across the fleet), which drive cycles
+the population mixes, and how manufacturing tolerance spreads the scavenger
+size and storage capacity.  Like a scenario, a fleet spec is plain data — it
+round-trips through :meth:`FleetSpec.to_dict` / :meth:`FleetSpec.from_dict`
+exactly (``from_dict(to_dict()) == spec``, property-tested) — and
+materializing the population is a pure function of ``(seed, fleet
+document)``: the same document draws the same vehicles whichever worker
+count or backend executes them.
+
+A minimal JSON document::
+
+    {
+        "name": "winter-fleet",
+        "vehicles": 500,
+        "seed": 42,
+        "base": {"name": "base", "drive_cycle": {"name": "urban",
+                                                 "params": {"repetitions": 2}}},
+        "distributions": {
+            "speed_scale": {"kind": "lognormal", "params": {"sigma": 0.1}},
+            "temperature_c": {"kind": "correlated-normal",
+                              "params": {"mean": -5.0, "std": 8.0,
+                                         "correlation": 0.6}}
+        }
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import zlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from repro.conditions.operating_point import TEMPERATURE_RANGE_C
+from repro.errors import ConfigError
+from repro.fleet.distributions import DistributionSpec
+from repro.scenario.spec import ComponentRef, ScenarioSpec
+
+#: The per-vehicle axes a fleet may distribute.  ``speed_scale`` multiplies
+#: the drive-cycle speeds and the cruising speed, ``temperature_c`` replaces
+#: the ambient temperature (clipped to the modelled range),
+#: ``drive_cycle`` draws each vehicle's cycle from a categorical mix, and
+#: ``scavenger_size`` / ``storage_capacity`` are multiplicative tolerance
+#: factors on the base scavenger size and storage capacity.
+FLEET_TARGETS = (
+    "speed_scale",
+    "temperature_c",
+    "drive_cycle",
+    "scavenger_size",
+    "storage_capacity",
+)
+
+
+def default_fleet_distributions(base: ScenarioSpec) -> dict[str, DistributionSpec]:
+    """The default population around ``base`` (the ROADMAP's open item).
+
+    Log-normal drive-style speed scales, fleet-correlated ambient
+    temperature around the base scenario's temperature, and 5% Gaussian
+    manufacturing tolerance on the scavenger size and storage capacity.
+    The drive cycle stays the base scenario's cycle for every vehicle;
+    add a ``categorical`` ``drive_cycle`` distribution for a mix.
+    """
+    low_t, high_t = TEMPERATURE_RANGE_C
+    std_c = 8.0
+    return {
+        "speed_scale": DistributionSpec(
+            "lognormal", (("sigma", 0.1), ("low", 0.6), ("high", 1.4))
+        ),
+        "temperature_c": DistributionSpec(
+            "correlated-normal",
+            (
+                ("mean", float(np.clip(base.temperature_c, low_t + 3 * std_c, high_t - 3 * std_c))),
+                ("std", std_c),
+                ("correlation", 0.6),
+            ),
+        ),
+        "scavenger_size": DistributionSpec("gaussian-tolerance", (("rel_std", 0.05),)),
+        "storage_capacity": DistributionSpec("gaussian-tolerance", (("rel_std", 0.05),)),
+    }
+
+
+@dataclass(frozen=True)
+class FleetVehicle:
+    """One materialized vehicle: the sampled axes plus its derived scenario.
+
+    Attributes:
+        index: position in the population (stable across runs).
+        speed_scale: drive-style factor applied to the cycle speeds (already
+            quantized to the fleet's ``scale_quantum``).
+        temperature_c: the vehicle's ambient temperature (clipped to the
+            modelled range).
+        storage_scale: capacity tolerance factor applied to the storage
+            element (capacity, initial charge and thresholds all scale).
+        scenario: the derived :class:`ScenarioSpec` of this vehicle — it
+            encodes the sampled temperature, cruising speed and scavenger
+            size, but NOT the two axes a scenario cannot express: the
+            runner additionally plays ``build_drive_cycle().scaled(speed_scale)``
+            and ``scaled_storage(build_storage(), storage_scale)``.  Apply
+            both to reproduce a fleet vehicle with the per-scenario tools.
+    """
+
+    index: int
+    speed_scale: float
+    temperature_c: float
+    storage_scale: float
+    scenario: ScenarioSpec
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """A frozen, validated description of one fleet-simulation experiment.
+
+    Attributes:
+        name: fleet label used in result rows and reports.
+        base: the scenario every vehicle derives from; must name a storage
+            element, and a drive cycle unless a ``drive_cycle`` distribution
+            supplies one per vehicle.
+        vehicles: population size.
+        seed: base seed of the deterministic materialization stream.
+        scale_quantum: granularity the sampled ``speed_scale`` is rounded
+            to.  Vehicles sharing a (cycle, quantized scale) pair share one
+            materialized cycle — the fleet runner's cohort axis — so the
+            quantum trades resolution of the drive-style axis against
+            fleet-level throughput; ``0`` keeps the exact draws.
+        distributions: mapping of :data:`FLEET_TARGETS` entries to
+            :class:`~repro.fleet.distributions.DistributionSpec` references
+            (stored as a sorted tuple of pairs so equal documents compare
+            equal).
+    """
+
+    name: str = "fleet"
+    base: ScenarioSpec = field(default_factory=ScenarioSpec)
+    vehicles: int = 200
+    seed: int = 2011
+    scale_quantum: float = 0.05
+    distributions: tuple[tuple[str, DistributionSpec], ...] = ()
+
+    # -- validation ---------------------------------------------------------
+
+    def __post_init__(self) -> None:
+        set_attr = object.__setattr__
+        if not self.name or not isinstance(self.name, str):
+            raise ConfigError("fleet name must be a non-empty string")
+        if isinstance(self.base, Mapping):
+            set_attr(self, "base", ScenarioSpec.from_dict(self.base))
+        if not isinstance(self.base, ScenarioSpec):
+            raise ConfigError(
+                f"fleet base must be a ScenarioSpec (or its document), "
+                f"got {type(self.base).__name__}"
+            )
+        if (
+            not isinstance(self.vehicles, int)
+            or isinstance(self.vehicles, bool)
+            or self.vehicles < 1
+        ):
+            raise ConfigError("fleet vehicles must be a positive integer")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool) or self.seed < 0:
+            raise ConfigError("fleet seed must be a non-negative integer")
+        if (
+            not isinstance(self.scale_quantum, (int, float))
+            or isinstance(self.scale_quantum, bool)
+            or not math.isfinite(self.scale_quantum)
+            or self.scale_quantum < 0.0
+        ):
+            raise ConfigError("fleet scale_quantum must be a non-negative finite number")
+
+        entries = self.distributions
+        if isinstance(entries, Mapping):
+            entries = tuple(entries.items())
+        try:
+            entries = tuple(entries)
+        except TypeError:
+            raise ConfigError(
+                "fleet distributions must be a mapping of target -> distribution"
+            ) from None
+        normalized: dict[str, DistributionSpec] = {}
+        for entry in entries:
+            try:
+                target, value = entry
+            except (TypeError, ValueError):
+                raise ConfigError(
+                    "fleet distributions must be a mapping of target -> distribution"
+                ) from None
+            if target not in FLEET_TARGETS:
+                raise ConfigError(
+                    f"unknown fleet distribution target {target!r}; "
+                    f"known targets: {list(FLEET_TARGETS)}"
+                )
+            if target in normalized:
+                raise ConfigError(f"fleet distribution target {target!r} given twice")
+            normalized[target] = DistributionSpec.coerce(value, target)
+        set_attr(
+            self,
+            "distributions",
+            tuple(sorted(normalized.items())),
+        )
+
+        if self.base.storage is None:
+            raise ConfigError("fleet base scenario must name a storage element")
+        if self.base.drive_cycle is None and "drive_cycle" not in dict(self.distributions):
+            raise ConfigError(
+                "fleet base scenario must name a drive_cycle (or the fleet must "
+                "distribute one)"
+            )
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def from_base(
+        cls,
+        base: ScenarioSpec,
+        vehicles: int = 200,
+        seed: int = 2011,
+        name: str | None = None,
+    ) -> "FleetSpec":
+        """A fleet around ``base`` with the default population distributions."""
+        return cls(
+            name=name or f"{base.name}-fleet",
+            base=base,
+            vehicles=vehicles,
+            seed=seed,
+            distributions=tuple(default_fleet_distributions(base).items()),
+        )
+
+    def distribution_for(self, target: str) -> DistributionSpec | None:
+        """The distribution of one target, or ``None`` when not distributed."""
+        if target not in FLEET_TARGETS:
+            raise ConfigError(
+                f"unknown fleet distribution target {target!r}; "
+                f"known targets: {list(FLEET_TARGETS)}"
+            )
+        return dict(self.distributions).get(target)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """Plain-dict form, JSON-serializable and accepted by :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "vehicles": self.vehicles,
+            "seed": self.seed,
+            "scale_quantum": self.scale_quantum,
+            "base": self.base.to_dict(),
+            "distributions": {
+                target: spec.to_dict() for target, spec in self.distributions
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "FleetSpec":
+        """Build a validated fleet spec from a plain dict (e.g. parsed JSON)."""
+        if not isinstance(document, Mapping):
+            raise ConfigError(f"a fleet document must be a mapping, got {type(document).__name__}")
+        known = {"name", "vehicles", "seed", "scale_quantum", "base", "distributions"}
+        unknown = set(document) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown fleet field(s) {sorted(unknown)}; known fields: {sorted(known)}"
+            )
+        kwargs: dict[str, object] = {
+            key: document[key] for key in known if key in document
+        }
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The fleet spec as a JSON document string."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the fleet spec as a JSON file and return the path."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    def with_population(self, vehicles: int | None = None, seed: int | None = None) -> "FleetSpec":
+        """A copy with the population size and/or seed overridden."""
+        changes: dict[str, object] = {}
+        if vehicles is not None:
+            changes["vehicles"] = vehicles
+        if seed is not None:
+            changes["seed"] = seed
+        return replace(self, **changes) if changes else self
+
+    # -- materialization ----------------------------------------------------
+
+    def rng(self) -> np.random.Generator:
+        """The deterministic generator of this fleet.
+
+        Seeded from the fleet seed plus a digest of the fleet document
+        (mirroring the Monte-Carlo ``(seed, scenario document)`` stream
+        derivation), so materialization is a pure function of the document —
+        independent of worker counts, backends and execution order.
+        """
+        digest = zlib.crc32(self.to_json().encode("utf-8"))
+        return np.random.default_rng((self.seed, digest))
+
+    def materialize(self) -> list[FleetVehicle]:
+        """Draw the whole population: one :class:`FleetVehicle` per vehicle.
+
+        Targets are sampled in the fixed :data:`FLEET_TARGETS` order (absent
+        targets draw nothing), so adding a distribution never perturbs the
+        draws of the targets before it.
+        """
+        count = self.vehicles
+        rng = self.rng()
+        configured = dict(self.distributions)
+        samples: dict[str, np.ndarray] = {}
+        for target in FLEET_TARGETS:
+            spec = configured.get(target)
+            if spec is not None:
+                samples[target] = spec.build().sample(rng, count)
+
+        low_t, high_t = TEMPERATURE_RANGE_C
+        vehicles: list[FleetVehicle] = []
+        digits = len(str(count - 1)) if count > 1 else 1
+        for index in range(count):
+            scale = float(samples["speed_scale"][index]) if "speed_scale" in samples else 1.0
+            if scale <= 0.0:
+                raise ConfigError(
+                    f"fleet speed_scale distribution produced {scale!r}; "
+                    "scales must be positive"
+                )
+            if self.scale_quantum > 0.0:
+                scale = max(
+                    round(scale / self.scale_quantum) * self.scale_quantum,
+                    self.scale_quantum,
+                )
+            temperature = (
+                float(np.clip(samples["temperature_c"][index], low_t, high_t))
+                if "temperature_c" in samples
+                else self.base.temperature_c
+            )
+            size_factor = (
+                float(samples["scavenger_size"][index])
+                if "scavenger_size" in samples
+                else 1.0
+            )
+            storage_scale = (
+                float(samples["storage_capacity"][index])
+                if "storage_capacity" in samples
+                else 1.0
+            )
+            if size_factor <= 0.0 or storage_scale <= 0.0:
+                raise ConfigError("fleet tolerance distributions must produce positive factors")
+            scenario = self.base.with_axes(
+                name=f"{self.name}-{index:0{digits}d}",
+                temperature=temperature,
+                speed=self.base.speed_kmh * scale,
+                size=self.base.scavenger_size * size_factor,
+            )
+            if "drive_cycle" in samples:
+                cycle_ref = ComponentRef.coerce(samples["drive_cycle"][index], "drive_cycle")
+                scenario = scenario.with_axis("drive_cycle", cycle_ref)
+            vehicles.append(
+                FleetVehicle(
+                    index=index,
+                    speed_scale=scale,
+                    temperature_c=temperature,
+                    storage_scale=storage_scale,
+                    scenario=scenario,
+                )
+            )
+        return vehicles
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        distributed = ", ".join(
+            f"{target}={spec.describe()}" for target, spec in self.distributions
+        )
+        return (
+            f"{self.vehicles} vehicles around [{self.base.describe()}]"
+            + (f"; {distributed}" if distributed else "")
+        )
+
+
+def load_fleet(path: str | Path) -> FleetSpec:
+    """Read a fleet JSON file into a validated :class:`FleetSpec`.
+
+    Raises:
+        ConfigError: when the file is missing, is not valid JSON, or the
+            document fails fleet validation.
+    """
+    target = Path(path)
+    try:
+        text = target.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read fleet file {target}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"fleet file {target} is not valid JSON: {exc}") from exc
+    return FleetSpec.from_dict(document)

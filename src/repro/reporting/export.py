@@ -68,6 +68,17 @@ def _json_safe(value: object) -> object:
     return value
 
 
+def json_ready(value: object) -> object:
+    """Public strict-JSON normalization of any nested value.
+
+    The benchmark harness (and any consumer wrapping rows with metadata —
+    environment stamps, timing context) uses this to reuse the exact
+    normalization rules of :func:`rows_to_json` when building composite
+    documents.
+    """
+    return _json_safe(value)
+
+
 def _csv_safe(value: object) -> object:
     """Normalize one cell for CSV: non-finite floats become an empty cell."""
     if _is_non_finite_float(value):

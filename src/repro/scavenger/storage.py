@@ -10,7 +10,7 @@ threshold, which is exactly how the paper identifies operating windows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -174,6 +174,27 @@ class StorageElement:
             self._charge_j, self.self_discharge_w * duration_s
         )
         return loss
+
+
+def scaled_storage(storage: StorageElement, capacity_factor: float) -> StorageElement:
+    """A copy of ``storage`` with its capacity scaled by ``capacity_factor``.
+
+    Capacity, initial charge, brown-out threshold and restart level all
+    scale together, so every validity invariant (initial charge within
+    capacity, restart above minimum) is preserved by construction.  This is
+    the fleet runner's manufacturing-tolerance axis on storage capacity.
+    """
+    if capacity_factor <= 0.0:
+        raise ConfigurationError("storage capacity factor must be positive")
+    if capacity_factor == 1.0:
+        return replace(storage)
+    return replace(
+        storage,
+        capacity_j=storage.capacity_j * capacity_factor,
+        initial_charge_j=storage.initial_charge_j * capacity_factor,
+        minimum_operating_j=storage.minimum_operating_j * capacity_factor,
+        restart_level_j=storage.restart_level_j * capacity_factor,
+    )
 
 
 def supercapacitor(capacity_j: float = 0.25, initial_fraction: float = 0.4) -> StorageElement:

@@ -35,6 +35,7 @@ from repro.scenario.registry import (
     register_scavenger,
     register_storage,
 )
+from repro.scenario.engine import ChunkedEngine, EngineReport
 from repro.scenario.montecarlo import MonteCarloConfig, MonteCarloDraws
 from repro.scenario.spec import ComponentRef, ScenarioSpec, load_scenario
 from repro.scenario.study import STUDY_KINDS, Study, StudyResult, run_study
@@ -47,6 +48,8 @@ __all__ = [
     "StudyResult",
     "run_study",
     "STUDY_KINDS",
+    "ChunkedEngine",
+    "EngineReport",
     "MonteCarloConfig",
     "MonteCarloDraws",
     "Registry",

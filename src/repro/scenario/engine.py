@@ -1,0 +1,235 @@
+"""Chunked work-item execution engine shared by studies and fleet runs.
+
+Every "run many independent work items" loop in the toolkit used to live
+inside :meth:`repro.scenario.study.Study.run`: scheduling, worker pools,
+per-item timing and row collection were welded to the study grid.  This
+module extracts that machinery into a reusable engine with a streaming
+contract::
+
+    work-item iterator  →  chunked thread/process execution  →  row sink
+
+* **Work items** come from any iterable; the engine consumes it lazily in
+  chunks, so neither the item list nor the result set ever needs to be
+  materialized wholesale (a million-vehicle fleet streams through a bounded
+  window of in-flight work).
+* **Execution** runs sequentially (``workers=1`` or fewer than two items),
+  on a thread pool, or on a process pool.  The process backend ships each
+  item through a caller-provided *payload* function (something picklable —
+  scenario JSON documents, vehicle parameter tuples) to a module-level
+  *worker* function, using the fork context so user registry registrations
+  reach the workers.
+* **Results** are pushed to a ``sink(index, result)`` callback in input
+  order as the bounded in-flight window advances — never held back until
+  the whole run finishes, and never barriered between chunks (as one item
+  finishes, the next is submitted).  Rows are identical (order, values,
+  key order) to a sequential run whichever backend executes them.
+
+Per-item wall times and the executed backend land in the returned
+:class:`EngineReport`, which is how ``StudyResult.metadata`` keeps its
+timing bookkeeping.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.errors import ConfigError
+
+#: Backends the engine understands.
+ENGINE_BACKENDS = ("thread", "process")
+
+#: Default number of in-flight items per worker slot.  The sliding window
+#: keeps ``chunk_size * workers`` items submitted at any moment: large
+#: enough that no worker starves while the window head finishes, small
+#: enough that results stream to the sink promptly and lazily-produced work
+#: items are not all materialized up front.
+DEFAULT_CHUNK_SIZE = 8
+
+
+def process_pool_context():
+    """The multiprocessing context of the process backend.
+
+    Forked workers inherit user registry registrations (and the loaded
+    modules), which is what lets a payload referencing a ``register_*``-ed
+    component rebuild inside the pool.  Platforms without fork (Windows;
+    macOS defaults to spawn) fall back to the default context, where only
+    importable registrations survive — the explicit request keeps the
+    behaviour deterministic instead of riding the interpreter's changing
+    default (spawn/forkserver).
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - platform without fork
+        return None
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """Bookkeeping of one engine run.
+
+    Attributes:
+        backend: the backend that actually executed the items —
+            ``"sequential"``, ``"thread"`` or ``"process"`` (a parallel
+            request over zero or one items degrades to sequential).
+        workers: the effective pool width used.
+        items: number of work items executed.
+        wall_time_s: total wall time of the run.
+        item_wall_times_s: per-item wall times, in input order.  For the
+            process backend the time is measured inside the worker and
+            covers the payload rebuild plus the kernel, mirroring what the
+            in-process path measures.
+    """
+
+    backend: str
+    workers: int
+    items: int
+    wall_time_s: float
+    item_wall_times_s: tuple[float, ...]
+
+
+def _timed_process_task(task):
+    """Module-level worker wrapper: run one payload and time it in-worker."""
+    worker, payload = task
+    started = time.perf_counter()
+    return worker(payload), time.perf_counter() - started
+
+
+class ChunkedEngine:
+    """Chunked, order-preserving executor for independent work items.
+
+    Args:
+        workers: pool width.  ``None`` or 1 executes sequentially.
+        backend: ``"thread"`` (default) or ``"process"`` (see the module
+            docstring); ignored — sequential — when fewer than two items or
+            workers arrive.
+        chunk_size: in-flight items per worker slot
+            (:data:`DEFAULT_CHUNK_SIZE`); the sliding submission window is
+            ``chunk_size * workers`` items.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "thread",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        if workers is None:
+            workers = 1
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            raise ConfigError(f"workers must be a positive integer, got {workers!r}")
+        if backend not in ENGINE_BACKENDS:
+            raise ConfigError(
+                f"unknown execution backend {backend!r}; "
+                f"available: {list(ENGINE_BACKENDS)}"
+            )
+        if not isinstance(chunk_size, int) or isinstance(chunk_size, bool) or chunk_size < 1:
+            raise ConfigError(f"chunk_size must be a positive integer, got {chunk_size!r}")
+        self.workers = workers
+        self.backend = backend
+        self.chunk_size = chunk_size
+
+    def run(
+        self,
+        items: Iterable[object],
+        kernel: Callable[[object], object],
+        sink: Callable[[int, object], None],
+        process_worker: Callable[[object], object] | None = None,
+        process_payload: Callable[[object], object] | None = None,
+    ) -> EngineReport:
+        """Execute ``kernel`` over ``items`` and stream results to ``sink``.
+
+        Args:
+            items: the work items; consumed lazily, chunk by chunk.
+            kernel: in-process item evaluator (sequential and thread
+                backends, and the sequential degradation of the process
+                backend — a single-item "grid" never pays pool start-up).
+            sink: called as ``sink(index, result)`` in input order as
+                results complete.
+            process_worker: module-level (picklable) function executing one
+                *payload* in a worker process; required for the process
+                backend.
+            process_payload: maps an item to the picklable payload shipped
+                to ``process_worker``; required for the process backend.
+
+        Returns:
+            An :class:`EngineReport` with the executed backend and timings.
+        """
+        missing_worker = process_worker is None or process_payload is None
+        if self.backend == "process" and self.workers > 1 and missing_worker:
+            raise ConfigError("the process backend needs process_worker and process_payload")
+        iterator = iter(items)
+        # Peek ahead far enough to know whether a pool is worth starting:
+        # zero or one items degrade to the sequential path on any backend.
+        head = list(itertools.islice(iterator, 2))
+        parallel = self.workers > 1 and len(head) > 1
+        iterator = itertools.chain(head, iterator)
+
+        started = time.perf_counter()
+        timings: list[float] = []
+        index = 0
+        window = self.chunk_size * self.workers
+        if parallel and self.backend == "process":
+            backend_used = "process"
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=process_pool_context(),
+            ) as pool:
+                tasks = ((process_worker, process_payload(item)) for item in iterator)
+                index = self._drain_window(
+                    pool, _timed_process_task, tasks, window, sink, timings
+                )
+        elif parallel:
+            backend_used = "thread"
+
+            def timed(item):
+                item_started = time.perf_counter()
+                return kernel(item), time.perf_counter() - item_started
+
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                index = self._drain_window(pool, timed, iterator, window, sink, timings)
+        else:
+            backend_used = "sequential"
+            for item in iterator:
+                item_started = time.perf_counter()
+                result = kernel(item)
+                timings.append(time.perf_counter() - item_started)
+                sink(index, result)
+                index += 1
+        return EngineReport(
+            backend=backend_used,
+            workers=self.workers if parallel else 1,
+            items=index,
+            wall_time_s=time.perf_counter() - started,
+            item_wall_times_s=tuple(timings),
+        )
+
+    @staticmethod
+    def _drain_window(pool, task, items, window, sink, timings) -> int:
+        """Sliding-window submission: bounded in-flight, ordered release.
+
+        At most ``window`` futures are submitted at any moment; as the
+        *oldest* completes, its result goes to the sink (preserving input
+        order) and the next item is submitted — no barrier, so a slow item
+        never idles the other workers beyond the window bound.
+        """
+        pending: deque = deque()
+        index = 0
+        for item in items:
+            if len(pending) >= window:
+                result, elapsed = pending.popleft().result()
+                sink(index, result)
+                timings.append(elapsed)
+                index += 1
+            pending.append(pool.submit(task, item))
+        while pending:
+            result, elapsed = pending.popleft().result()
+            sink(index, result)
+            timings.append(elapsed)
+            index += 1
+        return index

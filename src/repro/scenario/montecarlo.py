@@ -13,6 +13,14 @@ Determinism contract: the random stream is derived from ``(seed, scenario
 document)``, never from execution order, so a grid point draws the same
 sample population whether the study runs sequentially or on a thread pool —
 ``Study.run(workers=4)`` rows are identical to the sequential ones.
+
+The per-axis samplers ride the fleet distribution registry
+(:mod:`repro.fleet.distributions`): the defaults reproduce the historical
+clipped normal/uniform draws rng-call-for-rng-call, and the optional
+``speed_distribution`` / ``temperature_distribution`` /
+``activity_distribution`` fields swap in any registered kind (log-normal
+speeds, correlated temperature, user-registered samplers) without touching
+the stream derivation.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.blocks.node import SensorNode
 from repro.conditions.batch import BatchConditions
 from repro.conditions.operating_point import TEMPERATURE_RANGE_C, OperatingPoint
 from repro.errors import ConfigError
+from repro.fleet.distributions import DistributionSpec
 
 #: Slowest speed worth sampling: below ~5 km/h the node is effectively at
 #: standstill and the revolution-schedule model does not apply.
@@ -58,12 +67,22 @@ class MonteCarloConfig:
     Attributes:
         samples: population size per grid point.
         seed: base seed of the deterministic random stream.
-        speed_rel_std: relative standard deviation of the (normal) speed
-            distribution around the scenario's cruising speed.
-        temperature_std_c: standard deviation of the (normal) temperature
-            distribution around the scenario's temperature.
-        activity_range: ``(low, high)`` bounds of the uniform per-sample
-            workload activity factor (see ``BatchConditions.activity``).
+        speed_rel_std: relative standard deviation of the default (normal)
+            speed distribution around the scenario's cruising speed.
+        temperature_std_c: standard deviation of the default (normal)
+            temperature distribution around the scenario's temperature.
+        activity_range: ``(low, high)`` bounds of the default uniform
+            per-sample workload activity factor
+            (see ``BatchConditions.activity``).
+        speed_distribution: optional registered distribution replacing the
+            default speed sampler (a kind name, a ``{kind, params}``
+            mapping, or a :class:`~repro.fleet.distributions.DistributionSpec`);
+            draws are still clipped into the node's sustainable range.
+        temperature_distribution: optional distribution replacing the
+            default temperature sampler; draws are clipped to the modelled
+            temperature range.
+        activity_distribution: optional distribution replacing the default
+            activity sampler; draws must stay positive.
     """
 
     samples: int = 512
@@ -71,6 +90,9 @@ class MonteCarloConfig:
     speed_rel_std: float = 0.15
     temperature_std_c: float = 7.5
     activity_range: tuple[float, float] = (0.6, 1.0)
+    speed_distribution: DistributionSpec | None = None
+    temperature_distribution: DistributionSpec | None = None
+    activity_distribution: DistributionSpec | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.samples, int) or self.samples < 1:
@@ -82,6 +104,16 @@ class MonteCarloConfig:
         low, high = self.activity_range
         if not (0.0 < low <= high):
             raise ConfigError("montecarlo activity_range must satisfy 0 < low <= high")
+        for field_name in (
+            "speed_distribution",
+            "temperature_distribution",
+            "activity_distribution",
+        ):
+            value = getattr(self, field_name)
+            if value is not None:
+                object.__setattr__(
+                    self, field_name, DistributionSpec.coerce(value, field_name)
+                )
 
     # -- deterministic stream -------------------------------------------------
 
@@ -109,23 +141,39 @@ class MonteCarloConfig:
         schedule feasibility), temperatures into the modelled range, so every
         draw is evaluable; the conditional-phase flags are Bernoulli draws
         with the architecture's own per-revolution occurrence probabilities.
+
+        Per-axis samplers come from the distribution registry; the default
+        specs reproduce the historical clipped normal/uniform draws
+        rng-call-for-rng-call, so a default config's stream is bit-identical
+        to the pre-registry implementation.
         """
         count = self.samples
         ceiling = node.max_sustainable_speed_kmh() * 0.999
         low_speed = min(_MIN_SPEED_KMH, ceiling)
+        speed_spec = self.speed_distribution or DistributionSpec(
+            "normal",
+            (("mean", point.speed_kmh), ("std", self.speed_rel_std * point.speed_kmh)),
+        )
         speeds = np.clip(
-            rng.normal(point.speed_kmh, self.speed_rel_std * point.speed_kmh, count),
+            np.asarray(speed_spec.build().sample(rng, count), dtype=float),
             low_speed,
             ceiling,
         )
         low_t, high_t = TEMPERATURE_RANGE_C
+        temperature_spec = self.temperature_distribution or DistributionSpec(
+            "normal",
+            (("mean", point.temperature_c), ("std", self.temperature_std_c)),
+        )
         temperatures = np.clip(
-            rng.normal(point.temperature_c, self.temperature_std_c, count),
+            np.asarray(temperature_spec.build().sample(rng, count), dtype=float),
             low_t,
             high_t,
         )
         activity_low, activity_high = self.activity_range
-        activities = rng.uniform(activity_low, activity_high, count)
+        activity_spec = self.activity_distribution or DistributionSpec(
+            "uniform", (("low", activity_low), ("high", activity_high))
+        )
+        activities = np.asarray(activity_spec.build().sample(rng, count), dtype=float)
         nvm_probability = (
             1.0 / node.memory.nvm_write_interval_revs if node.memory.use_nvm else 0.0
         )

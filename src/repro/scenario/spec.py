@@ -433,6 +433,40 @@ class ScenarioSpec:
             raise ConfigError(f"drive cycle {self.drive_cycle.name!r} did not produce a DriveCycle")
         return cycle
 
+    def evaluator_group_key(self) -> str:
+        """Cache key under which scenarios share one evaluator/compiled table.
+
+        Scenarios agreeing on architecture, workload overrides and power
+        database evaluate identically per operating condition, so study grid
+        points and fleet vehicles with equal keys share one
+        :class:`~repro.core.evaluator.EnergyEvaluator`.  Repr-keyed rather
+        than hashed: component params may hold unhashable JSON values
+        (lists, dicts), and dataclass reprs of equal refs match.  Every
+        sharing consumer derives its key HERE — if a new spec field ever
+        affects the compiled table, extending this tuple fixes them all.
+        """
+        return repr(
+            (
+                self.architecture,
+                self.tx_interval_revs,
+                self.payload_bits,
+                self.power_database,
+            )
+        )
+
+    def build_components(self) -> tuple:
+        """Build the ``(node, database, evaluator)`` triple of this scenario.
+
+        The shareable unit behind :meth:`evaluator_group_key`: callers memo
+        the result under that key (study evaluator cache, process-worker
+        memos, fleet groups).
+        """
+        from repro.core.evaluator import EnergyEvaluator
+
+        node = self.build_node()
+        database = self.build_database()
+        return node, database, EnergyEvaluator(node, database)
+
     def operating_point(self) -> OperatingPoint:
         """The :class:`OperatingPoint` described by the environment fields."""
         return OperatingPoint(

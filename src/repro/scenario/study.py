@@ -35,12 +35,14 @@ the database re-targeting and table compilation once.  The sharing is
 observable through ``StudyResult.metadata['evaluator_builds']`` /
 ``['evaluator_cache_hits']``, which the regression tests pin down.
 
-``Study.run(workers=N)`` executes the grid points on a thread pool: the
+``Study.run(workers=N)`` delegates the scheduling to the shared
+:class:`~repro.scenario.engine.ChunkedEngine` (the same engine the fleet
+runner rides): grid points stream through a chunked thread pool — the
 evaluator cache is lock-protected, random streams are derived per scenario
-(never from execution order), and rows keep the sequential order — a
+(never from execution order), and rows keep the sequential order — so a
 parallel run returns rows identical, order and values, to the sequential
-one.  ``backend="process"`` swaps the thread pool for a process pool:
-each grid point's spec travels to the worker as its JSON-round-trippable
+one.  ``backend="process"`` swaps the thread pool for a process pool: each
+grid point's spec travels to the worker as its JSON-round-trippable
 document and is rebuilt there, which sidesteps the GIL for CPU-bound kinds
 (``optimize``, ``emulate``) at the cost of per-worker evaluator builds.
 Per-run wall time and per-row timings land in
@@ -52,22 +54,19 @@ alone.
 from __future__ import annotations
 
 import itertools
-import multiprocessing
 import threading
-import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.balance import EnergyBalanceAnalysis
 from repro.core.emulator import NodeEmulator
-from repro.core.evaluator import EnergyEvaluator
 from repro.errors import ConfigError
 from repro.optimization.apply import apply_assignments
 from repro.optimization.selection import select_techniques
 from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
+from repro.scenario.engine import ChunkedEngine
 from repro.scenario.montecarlo import MonteCarloConfig, summarize_energies
 from repro.scenario.spec import ComponentRef, ScenarioSpec
 
@@ -230,26 +229,14 @@ class Study:
 
     def _evaluator_for(self, spec: ScenarioSpec):
         """The shared (node, database, evaluator) triple of one grid point."""
-        # repr-keyed rather than hashed: component params may hold unhashable
-        # JSON values (lists, dicts), and dataclass reprs of equal refs match.
-        key = repr(
-            (
-                spec.architecture,
-                spec.tx_interval_revs,
-                spec.payload_bits,
-                spec.power_database,
-            )
-        )
+        key = spec.evaluator_group_key()
         with self._evaluator_lock:
             cached = self._evaluators.get(key)
             if cached is not None:
                 self.evaluator_cache_hits += 1
                 return cached
-            node = spec.build_node()
-            database = spec.build_database()
-            evaluator = EnergyEvaluator(node, database)
             self.evaluator_builds += 1
-            self._evaluators[key] = (node, database, evaluator)
+            self._evaluators[key] = spec.build_components()
             return self._evaluators[key]
 
     # -- execution ----------------------------------------------------------
@@ -296,44 +283,36 @@ class Study:
         hits_before = self.evaluator_cache_hits
         grid = self.scenarios()
 
-        def execute(item: tuple[dict[str, object], ScenarioSpec]):
+        def kernel(item: tuple[dict[str, object], ScenarioSpec]) -> dict[str, object]:
             overrides, spec = item
-            started = time.perf_counter()
             row: dict[str, object] = {"scenario": spec.name}
             for axis in self.axes:
                 row[axis] = _axis_display(overrides[axis])
             row.update(runner(spec))
-            return row, time.perf_counter() - started
+            return row
 
-        run_started = time.perf_counter()
-        if workers == 1 or len(grid) <= 1:
-            outcomes = [execute(item) for item in grid]
-        elif backend == "process":
-            # Each worker rebuilds its grid point from the spec's JSON
-            # document and computes the row kernel; the parent only wraps
-            # the scenario/axis columns around the returned figures, so the
-            # row ordering and key order match the sequential run exactly.
-            payloads = [(spec.to_dict(), kind, self.montecarlo) for _, spec in grid]
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(grid)),
-                mp_context=_process_pool_context(),
-            ) as pool:
-                kernel_outcomes = list(pool.map(_process_grid_point, payloads))
-            outcomes = []
-            for (overrides, spec), (kernel_row, elapsed) in zip(grid, kernel_outcomes):
-                row = {"scenario": spec.name}
-                for axis in self.axes:
-                    row[axis] = _axis_display(overrides[axis])
-                row.update(kernel_row)
-                outcomes.append((row, elapsed))
-        else:
-            # Grid points sharing an evaluator warm each other's caches, so a
-            # pool map (which preserves input order) is all the coordination
-            # the rows need.
-            with ThreadPoolExecutor(max_workers=min(workers, len(grid))) as pool:
-                outcomes = list(pool.map(execute, grid))
-        wall_time_s = time.perf_counter() - run_started
-        rows = [row for row, _elapsed in outcomes]
+        def payload(item: tuple[dict[str, object], ScenarioSpec]):
+            # Ship each grid point as its JSON-round-trippable document plus
+            # the pre-rendered axis cells: the worker rebuilds the spec
+            # through the registries and assembles the *complete* row, so
+            # ordering and key order match the sequential run exactly.
+            overrides, spec = item
+            cells = tuple((axis, _axis_display(overrides[axis])) for axis in self.axes)
+            return (spec.to_dict(), cells, kind, self.montecarlo)
+
+        # The scheduling/worker/timing machinery is the shared chunked
+        # engine; the study only supplies the row kernels and collects the
+        # streamed rows (grid points sharing an evaluator warm each other's
+        # caches — the lock-protected cache needs no other coordination).
+        rows: list[dict[str, object]] = []
+        engine = ChunkedEngine(workers=workers, backend=backend)
+        report = engine.run(
+            grid,
+            kernel,
+            lambda _index, row: rows.append(row),
+            process_worker=_process_grid_point,
+            process_payload=payload,
+        )
         metadata = {
             "kind": kind,
             "grid_points": len(rows),
@@ -348,8 +327,8 @@ class Study:
             # regressions are observable from the StudyResult alone.
             "workers": workers,
             "backend": backend,
-            "wall_time_s": wall_time_s,
-            "row_wall_times_s": tuple(elapsed for _row, elapsed in outcomes),
+            "wall_time_s": report.wall_time_s,
+            "row_wall_times_s": report.item_wall_times_s,
         }
         return StudyResult(kind=kind, axes=tuple(self.axes), rows=tuple(rows), metadata=metadata)
 
@@ -499,23 +478,6 @@ def _explore_row(spec, node, database, evaluator) -> dict[str, object]:
     }
 
 
-def _process_pool_context():
-    """The multiprocessing context of the process backend.
-
-    Forked workers inherit user registry registrations (and the loaded
-    modules), which is what lets a spec referencing a ``register_*``-ed
-    component rebuild inside the pool.  Platforms without fork (Windows;
-    macOS defaults to spawn) fall back to the default context, where only
-    importable registrations survive — the explicit request keeps the
-    behaviour deterministic instead of riding the interpreter's changing
-    default (spawn/forkserver).
-    """
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - platform without fork
-        return None
-
-
 #: Per-worker-process evaluator memo of the process backend, keyed like
 #: ``Study._evaluator_for``.  Forked workers start with the parent's (empty)
 #: dict and warm it independently, so a grid sharing one architecture pays
@@ -526,53 +488,48 @@ _WORKER_EVALUATORS: dict[str, tuple] = {}
 
 def _worker_components(spec: ScenarioSpec):
     """The (node, database, evaluator) triple of one worker-side grid point."""
-    key = repr(
-        (
-            spec.architecture,
-            spec.tx_interval_revs,
-            spec.payload_bits,
-            spec.power_database,
-        )
-    )
+    key = spec.evaluator_group_key()
     cached = _WORKER_EVALUATORS.get(key)
     if cached is None:
-        node = spec.build_node()
-        database = spec.build_database()
-        cached = (node, database, EnergyEvaluator(node, database))
+        cached = spec.build_components()
         _WORKER_EVALUATORS[key] = cached
     return cached
 
 
 def _process_grid_point(
-    payload: tuple[object, str, MonteCarloConfig],
-) -> tuple[dict[str, object], float]:
+    payload: tuple[object, tuple, str, MonteCarloConfig],
+) -> dict[str, object]:
     """Worker entry of the process backend: one grid point, self-contained.
 
-    Receives the grid point's scenario as its JSON-round-trippable document,
-    rebuilds the spec through the registries (workers inherit user
-    registrations via the fork context) and evaluates the kind's row with a
-    per-worker shared evaluator.  Every kind is a pure function of the spec,
-    so the row is identical — values and key order — to the sequential one.
+    Receives the grid point's scenario as its JSON-round-trippable document
+    plus the pre-rendered axis cells, rebuilds the spec through the
+    registries (workers inherit user registrations via the fork context) and
+    assembles the complete row with a per-worker shared evaluator.  Every
+    kind is a pure function of the spec, so the row is identical — values
+    and key order — to the sequential one.  The engine times the call inside
+    the worker.
     """
-    document, kind, montecarlo = payload
-    started = time.perf_counter()
+    document, axis_cells, kind, montecarlo = payload
     spec = ScenarioSpec.from_dict(document)
     node, database, evaluator = _worker_components(spec)
+    row: dict[str, object] = {"scenario": spec.name}
+    for axis, value in axis_cells:
+        row[axis] = value
     if kind == "balance":
-        row = _balance_row(spec, node, database, evaluator)
+        row.update(_balance_row(spec, node, database, evaluator))
     elif kind == "report":
-        row = _report_row(spec, evaluator)
+        row.update(_report_row(spec, evaluator))
     elif kind == "optimize":
-        row = _optimize_row(spec, node, database, evaluator)
+        row.update(_optimize_row(spec, node, database, evaluator))
     elif kind == "emulate":
-        row = _emulate_row(spec, node, database, evaluator)
+        row.update(_emulate_row(spec, node, database, evaluator))
     elif kind == "montecarlo":
-        row = _montecarlo_row(spec, node, evaluator, montecarlo)
+        row.update(_montecarlo_row(spec, node, evaluator, montecarlo))
     elif kind == "explore":
-        row = _explore_row(spec, node, database, evaluator)
+        row.update(_explore_row(spec, node, database, evaluator))
     else:  # pragma: no cover - validated before dispatch
         raise ConfigError(f"unknown analysis kind {kind!r}")
-    return row, time.perf_counter() - started
+    return row
 
 
 def run_study(

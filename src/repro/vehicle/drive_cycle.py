@@ -130,6 +130,33 @@ class DriveCycle:
             name=name or f"{self.name}x{count}",
         )
 
+    def scaled(self, speed_factor: float, name: str = "") -> "DriveCycle":
+        """Return this cycle with every speed multiplied by ``speed_factor``.
+
+        Phase durations are unchanged — a faster driver covers more distance
+        in the same time.  This is the fleet runner's drive-style axis: a
+        population samples per-vehicle speed-scale factors and plays the
+        same route at each vehicle's own pace.  A factor of 1 returns
+        ``self`` unchanged (same object), so cohorts keyed on the cycle
+        share materializations.
+        """
+        if speed_factor <= 0.0:
+            raise ConfigurationError("speed factor must be positive")
+        if speed_factor == 1.0:
+            return self
+        return DriveCycle(
+            phases=[
+                DriveCyclePhase(
+                    duration_s=phase.duration_s,
+                    start_kmh=phase.start_kmh * speed_factor,
+                    end_kmh=phase.end_kmh * speed_factor,
+                    label=phase.label,
+                )
+                for phase in self.phases
+            ],
+            name=name or f"{self.name}*{speed_factor:g}",
+        )
+
 
 # ---------------------------------------------------------------------------
 # Cycle builders

@@ -1,0 +1,228 @@
+"""Tests for the distribution registry and the Monte-Carlo fold-in."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.conditions.operating_point import TEMPERATURE_RANGE_C
+from repro.errors import ConfigError
+from repro.fleet.distributions import (
+    DISTRIBUTIONS,
+    Distribution,
+    DistributionSpec,
+    register_distribution,
+)
+from repro.scenario.montecarlo import MonteCarloConfig
+from repro.scenario.spec import ScenarioSpec
+
+
+def _rng(seed: int = 5) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+class TestDistributionSpec:
+    def test_coerce_from_string(self):
+        assert DistributionSpec.coerce("normal", "x") == DistributionSpec("normal")
+
+    def test_coerce_from_mapping(self):
+        spec = DistributionSpec.coerce(
+            {"kind": "uniform", "params": {"low": 0.0, "high": 1.0}}, "x"
+        )
+        assert spec.kind == "uniform"
+        assert dict(spec.params) == {"low": 0.0, "high": 1.0}
+
+    def test_params_order_is_normalized(self):
+        a = DistributionSpec("normal", (("std", 1.0), ("mean", 0.0)))
+        b = DistributionSpec("normal", (("mean", 0.0), ("std", 1.0)))
+        assert a == b
+
+    def test_round_trip(self):
+        spec = DistributionSpec("lognormal", (("sigma", 0.1), ("low", 0.5)))
+        again = DistributionSpec.coerce(spec.to_dict(), "x")
+        assert again == spec
+        assert DistributionSpec.coerce(DistributionSpec("normal").to_dict(), "x") == (
+            DistributionSpec("normal")
+        )
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            DistributionSpec.coerce({"kind": "normal", "parms": {}}, "x")
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(ConfigError, match="needs a 'kind'"):
+            DistributionSpec.coerce({"params": {}}, "x")
+
+    def test_unknown_kind_fails_at_build(self):
+        with pytest.raises(ConfigError, match="unknown distribution"):
+            DistributionSpec("heaviside").build()
+
+    def test_bad_params_become_config_errors(self):
+        with pytest.raises(ConfigError, match="invalid parameters"):
+            DistributionSpec("normal", (("variance", 2.0),)).build()
+
+
+class TestBuiltinKinds:
+    def test_normal_matches_raw_rng_call(self):
+        sampler = DistributionSpec("normal", (("mean", 10.0), ("std", 2.0))).build()
+        assert np.array_equal(sampler.sample(_rng(), 64), _rng().normal(10.0, 2.0, 64))
+
+    def test_clipped_normal_clips(self):
+        sampler = DistributionSpec(
+            "clipped-normal",
+            (("mean", 0.0), ("std", 5.0), ("low", -1.0), ("high", 1.0)),
+        ).build()
+        draws = sampler.sample(_rng(), 512)
+        assert np.all((draws >= -1.0) & (draws <= 1.0))
+
+    def test_uniform_bounds(self):
+        sampler = DistributionSpec("uniform", (("low", 2.0), ("high", 3.0))).build()
+        draws = sampler.sample(_rng(), 256)
+        assert np.all((draws >= 2.0) & (draws < 3.0))
+
+    def test_lognormal_median_and_clip(self):
+        params = (("sigma", 0.2), ("low", 0.7), ("high", 1.5))
+        sampler = DistributionSpec("lognormal", params).build()
+        draws = sampler.sample(_rng(), 4096)
+        assert np.all((draws >= 0.7) & (draws <= 1.5))
+        assert np.median(draws) == pytest.approx(1.0, rel=0.05)
+
+    def test_correlated_normal_marginals_and_correlation(self):
+        sampler = DistributionSpec(
+            "correlated-normal",
+            (("mean", 0.0), ("std", 1.0), ("correlation", 0.7)),
+        ).build()
+        populations = np.array(
+            [sampler.sample(np.random.default_rng(seed), 2) for seed in range(4000)]
+        )
+        # Across many fleets, each vehicle's marginal is N(0, 1) and two
+        # vehicles of the same fleet correlate at the configured rho.
+        assert np.std(populations[:, 0]) == pytest.approx(1.0, rel=0.1)
+        assert np.corrcoef(populations[:, 0], populations[:, 1])[0, 1] == pytest.approx(
+            0.7, abs=0.05
+        )
+
+    def test_gaussian_tolerance_stays_positive(self):
+        sampler = DistributionSpec("gaussian-tolerance", (("rel_std", 0.5),)).build()
+        draws = sampler.sample(_rng(), 4096)
+        assert np.all(draws > 0.0)
+
+    def test_categorical_mixes_choices(self):
+        sampler = DistributionSpec(
+            "categorical",
+            (("choices", ("urban", "nedc")), ("weights", (3.0, 1.0))),
+        ).build()
+        draws = sampler.sample(_rng(), 1000)
+        counts = {value: int(np.sum(draws == value)) for value in ("urban", "nedc")}
+        assert counts["urban"] + counts["nedc"] == 1000
+        assert counts["urban"] > counts["nedc"]
+
+    def test_constant(self):
+        draws = DistributionSpec("constant", (("value", "urban"),)).build().sample(_rng(), 8)
+        assert all(value == "urban" for value in draws)
+
+    @pytest.mark.parametrize(
+        "kind, params",
+        [
+            ("normal", {"mean": 0.0, "std": -1.0}),
+            ("normal", {"mean": float("nan"), "std": 1.0}),
+            ("uniform", {"low": 2.0, "high": 1.0}),
+            ("lognormal", {"sigma": -0.1}),
+            ("lognormal", {"sigma": 0.1, "median": 0.0}),
+            ("correlated-normal", {"mean": 0.0, "std": 1.0, "correlation": 1.5}),
+            ("gaussian-tolerance", {"rel_std": -0.1}),
+            ("gaussian-tolerance", {"rel_std": 0.1, "low": -1.0, "high": 2.0}),
+            ("categorical", {"choices": ()}),
+            ("categorical", {"choices": ("a",), "weights": (1.0, 2.0)}),
+            ("clipped-normal", {"mean": 0.0, "std": 1.0, "low": 2.0, "high": 1.0}),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kind, params):
+        with pytest.raises(ConfigError):
+            DistributionSpec(kind, tuple(params.items())).build()
+
+
+class TestRegistryExtension:
+    def test_user_registered_kind_builds(self):
+        @register_distribution("test-dist-halves")
+        def halves():
+            class Halves(Distribution):
+                def sample(self, rng, count):
+                    return np.full(count, 0.5)
+
+            return Halves()
+
+        try:
+            draws = DistributionSpec("test-dist-halves").build().sample(_rng(), 4)
+            assert np.array_equal(draws, np.full(4, 0.5))
+        finally:
+            DISTRIBUTIONS.unregister("test-dist-halves")
+
+    def test_non_distribution_factory_rejected(self):
+        DISTRIBUTIONS.register("test-dist-broken", lambda: object())
+        try:
+            with pytest.raises(ConfigError, match="did not produce a Distribution"):
+                DistributionSpec("test-dist-broken").build()
+        finally:
+            DISTRIBUTIONS.unregister("test-dist-broken")
+
+
+class TestMonteCarloFoldIn:
+    def test_default_draws_bit_identical_to_legacy_samplers(self, node):
+        """The registry-backed defaults reproduce the historical stream exactly.
+
+        The legacy implementation consumed the rng as: clipped normal
+        (speed), clipped normal (temperature), uniform (activity), then
+        three Bernoulli pattern columns.  The acceptance bar for folding the
+        samplers into the registry is that a default config's draws stay
+        bit-identical.
+        """
+        spec = ScenarioSpec(name="fold-in")
+        config = MonteCarloConfig(samples=256, seed=99)
+        point = spec.operating_point()
+        draws = config.draw(node, point, config.rng_for(spec.to_json()))
+
+        rng = config.rng_for(spec.to_json())
+        count = config.samples
+        ceiling = node.max_sustainable_speed_kmh() * 0.999
+        low_speed = min(5.0, ceiling)
+        speeds = np.clip(
+            rng.normal(point.speed_kmh, config.speed_rel_std * point.speed_kmh, count),
+            low_speed,
+            ceiling,
+        )
+        low_t, high_t = TEMPERATURE_RANGE_C
+        temperatures = np.clip(
+            rng.normal(point.temperature_c, config.temperature_std_c, count),
+            low_t,
+            high_t,
+        )
+        activities = rng.uniform(*config.activity_range, count)
+        assert np.array_equal(draws.conditions.speed_kmh, speeds)
+        assert np.array_equal(draws.conditions.temperature_c, temperatures)
+        assert np.array_equal(draws.conditions.activity, activities)
+
+    def test_custom_distributions_change_the_population(self, node):
+        spec = ScenarioSpec(name="custom")
+        default = MonteCarloConfig(samples=64, seed=1)
+        lognormal = MonteCarloConfig(
+            samples=64,
+            seed=1,
+            speed_distribution={
+                "kind": "lognormal",
+                "params": {"sigma": 0.2, "median": 60.0},
+            },
+        )
+        point = spec.operating_point()
+        first = default.draw(node, point, default.rng_for(spec.to_json()))
+        second = lognormal.draw(node, point, lognormal.rng_for(spec.to_json()))
+        assert not np.array_equal(first.conditions.speed_kmh, second.conditions.speed_kmh)
+        # Still clipped into the node's sustainable range.
+        assert np.all(second.conditions.speed_kmh <= node.max_sustainable_speed_kmh())
+
+    def test_distribution_fields_are_coerced(self):
+        config = MonteCarloConfig(
+            activity_distribution={"kind": "uniform", "params": {"low": 0.5, "high": 0.9}}
+        )
+        assert isinstance(config.activity_distribution, DistributionSpec)
+        assert config.activity_distribution.kind == "uniform"

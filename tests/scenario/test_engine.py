@@ -1,0 +1,156 @@
+"""Tests for the chunked execution engine (scheduling shared by study + fleet)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.scenario.engine import ChunkedEngine, EngineReport
+
+
+def _square_worker(payload):
+    """Module-level (picklable) process worker used by the backend tests."""
+    base, offset = payload
+    return base * base + offset
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, True, "four"])
+    def test_invalid_workers_rejected(self, bad):
+        with pytest.raises(ConfigError, match="workers"):
+            ChunkedEngine(workers=bad)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="backend"):
+            ChunkedEngine(backend="quantum")
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.0, False])
+    def test_invalid_chunk_size_rejected(self, bad):
+        with pytest.raises(ConfigError, match="chunk_size"):
+            ChunkedEngine(chunk_size=bad)
+
+    def test_process_backend_requires_worker_and_payload(self):
+        engine = ChunkedEngine(workers=2, backend="process")
+        with pytest.raises(ConfigError, match="process_worker"):
+            engine.run([1, 2, 3], kernel=lambda x: x, sink=lambda i, r: None)
+
+
+class TestSequential:
+    def test_results_stream_in_order(self):
+        received = []
+        report = ChunkedEngine().run(
+            range(5), lambda item: item * 10, lambda i, r: received.append((i, r))
+        )
+        assert received == [(0, 0), (1, 10), (2, 20), (3, 30), (4, 40)]
+        assert report.backend == "sequential"
+        assert report.items == 5
+        assert len(report.item_wall_times_s) == 5
+
+    def test_single_item_never_starts_a_pool(self):
+        report = ChunkedEngine(workers=8).run([7], lambda item: item, lambda i, r: None)
+        assert report.backend == "sequential"
+        assert report.workers == 1
+
+    def test_empty_items(self):
+        rows = []
+        report = ChunkedEngine(workers=4).run([], lambda item: item, lambda i, r: rows.append(r))
+        assert rows == []
+        assert report.items == 0
+        assert report.item_wall_times_s == ()
+
+    def test_report_is_frozen(self):
+        report = ChunkedEngine().run([1], lambda item: item, lambda i, r: None)
+        assert isinstance(report, EngineReport)
+        with pytest.raises(AttributeError):
+            report.items = 99
+
+
+class TestThreadBackend:
+    def test_order_preserved_and_identical_to_sequential(self):
+        items = list(range(40))
+        sequential = []
+        ChunkedEngine().run(items, lambda x: x * x, lambda i, r: sequential.append(r))
+        parallel = []
+        report = ChunkedEngine(workers=4).run(
+            items, lambda x: x * x, lambda i, r: parallel.append(r)
+        )
+        assert parallel == sequential
+        assert report.backend == "thread"
+        assert report.workers == 4
+
+    def test_kernel_actually_runs_on_worker_threads(self):
+        seen = set()
+
+        def kernel(item):
+            seen.add(threading.current_thread().name)
+            return item
+
+        ChunkedEngine(workers=3).run(range(30), kernel, lambda i, r: None)
+        assert all("MainThread" != name for name in seen)
+
+    def test_chunking_streams_between_chunks(self):
+        # chunk span = chunk_size * workers = 4: the sink must have received
+        # the whole first chunk before the last item is computed.
+        order = []
+
+        def kernel(item):
+            order.append(("run", item))
+            return item
+
+        def sink(index, result):
+            order.append(("sink", result))
+
+        ChunkedEngine(workers=2, chunk_size=2).run(range(8), kernel, sink)
+        first_sink = order.index(("sink", 0))
+        assert ("run", 7) not in order[:first_sink]
+        assert [entry for entry in order if entry[0] == "sink"] == [
+            ("sink", i) for i in range(8)
+        ]
+
+    def test_items_may_be_a_lazy_iterator(self):
+        def generate():
+            yield from range(25)
+
+        received = []
+        report = ChunkedEngine(workers=4, chunk_size=2).run(
+            generate(), lambda x: x + 1, lambda i, r: received.append(r)
+        )
+        assert received == list(range(1, 26))
+        assert report.items == 25
+
+
+class TestProcessBackend:
+    def test_rows_match_sequential(self):
+        items = list(range(12))
+        sequential = []
+        ChunkedEngine().run(items, lambda x: x * x + 1, lambda i, r: sequential.append(r))
+        parallel = []
+        report = ChunkedEngine(workers=2, backend="process").run(
+            items,
+            kernel=lambda x: x * x + 1,
+            sink=lambda i, r: parallel.append(r),
+            process_worker=_square_worker,
+            process_payload=lambda item: (item, 1),
+        )
+        assert parallel == sequential
+        assert report.backend == "process"
+        assert all(elapsed > 0.0 for elapsed in report.item_wall_times_s)
+
+    def test_single_item_process_run_uses_the_kernel_in_process(self):
+        # One item degrades to sequential: the in-process kernel runs, the
+        # pool (and the payload function) is never touched.
+        def exploding_payload(item):  # pragma: no cover - must not run
+            raise AssertionError("payload built for a sequential run")
+
+        rows = []
+        report = ChunkedEngine(workers=4, backend="process").run(
+            [3],
+            kernel=lambda x: x + 1,
+            sink=lambda i, r: rows.append(r),
+            process_worker=_square_worker,
+            process_payload=exploding_payload,
+        )
+        assert rows == [4]
+        assert report.backend == "sequential"

@@ -460,3 +460,125 @@ class TestErrorPaths:
             ],
             "workers must be a positive integer",
         )
+
+
+class TestFleetCommand:
+    @pytest.fixture
+    def scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-fleet",
+                    "drive_cycle": {"name": "urban", "params": {"repetitions": 1}},
+                    "environment": {"temperature_c": 25.0, "speed_kmh": 60.0},
+                }
+            )
+        )
+        return str(path)
+
+    @pytest.fixture
+    def fleet_path(self, tmp_path, scenario_path):
+        from repro.fleet import FleetSpec
+        from repro.scenario.spec import load_scenario
+
+        fleet = FleetSpec.from_base(load_scenario(scenario_path), vehicles=5, seed=2)
+        return str(fleet.save(tmp_path / "fleet.json"))
+
+    def test_scenario_mode_runs_default_population(self, capsys, scenario_path):
+        code = main(["fleet", "--scenario", scenario_path, "--vehicles", "4", "--seed", "9"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "surviving_at_end_pct" in output
+        assert "Fleet survival vs time" in output
+        assert "4 vehicle(s)" in output
+        assert "shared energy bin(s) swept once" in output
+
+    def test_fleet_document_mode(self, capsys, fleet_path):
+        assert main(["fleet", "--fleet", fleet_path]) == 0
+        output = capsys.readouterr().out
+        assert "5 vehicle(s)" in output
+
+    def test_population_overrides_apply(self, capsys, fleet_path):
+        assert main(["fleet", "--fleet", fleet_path, "--vehicles", "3"]) == 0
+        assert "3 vehicle(s)" in capsys.readouterr().out
+
+    def test_workers_match_sequential_output(self, capsys, scenario_path):
+        args = ["fleet", "--scenario", scenario_path, "--vehicles", "6", "--seed", "4"]
+        assert main(args) == 0
+        sequential = capsys.readouterr().out
+        assert main(args + ["--workers", "3"]) == 0
+        parallel = capsys.readouterr().out
+        # Identical aggregate tables; only the trailing timing line differs.
+        table = lambda text: text.split("\n\n")[1]  # noqa: E731
+        assert table(parallel) == table(sequential)
+
+    def test_exports_write_files(self, capsys, scenario_path, tmp_path):
+        summary = tmp_path / "summary.json"
+        survival = tmp_path / "survival.csv"
+        vehicles = tmp_path / "vehicles.csv"
+        code = main(
+            [
+                "fleet",
+                "--scenario",
+                scenario_path,
+                "--vehicles",
+                "3",
+                "--export",
+                str(summary),
+                "--export-survival",
+                str(survival),
+                "--export-vehicles",
+                str(vehicles),
+            ]
+        )
+        assert code == 0
+        assert json.loads(summary.read_text())[0]["vehicles"] == 3
+        assert survival.read_text().startswith("fleet,")
+        assert len(vehicles.read_text().splitlines()) == 4
+
+    def _assert_clean_failure(self, capsys, argv, fragment):
+        assert main(argv) == 1
+        captured = capsys.readouterr()
+        assert fragment in captured.err
+        assert captured.err.startswith("error:")
+
+    def test_requires_exactly_one_source(self, capsys, scenario_path, fleet_path):
+        self._assert_clean_failure(
+            capsys, ["fleet"], "exactly one of --fleet or --scenario"
+        )
+        self._assert_clean_failure(
+            capsys,
+            ["fleet", "--fleet", fleet_path, "--scenario", scenario_path],
+            "exactly one of --fleet or --scenario",
+        )
+
+    def test_process_backend_requires_workers(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["fleet", "--scenario", scenario_path, "--backend", "process"],
+            "--backend process needs --workers",
+        )
+
+    def test_missing_fleet_file(self, capsys, tmp_path):
+        self._assert_clean_failure(
+            capsys,
+            ["fleet", "--fleet", str(tmp_path / "absent.json")],
+            "cannot read fleet file",
+        )
+
+    def test_scenario_without_cycle_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "no-cycle.json"
+        path.write_text(json.dumps({"name": "no-cycle"}))
+        self._assert_clean_failure(
+            capsys,
+            ["fleet", "--scenario", str(path)],
+            "drive_cycle",
+        )
+
+    def test_bad_export_extension_fails_before_running(self, capsys, scenario_path):
+        self._assert_clean_failure(
+            capsys,
+            ["fleet", "--scenario", scenario_path, "--export", "out.txt"],
+            "must end in .csv or .json",
+        )
