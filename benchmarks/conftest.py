@@ -23,40 +23,24 @@ underneath it.
 from __future__ import annotations
 
 import json
-import os
-import platform
 from pathlib import Path
 
-import numpy as np
 import pytest
 
 from repro.blocks import baseline_node, legacy_tpms_node, optimized_node
 from repro.power import reference_power_database
 from repro.reporting.export import json_ready, rows_to_csv
 from repro.reporting.tables import render_table
+
+# Single-sourced from the run-package module so benchmark artifacts and run
+# packages carry the exact same environment stamp (re-exported for benches).
+from repro.runpkg import environment_stamp  # noqa: F401
 from repro.scavenger import PiezoelectricScavenger, supercapacitor
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Per-test wall times collected over the session (nodeid -> seconds).
 _SESSION_WALL_TIMES: dict[str, float] = {}
-
-
-def environment_stamp(
-    workers: int | None = None, backend: str | None = None
-) -> dict[str, object]:
-    """The machine/runtime context stamped into every benchmark JSON artifact."""
-    stamp: dict[str, object] = {
-        "python": platform.python_version(),
-        "numpy": np.__version__,
-        "platform": platform.platform(),
-        "cpu_count": os.cpu_count(),
-    }
-    if workers is not None:
-        stamp["workers"] = workers
-    if backend is not None:
-        stamp["backend"] = backend
-    return stamp
 
 
 def emit_result(

@@ -1,0 +1,115 @@
+"""Package ``benchmarks/results/`` into a validated run package.
+
+Collects every JSON artifact the benchmark harness emitted (tables, timing
+documents, the session wall-time ledger), lifts the measured speedup factors
+into KPIs named ``<bench>:<label>``, and writes a digest-pinned run package
+(:mod:`repro.runpkg`).  ``tpms-energy validate-run`` over the package then
+acts as a CI regression gate: a tampered artifact, a missing file or a
+speedup sliding under its floor all fail with a one-line reason::
+
+    python benchmarks/package_results.py --package benchmarks/results/package \\
+        --floor fleet_throughput:fleet_vs_naive=2 \\
+        --floor vectorized_speedup:vectorized_vs_scalar=3
+    tpms-energy validate-run benchmarks/results/package
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.errors import ReproError  # noqa: E402
+from repro.runpkg import write_run_package  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _parse_floors(entries: list[str]) -> dict[str, float]:
+    floors: dict[str, float] = {}
+    for entry in entries:
+        name, separator, value = entry.partition("=")
+        if not separator or not name.strip():
+            raise SystemExit(f"malformed --floor {entry!r}; expected NAME=MIN")
+        floors[name.strip()] = float(value)
+    return floors
+
+
+def collect_kpis(results_dir: Path) -> dict[str, float]:
+    """Speedup KPIs (``<bench>:<label>``) from every ``*.timing.json``."""
+    kpis: dict[str, float] = {}
+    for path in sorted(results_dir.glob("*.timing.json")):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        bench = document.get("bench") or path.name.removesuffix(".timing.json")
+        for label, speedup in (document.get("speedups") or {}).items():
+            # Degenerate timings serialize as null — not a KPI.
+            if isinstance(speedup, (int, float)) and math.isfinite(speedup):
+                kpis[f"{bench}:{label}"] = float(speedup)
+    return kpis
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        default=str(RESULTS_DIR),
+        metavar="DIR",
+        help="benchmark results directory (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--package",
+        default=str(RESULTS_DIR / "package"),
+        metavar="DIR",
+        help="run package output directory",
+    )
+    parser.add_argument(
+        "--floor",
+        dest="floors",
+        action="append",
+        default=[],
+        metavar="NAME=MIN",
+        help="minimum acceptable value for a speedup KPI (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    results_dir = Path(args.results)
+    package_dir = Path(args.package)
+    artifacts = {
+        path.name: path
+        for path in sorted(results_dir.glob("*.json"))
+        if path.parent == results_dir
+    }
+    if not artifacts:
+        print(f"error: no JSON artifacts in {results_dir}; run the benchmarks first",
+              file=sys.stderr)
+        return 1
+    kpis = collect_kpis(results_dir)
+    try:
+        manifest_path = write_run_package(
+            package_dir,
+            kind="benchmarks",
+            name="benchmark-results",
+            kpis=kpis,
+            floors=_parse_floors(args.floors),
+            artifacts=artifacts,
+            extra={"source": str(results_dir)},
+        )
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"wrote run package {manifest_path.parent}: {len(artifacts)} artifact(s), "
+        f"{len(kpis)} KPI(s), {len(args.floors)} floor(s)"
+    )
+    for name, value in sorted(kpis.items()):
+        print(f"  {name} = {value:.2f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

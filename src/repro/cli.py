@@ -17,6 +17,9 @@ a shell (or a Makefile) without writing Python::
     tpms-energy fleet --scenario exp.json \\
         --vehicles 500 --seed 42 --workers 4               # population simulation
     tpms-energy fleet --fleet winter.json --export agg.csv # explicit fleet doc
+    tpms-energy fleet --scenario exp.json \\
+        --checkpoint ckpt/ --retries 2 --package pkg/      # resumable, packaged
+    tpms-energy validate-run pkg/                          # CI regression gate
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -46,7 +49,9 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import math
 import sys
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -63,6 +68,7 @@ from repro.optimization.apply import apply_assignments
 from repro.optimization.selection import select_techniques
 from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
+from repro.runpkg import validate_run_package, write_run_package
 from repro.scenario.registry import (
     ARCHITECTURES,
     DRIVE_CYCLES,
@@ -286,6 +292,63 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH.{csv,json}",
         help="export the per-vehicle rows",
     )
+    fleet.add_argument(
+        "--chunk-vehicles",
+        type=int,
+        default=None,
+        metavar="N",
+        help="vehicles per work chunk (checkpoint/streaming granularity)",
+    )
+    fleet.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="journal completed chunks in DIR; rerunning with the same "
+        "fleet/seed/parameters resumes byte-identically",
+    )
+    fleet.add_argument(
+        "--max-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="compute at most N new chunks this run (requires --checkpoint "
+        "to be useful); the run is reported as partial",
+    )
+    fleet.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="per-vehicle retry budget for transient worker failures; "
+        "failed vehicles are reported instead of aborting the fleet",
+    )
+    fleet.add_argument(
+        "--package",
+        default=None,
+        metavar="DIR",
+        help="write a validated run package (spec + seed + environment + "
+        "digests + KPIs) to DIR; refused for partial runs",
+    )
+    fleet.add_argument(
+        "--kpi-floor",
+        dest="kpi_floors",
+        action="append",
+        default=[],
+        metavar="NAME=MIN",
+        help="record a minimum acceptable value for a summary KPI in the "
+        "run package (repeatable; requires --package)",
+    )
+
+    validate = subparsers.add_parser(
+        "validate-run",
+        help="re-validate run packages: schema, artifact digests, KPI floors",
+    )
+    validate.add_argument(
+        "packages",
+        nargs="+",
+        metavar="DIR",
+        help="run package directories (each holding a package.json)",
+    )
 
     subparsers.add_parser(
         "scenarios", help="list the registered scenario components and grid axes"
@@ -395,6 +458,24 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_kpi_floors(entries: Sequence[str]) -> dict[str, float]:
+    """Parse repeated ``--kpi-floor NAME=MIN`` options."""
+    floors: dict[str, float] = {}
+    for entry in entries:
+        name, separator, value = entry.partition("=")
+        name = name.strip()
+        try:
+            floor = float(value)
+        except ValueError:
+            floor = float("nan")
+        if not separator or not name or math.isnan(floor):
+            raise ConfigError(f"malformed --kpi-floor {entry!r}; expected NAME=MIN")
+        if name in floors:
+            raise ConfigError(f"KPI {name!r} given more than once in --kpi-floor")
+        floors[name] = floor
+    return floors
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     for path in (args.export, args.export_survival, args.export_vehicles):
         _validate_export_path(path)
@@ -405,14 +486,24 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "--backend process needs --workers greater than 1 "
             "(a single worker runs sequentially in this process)"
         )
+    if args.kpi_floors and args.package is None:
+        raise ConfigError("--kpi-floor requires --package")
+    floors = _parse_kpi_floors(args.kpi_floors)
     if args.fleet_path is not None:
         fleet = load_fleet(args.fleet_path)
     else:
         fleet = FleetSpec.from_base(load_scenario(args.scenario))
-    fleet = fleet.with_population(vehicles=args.vehicles, seed=args.seed)
+    fleet = fleet.with_population(
+        vehicles=args.vehicles, seed=args.seed, chunk_vehicles=args.chunk_vehicles
+    )
 
     runner = FleetRunner(
-        fleet, workers=args.workers, backend=args.backend or "thread"
+        fleet,
+        workers=args.workers,
+        backend=args.backend or "thread",
+        checkpoint=args.checkpoint,
+        max_chunks=args.max_chunks,
+        retries=args.retries,
     )
     result = runner.run()
     print(f"fleet {fleet.name}: {fleet.describe()}")
@@ -428,12 +519,87 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{metadata['wall_time_s']:.2f} s on {metadata['workers']} worker(s) "
         f"({metadata['backend']} backend)"
     )
+    if metadata["resumed_chunks"]:
+        print(
+            f"resumed {metadata['resumed_chunks']} chunk(s) "
+            f"({metadata['resumed_vehicles']} vehicle(s)) from {metadata['checkpoint']}"
+        )
+    if metadata["partial"]:
+        print(
+            f"PARTIAL run: {metadata['chunks_completed']}/{metadata['chunks_total']} "
+            f"chunk(s) done, {metadata['vehicles_failed']} vehicle(s) failed"
+            + (
+                f"; rerun with --checkpoint {metadata['checkpoint']} to continue"
+                if metadata["checkpoint"]
+                else ""
+            )
+        )
     if args.export:
         _export_rows([dict(result.summary)], args.export)
     if args.export_survival:
         _export_rows([dict(row) for row in result.survival], args.export_survival)
     if args.export_vehicles:
         _export_rows([dict(row) for row in result.vehicle_rows], args.export_vehicles)
+    if args.package:
+        if metadata["partial"]:
+            raise ConfigError(
+                "refusing to package a partial run "
+                f"({metadata['chunks_completed']}/{metadata['chunks_total']} chunk(s), "
+                f"{metadata['vehicles_failed']} failed vehicle(s)); "
+                "finish the run first, then package"
+            )
+        package_dir = Path(args.package)
+        package_dir.mkdir(parents=True, exist_ok=True)
+        rows_to_json([dict(result.summary)], str(package_dir / "summary.json"))
+        rows_to_json([dict(row) for row in result.survival], str(package_dir / "survival.json"))
+        artifacts = {
+            "summary.json": package_dir / "summary.json",
+            "survival.json": package_dir / "survival.json",
+        }
+        if result.vehicle_rows is not None:
+            rows_to_json(
+                [dict(row) for row in result.vehicle_rows],
+                str(package_dir / "vehicles.json"),
+            )
+            artifacts["vehicles.json"] = package_dir / "vehicles.json"
+        kpis = {
+            key: float(value)
+            for key, value in result.summary.items()
+            if isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and math.isfinite(value)
+        }
+        manifest_path = write_run_package(
+            package_dir,
+            kind="fleet",
+            name=fleet.name,
+            spec_document=fleet.to_dict(),
+            seed=fleet.seed,
+            kpis=kpis,
+            floors=floors,
+            artifacts=artifacts,
+            extra={
+                "wall_time_s": metadata["wall_time_s"],
+                "chunks": metadata["chunks_total"],
+                "resumed_chunks": metadata["resumed_chunks"],
+            },
+            workers=metadata["workers"],
+            backend=metadata["backend"],
+        )
+        print(f"\nwrote run package {manifest_path.parent} ({len(kpis)} KPI(s), "
+              f"{len(floors)} floor(s))")
+    return 0
+
+
+def _cmd_validate_run(args: argparse.Namespace) -> int:
+    for directory in args.packages:
+        summary = validate_run_package(directory)
+        print(
+            f"ok: {directory} — run {summary['run_id']} "
+            f"({summary['kind']}/{summary['name']}): "
+            f"{summary['artifacts']} artifact(s), {summary['kpis']} KPI(s), "
+            f"{summary['floors']} floor(s) checked"
+        )
     return 0
 
 
@@ -614,6 +780,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "fleet": _cmd_fleet,
+    "validate-run": _cmd_validate_run,
     "scenarios": _cmd_scenarios,
     "cycles": _cmd_cycles,
     "architectures": _cmd_architectures,

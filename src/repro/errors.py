@@ -46,6 +46,28 @@ class EmulationError(ReproError):
     """The long-window emulator detected an inconsistent state."""
 
 
+class EngineError(ReproError):
+    """The chunked execution engine lost work it could not recover.
+
+    Raised when a worker process dies (or an item keeps failing) beyond the
+    engine's configured retry budget; the message names the in-flight item
+    indices so a checkpointed run knows exactly what was lost.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint directory is unusable: wrong run, corrupt, or incomplete.
+
+    Every message is a one-line actionable diagnosis (different run key,
+    digest mismatch, missing journal file) — resuming never silently
+    reuses a journal it cannot fully trust.
+    """
+
+
+class PackageError(ReproError):
+    """A run package failed validation (schema, artifact digest, KPI floor)."""
+
+
 class AnalysisError(ReproError):
     """An analysis step (balance, break-even, operating windows) failed."""
 

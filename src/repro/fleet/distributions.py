@@ -126,11 +126,40 @@ class Distribution(ABC):
     must consume a deterministic number of generator calls for a given
     ``count`` so downstream draws stay aligned whichever kinds a document
     mixes.
+
+    Chunked materialization splits a population into independently
+    reproducible chunks, each sampled from its own generator.  Kinds with a
+    population-wide component (the fleet-shared climate draw of
+    ``correlated-normal``) override :meth:`shared_state` to pull that
+    component from the *fleet* generator once, and :meth:`sample_with_shared`
+    to fold it into every chunk — so correlation spans chunk boundaries
+    while each chunk stays a pure function of (seed, document, chunk index).
     """
 
     @abstractmethod
     def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
         """Draw ``count`` values from ``rng``."""
+
+    def shared_state(self, rng: np.random.Generator) -> object | None:
+        """Draw the population-wide component of this distribution, if any.
+
+        Called once per materialization with the fleet-level generator,
+        *before* any chunk is sampled.  The default has no shared component
+        and consumes **no** generator draws (so kinds without one never
+        perturb the fleet stream).
+        """
+        return None
+
+    def sample_with_shared(
+        self, rng: np.random.Generator, count: int, shared: object | None = None
+    ) -> np.ndarray:
+        """Draw ``count`` values from ``rng`` given a :meth:`shared_state`.
+
+        The default ignores ``shared`` (there is none) and delegates to
+        :meth:`sample`, so existing third-party kinds work on the chunked
+        path unchanged.
+        """
+        return self.sample(rng, count)
 
 
 def _require_finite(name: str, value: object) -> float:
@@ -243,9 +272,23 @@ class CorrelatedNormalDistribution(Distribution):
             raise ConfigError("correlated-normal correlation must lie in [0, 1]")
 
     def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
-        shared = rng.normal()
+        return self.sample_with_shared(rng, count)
+
+    def shared_state(self, rng: np.random.Generator) -> float:
+        """The season: one fleet-wide standard-normal draw shared by every chunk."""
+        return float(rng.normal())
+
+    def sample_with_shared(
+        self, rng: np.random.Generator, count: int, shared: object | None = None
+    ) -> np.ndarray:
+        if shared is None:
+            # Single-stream path (eager sampling, Monte-Carlo): the shared
+            # component rides the same generator, one draw ahead of the noise.
+            shared = rng.normal()
         noise = rng.normal(size=count)
-        mix = math.sqrt(self.correlation) * shared + math.sqrt(1.0 - self.correlation) * noise
+        mix = math.sqrt(self.correlation) * float(shared) + (
+            math.sqrt(1.0 - self.correlation) * noise
+        )
         return self.mean + self.std * mix
 
 

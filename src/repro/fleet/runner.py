@@ -54,6 +54,7 @@ from repro.fleet.aggregate import (
 )
 from repro.fleet.spec import FleetSpec, FleetVehicle
 from repro.scavenger.storage import scaled_storage, trajectory
+from repro.scenario.checkpoint import CheckpointStore
 from repro.scenario.engine import ChunkedEngine
 from repro.scenario.spec import ScenarioSpec
 
@@ -443,6 +444,18 @@ class FleetRunner:
             aggregates streaming-only).
         record_interval_s: state-log sampling interval of each vehicle.
         idle_step_s: stationary-time step of each vehicle.
+        checkpoint: optional checkpoint directory.  Completed vehicle chunks
+            are journaled there (crash-safe, see
+            :class:`~repro.scenario.checkpoint.CheckpointStore`); rerunning
+            with the same fleet/seed/parameters replays journaled chunks and
+            computes only the rest — byte-identical to an uninterrupted run.
+        max_chunks: stop after computing this many NEW chunks this run
+            (replayed chunks are free); the result is marked partial.
+        retries: per-vehicle retry budget for transient worker failures
+            (exceptions and process-worker death).  With ``retries > 0`` the
+            run degrades gracefully — failed vehicles are reported on the
+            result metadata instead of aborting the whole fleet.
+        retry_backoff_s: pause before each retry.
     """
 
     def __init__(
@@ -454,6 +467,10 @@ class FleetRunner:
         keep_vehicle_rows: bool = True,
         record_interval_s: float = 1.0,
         idle_step_s: float = 1.0,
+        checkpoint: str | None = None,
+        max_chunks: int | None = None,
+        retries: int = 0,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if not isinstance(fleet, FleetSpec):
             raise ConfigError(f"a fleet runner needs a FleetSpec, got {type(fleet).__name__}")
@@ -468,77 +485,121 @@ class FleetRunner:
         self.keep_vehicle_rows = keep_vehicle_rows
         self.record_interval_s = record_interval_s
         self.idle_step_s = idle_step_s
-        # Validates workers/backend eagerly (same rules as studies).
-        self._engine = ChunkedEngine(workers=workers, backend=backend)
+        self.checkpoint = checkpoint
+        self.max_chunks = max_chunks
+        # Validates workers/backend/retries eagerly (same rules as studies).
+        # Failed vehicles are collected (not raised) whenever a retry budget
+        # is given: a caller asking for degradation wants the partial fleet.
+        self._engine = ChunkedEngine(
+            workers=workers,
+            backend=backend,
+            retries=retries,
+            retry_backoff_s=retry_backoff_s,
+            failure_mode="collect" if retries > 0 else "raise",
+        )
         self.evaluator_builds = 0
 
     # -- shared-state construction ------------------------------------------
 
-    def _build_shared_state(self, vehicles: list[FleetVehicle]):
-        """Groups, cohort tables, standstill memos and the cross-vehicle sweep."""
+    def _build_shared_state(self, chunks):
+        """Groups, cohort tables, standstill memos and the cross-vehicle sweep.
+
+        One streaming discovery pass: vehicles arrive chunk by chunk and are
+        *discarded* after inspection — the parent only retains the per-group
+        and per-cohort structures (whose cardinality is bounded by the
+        distinct (architecture, cycle, scale, temperature) combinations, not
+        by the population size).  Group/cohort/bin insertion order matches
+        the vehicle order exactly, so the cross-vehicle sweep sees the same
+        bin sequence an eagerly materialized population would produce.
+        """
         groups: dict[str, tuple] = {}
         probes: dict[str, NodeEmulator] = {}
         tables: dict[str, _CohortTable] = {}
-        for vehicle in vehicles:
-            spec = vehicle.scenario
-            gkey = _group_key(spec)
-            if gkey not in groups:
-                groups[gkey] = spec.build_components()
-                self.evaluator_builds += 1
-            ckey = _cohort_key(vehicle)
-            if ckey not in tables:
-                node, database, evaluator = groups[gkey]
-                probe = probes.get(gkey)
-                if probe is None:
-                    probe = NodeEmulator(
-                        node,
-                        database,
-                        spec.build_scavenger(),
-                        spec.build_storage(),
-                        base_point=spec.operating_point(),
-                        evaluator=evaluator,
+        standstill: dict[str, dict[int, float]] = {}
+        pending: dict[str, dict] = {}
+        for chunk in chunks:
+            for vehicle in chunk:
+                spec = vehicle.scenario
+                gkey = _group_key(spec)
+                if gkey not in groups:
+                    groups[gkey] = spec.build_components()
+                    standstill[gkey] = {}
+                    pending[gkey] = {}
+                    self.evaluator_builds += 1
+                ckey = _cohort_key(vehicle)
+                table = tables.get(ckey)
+                if table is None:
+                    node, database, evaluator = groups[gkey]
+                    probe = probes.get(gkey)
+                    if probe is None:
+                        probe = NodeEmulator(
+                            node,
+                            database,
+                            spec.build_scavenger(),
+                            spec.build_storage(),
+                            base_point=spec.operating_point(),
+                            evaluator=evaluator,
+                        )
+                        probes[gkey] = probe
+                    cycle = spec.build_drive_cycle().scaled(vehicle.speed_scale)
+                    table = _build_cohort_table(
+                        probe, cycle, self.record_interval_s, self.idle_step_s
                     )
-                    probes[gkey] = probe
-                cycle = spec.build_drive_cycle().scaled(vehicle.speed_scale)
-                tables[ckey] = _build_cohort_table(
-                    probe, cycle, self.record_interval_s, self.idle_step_s
-                )
+                    tables[ckey] = table
+                temp_bin = temperature_bin(spec.temperature_c)
+                if temp_bin not in standstill[gkey]:
+                    standstill[gkey][temp_bin] = probes[gkey]._standstill_power(
+                        temperature_bin_center_c(temp_bin)
+                    )
+                if table.fallback:
+                    continue
+                group_pending = pending[gkey]
+                for speed_key, pattern, eval_speed, schedule in table.unique_bins:
+                    key = (speed_key, temp_bin, *pattern)
+                    if key not in group_pending:
+                        group_pending[key] = (
+                            eval_speed,
+                            temperature_bin_center_c(temp_bin),
+                            schedule,
+                        )
 
         # ONE cross-vehicle sweep per group: the union of quantized bins over
         # every vehicle of the group, evaluated in a single batch call.
-        bins: dict[str, dict] = {gkey: {} for gkey in groups}
-        standstill: dict[str, dict[int, float]] = {gkey: {} for gkey in groups}
-        pending: dict[str, dict] = {gkey: {} for gkey in groups}
-        for vehicle in vehicles:
-            gkey = _group_key(vehicle.scenario)
-            table = tables[_cohort_key(vehicle)]
-            temp_bin = temperature_bin(vehicle.scenario.temperature_c)
-            if temp_bin not in standstill[gkey]:
-                standstill[gkey][temp_bin] = probes[gkey]._standstill_power(
-                    temperature_bin_center_c(temp_bin)
-                )
-            if table.fallback:
-                continue
-            group_pending = pending[gkey]
-            for speed_key, pattern, eval_speed, schedule in table.unique_bins:
-                key = (speed_key, temp_bin, *pattern)
-                if key not in group_pending:
-                    group_pending[key] = (
-                        eval_speed,
-                        temperature_bin_center_c(temp_bin),
-                        schedule,
-                    )
+        bins: dict[str, dict] = {}
         for gkey, group_pending in pending.items():
             bins[gkey] = probes[gkey].evaluate_energy_bins(group_pending)
         return groups, tables, bins, standstill
 
     # -- execution ----------------------------------------------------------
 
+    def checkpoint_key(self) -> dict[str, object]:
+        """The run-identifying document journaled checkpoints are keyed by.
+
+        Everything that shapes a vehicle row is in here — the full fleet
+        document (population + chunking), and the runner parameters the
+        kernels read — so a checkpoint directory can never silently resume
+        under different results.
+        """
+        return {
+            "kind": "fleet",
+            "fleet": self.fleet.to_dict(),
+            "record_interval_s": self.record_interval_s,
+            "idle_step_s": self.idle_step_s,
+            "survival_buckets": self.survival_buckets,
+        }
+
     def run(self) -> FleetResult:
-        """Materialize, share, fan out, aggregate."""
+        """Discover (streaming), share, fan out chunk by chunk, aggregate."""
         fleet = self.fleet
-        vehicles = fleet.materialize()
-        groups, tables, bins, standstill = self._build_shared_state(vehicles)
+        # Discovery pass: stream the population once to find the groups,
+        # cohorts and energy bins; individual vehicles are discarded, so the
+        # parent never holds more than one chunk of them.
+        groups, tables, bins, standstill = self._build_shared_state(fleet.iter_chunks())
+        store = (
+            CheckpointStore(self.checkpoint, self.checkpoint_key())
+            if self.checkpoint is not None
+            else None
+        )
 
         accumulator = FleetAccumulator(
             buckets=self.survival_buckets,
@@ -603,10 +664,12 @@ class FleetRunner:
             _SHARED_STANDSTILL.clear()
             _SHARED_STANDSTILL.update(standstill)
         try:
-            report = self._engine.run(
-                vehicles,
+            report = self._engine.run_chunks(
+                fleet.iter_chunks(),
                 kernel,
                 lambda _index, outcome: accumulator.add(outcome),
+                checkpoint=store,
+                max_new_chunks=self.max_chunks,
                 process_worker=_process_vehicle,
                 process_payload=payload,
             )
@@ -619,7 +682,8 @@ class FleetRunner:
                 _SHARED_BINS.clear()
                 _SHARED_STANDSTILL.clear()
 
-        shared_bin_count = sum(len(store) for store in bins.values())
+        shared_bin_count = sum(len(group_bins) for group_bins in bins.values())
+        partial = report.stopped_early or bool(report.failures)
         metadata = {
             "kind": "fleet",
             "fleet": fleet.name,
@@ -641,6 +705,18 @@ class FleetRunner:
             "engine_backend": report.backend,
             "wall_time_s": report.wall_time_s,
             "vehicle_wall_times_s": report.item_wall_times_s,
+            "chunk_vehicles": fleet.chunk_vehicles,
+            "chunks_total": fleet.chunk_count(),
+            "chunks_completed": report.chunks,
+            "resumed_chunks": report.resumed_chunks,
+            "resumed_vehicles": report.resumed_items,
+            "vehicles_run": report.items,
+            "vehicles_failed": len(report.failures),
+            "failures": [failure.to_dict() for failure in report.failures],
+            "retries": report.retries,
+            "pool_rebuilds": report.pool_rebuilds,
+            "partial": partial,
+            "checkpoint": self.checkpoint,
         }
         return FleetResult(
             name=fleet.name,

@@ -130,6 +130,11 @@ class FleetSpec:
             materialized cycle — the fleet runner's cohort axis — so the
             quantum trades resolution of the drive-style axis against
             fleet-level throughput; ``0`` keeps the exact draws.
+        chunk_vehicles: vehicles per materialization chunk.  Part of the
+            document (it shapes the per-chunk sample draws), so chunked
+            materialization stays a pure function of (seed, document, chunk
+            index); it also bounds the runner's resident vehicle buffer and
+            sets the checkpoint granularity.
         distributions: mapping of :data:`FLEET_TARGETS` entries to
             :class:`~repro.fleet.distributions.DistributionSpec` references
             (stored as a sorted tuple of pairs so equal documents compare
@@ -141,6 +146,7 @@ class FleetSpec:
     vehicles: int = 200
     seed: int = 2011
     scale_quantum: float = 0.05
+    chunk_vehicles: int = 64
     distributions: tuple[tuple[str, DistributionSpec], ...] = ()
 
     # -- validation ---------------------------------------------------------
@@ -171,6 +177,12 @@ class FleetSpec:
             or self.scale_quantum < 0.0
         ):
             raise ConfigError("fleet scale_quantum must be a non-negative finite number")
+        if (
+            not isinstance(self.chunk_vehicles, int)
+            or isinstance(self.chunk_vehicles, bool)
+            or self.chunk_vehicles < 1
+        ):
+            raise ConfigError("fleet chunk_vehicles must be a positive integer")
 
         entries = self.distributions
         if isinstance(entries, Mapping):
@@ -220,6 +232,7 @@ class FleetSpec:
         vehicles: int = 200,
         seed: int = 2011,
         name: str | None = None,
+        chunk_vehicles: int = 64,
     ) -> "FleetSpec":
         """A fleet around ``base`` with the default population distributions."""
         return cls(
@@ -227,6 +240,7 @@ class FleetSpec:
             base=base,
             vehicles=vehicles,
             seed=seed,
+            chunk_vehicles=chunk_vehicles,
             distributions=tuple(default_fleet_distributions(base).items()),
         )
 
@@ -248,6 +262,7 @@ class FleetSpec:
             "vehicles": self.vehicles,
             "seed": self.seed,
             "scale_quantum": self.scale_quantum,
+            "chunk_vehicles": self.chunk_vehicles,
             "base": self.base.to_dict(),
             "distributions": {
                 target: spec.to_dict() for target, spec in self.distributions
@@ -259,7 +274,15 @@ class FleetSpec:
         """Build a validated fleet spec from a plain dict (e.g. parsed JSON)."""
         if not isinstance(document, Mapping):
             raise ConfigError(f"a fleet document must be a mapping, got {type(document).__name__}")
-        known = {"name", "vehicles", "seed", "scale_quantum", "base", "distributions"}
+        known = {
+            "name",
+            "vehicles",
+            "seed",
+            "scale_quantum",
+            "chunk_vehicles",
+            "base",
+            "distributions",
+        }
         unknown = set(document) - known
         if unknown:
             raise ConfigError(
@@ -280,49 +303,122 @@ class FleetSpec:
         target.write_text(self.to_json() + "\n", encoding="utf-8")
         return target
 
-    def with_population(self, vehicles: int | None = None, seed: int | None = None) -> "FleetSpec":
-        """A copy with the population size and/or seed overridden."""
+    def with_population(
+        self,
+        vehicles: int | None = None,
+        seed: int | None = None,
+        chunk_vehicles: int | None = None,
+    ) -> "FleetSpec":
+        """A copy with the population size, seed and/or chunk size overridden."""
         changes: dict[str, object] = {}
         if vehicles is not None:
             changes["vehicles"] = vehicles
         if seed is not None:
             changes["seed"] = seed
+        if chunk_vehicles is not None:
+            changes["chunk_vehicles"] = chunk_vehicles
         return replace(self, **changes) if changes else self
 
     # -- materialization ----------------------------------------------------
+    #
+    # The population is sampled chunk by chunk: chunk ``c`` (of
+    # ``chunk_vehicles`` vehicles) draws from its own generator seeded
+    # ``(seed, document digest, c)``, while distribution kinds with a
+    # population-wide component (the correlated-normal climate draw) pull it
+    # once from the fleet-level generator ``(seed, document digest)``.  Every
+    # chunk is therefore a pure function of (seed, fleet document, chunk
+    # index) — reproducible in isolation, which is what checkpointed resume
+    # and the streaming runner rest on — and the concatenation of all chunks
+    # IS the population (``materialize()`` is that concatenation, kept as the
+    # eager reference the chunking property tests compare against).
+
+    def document_digest(self) -> int:
+        """CRC digest of the fleet document, the seed-stream discriminator."""
+        return zlib.crc32(self.to_json().encode("utf-8"))
 
     def rng(self) -> np.random.Generator:
-        """The deterministic generator of this fleet.
+        """The fleet-level deterministic generator.
 
         Seeded from the fleet seed plus a digest of the fleet document
         (mirroring the Monte-Carlo ``(seed, scenario document)`` stream
         derivation), so materialization is a pure function of the document —
-        independent of worker counts, backends and execution order.
+        independent of worker counts, backends and execution order.  Chunk
+        generators extend the same seed tuple with the chunk index; this
+        fleet-level stream only feeds the population-wide shared draws.
         """
-        digest = zlib.crc32(self.to_json().encode("utf-8"))
-        return np.random.default_rng((self.seed, digest))
+        return np.random.default_rng((self.seed, self.document_digest()))
 
-    def materialize(self) -> list[FleetVehicle]:
-        """Draw the whole population: one :class:`FleetVehicle` per vehicle.
+    def chunk_rng(self, chunk_index: int) -> np.random.Generator:
+        """The generator of one chunk: seeded (seed, document digest, chunk)."""
+        return np.random.default_rng((self.seed, self.document_digest(), chunk_index))
+
+    def chunk_count(self) -> int:
+        """Number of materialization chunks (the last one may be short)."""
+        return -(-self.vehicles // self.chunk_vehicles)
+
+    def chunk_bounds(self, chunk_index: int) -> tuple[int, int]:
+        """The ``(first vehicle index, vehicle count)`` of one chunk."""
+        total = self.chunk_count()
+        if (
+            not isinstance(chunk_index, int)
+            or isinstance(chunk_index, bool)
+            or not 0 <= chunk_index < total
+        ):
+            raise ConfigError(
+                f"chunk index must be an integer in [0, {total}), got {chunk_index!r}"
+            )
+        start = chunk_index * self.chunk_vehicles
+        return start, min(self.chunk_vehicles, self.vehicles - start)
+
+    def _samplers(self) -> dict[str, object]:
+        """Built distribution samplers of the configured targets."""
+        configured = dict(self.distributions)
+        return {
+            target: configured[target].build()
+            for target in FLEET_TARGETS
+            if target in configured
+        }
+
+    def _shared_states(self, samplers: Mapping[str, object]) -> dict[str, object]:
+        """Population-wide components, drawn once in fixed target order."""
+        rng = self.rng()
+        return {
+            target: samplers[target].shared_state(rng)
+            for target in FLEET_TARGETS
+            if target in samplers
+        }
+
+    def _sample_chunk(
+        self,
+        samplers: Mapping[str, object],
+        shared: Mapping[str, object],
+        chunk_index: int,
+        count: int,
+    ) -> dict[str, np.ndarray]:
+        """Draw one chunk's target arrays from the chunk's own generator.
 
         Targets are sampled in the fixed :data:`FLEET_TARGETS` order (absent
         targets draw nothing), so adding a distribution never perturbs the
         draws of the targets before it.
         """
-        count = self.vehicles
-        rng = self.rng()
-        configured = dict(self.distributions)
+        rng = self.chunk_rng(chunk_index)
         samples: dict[str, np.ndarray] = {}
         for target in FLEET_TARGETS:
-            spec = configured.get(target)
-            if spec is not None:
-                samples[target] = spec.build().sample(rng, count)
+            sampler = samplers.get(target)
+            if sampler is not None:
+                samples[target] = sampler.sample_with_shared(rng, count, shared.get(target))
+        return samples
 
+    def _vehicles_from_samples(
+        self, start: int, count: int, samples: Mapping[str, np.ndarray]
+    ) -> list[FleetVehicle]:
+        """Build the vehicles of one chunk from its sampled target arrays."""
         low_t, high_t = TEMPERATURE_RANGE_C
         vehicles: list[FleetVehicle] = []
-        digits = len(str(count - 1)) if count > 1 else 1
-        for index in range(count):
-            scale = float(samples["speed_scale"][index]) if "speed_scale" in samples else 1.0
+        digits = len(str(self.vehicles - 1)) if self.vehicles > 1 else 1
+        for offset in range(count):
+            index = start + offset
+            scale = float(samples["speed_scale"][offset]) if "speed_scale" in samples else 1.0
             if scale <= 0.0:
                 raise ConfigError(
                     f"fleet speed_scale distribution produced {scale!r}; "
@@ -334,17 +430,17 @@ class FleetSpec:
                     self.scale_quantum,
                 )
             temperature = (
-                float(np.clip(samples["temperature_c"][index], low_t, high_t))
+                float(np.clip(samples["temperature_c"][offset], low_t, high_t))
                 if "temperature_c" in samples
                 else self.base.temperature_c
             )
             size_factor = (
-                float(samples["scavenger_size"][index])
+                float(samples["scavenger_size"][offset])
                 if "scavenger_size" in samples
                 else 1.0
             )
             storage_scale = (
-                float(samples["storage_capacity"][index])
+                float(samples["storage_capacity"][offset])
                 if "storage_capacity" in samples
                 else 1.0
             )
@@ -357,7 +453,7 @@ class FleetSpec:
                 size=self.base.scavenger_size * size_factor,
             )
             if "drive_cycle" in samples:
-                cycle_ref = ComponentRef.coerce(samples["drive_cycle"][index], "drive_cycle")
+                cycle_ref = ComponentRef.coerce(samples["drive_cycle"][offset], "drive_cycle")
                 scenario = scenario.with_axis("drive_cycle", cycle_ref)
             vehicles.append(
                 FleetVehicle(
@@ -368,6 +464,50 @@ class FleetSpec:
                     scenario=scenario,
                 )
             )
+        return vehicles
+
+    def materialize_chunk(self, chunk_index: int) -> list[FleetVehicle]:
+        """Draw ONE chunk of the population, reproducible in isolation.
+
+        A pure function of ``(seed, fleet document, chunk_index)``: a resumed
+        run (or a remote worker handed only the document and a chunk index)
+        rebuilds exactly the vehicles an uninterrupted run would have drawn
+        for that chunk, without sampling any other chunk.
+        """
+        samplers = self._samplers()
+        shared = self._shared_states(samplers)
+        start, count = self.chunk_bounds(chunk_index)
+        samples = self._sample_chunk(samplers, shared, chunk_index, count)
+        return self._vehicles_from_samples(start, count, samples)
+
+    def iter_chunks(self):
+        """Stream the population as chunk lists of ≤ ``chunk_vehicles`` vehicles.
+
+        The generator the fleet runner consumes: at most one chunk of
+        vehicles is resident at a time, and the concatenation of the yielded
+        chunks equals :meth:`materialize` vehicle for vehicle (samplers and
+        shared states are built once and reused, which cannot change the
+        draws — each chunk still samples from its own generator).
+        """
+        samplers = self._samplers()
+        shared = self._shared_states(samplers)
+        for chunk_index in range(self.chunk_count()):
+            start, count = self.chunk_bounds(chunk_index)
+            samples = self._sample_chunk(samplers, shared, chunk_index, count)
+            yield self._vehicles_from_samples(start, count, samples)
+
+    def materialize(self) -> list[FleetVehicle]:
+        """Draw the whole population: one :class:`FleetVehicle` per vehicle.
+
+        The eager reference path: every chunk is drawn independently through
+        :meth:`materialize_chunk` and concatenated, so this is by
+        construction what the streaming/chunked paths must reproduce
+        (property-tested).  Prefer :meth:`iter_chunks` at fleet scale — this
+        buffer is O(population).
+        """
+        vehicles: list[FleetVehicle] = []
+        for chunk_index in range(self.chunk_count()):
+            vehicles.extend(self.materialize_chunk(chunk_index))
         return vehicles
 
     def describe(self) -> str:

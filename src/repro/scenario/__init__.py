@@ -35,7 +35,8 @@ from repro.scenario.registry import (
     register_scavenger,
     register_storage,
 )
-from repro.scenario.engine import ChunkedEngine, EngineReport
+from repro.scenario.checkpoint import CheckpointStore
+from repro.scenario.engine import ChunkedEngine, EngineFailure, EngineReport
 from repro.scenario.montecarlo import MonteCarloConfig, MonteCarloDraws
 from repro.scenario.spec import ComponentRef, ScenarioSpec, load_scenario
 from repro.scenario.study import STUDY_KINDS, Study, StudyResult, run_study
@@ -48,7 +49,9 @@ __all__ = [
     "StudyResult",
     "run_study",
     "STUDY_KINDS",
+    "CheckpointStore",
     "ChunkedEngine",
+    "EngineFailure",
     "EngineReport",
     "MonteCarloConfig",
     "MonteCarloDraws",

@@ -1,0 +1,123 @@
+"""CheckpointStore: crash-safe journaling, digests, one-line failure modes."""
+
+import json
+import math
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.scenario.checkpoint import CheckpointStore
+
+
+KEY = {"kind": "test", "seed": 7, "spec": {"name": "x"}}
+
+
+class TestCheckpointStore:
+    def test_fresh_directory_writes_manifest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", KEY)
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest["key_sha256"] == store.key_sha256
+        assert manifest["chunks"] == {}
+        assert store.completed_chunks == ()
+
+    def test_record_and_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        results = [{"value": 1.5}, {"value": 2.25}]
+        store.record_chunk(0, results=results, wall_times_s=[0.1, 0.2])
+        assert store.has_chunk(0)
+        assert not store.has_chunk(1)
+        loaded, wall_times, failures = store.load_chunk(0, expected_items=2)
+        assert loaded == results
+        assert wall_times == [0.1, 0.2]
+        assert failures == []
+
+    def test_reopen_sees_journaled_chunks(self, tmp_path):
+        CheckpointStore(tmp_path, KEY).record_chunk(3, results=[1], wall_times_s=[0.0])
+        reopened = CheckpointStore(tmp_path, KEY)
+        assert reopened.completed_chunks == (3,)
+        assert reopened.load_chunk(3)[0] == [1]
+
+    def test_nan_round_trips(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        store.record_chunk(0, results=[{"v": float("nan")}], wall_times_s=[0.0])
+        loaded, _, _ = CheckpointStore(tmp_path, KEY).load_chunk(0)
+        assert math.isnan(loaded[0]["v"])
+
+    def test_float_values_round_trip_exactly(self, tmp_path):
+        values = [0.1, 1e-300, 2**53 - 1.0, -3.141592653589793]
+        store = CheckpointStore(tmp_path, KEY)
+        store.record_chunk(0, results=values, wall_times_s=[0.0] * 4)
+        assert CheckpointStore(tmp_path, KEY).load_chunk(0)[0] == values
+
+    def test_failures_are_journaled(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        failure = {"index": 1, "attempts": 2, "kind": "exception", "error": "boom"}
+        store.record_chunk(0, results=[5, None], wall_times_s=[0.1, 0.0], failures=[failure])
+        _, _, failures = CheckpointStore(tmp_path, KEY).load_chunk(0)
+        assert failures == [failure]
+
+    def test_different_key_is_refused(self, tmp_path):
+        CheckpointStore(tmp_path, KEY)
+        with pytest.raises(CheckpointError, match="belongs to a different run"):
+            CheckpointStore(tmp_path, {**KEY, "seed": 8})
+
+    def test_corrupt_manifest_is_one_line_actionable(self, tmp_path):
+        CheckpointStore(tmp_path, KEY)
+        (tmp_path / "manifest.json").write_text("{ truncated", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="not valid JSON.*delete the checkpoint"):
+            CheckpointStore(tmp_path, KEY)
+
+    def test_unsupported_version_is_refused(self, tmp_path):
+        CheckpointStore(tmp_path, KEY)
+        (tmp_path / "manifest.json").write_text(
+            json.dumps({"checkpoint": 99, "key_sha256": "x", "chunks": {}}),
+            encoding="utf-8",
+        )
+        with pytest.raises(CheckpointError, match="unsupported layout"):
+            CheckpointStore(tmp_path, KEY)
+
+    def test_truncated_chunk_file_fails_digest(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        path = store.record_chunk(0, results=[1, 2, 3], wall_times_s=[0.0] * 3)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(CheckpointError, match="corrupt \\(digest mismatch\\)"):
+            CheckpointStore(tmp_path, KEY).load_chunk(0)
+
+    def test_missing_chunk_file(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        path = store.record_chunk(0, results=[1], wall_times_s=[0.0])
+        path.unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            CheckpointStore(tmp_path, KEY).load_chunk(0)
+
+    def test_item_count_mismatch_names_the_cause(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        store.record_chunk(0, results=[1, 2], wall_times_s=[0.0, 0.0])
+        with pytest.raises(CheckpointError, match="run parameters changed"):
+            store.load_chunk(0, expected_items=5)
+
+    def test_unjournaled_chunk_load_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        with pytest.raises(CheckpointError, match="not journaled"):
+            store.load_chunk(4)
+
+    def test_orphan_chunk_file_is_not_blessed(self, tmp_path):
+        """A chunk file without a manifest entry (crash window) is recomputed."""
+        store = CheckpointStore(tmp_path, KEY)
+        (tmp_path / "chunk-00001.json").write_text('{"results": [9]}', encoding="utf-8")
+        assert not store.has_chunk(1)
+        assert not CheckpointStore(tmp_path, KEY).has_chunk(1)
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        store.record_chunk(0, results=[1], wall_times_s=[0.0])
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_unserializable_results_raise_checkpoint_error(self, tmp_path):
+        store = CheckpointStore(tmp_path, KEY)
+        with pytest.raises(CheckpointError, match="not JSON-serializable"):
+            store.record_chunk(0, results=[object()], wall_times_s=[0.0])
+
+    def test_key_must_be_canonical_json(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not canonical JSON"):
+            CheckpointStore(tmp_path, {"bad": object()})

@@ -154,3 +154,138 @@ class TestProcessBackend:
         )
         assert rows == [4]
         assert report.backend == "sequential"
+
+
+class _Flaky:
+    """Kernel failing the first ``fail_times`` calls per item."""
+
+    def __init__(self, fail_times: int):
+        self.fail_times = fail_times
+        self.calls: dict[object, int] = {}
+        self.lock = threading.Lock()
+
+    def __call__(self, item):
+        with self.lock:
+            count = self.calls.get(item, 0) + 1
+            self.calls[item] = count
+        if count <= self.fail_times:
+            raise ValueError(f"transient failure {count} on {item}")
+        return item * 2
+
+
+class TestRetries:
+    @pytest.mark.parametrize("bad", [-1, 1.5, True])
+    def test_invalid_retries_rejected(self, bad):
+        with pytest.raises(ConfigError, match="retries"):
+            ChunkedEngine(retries=bad)
+
+    def test_invalid_failure_mode_rejected(self):
+        with pytest.raises(ConfigError, match="failure_mode"):
+            ChunkedEngine(failure_mode="shrug")
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_transient_failures_retried_to_success(self, workers):
+        kernel = _Flaky(fail_times=2)
+        received = []
+        report = ChunkedEngine(workers=workers, retries=2, retry_backoff_s=0.0).run(
+            range(5), kernel, lambda i, r: received.append((i, r))
+        )
+        assert received == [(i, i * 2) for i in range(5)]
+        assert report.failures == ()
+        assert report.retries == 10  # 2 extra attempts x 5 items
+
+    def test_raise_mode_propagates_the_original_exception_type(self):
+        kernel = _Flaky(fail_times=5)
+        with pytest.raises(ValueError, match="transient failure"):
+            ChunkedEngine(retries=1, retry_backoff_s=0.0).run(
+                range(3), kernel, lambda i, r: None
+            )
+
+    def test_no_retries_behaves_like_the_pre_retry_engine(self):
+        def kernel(item):
+            raise KeyError(item)
+
+        with pytest.raises(KeyError):
+            ChunkedEngine().run(range(3), kernel, lambda i, r: None)
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_collect_mode_skips_failed_items_and_records_them(self, workers):
+        def kernel(item):
+            if item == 2:
+                raise RuntimeError("poisoned item")
+            return item
+
+        received = []
+        report = ChunkedEngine(
+            workers=workers, retries=1, retry_backoff_s=0.0, failure_mode="collect"
+        ).run(range(5), kernel, lambda i, r: received.append((i, r)))
+        assert received == [(0, 0), (1, 1), (3, 3), (4, 4)]
+        assert len(report.failures) == 1
+        failure = report.failures[0]
+        assert failure.index == 2
+        assert failure.attempts == 2
+        assert failure.kind == "exception"
+        assert "poisoned item" in failure.error
+        assert len(report.item_wall_times_s) == 5
+
+    def test_failure_round_trips_through_dict(self):
+        from repro.scenario.engine import EngineFailure
+
+        failure = EngineFailure(index=3, attempts=2, kind="worker-death", error="gone")
+        assert EngineFailure.from_dict(failure.to_dict()) == failure
+
+
+class TestRunChunks:
+    def test_invalid_max_new_chunks_rejected(self):
+        with pytest.raises(ConfigError, match="max_new_chunks"):
+            ChunkedEngine().run_chunks([[1]], lambda x: x, lambda i, r: None, max_new_chunks=0)
+
+    def test_global_indices_span_chunks(self):
+        received = []
+        report = ChunkedEngine().run_chunks(
+            [[1, 2], [3], [4, 5, 6]], lambda x: x * 10, lambda i, r: received.append((i, r))
+        )
+        assert received == [(0, 10), (1, 20), (2, 30), (3, 40), (4, 50), (5, 60)]
+        assert report.chunks == 3
+        assert report.items == 6
+        assert report.stopped_early is False
+
+    def test_max_new_chunks_stops_early(self):
+        received = []
+        report = ChunkedEngine().run_chunks(
+            [[1], [2], [3]], lambda x: x, lambda i, r: received.append(r), max_new_chunks=2
+        )
+        assert received == [1, 2]
+        assert report.chunks == 2
+        assert report.stopped_early is True
+
+    def test_lazy_chunk_iterator_is_consumed_incrementally(self):
+        produced = []
+
+        def chunks():
+            for index in range(3):
+                produced.append(index)
+                yield [index]
+
+        consumed_at_first_sink = []
+
+        def sink(i, r):
+            if not consumed_at_first_sink:
+                consumed_at_first_sink.append(list(produced))
+
+        ChunkedEngine().run_chunks(chunks(), lambda x: x, sink)
+        # Only the first chunk had been pulled when its result streamed out.
+        assert consumed_at_first_sink == [[0]]
+
+    def test_collect_failures_reindexed_globally(self):
+        def kernel(item):
+            if item == "bad":
+                raise RuntimeError("nope")
+            return item
+
+        received = []
+        report = ChunkedEngine(failure_mode="collect").run_chunks(
+            [["a", "b"], ["bad", "c"]], kernel, lambda i, r: received.append((i, r))
+        )
+        assert received == [(0, "a"), (1, "b"), (3, "c")]
+        assert [failure.index for failure in report.failures] == [2]

@@ -582,3 +582,127 @@ class TestFleetCommand:
             ["fleet", "--scenario", scenario_path, "--export", "out.txt"],
             "must end in .csv or .json",
         )
+
+
+class TestFleetResumeAndPackages:
+    @pytest.fixture
+    def scenario_path(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "cli-resume",
+                    "drive_cycle": {"name": "urban", "params": {"repetitions": 1}},
+                }
+            )
+        )
+        return str(path)
+
+    def _fleet_args(self, scenario_path):
+        return [
+            "fleet",
+            "--scenario",
+            scenario_path,
+            "--vehicles",
+            "8",
+            "--seed",
+            "3",
+            "--chunk-vehicles",
+            "3",
+        ]
+
+    def test_checkpointed_resume_matches_fresh_export(self, capsys, scenario_path, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        code = main(
+            self._fleet_args(scenario_path)
+            + ["--checkpoint", ckpt, "--max-chunks", "2"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PARTIAL run: 2/3 chunk(s) done" in output
+
+        resumed_path = tmp_path / "resumed.json"
+        code = main(
+            self._fleet_args(scenario_path)
+            + ["--checkpoint", ckpt, "--export", str(resumed_path)]
+        )
+        assert code == 0
+        assert "resumed 2 chunk(s) (6 vehicle(s))" in capsys.readouterr().out
+
+        fresh_path = tmp_path / "fresh.json"
+        assert main(self._fleet_args(scenario_path) + ["--export", str(fresh_path)]) == 0
+        assert resumed_path.read_bytes() == fresh_path.read_bytes()
+
+    def test_package_writes_and_validates(self, capsys, scenario_path, tmp_path):
+        package = str(tmp_path / "pkg")
+        code = main(
+            self._fleet_args(scenario_path)
+            + ["--package", package, "--kpi-floor", "surviving_at_end_pct=0"]
+        )
+        assert code == 0
+        assert "wrote run package" in capsys.readouterr().out
+
+        assert main(["validate-run", package]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_run_fails_on_tampered_artifact(self, capsys, scenario_path, tmp_path):
+        package = str(tmp_path / "pkg")
+        assert main(self._fleet_args(scenario_path) + ["--package", package]) == 0
+        capsys.readouterr()
+        summary = tmp_path / "pkg" / "summary.json"
+        summary.write_text(summary.read_text().replace("cli-resume", "doctored"))
+        assert main(["validate-run", package]) == 1
+        assert "digest mismatch" in capsys.readouterr().err
+
+    def test_validate_run_fails_on_missing_artifact(self, capsys, scenario_path, tmp_path):
+        package = str(tmp_path / "pkg")
+        assert main(self._fleet_args(scenario_path) + ["--package", package]) == 0
+        capsys.readouterr()
+        (tmp_path / "pkg" / "survival.json").unlink()
+        assert main(["validate-run", package]) == 1
+        assert "missing from package" in capsys.readouterr().err
+
+    def test_validate_run_fails_on_violated_floor(self, capsys, scenario_path, tmp_path):
+        package = str(tmp_path / "pkg")
+        assert (
+            main(
+                self._fleet_args(scenario_path)
+                + ["--package", package, "--kpi-floor", "surviving_at_end_pct=0"]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest_path = tmp_path / "pkg" / "package.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["floors"]["surviving_at_end_pct"] = 1000.0
+        manifest_path.write_text(json.dumps(manifest))
+        assert main(["validate-run", package]) == 1
+        assert "KPI floor violated: surviving_at_end_pct" in capsys.readouterr().err
+
+    def test_validate_run_fails_on_non_package_directory(self, capsys, tmp_path):
+        assert main(["validate-run", str(tmp_path)]) == 1
+        assert "not a run package" in capsys.readouterr().err
+
+    def test_package_refused_for_partial_runs(self, capsys, scenario_path, tmp_path):
+        code = main(
+            self._fleet_args(scenario_path)
+            + ["--max-chunks", "1", "--package", str(tmp_path / "pkg")]
+        )
+        assert code == 1
+        assert "refusing to package a partial run" in capsys.readouterr().err
+
+    def test_kpi_floor_requires_package(self, capsys, scenario_path):
+        code = main(self._fleet_args(scenario_path) + ["--kpi-floor", "x=1"])
+        assert code == 1
+        assert "--kpi-floor requires --package" in capsys.readouterr().err
+
+    def test_malformed_kpi_floor(self, capsys, scenario_path, tmp_path):
+        code = main(
+            self._fleet_args(scenario_path)
+            + ["--package", str(tmp_path / "pkg"), "--kpi-floor", "justaname"]
+        )
+        assert code == 1
+        assert "malformed --kpi-floor" in capsys.readouterr().err
+
+    def test_retries_flag_reaches_the_runner(self, capsys, scenario_path):
+        assert main(self._fleet_args(scenario_path) + ["--retries", "2"]) == 0
