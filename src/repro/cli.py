@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import inspect
+import json
 import math
 import sys
 from pathlib import Path
@@ -69,15 +70,10 @@ from repro.optimization.selection import select_techniques
 from repro.reporting.export import rows_to_csv, rows_to_json
 from repro.reporting.tables import render_table
 from repro.runpkg import validate_run_package, write_run_package
-from repro.scenario.registry import (
-    ARCHITECTURES,
-    DRIVE_CYCLES,
-    POWER_DATABASES,
-    SCAVENGERS,
-    STORAGE_ELEMENTS,
-)
+from repro.scenario.listing import cycle_rows, scenario_listing
+from repro.scenario.registry import ARCHITECTURES, DRIVE_CYCLES, POWER_DATABASES
 from repro.scenario.montecarlo import MonteCarloConfig
-from repro.scenario.spec import ScenarioSpec, load_scenario
+from repro.scenario.spec import load_scenario
 from repro.scenario.study import STUDY_KINDS, Study, StudyResult
 from repro.scavenger.piezoelectric import PiezoelectricScavenger
 from repro.scavenger.storage import supercapacitor
@@ -350,11 +346,67 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run package directories (each holding a package.json)",
     )
 
-    subparsers.add_parser(
+    scenarios = subparsers.add_parser(
         "scenarios", help="list the registered scenario components and grid axes"
     )
-    subparsers.add_parser("cycles", help="list the registered drive cycles")
+    scenarios.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable listing (the GET /scenarios document)",
+    )
+    cycles = subparsers.add_parser("cycles", help="list the registered drive cycles")
+    cycles.add_argument(
+        "--json", action="store_true", help="emit the cycle rows as JSON"
+    )
     subparsers.add_parser("architectures", help="list the predefined architectures")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the HTTP serving layer (persistent evaluator cache + result store)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8000, help="bind port (0 = ephemeral)")
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="default engine pool width for requests that omit 'workers'",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="default engine backend for requests that omit 'backend'",
+    )
+    serve.add_argument(
+        "--job-workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="jobs executed concurrently (each may fan out over engine workers)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=8,
+        metavar="N",
+        help="evaluator LRU capacity (compiled tables kept alive across jobs)",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        metavar="DIR",
+        help="persist the content-addressed result store in DIR "
+        "(default: in-memory, dies with the server)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="journal fleet-job chunks under DIR so stopped jobs resume "
+        "on re-submission",
+    )
 
     balance = subparsers.add_parser(
         "balance", help="energy balance vs cruising speed and break-even point (Fig. 2)"
@@ -603,57 +655,42 @@ def _cmd_validate_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_scenarios(_: argparse.Namespace) -> int:
-    registries = (
-        ("architecture", ARCHITECTURES),
-        ("power_database", POWER_DATABASES),
-        ("scavenger", SCAVENGERS),
-        ("storage", STORAGE_ELEMENTS),
-        ("drive_cycle", DRIVE_CYCLES),
-    )
-    rows = []
-    for kind, registry in registries:
-        for name in registry.names():
-            parameters = inspect.signature(registry.factory(name)).parameters
-            rows.append(
-                {
-                    "component": kind,
-                    "name": name,
-                    "params": ", ".join(parameters) if parameters else "-",
-                }
-            )
-    print(render_table(rows, title="Registered scenario components"))
-    print(f"\ngrid axes for --set: {', '.join(ScenarioSpec.axis_names())}")
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    # One listing source for the table, the --json form and GET /scenarios.
+    listing = scenario_listing()
+    if args.json:
+        print(json.dumps(listing, indent=2, allow_nan=False))
+        return 0
+    print(render_table(listing["components"], title="Registered scenario components"))
+    print(f"\ngrid axes for --set: {', '.join(listing['axes'])}")
     return 0
 
 
-def _cmd_cycles(_: argparse.Namespace) -> int:
-    rows = []
-    for name in DRIVE_CYCLES.names():
-        try:
-            cycle = _resolve_cycle(name)
-        except ConfigError:
-            parameters = inspect.signature(DRIVE_CYCLES.factory(name)).parameters
-            rows.append(
-                {
-                    "cycle": name,
-                    "duration_s": "-",
-                    "mean_kmh": "-",
-                    "max_kmh": "-",
-                    "note": f"parametric ({', '.join(parameters)})",
-                }
-            )
-            continue
-        rows.append(
-            {
-                "cycle": name,
-                "duration_s": cycle.duration_s,
-                "mean_kmh": cycle.mean_speed_kmh(),
-                "max_kmh": cycle.max_speed_kmh(),
-                "note": cycle.name,
-            }
-        )
+def _cmd_cycles(args: argparse.Namespace) -> int:
+    rows = cycle_rows()
+    if args.json:
+        print(json.dumps(rows, indent=2, allow_nan=False))
+        return 0
     print(render_table(rows, title="Registered drive cycles", float_digits=1))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so the classic one-shot subcommands never pay for the
+    # serving layer's asyncio machinery.
+    from repro.serve import EvaluatorLRU, JobManager, ResultStore, ServeServer
+
+    manager = JobManager(
+        evaluator_cache=EvaluatorLRU(capacity=args.cache_size),
+        store=ResultStore(args.store_dir),
+        workers=args.workers,
+        backend=args.backend,
+        job_workers=args.job_workers,
+        checkpoint_root=args.checkpoint_dir,
+    )
+    server = ServeServer(manager, host=args.host, port=args.port)
+    print(f"serving on http://{args.host}:{args.port} (SIGINT/SIGTERM drain and exit)")
+    server.serve_forever()
     return 0
 
 
@@ -784,6 +821,7 @@ _COMMANDS = {
     "scenarios": _cmd_scenarios,
     "cycles": _cmd_cycles,
     "architectures": _cmd_architectures,
+    "serve": _cmd_serve,
     "balance": _cmd_balance,
     "trace": _cmd_trace,
     "optimize": _cmd_optimize,

@@ -78,3 +78,13 @@ class OptimizationError(ReproError):
 
 class ExportError(ReproError):
     """Serialization of results to CSV/JSON failed."""
+
+
+class ServeError(ReproError):
+    """The serving layer rejected a request or an HTTP exchange failed.
+
+    Raised by :mod:`repro.serve` — the job manager for requests against an
+    unusable manager state (shut down, unknown job) and the client for
+    non-success HTTP responses; the message carries the server's one-line
+    ``error`` diagnosis verbatim.
+    """

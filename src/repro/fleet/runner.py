@@ -456,6 +456,16 @@ class FleetRunner:
             run degrades gracefully — failed vehicles are reported on the
             result metadata instead of aborting the whole fleet.
         retry_backoff_s: pause before each retry.
+        progress: optional engine observer (per-vehicle and per-chunk
+            events, see :meth:`~repro.scenario.engine.ChunkedEngine.run_chunks`);
+            the serving layer uses it for live job progress.
+        should_stop: optional cancellation hook polled before each new
+            chunk; with a checkpoint, stopping this way is equivalent to a
+            resumable interruption (the result is marked partial).
+        evaluator_cache: optional shared evaluator cache exposing
+            ``get(key, builder)`` (the serving layer's bounded LRU); groups
+            then reuse evaluators/compiled tables across runs, observable
+            through ``evaluator_builds``/``evaluator_cache_hits``.
     """
 
     def __init__(
@@ -471,6 +481,9 @@ class FleetRunner:
         max_chunks: int | None = None,
         retries: int = 0,
         retry_backoff_s: float = 0.05,
+        progress=None,
+        should_stop=None,
+        evaluator_cache=None,
     ) -> None:
         if not isinstance(fleet, FleetSpec):
             raise ConfigError(f"a fleet runner needs a FleetSpec, got {type(fleet).__name__}")
@@ -478,6 +491,13 @@ class FleetRunner:
             raise ConfigError("record interval must be positive")
         if idle_step_s <= 0.0:
             raise ConfigError("idle step must be positive")
+        if evaluator_cache is not None and not callable(
+            getattr(evaluator_cache, "get", None)
+        ):
+            raise ConfigError(
+                "evaluator_cache must expose get(key, builder) "
+                f"(e.g. repro.serve.EvaluatorLRU), got {type(evaluator_cache).__name__}"
+            )
         self.fleet = fleet
         self.workers = workers
         self.backend = backend
@@ -487,6 +507,9 @@ class FleetRunner:
         self.idle_step_s = idle_step_s
         self.checkpoint = checkpoint
         self.max_chunks = max_chunks
+        self.progress = progress
+        self.should_stop = should_stop
+        self._evaluator_cache = evaluator_cache
         # Validates workers/backend/retries eagerly (same rules as studies).
         # Failed vehicles are collected (not raised) whenever a retry budget
         # is given: a caller asking for degradation wants the partial fleet.
@@ -498,8 +521,27 @@ class FleetRunner:
             failure_mode="collect" if retries > 0 else "raise",
         )
         self.evaluator_builds = 0
+        self.evaluator_cache_hits = 0
 
     # -- shared-state construction ------------------------------------------
+
+    def _components_for(self, spec: ScenarioSpec) -> tuple:
+        """One group's (node, database, evaluator) — via the shared LRU if given."""
+        if self._evaluator_cache is None:
+            self.evaluator_builds += 1
+            return spec.build_components()
+        built: list[bool] = []
+
+        def builder():
+            built.append(True)
+            return spec.build_components()
+
+        components = self._evaluator_cache.get(spec.evaluator_group_key(), builder)
+        if built:
+            self.evaluator_builds += 1
+        else:
+            self.evaluator_cache_hits += 1
+        return components
 
     def _build_shared_state(self, chunks):
         """Groups, cohort tables, standstill memos and the cross-vehicle sweep.
@@ -522,10 +564,9 @@ class FleetRunner:
                 spec = vehicle.scenario
                 gkey = _group_key(spec)
                 if gkey not in groups:
-                    groups[gkey] = spec.build_components()
+                    groups[gkey] = self._components_for(spec)
                     standstill[gkey] = {}
                     pending[gkey] = {}
-                    self.evaluator_builds += 1
                 ckey = _cohort_key(vehicle)
                 table = tables.get(ckey)
                 if table is None:
@@ -672,6 +713,8 @@ class FleetRunner:
                 max_new_chunks=self.max_chunks,
                 process_worker=_process_vehicle,
                 process_payload=payload,
+                progress=self.progress,
+                should_stop=self.should_stop,
             )
         finally:
             if self.backend == "process":
@@ -699,6 +742,7 @@ class FleetRunner:
             "temperature_quantum_c": TEMPERATURE_QUANTUM_C,
             "scale_quantum": fleet.scale_quantum,
             "evaluator_builds": self.evaluator_builds,
+            "evaluator_cache_hits": self.evaluator_cache_hits,
             "survival_buckets": buckets,
             "workers": self.workers or 1,
             "backend": self.backend,

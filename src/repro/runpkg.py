@@ -32,6 +32,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.digest import canonical_digest
 from repro.errors import PackageError
 
 #: Manifest schema version; bumped on incompatible layout changes.
@@ -147,12 +148,13 @@ def write_run_package(
             "bytes": destination.stat().st_size,
         }
 
-    digest_seed = json.dumps(
+    # Canonical-digest discipline shared with checkpoints and the serving
+    # layer's result store (repro.digest); ``default=str`` keeps legacy
+    # run_ids stable for manifests that carried non-JSON values.
+    run_id = f"{name}-" + canonical_digest(
         {"kind": kind, "name": name, "spec": spec_document, "seed": seed, "kpis": kpis},
-        sort_keys=True,
         default=str,
-    )
-    run_id = f"{name}-{hashlib.sha256(digest_seed.encode('utf-8')).hexdigest()[:12]}"
+    )[:12]
     manifest = {
         "run_package": PACKAGE_VERSION,
         "run_id": run_id,

@@ -39,6 +39,7 @@ import os
 from pathlib import Path
 from typing import Mapping
 
+from repro.digest import canonical_digest
 from repro.errors import CheckpointError
 
 #: Manifest schema version; bumped on incompatible layout changes.
@@ -48,12 +49,11 @@ _MANIFEST = "manifest.json"
 
 
 def _key_digest(key: Mapping[str, object]) -> str:
-    """Canonical SHA-256 of a run key document."""
+    """Canonical SHA-256 of a run key document (see :mod:`repro.digest`)."""
     try:
-        canonical = json.dumps(key, sort_keys=True, allow_nan=False)
+        return canonical_digest(key)
     except (TypeError, ValueError) as exc:
         raise CheckpointError(f"checkpoint key is not canonical JSON: {exc}") from exc
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _atomic_write(path: Path, text: str) -> None:

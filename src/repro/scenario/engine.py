@@ -38,6 +38,19 @@ Per-item wall times and the executed backend land in the returned
 timing bookkeeping.  :meth:`ChunkedEngine.run_chunks` layers checkpointed,
 resumable execution over pre-chunked work (see
 :mod:`repro.scenario.checkpoint`).
+
+**Observability and cancellation.**  Long-lived callers (the serving
+layer's job manager) watch a run through the ``progress`` callback: the
+engine calls it with a small event dict after every settled item
+(``{"event": "item", "items_done": n, "failures": k}``) and — under
+:meth:`ChunkedEngine.run_chunks` — after every completed chunk
+(``{"event": "chunk", ...}`` with chunk/item counts and whether the chunk
+was replayed from a checkpoint).  ``run_chunks`` additionally accepts a
+``should_stop`` callable, polled before each *new* chunk is executed:
+returning ``True`` ends the run early at a chunk boundary
+(``stopped_early`` on the report) with every completed chunk already
+journaled — which is what makes graceful service shutdown equivalent to a
+resumable interruption.
 """
 
 from __future__ import annotations
@@ -210,6 +223,12 @@ def _timed_process_task(task):
     return _run_attempts(lambda: worker(payload), retries, backoff_s, collect)
 
 
+def _notify_item(progress, items_done: int, failure_count: int) -> None:
+    """Emit one per-item progress event (no-op without an observer)."""
+    if progress is not None:
+        progress({"event": "item", "items_done": items_done, "failures": failure_count})
+
+
 class ChunkedEngine:
     """Chunked, order-preserving executor for independent work items.
 
@@ -281,6 +300,7 @@ class ChunkedEngine:
         sink: Callable[[int, object], None],
         process_worker: Callable[[object], object] | None = None,
         process_payload: Callable[[object], object] | None = None,
+        progress: Callable[[dict], None] | None = None,
     ) -> EngineReport:
         """Execute ``kernel`` over ``items`` and stream results to ``sink``.
 
@@ -297,6 +317,11 @@ class ChunkedEngine:
                 backend.
             process_payload: maps an item to the picklable payload shipped
                 to ``process_worker``; required for the process backend.
+            progress: optional observer called after every settled item with
+                ``{"event": "item", "items_done": n, "failures": k}``
+                (cumulative counts, input order — right after the item's
+                sink call).  Exceptions it raises propagate, so observers
+                must be cheap and non-throwing.
 
         Returns:
             An :class:`EngineReport` with the executed backend and timings.
@@ -304,6 +329,8 @@ class ChunkedEngine:
         missing_worker = process_worker is None or process_payload is None
         if self.backend == "process" and self.workers > 1 and missing_worker:
             raise ConfigError("the process backend needs process_worker and process_payload")
+        if progress is not None and not callable(progress):
+            raise ConfigError(f"progress must be callable, got {progress!r}")
         iterator = iter(items)
         # Peek ahead far enough to know whether a pool is worth starting:
         # zero or one items degrade to the sequential path on any backend.
@@ -323,7 +350,9 @@ class ChunkedEngine:
                 (process_worker, process_payload(item), self.retries, self.retry_backoff_s, collect)
                 for item in iterator
             )
-            items_run = self._drain_process(tasks, window, sink, timings, failures, counters)
+            items_run = self._drain_process(
+                tasks, window, sink, timings, failures, counters, progress
+            )
         elif parallel:
             backend_used = "thread"
 
@@ -334,7 +363,7 @@ class ChunkedEngine:
 
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 items_run = self._drain_window(
-                    pool, timed, iterator, window, sink, timings, failures, counters
+                    pool, timed, iterator, window, sink, timings, failures, counters, progress
                 )
         else:
             backend_used = "sequential"
@@ -357,6 +386,7 @@ class ChunkedEngine:
                 else:
                     sink(items_run, value)
                 items_run += 1
+                _notify_item(progress, items_run, len(failures))
         return EngineReport(
             backend=backend_used,
             workers=self.workers if parallel else 1,
@@ -368,7 +398,9 @@ class ChunkedEngine:
             pool_rebuilds=counters["pool_rebuilds"],
         )
 
-    def _drain_window(self, pool, task, items, window, sink, timings, failures, counters) -> int:
+    def _drain_window(
+        self, pool, task, items, window, sink, timings, failures, counters, progress=None
+    ) -> int:
         """Sliding-window submission: bounded in-flight, ordered release.
 
         At most ``window`` futures are submitted at any moment; as the
@@ -380,14 +412,18 @@ class ChunkedEngine:
         index = 0
         for item in items:
             if len(pending) >= window:
-                index = self._settle(pending.popleft(), index, sink, timings, failures, counters)
+                index = self._settle(
+                    pending.popleft(), index, sink, timings, failures, counters, progress
+                )
             pending.append(pool.submit(task, item))
         while pending:
-            index = self._settle(pending.popleft(), index, sink, timings, failures, counters)
+            index = self._settle(
+                pending.popleft(), index, sink, timings, failures, counters, progress
+            )
         return index
 
     @staticmethod
-    def _settle(future, index, sink, timings, failures, counters) -> int:
+    def _settle(future, index, sink, timings, failures, counters, progress=None) -> int:
         """Release one completed future to the sink (or the failure list)."""
         value, elapsed, attempts = future.result()
         counters["retries"] += attempts - 1
@@ -398,9 +434,12 @@ class ChunkedEngine:
             )
         else:
             sink(index, value)
+        _notify_item(progress, index + 1, len(failures))
         return index + 1
 
-    def _drain_process(self, tasks, window, sink, timings, failures, counters) -> int:
+    def _drain_process(
+        self, tasks, window, sink, timings, failures, counters, progress=None
+    ) -> int:
         """The process-backend drain: the sliding window plus death recovery.
 
         A dead worker process poisons every in-flight future
@@ -446,6 +485,7 @@ class ChunkedEngine:
                         )
                     )
                     index += 1
+                    _notify_item(progress, index, len(failures))
                     continue
                 try:
                     value, elapsed, attempts = entry[3].result()
@@ -464,6 +504,7 @@ class ChunkedEngine:
                 else:
                     sink(entry[0], value)
                 index += 1
+                _notify_item(progress, index, len(failures))
         finally:
             pool.shutdown(wait=False, cancel_futures=True)
         return index
@@ -508,6 +549,8 @@ class ChunkedEngine:
         max_new_chunks: int | None = None,
         process_worker: Callable[[object], object] | None = None,
         process_payload: Callable[[object], object] | None = None,
+        progress: Callable[[dict], None] | None = None,
+        should_stop: Callable[[], bool] | None = None,
     ) -> EngineReport:
         """Execute pre-chunked work with optional checkpointed resume.
 
@@ -527,6 +570,16 @@ class ChunkedEngine:
             max_new_chunks: execute at most this many non-replayed chunks,
                 then stop (``stopped_early`` on the report); replayed chunks
                 are free.  ``None`` runs to completion.
+            progress: optional observer; receives the per-item events of
+                :meth:`run` with *global* item counts, plus one
+                ``{"event": "chunk", "chunk": i, "chunks_done": c,
+                "items_done": n, "resumed": bool, "failures": k}`` event
+                after every completed (executed or replayed) chunk.
+            should_stop: optional cancellation hook, polled before each NEW
+                chunk is executed.  Returning ``True`` ends the run at a
+                chunk boundary with ``stopped_early`` set — completed chunks
+                are already journaled, so a checkpointed run resumes exactly
+                where the stop landed (graceful-shutdown semantics).
 
         Returns:
             An :class:`EngineReport` aggregated over all chunks.
@@ -539,6 +592,10 @@ class ChunkedEngine:
             raise ConfigError(
                 f"max_new_chunks must be a positive integer, got {max_new_chunks!r}"
             )
+        if progress is not None and not callable(progress):
+            raise ConfigError(f"progress must be callable, got {progress!r}")
+        if should_stop is not None and not callable(should_stop):
+            raise ConfigError(f"should_stop must be callable, got {should_stop!r}")
         started = time.perf_counter()
         timings: list[float] = []
         failures: list[EngineFailure] = []
@@ -551,6 +608,20 @@ class ChunkedEngine:
         stopped_early = False
         workers_used = 1
         global_index = 0
+
+        def chunk_event(chunk_index: int, resumed: bool) -> None:
+            if progress is not None:
+                progress(
+                    {
+                        "event": "chunk",
+                        "chunk": chunk_index,
+                        "chunks_done": chunks_done,
+                        "items_done": global_index,
+                        "resumed": resumed,
+                        "failures": len(failures),
+                    }
+                )
+
         for chunk_index, chunk in enumerate(chunks):
             chunk_items = list(chunk)
             if checkpoint is not None and checkpoint.has_chunk(chunk_index):
@@ -573,8 +644,12 @@ class ChunkedEngine:
                 resumed_chunks += 1
                 resumed_items += len(chunk_items)
                 chunks_done += 1
+                chunk_event(chunk_index, resumed=True)
                 continue
             if max_new_chunks is not None and executed_chunks >= max_new_chunks:
+                stopped_early = True
+                break
+            if should_stop is not None and should_stop():
                 stopped_early = True
                 break
 
@@ -583,6 +658,16 @@ class ChunkedEngine:
             def buffer_sink(local_index, result, _buffer=buffer):
                 _buffer[local_index] = result
 
+            def item_progress(event, _base=global_index, _failed_before=len(failures)):
+                if progress is not None:
+                    progress(
+                        {
+                            **event,
+                            "items_done": _base + event["items_done"],
+                            "failures": _failed_before + event["failures"],
+                        }
+                    )
+
             try:
                 report = self.run(
                     chunk_items,
@@ -590,6 +675,7 @@ class ChunkedEngine:
                     buffer_sink,
                     process_worker=process_worker,
                     process_payload=process_payload,
+                    progress=item_progress if progress is not None else None,
                 )
             except EngineError as error:
                 raise EngineError(f"chunk {chunk_index}: {error}") from error
@@ -616,6 +702,7 @@ class ChunkedEngine:
             global_index += len(chunk_items)
             executed_chunks += 1
             chunks_done += 1
+            chunk_event(chunk_index, resumed=False)
         return EngineReport(
             backend=backend_used if backend_used is not None else "resumed",
             workers=workers_used,

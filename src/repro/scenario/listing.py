@@ -1,0 +1,93 @@
+"""Registry listings — one source for the CLI tables and the HTTP API.
+
+``tpms-energy scenarios`` / ``tpms-energy cycles`` (plain tables or
+``--json``) and the serving layer's ``GET /scenarios`` endpoint all render
+the same underlying rows, built here.  Keeping the row builders in one
+place means a component registered at runtime (via
+:mod:`repro.scenario.registry`) shows up identically everywhere.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.errors import ConfigError
+from repro.scenario.registry import (
+    ARCHITECTURES,
+    DRIVE_CYCLES,
+    POWER_DATABASES,
+    SCAVENGERS,
+    STORAGE_ELEMENTS,
+)
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.study import STUDY_KINDS
+
+__all__ = ["component_rows", "cycle_rows", "scenario_listing"]
+
+
+def component_rows() -> list[dict[str, object]]:
+    """One row per registered component, across every registry."""
+    registries = (
+        ("architecture", ARCHITECTURES),
+        ("power_database", POWER_DATABASES),
+        ("scavenger", SCAVENGERS),
+        ("storage", STORAGE_ELEMENTS),
+        ("drive_cycle", DRIVE_CYCLES),
+    )
+    rows = []
+    for kind, registry in registries:
+        for name in registry.names():
+            parameters = inspect.signature(registry.factory(name)).parameters
+            rows.append(
+                {
+                    "component": kind,
+                    "name": name,
+                    "params": ", ".join(parameters) if parameters else "-",
+                }
+            )
+    return rows
+
+
+def cycle_rows() -> list[dict[str, object]]:
+    """One row per registered drive cycle (parametric ones unmaterialized)."""
+    rows = []
+    for name in DRIVE_CYCLES.names():
+        try:
+            cycle = DRIVE_CYCLES.create(name)
+        except ConfigError:
+            parameters = inspect.signature(DRIVE_CYCLES.factory(name)).parameters
+            rows.append(
+                {
+                    "cycle": name,
+                    "duration_s": "-",
+                    "mean_kmh": "-",
+                    "max_kmh": "-",
+                    "note": f"parametric ({', '.join(parameters)})",
+                }
+            )
+            continue
+        rows.append(
+            {
+                "cycle": name,
+                "duration_s": cycle.duration_s,
+                "mean_kmh": cycle.mean_speed_kmh(),
+                "max_kmh": cycle.max_speed_kmh(),
+                "note": cycle.name,
+            }
+        )
+    return rows
+
+
+def scenario_listing() -> dict[str, object]:
+    """The complete machine-readable listing (``GET /scenarios``, ``--json``).
+
+    Components, drive cycles, the grid axes studies can sweep, and the
+    analysis kinds — everything a client needs to compose a valid request
+    document without reading the server's source.
+    """
+    return {
+        "components": component_rows(),
+        "cycles": cycle_rows(),
+        "axes": ScenarioSpec.axis_names(),
+        "study_kinds": list(STUDY_KINDS),
+    }

@@ -161,9 +161,17 @@ class Study:
         spec: ScenarioSpec,
         axes: Mapping[str, Sequence[object]] | None = None,
         montecarlo: MonteCarloConfig | None = None,
+        evaluator_cache=None,
     ) -> None:
         if not isinstance(spec, ScenarioSpec):
             raise ConfigError(f"a study needs a ScenarioSpec, got {type(spec).__name__}")
+        if evaluator_cache is not None and not callable(
+            getattr(evaluator_cache, "get", None)
+        ):
+            raise ConfigError(
+                "evaluator_cache must expose get(key, builder) "
+                f"(e.g. repro.serve.EvaluatorLRU), got {type(evaluator_cache).__name__}"
+            )
         if montecarlo is not None and not isinstance(montecarlo, MonteCarloConfig):
             raise ConfigError(
                 f"montecarlo must be a MonteCarloConfig, got {type(montecarlo).__name__}"
@@ -197,8 +205,12 @@ class Study:
         # (node, database, evaluator); grid points differing only in
         # environment or scavenger/storage reuse the compiled table.  The
         # lock makes lookups/builds single-flight when run(workers=N)
-        # executes grid points on a thread pool.
+        # executes grid points on a thread pool.  An external
+        # ``evaluator_cache`` (the serving layer's bounded LRU) replaces the
+        # per-study dict so compiled tables survive across studies; the
+        # per-run builds/hits counters keep their meaning either way.
         self._evaluators: dict[str, tuple] = {}
+        self._external_cache = evaluator_cache
         self._evaluator_lock = threading.Lock()
         self.evaluator_builds = 0
         self.evaluator_cache_hits = 0
@@ -230,6 +242,20 @@ class Study:
     def _evaluator_for(self, spec: ScenarioSpec):
         """The shared (node, database, evaluator) triple of one grid point."""
         key = spec.evaluator_group_key()
+        if self._external_cache is not None:
+            built: list[bool] = []
+
+            def builder():
+                built.append(True)
+                return spec.build_components()
+
+            components = self._external_cache.get(key, builder)
+            with self._evaluator_lock:
+                if built:
+                    self.evaluator_builds += 1
+                else:
+                    self.evaluator_cache_hits += 1
+            return components
         with self._evaluator_lock:
             cached = self._evaluators.get(key)
             if cached is not None:
@@ -246,6 +272,7 @@ class Study:
         kind: str = "balance",
         workers: int | None = None,
         backend: str = "thread",
+        progress=None,
     ) -> StudyResult:
         """Execute ``kind`` over every grid point and collect uniform rows.
 
@@ -267,6 +294,9 @@ class Study:
                 builds happen in the workers, so the parent's
                 ``evaluator_builds``/``evaluator_cache_hits`` counters stay
                 at zero.
+            progress: optional engine observer (see
+                :meth:`~repro.scenario.engine.ChunkedEngine.run`); the
+                serving layer uses it for live per-row job progress.
         """
         if kind not in STUDY_KINDS:
             raise ConfigError(f"unknown analysis kind {kind!r}; available: {list(STUDY_KINDS)}")
@@ -312,6 +342,7 @@ class Study:
             lambda _index, row: rows.append(row),
             process_worker=_process_grid_point,
             process_payload=payload,
+            progress=progress,
         )
         metadata = {
             "kind": kind,

@@ -1,0 +1,284 @@
+"""The HTTP front door — stdlib-only (``asyncio`` + hand-rolled HTTP/1.1).
+
+Endpoints (all JSON in, JSON out)::
+
+    POST /studies          submit a study request document -> job status
+    POST /fleet            submit a fleet request document -> job status
+    GET  /jobs/{id}        job status (state, progress, failures)
+    GET  /jobs/{id}/result finished job's result document (stored bytes,
+                           returned verbatim -> byte-identical replays)
+    GET  /jobs             every job, in submission order
+    GET  /scenarios        registry listing (components, cycles, axes)
+    GET  /healthz          server liveness + cache/store/job counters
+
+The request/response handling is deliberately minimal: one request per
+connection (``Connection: close``), bodies sized by ``Content-Length``.
+Routing lives in the transport-free :class:`ServeApp` (unit-testable
+without sockets); :class:`ServeServer` wraps it in an asyncio server that
+runs either in the foreground (the ``tpms-energy serve`` subcommand) or
+on a background thread (tests, benchmarks).
+
+Error mapping: malformed documents (:class:`~repro.errors.ConfigError`)
+are 400s, unknown jobs are 404s, asking for the result of an unfinished
+job is a 409 — each with a one-line JSON ``{"error": ...}`` body, never a
+traceback.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import threading
+
+from repro.errors import ConfigError, ReproError, ServeError
+from repro.scenario.listing import scenario_listing
+from repro.serve.jobs import JobManager
+
+__all__ = ["ServeApp", "ServeServer"]
+
+_MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ServeApp:
+    """Transport-free request router over one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    def handle(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        """Route one request; returns ``(status, body, content_type)``."""
+        try:
+            return self._route(method, path, body)
+        except ConfigError as error:
+            return _error(400, str(error))
+        except ServeError as error:
+            message = str(error)
+            if message.startswith("unknown job"):
+                return _error(404, message)
+            return _error(409, message)
+        except ReproError as error:
+            return _error(500, str(error))
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/studies" or path == "/fleet":
+            if method != "POST":
+                return _error(405, f"{path} accepts POST only")
+            document = _parse_body(body)
+            if path == "/studies":
+                job = self.manager.submit_study(document)
+            else:
+                job = self.manager.submit_fleet(document)
+            return _json(202 if job.state == "queued" else 200, job.to_document())
+        if path == "/jobs":
+            if method != "GET":
+                return _error(405, "/jobs accepts GET only")
+            return _json(200, {"jobs": [job.to_document() for job in self.manager.jobs()]})
+        if path.startswith("/jobs/"):
+            if method != "GET":
+                return _error(405, "job endpoints accept GET only")
+            remainder = path[len("/jobs/") :]
+            if remainder.endswith("/result"):
+                job_id = remainder[: -len("/result")]
+                payload = self.manager.result_bytes(job_id)
+                # The stored bytes verbatim: re-serializing here would break
+                # the byte-identity contract the store exists to provide.
+                return 200, payload, "application/json"
+            return _json(200, self.manager.get(remainder).to_document())
+        if path == "/scenarios":
+            if method != "GET":
+                return _error(405, "/scenarios accepts GET only")
+            return _json(200, scenario_listing())
+        if path == "/healthz":
+            if method != "GET":
+                return _error(405, "/healthz accepts GET only")
+            return _json(200, {"status": "ok", **self.manager.stats()})
+        return _error(404, f"no route for {path!r}")
+
+
+def _parse_body(body: bytes) -> object:
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ConfigError(f"request body is not valid JSON: {error}") from error
+
+
+def _json(status: int, document: object) -> tuple[int, bytes, str]:
+    return status, (json.dumps(document, allow_nan=False) + "\n").encode("utf-8"), (
+        "application/json"
+    )
+
+
+def _error(status: int, message: str) -> tuple[int, bytes, str]:
+    return _json(status, {"error": message})
+
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class ServeServer:
+    """Asyncio HTTP server around a :class:`ServeApp`.
+
+    Two run modes:
+
+    * ``serve_forever()`` — foreground, until :meth:`stop` (the CLI's
+      ``tpms-energy serve``; Ctrl-C triggers a graceful drain).
+    * ``start()`` / ``stop()`` — background thread owning its own event
+      loop (tests and benchmarks); ``start`` returns once the socket is
+      bound and :attr:`port` is known, so ``port=0`` (ephemeral) works.
+
+    ``stop(drain=True)`` closes the listener and then shuts the job
+    manager down — draining finishes accepted jobs, ``drain=False`` asks
+    in-flight fleet runs to checkpoint and stop at the next chunk
+    boundary.
+    """
+
+    def __init__(self, manager: JobManager, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.manager = manager
+        self.app = ServeApp(manager)
+        self.host = host
+        self.port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    # -- asyncio plumbing -----------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            status, payload, content_type = await self._handle_request(reader)
+        except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+            writer.close()
+            return
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + payload)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    async def _handle_request(self, reader) -> tuple[int, bytes, str]:
+        request_line = (await reader.readline()).decode("ascii", "replace").strip()
+        parts = request_line.split()
+        if len(parts) != 3:
+            return _error(400, f"malformed request line {request_line!r}")
+        method, path, _version = parts
+        content_length = 0
+        while True:
+            line = (await reader.readline()).decode("ascii", "replace").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return _error(400, f"bad Content-Length {value.strip()!r}")
+        if content_length > _MAX_BODY_BYTES:
+            return _error(413, f"request body over {_MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(content_length) if content_length else b""
+        # Submissions validate specs and may touch the store; job execution
+        # itself is already on the manager's worker threads.  Run the
+        # handler off the event loop so a slow validation never blocks
+        # status polls from other connections.
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, self.app.handle, method, path, body)
+
+    async def _serve(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ServeServer":
+        """Run the server on a background thread; returns once bound."""
+        if self._thread is not None:
+            raise ServeError("server already started")
+        self._thread = threading.Thread(target=self._thread_main, daemon=True)
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            raise ServeError(f"server failed to start: {self._startup_error}")
+        return self
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._serve())
+        except BaseException as error:
+            self._startup_error = error
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+
+    def serve_forever(self) -> None:
+        """Run in the foreground until interrupted (the CLI path)."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        loop.run_until_complete(self._serve())
+        self._ready.set()
+        # Explicit loop-level handlers, not a bare KeyboardInterrupt catch:
+        # a service must honor SIGTERM (process managers send it), and a
+        # backgrounded non-interactive shell starts children with SIGINT
+        # ignored — add_signal_handler overrides both dispositions.  The
+        # KeyboardInterrupt fallback keeps Ctrl-C working on platforms
+        # without loop signal handlers.
+        stop_signals = (signal.SIGINT, signal.SIGTERM)
+        installed = []
+        for stop_signal in stop_signals:
+            with contextlib.suppress(NotImplementedError, RuntimeError, ValueError):
+                loop.add_signal_handler(stop_signal, loop.stop)
+                installed.append(stop_signal)
+        try:
+            loop.run_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            for stop_signal in installed:
+                loop.remove_signal_handler(stop_signal)
+            self._server.close()
+            loop.run_until_complete(self._server.wait_closed())
+            loop.close()
+            self.manager.shutdown(drain=True)
+
+    def stop(self, drain: bool = True) -> None:
+        """Close the listener, stop the loop, shut the job manager down."""
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None
+        self.manager.shutdown(drain=drain)

@@ -1,0 +1,142 @@
+"""Bounded evaluator LRU — compiled power tables that outlive one request.
+
+Building a scenario's components (:meth:`ScenarioSpec.build_components`)
+re-targets the power database and compiles the evaluator's power table;
+at serving scale that cost dominates small requests.  The
+:class:`EvaluatorLRU` keeps the most recently used component triples
+alive across jobs, keyed exactly like the per-study cache
+(:meth:`~repro.scenario.spec.ScenarioSpec.evaluator_group_key`), so any
+mix of studies and fleets sharing an (architecture, workload, database)
+pays the build once.
+
+Concurrency contract: ``get(key, builder)`` is single-flight per key —
+when N threads miss the same key simultaneously, exactly one runs the
+builder while the rest wait for its result; builds of *different* keys
+proceed in parallel (the map lock is never held while building).  That is
+what lets many concurrent ``Study.run`` calls share one LRU without
+either duplicate compilation or a global build bottleneck.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import ConfigError
+
+__all__ = ["EvaluatorLRU"]
+
+
+class _Flight:
+    """One in-progress build other threads can wait on."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value = None
+        self.error: BaseException | None = None
+
+
+class EvaluatorLRU:
+    """A bounded, lock-protected, single-flight LRU of built components.
+
+    Args:
+        capacity: maximum number of entries kept alive.  When a build
+            pushes the map past the capacity, the least recently *used*
+            entry is dropped (``evictions`` counts them).
+
+    The cache is value-agnostic — it stores whatever the builder returns —
+    but its intended cargo is the ``(node, database, evaluator)`` triples
+    of :meth:`ScenarioSpec.build_components`, keyed by
+    :meth:`ScenarioSpec.evaluator_group_key`.  Counters (``hits``,
+    ``misses``, ``evictions``) are monotonic over the cache's lifetime and
+    surfaced by :meth:`stats` (the ``/healthz`` endpoint reports them).
+    """
+
+    def __init__(self, capacity: int = 8) -> None:
+        if not isinstance(capacity, int) or isinstance(capacity, bool) or capacity < 1:
+            raise ConfigError(
+                f"evaluator LRU capacity must be a positive integer, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self._entries: OrderedDict[object, object] = OrderedDict()
+        self._inflight: dict[object, _Flight] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: object) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: object, builder):
+        """The cached value for ``key``, building it via ``builder`` on a miss.
+
+        Exactly one thread runs ``builder`` per missing key; concurrent
+        callers of the same key block until that build completes and share
+        its result (they count as hits — they did not build).  A builder
+        exception propagates to every waiter and leaves the key absent, so
+        a later call retries the build.
+        """
+        if not callable(builder):
+            raise ConfigError(f"LRU builder must be callable, got {type(builder).__name__}")
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                self.misses += 1
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self.hits += 1
+            return flight.value
+        try:
+            value = builder()
+        except BaseException as error:
+            with self._lock:
+                flight.error = error
+                del self._inflight[key]
+            flight.done.set()
+            raise
+        with self._lock:
+            flight.value = value
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            del self._inflight[key]
+        flight.done.set()
+        return value
+
+    def clear(self) -> None:
+        """Drop every cached entry (counters keep accumulating)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Observable cache state: capacity, size and lifetime counters."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

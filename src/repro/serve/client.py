@@ -1,0 +1,125 @@
+"""Blocking HTTP client for the serving layer (stdlib ``http.client``).
+
+The in-repo counterpart of :mod:`repro.serve.api`: tests, benchmarks and
+scripts drive a running server through this instead of hand-rolling HTTP.
+Every call opens a fresh connection (the server closes after each
+response anyway), decodes the JSON body, and raises
+:class:`~repro.errors.ServeError` carrying the server's one-line
+``error`` diagnosis on any non-2xx status.  :meth:`ServeClient.result_bytes`
+returns the raw body without decoding — the byte-identity assertions
+compare exactly what went over the wire.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.errors import ServeError
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """Talks to one ``tpms-energy serve`` instance.
+
+    Args:
+        host: server host.
+        port: server port.
+        timeout: per-request socket timeout in seconds.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------------
+
+    def _request(self, method: str, path: str, document: object = None) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = None
+            headers = {}
+            if document is not None:
+                body = json.dumps(document, allow_nan=False).encode("utf-8")
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        except (ConnectionError, OSError) as error:
+            raise ServeError(f"cannot reach serve at {self.host}:{self.port}: {error}") from error
+        finally:
+            connection.close()
+
+    def _json(self, method: str, path: str, document: object = None) -> dict:
+        status, payload = self._request(method, path, document)
+        try:
+            decoded = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ServeError(f"bad JSON from {path}: {error}") from error
+        if status >= 400:
+            message = decoded.get("error", payload.decode("utf-8", "replace"))
+            raise ServeError(f"{method} {path} -> {status}: {message}")
+        return decoded
+
+    # -- endpoints ------------------------------------------------------------
+
+    def submit_study(self, document: dict) -> dict:
+        """``POST /studies``; returns the job-status document."""
+        return self._json("POST", "/studies", document)
+
+    def submit_fleet(self, document: dict) -> dict:
+        """``POST /fleet``; returns the job-status document."""
+        return self._json("POST", "/fleet", document)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/{id}``; the live job-status document."""
+        return self._json("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> list[dict]:
+        """``GET /jobs``; every job in submission order."""
+        return self._json("GET", "/jobs")["jobs"]
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """``GET /jobs/{id}/result`` — the raw body, byte-exact."""
+        status, payload = self._request("GET", f"/jobs/{job_id}/result")
+        if status != 200:
+            try:
+                message = json.loads(payload.decode("utf-8")).get("error", "")
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                message = payload.decode("utf-8", "replace")
+            raise ServeError(f"GET /jobs/{job_id}/result -> {status}: {message}")
+        return payload
+
+    def result(self, job_id: str) -> dict:
+        """The finished job's result document, decoded."""
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def scenarios(self) -> dict:
+        """``GET /scenarios``; the registry listing."""
+        return self._json("GET", "/scenarios")
+
+    def health(self) -> dict:
+        """``GET /healthz``; liveness plus cache/store/job counters."""
+        return self._json("GET", "/healthz")
+
+    # -- convenience ----------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05) -> dict:
+        """Poll ``GET /jobs/{id}`` until the job is done or failed.
+
+        Returns the final status document; raises :class:`ServeError` if
+        the job fails or the timeout elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            document = self.job(job_id)
+            if document["state"] == "done":
+                return document
+            if document["state"] == "failed":
+                raise ServeError(f"job {job_id} failed: {document['error']}")
+            if time.monotonic() >= deadline:
+                raise ServeError(f"job {job_id} still {document['state']} after {timeout:.0f}s")
+            time.sleep(poll_s)

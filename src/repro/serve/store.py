@@ -1,0 +1,136 @@
+"""Content-addressed result store — byte-exact replay of finished jobs.
+
+A result is stored under the sha256 of its *request*: the canonical JSON
+of the spec document plus the result-shaping runner parameters (seed,
+record interval, survival buckets, ...), hashed through
+:mod:`repro.digest` — the same canonical-digest discipline checkpoint
+manifests and run-package ids use.  Execution-only parameters (workers,
+backend) are deliberately *excluded* from the key: the engine's
+row-identity contract makes them non-result-shaping, so a request run on
+8 process workers hits the entry stored by a sequential run.
+
+Values are opaque byte strings (the serialized result document).  Storing
+and returning bytes — never re-parsed, never re-serialized — is what lets
+the serving layer promise store-hit responses byte-identical to a fresh
+run, and is asserted end-to-end by the test suite.
+
+With a directory the store persists each entry as ``<digest>.json`` via
+the checkpoint subsystem's write-then-rename + fsync discipline (a torn
+write can never surface as a corrupt entry); without one it is a plain
+in-memory dict.  Both modes are lock-protected and counter-instrumented.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from pathlib import Path
+
+from repro.digest import canonical_digest
+from repro.errors import ConfigError
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """Bytes keyed by content digest, optionally persisted to a directory.
+
+    Args:
+        directory: where entries live as ``<digest>.json`` files; ``None``
+            keeps them in memory only (they die with the process).
+
+    Counters: ``hits``/``misses`` count :meth:`get` outcomes, ``writes``
+    counts :meth:`put` calls that stored a new entry.  All are surfaced by
+    :meth:`stats` for the ``/healthz`` endpoint.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self._entries: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    @staticmethod
+    def key_digest(document: object) -> str:
+        """The store key of one request document (canonical-JSON sha256)."""
+        try:
+            return canonical_digest(document)
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(f"store key is not canonical JSON: {exc}") from exc
+
+    def _path(self, digest: str) -> Path:
+        assert self._directory is not None
+        return self._directory / f"{digest}.json"
+
+    def get(self, digest: str) -> bytes | None:
+        """The stored bytes for ``digest``, or ``None`` on a miss."""
+        with self._lock:
+            payload = self._entries.get(digest)
+            if payload is not None:
+                self.hits += 1
+                return payload
+            if self._directory is not None:
+                path = self._path(digest)
+                if path.exists():
+                    payload = path.read_bytes()
+                    # Warm the in-memory map so repeated hits skip the disk.
+                    self._entries[digest] = payload
+                    self.hits += 1
+                    return payload
+            self.misses += 1
+            return None
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Store ``payload`` under ``digest`` (idempotent; first write wins).
+
+        Content addressing makes a second write of the same digest carry
+        the same bytes by construction, so re-puts are dropped rather than
+        rewritten — a concurrent duplicate job can never tear an entry a
+        reader is streaming.
+        """
+        if not isinstance(payload, bytes):
+            raise ConfigError(
+                f"result store payloads must be bytes, got {type(payload).__name__}"
+            )
+        with self._lock:
+            if digest in self._entries:
+                return
+            if self._directory is not None:
+                path = self._path(digest)
+                if not path.exists():
+                    # Checkpoint-style atomicity: a crash mid-write leaves a
+                    # tmp file, never a half-written blessed entry.
+                    tmp = path.with_suffix(".json.tmp")
+                    with open(tmp, "wb") as handle:
+                        handle.write(payload)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp, path)
+            self._entries[digest] = payload
+            self.writes += 1
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            if digest in self._entries:
+                return True
+            return self._directory is not None and self._path(digest).exists()
+
+    def __len__(self) -> int:
+        with self._lock:
+            if self._directory is None:
+                return len(self._entries)
+            return sum(1 for _ in self._directory.glob("*.json"))
+
+    def stats(self) -> dict[str, object]:
+        """Observable store state: size, persistence mode, counters."""
+        return {
+            "entries": len(self),
+            "persistent": self._directory is not None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+        }

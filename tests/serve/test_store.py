@@ -1,0 +1,76 @@
+"""ResultStore: content addressing, atomic persistence, byte fidelity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.digest import canonical_digest
+from repro.errors import ConfigError
+from repro.serve import ResultStore
+
+
+class TestKeying:
+    def test_key_digest_is_the_shared_canonical_digest(self):
+        document = {"kind": "study", "nested": {"b": 2, "a": 1}}
+        assert ResultStore.key_digest(document) == canonical_digest(document)
+
+    def test_key_order_does_not_change_the_digest(self):
+        assert ResultStore.key_digest({"a": 1, "b": 2}) == ResultStore.key_digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_undigestable_key_is_a_config_error(self):
+        with pytest.raises(ConfigError, match="not canonical JSON"):
+            ResultStore.key_digest({"bad": float("inf")})
+
+
+class TestInMemory:
+    def test_round_trip_and_counters(self):
+        store = ResultStore()
+        digest = store.key_digest({"k": 1})
+        assert store.get(digest) is None
+        store.put(digest, b'{"rows":[]}\n')
+        assert store.get(digest) == b'{"rows":[]}\n'
+        assert store.stats() == {
+            "entries": 1,
+            "persistent": False,
+            "hits": 1,
+            "misses": 1,
+            "writes": 1,
+        }
+
+    def test_put_is_idempotent_first_write_wins(self):
+        store = ResultStore()
+        store.put("d" * 64, b"first")
+        store.put("d" * 64, b"second")
+        assert store.get("d" * 64) == b"first"
+        assert store.stats()["writes"] == 1
+
+    def test_rejects_non_bytes_payload(self):
+        with pytest.raises(ConfigError, match="must be bytes"):
+            ResultStore().put("d" * 64, "text")
+
+
+class TestPersistent:
+    def test_entries_survive_a_new_store_instance(self, tmp_path):
+        digest = ResultStore.key_digest({"k": 1})
+        first = ResultStore(tmp_path / "store")
+        first.put(digest, b"payload-bytes")
+        reloaded = ResultStore(tmp_path / "store")
+        assert digest in reloaded
+        assert reloaded.get(digest) == b"payload-bytes"
+        assert len(reloaded) == 1
+
+    def test_files_are_named_by_digest_with_no_tmp_leftovers(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = store.key_digest({"k": 2})
+        store.put(digest, b"x")
+        assert [path.name for path in tmp_path.iterdir()] == [f"{digest}.json"]
+        assert (tmp_path / f"{digest}.json").read_bytes() == b"x"
+
+    def test_disk_hit_counts_as_hit(self, tmp_path):
+        digest = ResultStore.key_digest({"k": 3})
+        ResultStore(tmp_path).put(digest, b"y")
+        store = ResultStore(tmp_path)
+        assert store.get(digest) == b"y"
+        assert store.stats()["hits"] == 1 and store.stats()["misses"] == 0

@@ -120,6 +120,14 @@ class TestScenariosCommand:
         assert "grid axes" in output
         assert "temperature" in output
 
+    def test_json_form_is_the_shared_listing_document(self, capsys):
+        from repro.scenario.listing import scenario_listing
+
+        assert main(["scenarios", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document == json.loads(json.dumps(scenario_listing()))
+        assert {"components", "cycles", "axes", "study_kinds"} <= set(document)
+
 
 class TestCyclesCommand:
     def test_lists_cycles_with_durations(self, capsys):
@@ -128,6 +136,27 @@ class TestCyclesCommand:
         for name in ("urban", "nedc", "highway", "constant", "ramp"):
             assert name in output
         assert "parametric" in output
+
+    def test_json_form_matches_the_shared_rows(self, capsys):
+        from repro.scenario.listing import cycle_rows
+
+        assert main(["cycles", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert rows == json.loads(json.dumps(cycle_rows()))
+        assert any(row["note"].startswith("parametric") for row in rows)
+
+
+class TestServeCommand:
+    def test_serve_subcommand_is_registered_with_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.backend == "thread"
+        assert args.cache_size == 8
+        assert args.job_workers == 1
+        assert args.store_dir is None and args.checkpoint_dir is None
 
 
 class TestRunCommand:

@@ -1,0 +1,86 @@
+"""The single-sourced canonical digest (``repro.digest``).
+
+Checkpoint manifests, run-package ``run_id``s and the serving layer's
+result-store keys all hash documents through this module, so its byte-level
+output is pinned here: a refactor that changes any digest silently orphans
+every existing checkpoint directory and run package.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.digest import canonical_digest, canonical_json, sha256_hex
+from repro.errors import CheckpointError
+from repro.runpkg import validate_run_package, write_run_package
+from repro.scenario.checkpoint import CheckpointStore
+
+#: A representative checkpoint-style run key and its pinned digest.  The
+#: value was produced by the pre-extraction implementation in
+#: ``repro/scenario/checkpoint.py`` (json.dumps(sort_keys=True) → sha256)
+#: and MUST NOT change: existing checkpoint directories are keyed by it.
+_PINNED_KEY = {
+    "kind": "fleet",
+    "seed": 42,
+    "fleet": {"name": "x", "vehicles": 10, "nested": {"b": 2, "a": 1}},
+    "record_interval_s": 1.0,
+}
+_PINNED_DIGEST = "cefe0e240b91d34f9d3bd02197de99c1a3a624ebdf1b798a0447727c4dd15f16"
+
+#: A representative run-package digest seed and its pinned run_id suffix
+#: (the pre-extraction ``runpkg`` discipline: default=str for non-JSON).
+_PINNED_RUN_SEED = {"kind": "fleet", "name": "n", "spec": {"a": 1}, "seed": 3, "kpis": {"k": 1.5}}
+_PINNED_RUN_ID12 = "621c90612ddc"
+
+
+class TestCanonicalJson:
+    def test_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == canonical_json(
+            {"a": {"c": 3, "d": 2}, "b": 1}
+        )
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+
+    def test_rejects_non_json_without_default(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_default_serializer(self):
+        text = canonical_json({"p": 1 + 2j}, default=str)
+        assert json.loads(text) == {"p": str(1 + 2j)}
+
+
+class TestPinnedDigests:
+    def test_checkpoint_key_digest_is_pinned(self):
+        assert canonical_digest(_PINNED_KEY) == _PINNED_DIGEST
+
+    def test_sha256_hex_matches_text_and_bytes(self):
+        text = canonical_json(_PINNED_KEY)
+        assert sha256_hex(text) == sha256_hex(text.encode("utf-8")) == _PINNED_DIGEST
+
+    def test_checkpoint_store_uses_the_shared_digest(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt", _PINNED_KEY)
+        assert store.key_sha256 == _PINNED_DIGEST
+        manifest = json.loads((tmp_path / "ckpt" / "manifest.json").read_text())
+        assert manifest["key_sha256"] == _PINNED_DIGEST
+
+    def test_checkpoint_rejects_undigestable_key(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not canonical JSON"):
+            CheckpointStore(tmp_path / "ckpt", {"bad": float("inf")})
+
+    def test_run_package_id_is_pinned(self, tmp_path):
+        write_run_package(
+            tmp_path,
+            kind=_PINNED_RUN_SEED["kind"],
+            name=_PINNED_RUN_SEED["name"],
+            spec_document=_PINNED_RUN_SEED["spec"],
+            seed=_PINNED_RUN_SEED["seed"],
+            kpis=_PINNED_RUN_SEED["kpis"],
+        )
+        summary = validate_run_package(tmp_path)
+        assert summary["run_id"] == f"n-{_PINNED_RUN_ID12}"
+        assert canonical_digest(_PINNED_RUN_SEED, default=str)[:12] == _PINNED_RUN_ID12
