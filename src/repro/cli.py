@@ -20,6 +20,10 @@ a shell (or a Makefile) without writing Python::
     tpms-energy fleet --scenario exp.json \\
         --checkpoint ckpt/ --retries 2 --package pkg/      # resumable, packaged
     tpms-energy validate-run pkg/                          # CI regression gate
+    tpms-energy serve --port 8123 --store-dir store/ \\
+        --store-budget-mb 64 --checkpoint-dir ckpt/        # serving replica
+    tpms-energy submit --endpoints h1:8123,h2:8123 \\
+        --fleet winter.json > result.json                  # failover client
     tpms-energy architectures
     tpms-energy balance   --architecture baseline --temperature 25
     tpms-energy trace     --speed 60 --window 0.5
@@ -398,14 +402,70 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="persist the content-addressed result store in DIR "
-        "(default: in-memory, dies with the server)",
+        "(default: in-memory, dies with the server); DIR may be shared "
+        "by several replicas (cross-process locked index)",
+    )
+    serve.add_argument(
+        "--store-budget-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="cap the result store at MB megabytes of payload "
+        "(LRU eviction; default: unbounded)",
+    )
+    serve.add_argument(
+        "--store-budget-entries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap the result store at N entries (LRU eviction; default: unbounded)",
     )
     serve.add_argument(
         "--checkpoint-dir",
         default=None,
         metavar="DIR",
         help="journal fleet-job chunks under DIR so stopped jobs resume "
-        "on re-submission",
+        "on re-submission; share DIR (and --store-dir) across replicas so "
+        "a surviving replica resumes a dead one's jobs",
+    )
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit a study/fleet document to running serve replicas "
+        "(failover client) and print the result document",
+    )
+    submit.add_argument(
+        "--endpoints",
+        required=True,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="comma-separated replica list, tried in order with failover "
+        "on connection refusal/timeouts",
+    )
+    source = submit.add_mutually_exclusive_group(required=True)
+    source.add_argument("--study", metavar="FILE", help="study request document (JSON)")
+    source.add_argument("--fleet", metavar="FILE", help="fleet request document (JSON)")
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        metavar="S",
+        help="overall deadline for submit + wait + result (default 600)",
+    )
+    submit.add_argument(
+        "--request-timeout",
+        type=float,
+        default=60.0,
+        metavar="S",
+        help="per-request socket timeout; a wedged replica counts as dead "
+        "after this long (default 60)",
+    )
+    submit.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra passes over the endpoint list after a fruitless one "
+        "(exponential backoff; default 2)",
     )
 
     balance = subparsers.add_parser(
@@ -678,19 +738,59 @@ def _cmd_cycles(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so the classic one-shot subcommands never pay for the
     # serving layer's asyncio machinery.
-    from repro.serve import EvaluatorLRU, JobManager, ResultStore, ServeServer
+    from repro.serve import EvaluatorLRU, JobManager, ResultStore, ServeServer, StoreBudget
 
+    budget = StoreBudget.from_cli(args.store_budget_mb, args.store_budget_entries)
     manager = JobManager(
         evaluator_cache=EvaluatorLRU(capacity=args.cache_size),
-        store=ResultStore(args.store_dir),
+        store=ResultStore(args.store_dir, budget=budget),
         workers=args.workers,
         backend=args.backend,
         job_workers=args.job_workers,
         checkpoint_root=args.checkpoint_dir,
     )
     server = ServeServer(manager, host=args.host, port=args.port)
-    print(f"serving on http://{args.host}:{args.port} (SIGINT/SIGTERM drain and exit)")
-    server.serve_forever()
+    # The banner prints from the ready callback (after the bind) so --port 0
+    # announces the real kernel-assigned port; harnesses parse this line.
+    server.serve_forever(
+        ready=lambda bound: print(
+            f"serving on http://{args.host}:{bound.port} (SIGINT/SIGTERM drain and exit)",
+            flush=True,
+        )
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    endpoints = [item.strip() for item in args.endpoints.split(",") if item.strip()]
+    if not endpoints:
+        raise ConfigError("--endpoints needs at least one HOST:PORT entry")
+    client = ServeClient(
+        endpoints=endpoints,
+        timeout=args.request_timeout,
+        retries=args.retries,
+    )
+    source = args.study if args.study is not None else args.fleet
+    try:
+        document = json.loads(Path(source).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigError(f"cannot read request document {source}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"request document {source} is not valid JSON: {exc}") from exc
+    if args.study is not None:
+        final, payload = client.run_study(document, timeout=args.timeout)
+    else:
+        final, payload = client.run_fleet(document, timeout=args.timeout)
+    sys.stdout.buffer.write(payload)
+    sys.stdout.buffer.flush()
+    host, port = client.preferred_endpoint
+    print(
+        f"job {final['id']} {final['state']} on {host}:{port} "
+        f"({len(payload)} result byte(s))",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -822,6 +922,7 @@ _COMMANDS = {
     "cycles": _cmd_cycles,
     "architectures": _cmd_architectures,
     "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "balance": _cmd_balance,
     "trace": _cmd_trace,
     "optimize": _cmd_optimize,

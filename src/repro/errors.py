@@ -86,5 +86,35 @@ class ServeError(ReproError):
     Raised by :mod:`repro.serve` — the job manager for requests against an
     unusable manager state (shut down, unknown job) and the client for
     non-success HTTP responses; the message carries the server's one-line
-    ``error`` diagnosis verbatim.
+    ``error`` diagnosis verbatim.  The client refines it into
+    :class:`ServeConnectionError` (retryable — no replica answered) and
+    :class:`ServeHTTPError` (terminal — a replica answered with an error),
+    so callers can retry exactly the failures retrying can fix.
     """
+
+
+class ServeConnectionError(ServeError):
+    """No serve replica could be reached (refused, reset, or timed out).
+
+    The *retryable* half of the client's error taxonomy: the request never
+    produced a server-side answer, and submissions are content-addressed,
+    so retrying — on the same replica or a different one — is always safe.
+    Raised only after the client has exhausted its endpoints and retry
+    budget.
+    """
+
+
+class ServeHTTPError(ServeError):
+    """A serve replica answered with a non-success HTTP status.
+
+    The *terminal* half of the taxonomy: the server received the request
+    and rejected it, so retrying the same bytes yields the same answer.
+    Carries the response ``status`` and raw ``body`` so callers can
+    distinguish, e.g., a 404 after a failover (the job id belongs to a
+    dead replica — resubmit) from a 400 (the document itself is bad).
+    """
+
+    def __init__(self, message: str, status: int = 0, body: bytes = b"") -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = body

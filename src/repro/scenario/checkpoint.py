@@ -29,6 +29,17 @@ Results are journaled as strict-key JSON with ``allow_nan=True``: Python's
 ``repr``-based float serialization round-trips every finite float exactly
 and NaN survives as a literal, which is what makes a resumed run's rows
 byte-identical to an uninterrupted run's.
+
+Foreign-replica handoff: several *processes* — serve replicas sharing a
+checkpoint root, a CLI resume racing a still-draining server — may hold
+stores on the same directory for the same run key.  Chunk files are
+already safe (atomic, digest-named per index), but the manifest is a
+read-modify-write, so every manifest load/save happens under a
+cross-process advisory lock (:class:`~repro.fslock.FileLock` on
+``manifest.lock``) and :meth:`record_chunk` merges the on-disk chunk
+table before writing: a chunk journaled by another replica is adopted,
+never clobbered.  A replica resuming a dead replica's job simply opens
+the directory with the same key and sees everything the manifest blessed.
 """
 
 from __future__ import annotations
@@ -41,6 +52,7 @@ from typing import Mapping
 
 from repro.digest import canonical_digest
 from repro.errors import CheckpointError
+from repro.fslock import FileLock
 
 #: Manifest schema version; bumped on incompatible layout changes.
 CHECKPOINT_VERSION = 1
@@ -96,11 +108,13 @@ class CheckpointStore:
         self.key_sha256 = _key_digest(self.key)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.directory / _MANIFEST
-        if self._manifest_path.exists():
-            self._chunks = self._load_manifest_chunks()
-        else:
-            self._chunks = {}
-            self._write_manifest()
+        self._lock = FileLock(self.directory / "manifest.lock")
+        with self._lock:
+            if self._manifest_path.exists():
+                self._chunks = self._load_manifest_chunks()
+            else:
+                self._chunks = {}
+                self._write_manifest()
 
     # -- manifest handling ---------------------------------------------------
 
@@ -180,6 +194,12 @@ class CheckpointStore:
         ``results`` must be JSON-serializable (NaN allowed); slots of failed
         items carry ``None`` with the failure recorded in ``failures`` (its
         ``index`` local to the chunk).
+
+        Concurrent-writer safe: the manifest update happens under the
+        directory's advisory lock and merges the on-disk chunk table first,
+        so two replicas journaling the same run never drop each other's
+        completed chunks (a chunk both computed resolves to whichever
+        journaled first — the results are byte-identical by construction).
         """
         payload = {
             "chunk": chunk_index,
@@ -196,10 +216,22 @@ class CheckpointStore:
             raise CheckpointError(
                 f"chunk {chunk_index} results are not JSON-serializable: {exc}"
             ) from exc
-        _atomic_write(path, text + "\n")
-        digest = hashlib.sha256(path.read_bytes()).hexdigest()
-        self._chunks[chunk_index] = {"file": name, "sha256": digest, "items": len(results)}
-        self._write_manifest()
+        with self._lock:
+            if self._manifest_path.exists():
+                for index, entry in self._load_manifest_chunks().items():
+                    self._chunks.setdefault(index, entry)
+            if chunk_index in self._chunks:
+                # A foreign replica already journaled (and blessed) this
+                # chunk; its digest-checked file wins — ours is redundant.
+                return self.directory / str(self._chunks[chunk_index]["file"])
+            _atomic_write(path, text + "\n")
+            digest = hashlib.sha256(path.read_bytes()).hexdigest()
+            self._chunks[chunk_index] = {
+                "file": name,
+                "sha256": digest,
+                "items": len(results),
+            }
+            self._write_manifest()
         return path
 
     def load_chunk(

@@ -4,12 +4,19 @@ Endpoints (all JSON in, JSON out)::
 
     POST /studies          submit a study request document -> job status
     POST /fleet            submit a fleet request document -> job status
-    GET  /jobs/{id}        job status (state, progress, failures)
+    GET  /jobs/{id}        job status (state, progress, failures); with
+                           ``?wait=S&version=N`` it long-polls: the reply
+                           is held until the job moves past version N (a
+                           chunk completes, the state changes) or S
+                           seconds elapse, fed by the engine's per-chunk
+                           observer events — clients stop fixed-interval
+                           hammering
     GET  /jobs/{id}/result finished job's result document (stored bytes,
                            returned verbatim -> byte-identical replays)
     GET  /jobs             every job, in submission order
     GET  /scenarios        registry listing (components, cycles, axes)
-    GET  /healthz          server liveness + cache/store/job counters
+    GET  /healthz          server liveness + uptime/pid + full cache,
+                           store (budget, evictions) and job counters
 
 The request/response handling is deliberately minimal: one request per
 connection (``Connection: close``), bodies sized by ``Content-Length``.
@@ -31,6 +38,8 @@ import contextlib
 import json
 import signal
 import threading
+import urllib.parse
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import ConfigError, ReproError, ServeError
 from repro.scenario.listing import scenario_listing
@@ -39,6 +48,10 @@ from repro.serve.jobs import JobManager
 __all__ = ["ServeApp", "ServeServer"]
 
 _MAX_BODY_BYTES = 16 * 1024 * 1024
+#: Upper bound on one long-poll hold; clients re-issue to wait longer.
+_MAX_LONG_POLL_S = 30.0
+#: Handler threads; sized so parked long-polls cannot starve status reads.
+_HANDLER_THREADS = 32
 
 
 class ServeApp:
@@ -62,7 +75,9 @@ class ServeApp:
             return _error(500, str(error))
 
     def _route(self, method: str, path: str, body: bytes) -> tuple[int, bytes, str]:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, query = path.partition("?")
+        params = urllib.parse.parse_qs(query)
+        path = path.rstrip("/") or "/"
         if path == "/studies" or path == "/fleet":
             if method != "POST":
                 return _error(405, f"{path} accepts POST only")
@@ -86,7 +101,12 @@ class ServeApp:
                 # The stored bytes verbatim: re-serializing here would break
                 # the byte-identity contract the store exists to provide.
                 return 200, payload, "application/json"
-            return _json(200, self.manager.get(remainder).to_document())
+            job = self.manager.get(remainder)
+            if "wait" in params:
+                wait_s = min(_parse_float(params, "wait"), _MAX_LONG_POLL_S)
+                version = _parse_int(params, "version") if "version" in params else -1
+                return _json(200, job.wait_for_change(version, max(0.0, wait_s)))
+            return _json(200, job.to_document())
         if path == "/scenarios":
             if method != "GET":
                 return _error(405, "/scenarios accepts GET only")
@@ -96,6 +116,20 @@ class ServeApp:
                 return _error(405, "/healthz accepts GET only")
             return _json(200, {"status": "ok", **self.manager.stats()})
         return _error(404, f"no route for {path!r}")
+
+
+def _parse_float(params: dict[str, list[str]], name: str) -> float:
+    try:
+        return float(params[name][0])
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"query parameter {name!r} must be a number: {error}") from error
+
+
+def _parse_int(params: dict[str, list[str]], name: str) -> int:
+    try:
+        return int(params[name][0])
+    except (TypeError, ValueError) as error:
+        raise ConfigError(f"query parameter {name!r} must be an integer: {error}") from error
 
 
 def _parse_body(body: bytes) -> object:
@@ -154,6 +188,13 @@ class ServeServer:
         self._thread: threading.Thread | None = None
         self._ready = threading.Event()
         self._startup_error: BaseException | None = None
+        # A dedicated handler pool (not the loop's default executor): long
+        # polls park a thread for up to _MAX_LONG_POLL_S each, and sizing
+        # the pool explicitly keeps them from starving anything else that
+        # borrows the default executor.
+        self._executor = ThreadPoolExecutor(
+            max_workers=_HANDLER_THREADS, thread_name_prefix="serve-http"
+        )
 
     # -- asyncio plumbing -----------------------------------------------------
 
@@ -203,7 +244,7 @@ class ServeServer:
         # handler off the event loop so a slow validation never blocks
         # status polls from other connections.
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(None, self.app.handle, method, path, body)
+        return await loop.run_in_executor(self._executor, self.app.handle, method, path, body)
 
     async def _serve(self) -> None:
         self._server = await asyncio.start_server(
@@ -243,13 +284,22 @@ class ServeServer:
             loop.run_until_complete(self._server.wait_closed())
             loop.close()
 
-    def serve_forever(self) -> None:
-        """Run in the foreground until interrupted (the CLI path)."""
+    def serve_forever(self, ready=None) -> None:
+        """Run in the foreground until interrupted (the CLI path).
+
+        Args:
+            ready: optional callback invoked with the server once the
+                socket is bound — with ``port=0`` this is the only moment
+                the actual port becomes known, and the CLI uses it to
+                print the real endpoint (the replica harness reads it).
+        """
         loop = asyncio.new_event_loop()
         asyncio.set_event_loop(loop)
         self._loop = loop
         loop.run_until_complete(self._serve())
         self._ready.set()
+        if ready is not None:
+            ready(self)
         # Explicit loop-level handlers, not a bare KeyboardInterrupt catch:
         # a service must honor SIGTERM (process managers send it), and a
         # backgrounded non-interactive shell starts children with SIGINT
@@ -272,6 +322,7 @@ class ServeServer:
             self._server.close()
             loop.run_until_complete(self._server.wait_closed())
             loop.close()
+            self._executor.shutdown(wait=False)
             self.manager.shutdown(drain=True)
 
     def stop(self, drain: bool = True) -> None:
@@ -281,4 +332,5 @@ class ServeServer:
         if self._thread is not None:
             self._thread.join(timeout=30)
             self._thread = None
+        self._executor.shutdown(wait=False)
         self.manager.shutdown(drain=drain)

@@ -1,0 +1,84 @@
+"""Size/entry budgets for the content-addressed result store.
+
+A persistent :class:`~repro.serve.store.ResultStore` shared by N replicas
+grows without bound unless something evicts: every distinct request that
+ever completed leaves a ``<digest>.json`` behind.  A :class:`StoreBudget`
+caps the store by entry count and/or total payload bytes; the store
+enforces it with least-recently-*used* eviction (a :meth:`ResultStore.get`
+refreshes recency through the shared index, so hot entries survive cold
+ones) under the cross-process advisory lock, which is what makes the cap
+hold even with several replicas writing concurrently.
+
+Eviction is always safe here because the store is content-addressed: an
+evicted entry is not lost state, just a replay that will be recomputed —
+and recomputed to the *same bytes* — on the next request for its digest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+__all__ = ["StoreBudget"]
+
+
+@dataclass(frozen=True)
+class StoreBudget:
+    """An upper bound on what the result store may keep.
+
+    Args:
+        max_entries: maximum number of stored results (``None`` = no cap).
+        max_bytes: maximum total payload bytes (``None`` = no cap).  A
+            single payload larger than ``max_bytes`` can never be admitted;
+            the store rejects it (counted, the job still returns its
+            result) rather than evicting the whole store for one entry.
+
+    At least one cap must be set — an all-``None`` budget is a config
+    error, not a silent no-op.
+    """
+
+    max_entries: int | None = None
+    max_bytes: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_entries is None and self.max_bytes is None:
+            raise ConfigError("a store budget needs max_entries and/or max_bytes")
+        for name in ("max_entries", "max_bytes"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+                raise ConfigError(
+                    f"store budget {name} must be a positive integer, got {value!r}"
+                )
+
+    @classmethod
+    def from_cli(
+        cls, budget_mb: float | None, budget_entries: int | None
+    ) -> "StoreBudget | None":
+        """Build a budget from the ``--store-budget-*`` CLI flags (or ``None``)."""
+        if budget_mb is None and budget_entries is None:
+            return None
+        max_bytes = None
+        if budget_mb is not None:
+            max_bytes = int(budget_mb * 1024 * 1024)
+            if max_bytes < 1:
+                raise ConfigError(
+                    f"--store-budget-mb must be positive, got {budget_mb!r}"
+                )
+        return cls(max_entries=budget_entries, max_bytes=max_bytes)
+
+    def admits(self, size: int) -> bool:
+        """Whether a payload of ``size`` bytes can ever fit under this budget."""
+        return self.max_bytes is None or size <= self.max_bytes
+
+    def exceeded(self, entries: int, total_bytes: int) -> bool:
+        """Whether a store holding ``entries``/``total_bytes`` is over budget."""
+        if self.max_entries is not None and entries > self.max_entries:
+            return True
+        return self.max_bytes is not None and total_bytes > self.max_bytes
+
+    def to_document(self) -> dict[str, int | None]:
+        """The JSON-ready form reported by ``stats()`` / ``GET /healthz``."""
+        return {"max_entries": self.max_entries, "max_bytes": self.max_bytes}

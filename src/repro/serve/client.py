@@ -1,13 +1,40 @@
-"""Blocking HTTP client for the serving layer (stdlib ``http.client``).
+"""Replica-aware blocking HTTP client (stdlib ``http.client``).
 
-The in-repo counterpart of :mod:`repro.serve.api`: tests, benchmarks and
-scripts drive a running server through this instead of hand-rolling HTTP.
-Every call opens a fresh connection (the server closes after each
-response anyway), decodes the JSON body, and raises
-:class:`~repro.errors.ServeError` carrying the server's one-line
-``error`` diagnosis on any non-2xx status.  :meth:`ServeClient.result_bytes`
-returns the raw body without decoding — the byte-identity assertions
-compare exactly what went over the wire.
+The in-repo counterpart of :mod:`repro.serve.api`: tests, benchmarks, CI
+and the ``tpms-energy submit`` subcommand drive running servers through
+this instead of hand-rolling HTTP.  Every call opens a fresh connection
+(the server closes after each response anyway) and decodes the JSON body.
+
+Resilience model
+----------------
+
+The client holds an ordered list of replica *endpoints*.  Each request is
+tried against the preferred endpoint first, then fails over down the list
+on connection refusal/reset/timeout; a full pass with no answer is one
+attempt, retried up to ``retries`` more times with deterministic
+exponential backoff.  Whichever endpoint answers becomes preferred, so a
+healthy replica keeps serving until it stops answering.  Retrying requests
+is safe by construction: submissions are content-addressed (a duplicate
+``POST`` of the same document is the same job or a store hit), and
+store-hit replies are byte-identical — the serving layer's core contract.
+
+Failures split into a typed taxonomy so callers retry exactly what
+retrying can fix: :class:`~repro.errors.ServeConnectionError` (retryable —
+no replica produced an answer) versus :class:`~repro.errors.ServeHTTPError`
+(terminal — a replica answered with a non-2xx status, carried as
+``.status``/``.body``).
+
+:meth:`ServeClient.wait` prefers the server's long-poll
+(``GET /jobs/{id}?wait=S&version=N``) whenever the status document carries
+a ``version`` field; against an older server it degrades to polling on a
+deterministic exponential backoff schedule capped at 1 s.
+:meth:`run_study` / :meth:`run_fleet` wrap the whole
+submit→wait→fetch-result exchange with failover-by-resubmission: if the
+serving replica dies mid-job, the request is re-POSTed to a live replica,
+which — with a shared store and checkpoint root — resumes the journaled
+run and returns bytes identical to an uninterrupted one.
+:meth:`ServeClient.result_bytes` returns the raw body without decoding —
+the byte-identity assertions compare exactly what went over the wire.
 """
 
 from __future__ import annotations
@@ -16,52 +43,161 @@ import http.client
 import json
 import time
 
-from repro.errors import ServeError
+from repro.errors import ConfigError, ServeConnectionError, ServeError, ServeHTTPError
 
 __all__ = ["ServeClient"]
 
+#: First delay of every exponential backoff schedule (doubles per step).
+_INITIAL_BACKOFF_S = 0.02
+#: Ceiling of the poll/retry backoff schedule.
+_BACKOFF_CAP_S = 1.0
+#: How long one long-poll asks the server to hold (server caps at 30 s).
+_LONG_POLL_S = 10.0
+
+
+def _parse_endpoint(endpoint) -> tuple[str, int]:
+    """Normalize ``"host:port"`` strings and ``(host, port)`` pairs."""
+    if isinstance(endpoint, str):
+        host, sep, port_text = endpoint.rpartition(":")
+        if not sep or not host:
+            raise ConfigError(f"endpoint must look like host:port, got {endpoint!r}")
+        try:
+            return host, int(port_text)
+        except ValueError as error:
+            raise ConfigError(f"endpoint {endpoint!r} has a non-integer port") from error
+    try:
+        host, port = endpoint
+    except (TypeError, ValueError) as error:
+        raise ConfigError(
+            f"endpoint must be 'host:port' or (host, port), got {endpoint!r}"
+        ) from error
+    if not isinstance(host, str) or not isinstance(port, int) or isinstance(port, bool):
+        raise ConfigError(f"endpoint must be (str host, int port), got {endpoint!r}")
+    return host, port
+
+
+def _backoff_schedule(initial_s: float = _INITIAL_BACKOFF_S, cap_s: float = _BACKOFF_CAP_S):
+    """The deterministic delay sequence: initial, doubling, capped.
+
+    Exposed as a generator so tests can pin the exact schedule the client
+    sleeps on (0.02, 0.04, 0.08, ... capped at ``cap_s``).
+    """
+    delay = initial_s
+    while True:
+        yield min(delay, cap_s)
+        delay = min(delay * 2, cap_s)
+
 
 class ServeClient:
-    """Talks to one ``tpms-energy serve`` instance.
+    """Talks to one or more ``tpms-energy serve`` replicas.
 
     Args:
-        host: server host.
-        port: server port.
-        timeout: per-request socket timeout in seconds.
+        host: server host (single-replica shorthand).
+        port: server port (single-replica shorthand).
+        timeout: per-request socket timeout in seconds (a wedged replica
+            counts as unreachable once it elapses).
+        endpoints: replica list — ``"host:port"`` strings or ``(host,
+            port)`` pairs, tried in order; overrides ``host``/``port``.
+        retries: extra full passes over the endpoint list after the first
+            all-endpoints-failed pass.
+        backoff_s: first retry delay (doubles per retry, capped).
+        backoff_cap_s: retry/poll delay ceiling.
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8000, timeout: float = 60.0) -> None:
-        self.host = host
-        self.port = port
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 60.0,
+        endpoints=None,
+        retries: int = 2,
+        backoff_s: float = _INITIAL_BACKOFF_S,
+        backoff_cap_s: float = _BACKOFF_CAP_S,
+    ) -> None:
+        if endpoints is None:
+            endpoints = [(host, port)]
+        if not endpoints:
+            raise ConfigError("endpoints must name at least one replica")
+        if not isinstance(retries, int) or isinstance(retries, bool) or retries < 0:
+            raise ConfigError(f"retries must be a non-negative integer, got {retries!r}")
+        self.endpoints = [_parse_endpoint(endpoint) for endpoint in endpoints]
+        self.host, self.port = self.endpoints[0]
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.backoff_cap_s = backoff_cap_s
+        self._preferred = 0
+
+    @property
+    def preferred_endpoint(self) -> tuple[str, int]:
+        """The endpoint that last answered (tried first on the next request)."""
+        return self.endpoints[self._preferred]
 
     # -- transport ------------------------------------------------------------
 
-    def _request(self, method: str, path: str, document: object = None) -> tuple[int, bytes]:
-        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+    def _request_once(self, endpoint, method, path, body, headers) -> tuple[int, bytes]:
+        host, port = endpoint
+        connection = http.client.HTTPConnection(host, port, timeout=self.timeout)
         try:
-            body = None
-            headers = {}
-            if document is not None:
-                body = json.dumps(document, allow_nan=False).encode("utf-8")
-                headers["Content-Type"] = "application/json"
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             return response.status, response.read()
-        except (ConnectionError, OSError) as error:
-            raise ServeError(f"cannot reach serve at {self.host}:{self.port}: {error}") from error
         finally:
             connection.close()
+
+    def _request(self, method: str, path: str, document: object = None) -> tuple[int, bytes]:
+        """One request with failover: returns the first replica answer.
+
+        An HTTP answer — any status — returns immediately; only transport
+        failures (refused, reset, timed out) rotate to the next endpoint
+        and, after a full fruitless pass, back off and retry.  Exhausting
+        the budget raises :class:`ServeConnectionError` naming the last
+        failure.
+        """
+        body = None
+        headers = {}
+        if document is not None:
+            body = json.dumps(document, allow_nan=False).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        last_error: Exception | None = None
+        last_endpoint = self.endpoints[self._preferred]
+        delays = _backoff_schedule(self.backoff_s, self.backoff_cap_s)
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(next(delays))
+            for offset in range(len(self.endpoints)):
+                index = (self._preferred + offset) % len(self.endpoints)
+                try:
+                    status, payload = self._request_once(
+                        self.endpoints[index], method, path, body, headers
+                    )
+                except (ConnectionError, OSError, http.client.HTTPException) as error:
+                    last_error = error
+                    last_endpoint = self.endpoints[index]
+                    continue
+                self._preferred = index
+                return status, payload
+        host, port = last_endpoint
+        attempts = self.retries + 1
+        raise ServeConnectionError(
+            f"cannot reach serve on any of {len(self.endpoints)} endpoint(s) "
+            f"after {attempts} attempt(s); last: {host}:{port}: {last_error}"
+        ) from last_error
 
     def _json(self, method: str, path: str, document: object = None) -> dict:
         status, payload = self._request(method, path, document)
         try:
             decoded = json.loads(payload.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            raise ServeError(f"bad JSON from {path}: {error}") from error
+            if status >= 400:
+                decoded = {}
+            else:
+                raise ServeError(f"bad JSON from {path}: {error}") from error
         if status >= 400:
             message = decoded.get("error", payload.decode("utf-8", "replace"))
-            raise ServeError(f"{method} {path} -> {status}: {message}")
+            raise ServeHTTPError(
+                f"{method} {path} -> {status}: {message}", status=status, body=payload
+            )
         return decoded
 
     # -- endpoints ------------------------------------------------------------
@@ -74,9 +210,22 @@ class ServeClient:
         """``POST /fleet``; returns the job-status document."""
         return self._json("POST", "/fleet", document)
 
-    def job(self, job_id: str) -> dict:
-        """``GET /jobs/{id}``; the live job-status document."""
-        return self._json("GET", f"/jobs/{job_id}")
+    def job(self, job_id: str, wait: float | None = None, version: int | None = None) -> dict:
+        """``GET /jobs/{id}``; the live job-status document.
+
+        With ``wait`` the server holds the reply until the job changes
+        (moves past ``version``) or ``wait`` seconds pass — the long-poll
+        used by :meth:`wait`.
+        """
+        path = f"/jobs/{job_id}"
+        params = []
+        if wait is not None:
+            params.append(f"wait={wait:.3f}")
+        if version is not None:
+            params.append(f"version={version}")
+        if params:
+            path += "?" + "&".join(params)
+        return self._json("GET", path)
 
     def jobs(self) -> list[dict]:
         """``GET /jobs``; every job in submission order."""
@@ -90,7 +239,11 @@ class ServeClient:
                 message = json.loads(payload.decode("utf-8")).get("error", "")
             except (UnicodeDecodeError, json.JSONDecodeError):
                 message = payload.decode("utf-8", "replace")
-            raise ServeError(f"GET /jobs/{job_id}/result -> {status}: {message}")
+            raise ServeHTTPError(
+                f"GET /jobs/{job_id}/result -> {status}: {message}",
+                status=status,
+                body=payload,
+            )
         return payload
 
     def result(self, job_id: str) -> dict:
@@ -107,19 +260,80 @@ class ServeClient:
 
     # -- convenience ----------------------------------------------------------
 
-    def wait(self, job_id: str, timeout: float = 120.0, poll_s: float = 0.05) -> dict:
-        """Poll ``GET /jobs/{id}`` until the job is done or failed.
+    def wait(self, job_id: str, timeout: float = 120.0, poll_s: float | None = None) -> dict:
+        """Wait until the job is done or failed; returns the final status.
 
-        Returns the final status document; raises :class:`ServeError` if
-        the job fails or the timeout elapses first.
+        Long-polls when the server supports it (the status document carries
+        a ``version``), so a chunk completion wakes the reply immediately;
+        otherwise polls on the deterministic exponential backoff schedule
+        starting at ``poll_s`` (default 20 ms) and capped at 1 s — long
+        fleet jobs stop being hammered at a fixed 50 ms.  Raises
+        :class:`ServeError` if the job fails or the timeout elapses first.
         """
         deadline = time.monotonic() + timeout
+        delays = _backoff_schedule(
+            poll_s if poll_s is not None else _INITIAL_BACKOFF_S, self.backoff_cap_s
+        )
+        document = self.job(job_id)
         while True:
-            document = self.job(job_id)
             if document["state"] == "done":
                 return document
             if document["state"] == "failed":
                 raise ServeError(f"job {job_id} failed: {document['error']}")
-            if time.monotonic() >= deadline:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise ServeError(f"job {job_id} still {document['state']} after {timeout:.0f}s")
-            time.sleep(poll_s)
+            version = document.get("version")
+            if version is not None:
+                document = self.job(
+                    job_id, wait=min(remaining, _LONG_POLL_S), version=version
+                )
+            else:
+                time.sleep(min(next(delays), remaining))
+                document = self.job(job_id)
+
+    def run_study(self, document: dict, timeout: float = 600.0) -> tuple[dict, bytes]:
+        """Submit a study and ride it to completion with replica failover."""
+        return self._run(self.submit_study, document, timeout)
+
+    def run_fleet(self, document: dict, timeout: float = 600.0) -> tuple[dict, bytes]:
+        """Submit a fleet run and ride it to completion with replica failover."""
+        return self._run(self.submit_fleet, document, timeout)
+
+    def _run(self, submit, document: dict, timeout: float) -> tuple[dict, bytes]:
+        """submit → wait → fetch, resubmitting across replica deaths.
+
+        Returns ``(final_status, result_bytes)``.  Two failure shapes are
+        survivable mid-exchange and both end in resubmission, which is
+        idempotent because requests are content-addressed:
+
+        * :class:`ServeConnectionError` — the serving replica vanished;
+          the next pass reaches whichever replica still answers.
+        * :class:`ServeHTTPError` 404 — we failed over mid-wait and the
+          new replica has never heard of the dead replica's job id; the
+          resubmitted document is a store hit (finished) or resumes from
+          the shared checkpoint journal (unfinished).
+
+        Every other error — a 400 document, a failed job — is terminal and
+        propagates.
+        """
+        deadline = time.monotonic() + timeout
+        delays = _backoff_schedule(self.backoff_s, self.backoff_cap_s)
+        last_error: Exception | None = None
+        while True:
+            try:
+                job = submit(document)
+                remaining = max(0.1, deadline - time.monotonic())
+                final = self.wait(job["id"], timeout=remaining)
+                return final, self.result_bytes(job["id"])
+            except ServeConnectionError as error:
+                last_error = error
+            except ServeHTTPError as error:
+                if error.status != 404:
+                    raise
+                last_error = error
+            if time.monotonic() >= deadline:
+                raise ServeError(
+                    f"request did not complete within {timeout:.0f}s; last: {last_error}"
+                )
+            time.sleep(next(delays))

@@ -36,8 +36,10 @@ same request resumes instead of recomputing.
 from __future__ import annotations
 
 import json
+import os
 import queue
 import threading
+import time
 from pathlib import Path
 from typing import Mapping
 
@@ -376,6 +378,13 @@ class Job:
     request), ``failed`` (``error`` carries the one-line diagnosis).  A
     store hit skips the queue entirely: the job is born ``done`` with
     ``store_hit`` set and the stored bytes attached.
+
+    Every observable mutation bumps a monotonic ``version`` and notifies
+    waiters, which is what :meth:`wait_for_change` — the engine behind the
+    HTTP layer's long-poll (``GET /jobs/{id}?wait=...&version=...``) —
+    blocks on: a client holding version N sleeps server-side until the job
+    moves past N (a progress event, a state change) instead of hammering
+    fixed-interval polls.
     """
 
     def __init__(self, job_id: str, kind: str, digest: str, items_total, chunks_total) -> None:
@@ -385,10 +394,13 @@ class Job:
         self.state = "queued"
         self.store_hit = False
         self.partial = False
+        self.version = 0
         self.error: str | None = None
         self.result_bytes: bytes | None = None
         self.failures: list[dict[str, object]] = []
-        self._lock = threading.Lock()
+        # A Condition doubles as the job's mutex (``with job._lock`` works
+        # unchanged) and carries the long-poll wakeups.
+        self._lock = threading.Condition()
         self._progress: dict[str, object] = {
             "items_done": 0,
             "items_total": items_total,
@@ -396,6 +408,11 @@ class Job:
             "chunks_total": chunks_total,
             "failures": 0,
         }
+
+    def _bump(self) -> None:
+        """Advance the version and wake long-pollers (lock must be held)."""
+        self.version += 1
+        self._lock.notify_all()
 
     def _observe(self, event: Mapping[str, object]) -> None:
         """Engine observer: fold one progress event into the job record."""
@@ -408,6 +425,21 @@ class Job:
                 self._progress["chunks_done"] = event.get(
                     "chunks_done", self._progress["chunks_done"]
                 )
+            self._bump()
+
+    def wait_for_change(self, version: int, timeout: float) -> dict[str, object]:
+        """Block until the job moves past ``version`` (or ``timeout`` elapses).
+
+        Returns the job-status document either way; a job already past the
+        caller's version — or already terminal — returns immediately, so a
+        stale or missing version degrades to a plain status read.
+        """
+        with self._lock:
+            self._lock.wait_for(
+                lambda: self.version != version or self.state in ("done", "failed"),
+                timeout=timeout,
+            )
+            return self.to_document()
 
     def to_document(self) -> dict[str, object]:
         """The JSON-ready job-status payload (a consistent snapshot)."""
@@ -419,6 +451,7 @@ class Job:
                 "digest": self.digest,
                 "store_hit": self.store_hit,
                 "partial": self.partial,
+                "version": self.version,
                 "progress": dict(self._progress),
                 "failures": list(self.failures),
                 "error": self.error,
@@ -467,6 +500,7 @@ class JobManager:
         self.default_workers = workers
         self.default_backend = backend
         self.checkpoint_root = Path(checkpoint_root) if checkpoint_root is not None else None
+        self._started = time.monotonic()
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._requests: dict[str, object] = {}
@@ -518,6 +552,7 @@ class JobManager:
                 job.state = "done"
                 job.store_hit = True
                 job.result_bytes = stored
+                job._bump()
             return job
         self._requests[job_id] = request
         self._queue.put(job_id)
@@ -547,12 +582,21 @@ class JobManager:
             return job.result_bytes
 
     def stats(self) -> dict[str, object]:
-        """Manager-level health: job counts by state, cache and store stats."""
+        """Manager-level health for ``GET /healthz``.
+
+        Job counts by state, this replica's identity (``pid`` — a
+        multi-endpoint client can tell which replica answered) and uptime,
+        plus the *full* evaluator-LRU and result-store counter sets
+        (capacity/size/hits/misses/evictions; entries/bytes/budget/writes/
+        evictions/oversize rejects).
+        """
         counts = {"queued": 0, "running": 0, "done": 0, "failed": 0}
         for job in self.jobs():
             counts[job.state] += 1
         return {
             "jobs": counts,
+            "pid": os.getpid(),
+            "uptime_s": round(time.monotonic() - self._started, 3),
             "evaluator_cache": self.evaluator_cache.stats(),
             "store": self.store.stats(),
         }
@@ -570,6 +614,7 @@ class JobManager:
                 if job.state != "queued":
                     continue
                 job.state = "running"
+                job._bump()
             try:
                 if job.kind == "study":
                     self._run_study(job, request)
@@ -579,10 +624,12 @@ class JobManager:
                 with job._lock:
                     job.state = "failed"
                     job.error = str(error)
+                    job._bump()
             except Exception as error:  # pragma: no cover - defensive
                 with job._lock:
                     job.state = "failed"
                     job.error = f"{type(error).__name__}: {error}"
+                    job._bump()
 
     def _finish(self, job: Job, document: dict[str, object], partial: bool) -> None:
         payload = encode_document(document)
@@ -595,6 +642,7 @@ class JobManager:
             job.partial = partial
             job.result_bytes = payload
             job.state = "done"
+            job._bump()
 
     def _run_study(self, job: Job, request: _StudyRequest) -> None:
         study = request.build_study(evaluator_cache=self.evaluator_cache)
@@ -619,6 +667,7 @@ class JobManager:
         result = runner.run()
         with job._lock:
             job.failures = list(result.metadata["failures"])
+            job._bump()
         self._finish(job, fleet_result_document(result), partial=result.metadata["partial"])
 
     # -- shutdown -------------------------------------------------------------
@@ -643,6 +692,7 @@ class JobManager:
                     if job.state == "queued":
                         job.state = "failed"
                         job.error = "cancelled by server shutdown"
+                        job._bump()
         for _ in self._threads:
             self._queue.put(None)
         for thread in self._threads:

@@ -121,3 +121,27 @@ class TestCheckpointStore:
     def test_key_must_be_canonical_json(self, tmp_path):
         with pytest.raises(CheckpointError, match="not canonical JSON"):
             CheckpointStore(tmp_path, {"bad": object()})
+
+    def test_concurrent_stores_merge_instead_of_clobbering(self, tmp_path):
+        """Two replicas journaling one run never drop each other's chunks."""
+        alpha = CheckpointStore(tmp_path, KEY)
+        beta = CheckpointStore(tmp_path, KEY)
+        alpha.record_chunk(0, results=[1, 2], wall_times_s=[0.0, 0.0])
+        # beta opened before alpha's write; its record merges the on-disk
+        # manifest first, so chunk 0 survives chunk 1's blessing.
+        beta.record_chunk(1, results=[3, 4], wall_times_s=[0.0, 0.0])
+        assert beta.completed_chunks == (0, 1)
+        survivor = CheckpointStore(tmp_path, KEY)
+        assert survivor.completed_chunks == (0, 1)
+        assert survivor.load_chunk(0)[0] == [1, 2]
+        assert survivor.load_chunk(1)[0] == [3, 4]
+
+    def test_foreign_journaled_chunk_wins_over_a_re_record(self, tmp_path):
+        alpha = CheckpointStore(tmp_path, KEY)
+        beta = CheckpointStore(tmp_path, KEY)
+        first = alpha.record_chunk(0, results=[1], wall_times_s=[0.1])
+        # beta computed the same chunk concurrently; the journaled file wins
+        # (byte-identical by construction) and beta adopts it.
+        second = beta.record_chunk(0, results=[1], wall_times_s=[0.2])
+        assert second == first
+        assert CheckpointStore(tmp_path, KEY).load_chunk(0)[1] == [0.1]

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import time
 
 import pytest
 
@@ -115,6 +116,42 @@ class TestEndpoints:
         assert document["metadata"]["vehicles_failed"] == 1
         assert document["metadata"]["failures"] == final["failures"]
 
+    def test_healthz_reports_identity_and_full_counters(self, client, server):
+        import os
+
+        health = client.health()
+        assert health["pid"] == os.getpid()  # in-process server fixture
+        assert health["uptime_s"] >= 0.0
+        assert {"entries", "bytes", "evictions", "oversize_rejects"} <= set(
+            health["store"]
+        )
+        assert {"capacity", "size", "hits", "misses"} <= set(health["evaluator_cache"])
+
+    def test_long_poll_returns_immediately_on_a_stale_version(self, client):
+        job = client.submit_study(STUDY_DOC)
+        final = client.wait(job["id"])
+        started = time.monotonic()
+        document = client.job(job["id"], wait=20.0, version=-1)
+        assert time.monotonic() - started < 5.0
+        assert document == final
+
+    def test_long_poll_holds_until_the_job_finishes(self, client):
+        job = client.submit_fleet(FLEET_DOC)
+        document = job
+        deadline = time.monotonic() + 120
+        while document["state"] not in ("done", "failed"):
+            assert time.monotonic() < deadline
+            document = client.job(
+                job["id"], wait=5.0, version=document["version"]
+            )
+        assert document["state"] == "done"
+
+    def test_wait_uses_the_long_poll_end_to_end(self, client):
+        job = client.submit_fleet(FLEET_DOC)
+        final = client.wait(job["id"])
+        assert final["state"] == "done"
+        assert final["version"] >= 1
+
     def test_jobs_listing(self, client):
         first = client.submit_study(STUDY_DOC)
         client.wait(first["id"])
@@ -154,6 +191,15 @@ class TestErrorMapping:
 
     def test_unknown_route_is_a_404(self, server):
         assert _raw(server, "GET", "/nope")[0] == 404
+
+    def test_malformed_wait_parameter_is_a_400(self, server, client):
+        job = client.submit_study(STUDY_DOC)
+        client.wait(job["id"])
+        status, payload = _raw(server, "GET", f"/jobs/{job['id']}?wait=soon")
+        assert status == 400
+        assert "wait" in json.loads(payload)["error"]
+        status, _ = _raw(server, "GET", f"/jobs/{job['id']}?wait=1&version=x")
+        assert status == 400
 
     def test_client_raises_serve_error_with_the_server_message(self, client):
         with pytest.raises(ServeError, match="unknown fields"):

@@ -1,0 +1,154 @@
+"""Replica-aware client: typed errors, endpoint failover, backoff schedules."""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+import pytest
+
+from repro.errors import ConfigError, ServeConnectionError, ServeError, ServeHTTPError
+from repro.serve import JobManager, ServeClient, ServeServer
+from repro.serve.client import _backoff_schedule, _parse_endpoint
+
+STUDY_DOC = {
+    "scenario": {"name": "failover-study", "architecture": "baseline"},
+    "axes": {"temperature": [25.0]},
+}
+
+
+@pytest.fixture
+def server():
+    server = ServeServer(JobManager(evaluator_capacity=4), port=0).start()
+    yield server
+    server.stop()
+
+
+def _dead_port() -> int:
+    """A port nothing listens on (bound then closed, so it's refused fast)."""
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestEndpointParsing:
+    def test_string_and_tuple_forms(self):
+        assert _parse_endpoint("localhost:8123") == ("localhost", 8123)
+        assert _parse_endpoint(("10.0.0.1", 80)) == ("10.0.0.1", 80)
+
+    @pytest.mark.parametrize("bad", ["just-a-host", ":8000", "host:notaport"])
+    def test_malformed_strings_are_config_errors(self, bad):
+        with pytest.raises(ConfigError, match="endpoint"):
+            _parse_endpoint(bad)
+
+    def test_malformed_pairs_are_config_errors(self):
+        with pytest.raises(ConfigError, match="endpoint"):
+            _parse_endpoint(("host", "8000"))
+        with pytest.raises(ConfigError, match="endpoint"):
+            _parse_endpoint(42)
+
+    def test_client_rejects_empty_endpoint_list(self):
+        with pytest.raises(ConfigError, match="at least one replica"):
+            ServeClient(endpoints=[])
+
+    def test_client_rejects_bad_retries(self):
+        with pytest.raises(ConfigError, match="retries"):
+            ServeClient(retries=-1)
+
+
+class TestBackoffSchedule:
+    def test_deterministic_doubling_capped(self):
+        delays = list(itertools.islice(_backoff_schedule(), 8))
+        assert delays == [0.02, 0.04, 0.08, 0.16, 0.32, 0.64, 1.0, 1.0]
+
+    def test_custom_initial_and_cap(self):
+        delays = list(itertools.islice(_backoff_schedule(0.5, 2.0), 4))
+        assert delays == [0.5, 1.0, 2.0, 2.0]
+
+
+class TestErrorTaxonomy:
+    def test_unreachable_replicas_raise_connection_error(self):
+        client = ServeClient(
+            endpoints=[f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{_dead_port()}"],
+            retries=1,
+            backoff_s=0.001,
+            timeout=2,
+        )
+        with pytest.raises(ServeConnectionError, match="2 endpoint"):
+            client.health()
+
+    def test_connection_error_is_a_serve_error(self):
+        assert issubclass(ServeConnectionError, ServeError)
+        assert issubclass(ServeHTTPError, ServeError)
+
+    def test_http_error_carries_status_and_body(self, server):
+        client = ServeClient(port=server.port)
+        with pytest.raises(ServeHTTPError) as caught:
+            client.submit_study({"bogus": 1})
+        assert caught.value.status == 400
+        assert b"unknown fields" in caught.value.body
+
+    def test_missing_result_is_a_404_http_error(self, server):
+        client = ServeClient(port=server.port)
+        with pytest.raises(ServeHTTPError) as caught:
+            client.result_bytes("job-000042-deadbeef")
+        assert caught.value.status == 404
+
+
+class TestFailover:
+    def test_dead_endpoint_fails_over_to_live_replica(self, server):
+        client = ServeClient(
+            endpoints=[f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{server.port}"],
+            retries=0,
+            timeout=10,
+        )
+        assert client.health()["status"] == "ok"
+        # The answering replica became preferred: the dead one is skipped.
+        assert client.preferred_endpoint == ("127.0.0.1", server.port)
+
+    def test_preferred_replica_sticks_across_requests(self, server):
+        client = ServeClient(
+            endpoints=[f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{server.port}"],
+            retries=0,
+            timeout=10,
+        )
+        client.health()
+        client.health()
+        assert client.preferred_endpoint == ("127.0.0.1", server.port)
+
+    def test_run_study_through_a_half_dead_pool(self, server):
+        client = ServeClient(
+            endpoints=[f"127.0.0.1:{_dead_port()}", f"127.0.0.1:{server.port}"],
+            retries=1,
+            backoff_s=0.001,
+            timeout=30,
+        )
+        final, payload = client.run_study(STUDY_DOC, timeout=120)
+        assert final["state"] == "done"
+        assert payload.startswith(b"{")
+
+
+class TestWaitFallback:
+    def test_wait_backs_off_without_server_versions(self, server, monkeypatch):
+        # Strip the version field to emulate an older server; wait() must
+        # fall back to the exponential-backoff polling path and still finish.
+        client = ServeClient(port=server.port)
+        real_job = client.job
+        sleeps = []
+
+        def versionless_job(job_id, wait=None, version=None):
+            assert wait is None and version is None  # long-poll never used
+            document = real_job(job_id)
+            document.pop("version", None)
+            return document
+
+        monkeypatch.setattr(client, "job", versionless_job)
+        monkeypatch.setattr(
+            "repro.serve.client.time.sleep", lambda delay: sleeps.append(delay)
+        )
+        submitted = client.submit_study(STUDY_DOC)
+        final = client.wait(submitted["id"], timeout=120, poll_s=0.02)
+        assert final["state"] == "done"
+        if sleeps:  # the tiny study may finish before the first poll
+            capped = [min(0.02 * 2**index, 1.0) for index in range(len(sleeps))]
+            assert [round(delay, 6) for delay in sleeps] == capped

@@ -179,6 +179,57 @@ class TestLifecycle:
         assert [job.id for job in manager.jobs()] == [first.id, second.id]
 
 
+class TestVersionsAndLongPoll:
+    def test_every_observable_mutation_bumps_the_version(self, manager):
+        job = manager.submit_fleet(FLEET_DOC)
+        document = _wait(job)
+        # queued->running, two chunk events, six item events and the final
+        # done transition all bumped; the exact count depends on observer
+        # coalescing, but a finished 2-chunk job is well past zero.
+        assert document["version"] >= 3
+        assert document["version"] == job.version
+
+    def test_wait_for_change_returns_immediately_when_stale(self, manager):
+        job = manager.submit_study(STUDY_DOC)
+        _wait(job)
+        started = time.monotonic()
+        document = job.wait_for_change(version=-1, timeout=30.0)
+        assert time.monotonic() - started < 5.0
+        assert document["state"] == "done"
+
+    def test_wait_for_change_returns_immediately_on_terminal_jobs(self, manager):
+        job = manager.submit_study(STUDY_DOC)
+        final = _wait(job)
+        started = time.monotonic()
+        document = job.wait_for_change(version=final["version"], timeout=30.0)
+        assert time.monotonic() - started < 5.0
+        assert document["state"] == "done"
+
+    def test_wait_for_change_wakes_on_progress(self, manager):
+        job = manager.submit_fleet(FLEET_DOC)
+        deadline = time.monotonic() + 120
+        document = job.to_document()
+        while document["state"] not in ("done", "failed"):
+            assert time.monotonic() < deadline, "job never progressed"
+            document = job.wait_for_change(document["version"], timeout=5.0)
+        assert document["state"] == "done"
+
+    def test_store_hit_jobs_are_born_past_version_zero(self, manager):
+        first = manager.submit_study(STUDY_DOC)
+        _wait(first)
+        second = manager.submit_study(STUDY_DOC)
+        assert second.store_hit
+        assert second.to_document()["version"] >= 1
+
+    def test_stats_carry_identity_and_uptime(self, manager):
+        import os
+
+        stats = manager.stats()
+        assert stats["pid"] == os.getpid()
+        assert stats["uptime_s"] >= 0.0
+        assert {"evictions", "oversize_rejects"} <= set(stats["store"])
+
+
 class TestStructuredFailures:
     def test_fleet_failures_surface_as_engine_records(self, manager, monkeypatch):
         real = fleet_runner._cohort_vehicle_outcome

@@ -1,4 +1,4 @@
-"""ResultStore: content addressing, atomic persistence, byte fidelity."""
+"""ResultStore: content addressing, atomic persistence, budgets, byte fidelity."""
 
 from __future__ import annotations
 
@@ -6,7 +6,11 @@ import pytest
 
 from repro.digest import canonical_digest
 from repro.errors import ConfigError
-from repro.serve import ResultStore
+from repro.serve import ResultStore, StoreBudget
+
+
+def _digest(label: str) -> str:
+    return ResultStore.key_digest({"label": label})
 
 
 class TestKeying:
@@ -24,6 +28,29 @@ class TestKeying:
             ResultStore.key_digest({"bad": float("inf")})
 
 
+class TestBudget:
+    def test_needs_at_least_one_cap(self):
+        with pytest.raises(ConfigError, match="max_entries and/or max_bytes"):
+            StoreBudget()
+
+    @pytest.mark.parametrize("kwargs", [{"max_entries": 0}, {"max_bytes": -5}])
+    def test_caps_must_be_positive(self, kwargs):
+        with pytest.raises(ConfigError, match="positive integer"):
+            StoreBudget(**kwargs)
+
+    def test_from_cli_converts_megabytes(self):
+        budget = StoreBudget.from_cli(2.0, 10)
+        assert budget == StoreBudget(max_entries=10, max_bytes=2 * 1024 * 1024)
+        assert StoreBudget.from_cli(None, None) is None
+
+    def test_exceeded_and_admits(self):
+        budget = StoreBudget(max_entries=2, max_bytes=100)
+        assert not budget.exceeded(2, 100)
+        assert budget.exceeded(3, 10)
+        assert budget.exceeded(1, 101)
+        assert budget.admits(100) and not budget.admits(101)
+
+
 class TestInMemory:
     def test_round_trip_and_counters(self):
         store = ResultStore()
@@ -31,24 +58,45 @@ class TestInMemory:
         assert store.get(digest) is None
         store.put(digest, b'{"rows":[]}\n')
         assert store.get(digest) == b'{"rows":[]}\n'
-        assert store.stats() == {
-            "entries": 1,
-            "persistent": False,
-            "hits": 1,
-            "misses": 1,
-            "writes": 1,
-        }
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["bytes"] == len(b'{"rows":[]}\n')
+        assert stats["persistent"] is False
+        assert stats["budget"] is None
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["writes"] == 1
+        assert stats["evictions"] == 0 and stats["evicted_bytes"] == 0
+        assert stats["oversize_rejects"] == 0
 
     def test_put_is_idempotent_first_write_wins(self):
         store = ResultStore()
-        store.put("d" * 64, b"first")
-        store.put("d" * 64, b"second")
+        assert store.put("d" * 64, b"first") is True
+        assert store.put("d" * 64, b"second") is False
         assert store.get("d" * 64) == b"first"
         assert store.stats()["writes"] == 1
 
     def test_rejects_non_bytes_payload(self):
         with pytest.raises(ConfigError, match="must be bytes"):
             ResultStore().put("d" * 64, "text")
+
+    def test_entry_budget_evicts_least_recently_used(self):
+        store = ResultStore(budget=StoreBudget(max_entries=2))
+        store.put(_digest("a"), b"aa")
+        store.put(_digest("b"), b"bb")
+        assert store.get(_digest("a")) == b"aa"  # refresh a's recency
+        store.put(_digest("c"), b"cc")
+        assert store.get(_digest("b")) is None  # b was the LRU victim
+        assert store.get(_digest("a")) == b"aa"
+        assert store.get(_digest("c")) == b"cc"
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1 and stats["evicted_bytes"] == 2
+
+    def test_oversize_payload_is_rejected_not_evicting(self):
+        store = ResultStore(budget=StoreBudget(max_bytes=4))
+        store.put(_digest("small"), b"ok")
+        assert store.put(_digest("big"), b"too-large") is False
+        assert store.get(_digest("small")) == b"ok"
+        assert store.stats()["oversize_rejects"] == 1
 
 
 class TestPersistent:
@@ -65,7 +113,8 @@ class TestPersistent:
         store = ResultStore(tmp_path)
         digest = store.key_digest({"k": 2})
         store.put(digest, b"x")
-        assert [path.name for path in tmp_path.iterdir()] == [f"{digest}.json"]
+        names = sorted(path.name for path in tmp_path.iterdir())
+        assert names == sorted([".lock", "index.json", f"{digest}.json"])
         assert (tmp_path / f"{digest}.json").read_bytes() == b"x"
 
     def test_disk_hit_counts_as_hit(self, tmp_path):
@@ -74,3 +123,59 @@ class TestPersistent:
         store = ResultStore(tmp_path)
         assert store.get(digest) == b"y"
         assert store.stats()["hits"] == 1 and store.stats()["misses"] == 0
+
+    def test_adopts_a_legacy_directory_without_an_index(self, tmp_path):
+        # Pre-budget store layouts had entry files only; the index is
+        # rebuilt from the directory scan on first touch.
+        digest = _digest("legacy")
+        (tmp_path / f"{digest}.json").write_bytes(b"legacy-bytes")
+        store = ResultStore(tmp_path)
+        assert store.get(digest) == b"legacy-bytes"
+        assert len(store) == 1
+
+    def test_two_instances_on_one_directory_see_each_other(self, tmp_path):
+        alpha = ResultStore(tmp_path)
+        beta = ResultStore(tmp_path)
+        digest = _digest("shared")
+        assert alpha.put(digest, b"shared-bytes") is True
+        assert beta.get(digest) == b"shared-bytes"
+        assert beta.put(digest, b"other-bytes") is False  # first write won
+        assert alpha.get(digest) == b"shared-bytes"
+
+    def test_entry_budget_evicts_on_disk_lru(self, tmp_path):
+        store = ResultStore(tmp_path, budget=StoreBudget(max_entries=2))
+        store.put(_digest("a"), b"aa")
+        store.put(_digest("b"), b"bb")
+        # A disk hit (cold instance) refreshes a's recency in the shared
+        # index; warm in-process hits deliberately don't.
+        assert ResultStore(tmp_path).get(_digest("a")) == b"aa"
+        store.put(_digest("c"), b"cc")
+        assert not (tmp_path / f"{_digest('b')}.json").exists()
+        assert (tmp_path / f"{_digest('a')}.json").exists()
+        assert (tmp_path / f"{_digest('c')}.json").exists()
+        assert store.stats()["entries"] == 2
+
+    def test_byte_budget_evicts_down(self, tmp_path):
+        store = ResultStore(tmp_path, budget=StoreBudget(max_bytes=6))
+        store.put(_digest("a"), b"aaa")
+        store.put(_digest("b"), b"bbb")
+        store.put(_digest("c"), b"ccc")
+        stats = store.stats()
+        assert stats["bytes"] <= 6
+        assert stats["evictions"] >= 1
+
+    def test_reopening_with_a_smaller_budget_evicts_down(self, tmp_path):
+        unbounded = ResultStore(tmp_path)
+        for label in ("a", "b", "c", "d"):
+            unbounded.put(_digest(label), label.encode())
+        shrunk = ResultStore(tmp_path, budget=StoreBudget(max_entries=2))
+        assert len(shrunk) == 2
+        assert shrunk.stats()["evictions"] == 2
+
+    def test_eviction_in_one_process_is_seen_by_another(self, tmp_path):
+        writer = ResultStore(tmp_path, budget=StoreBudget(max_entries=1))
+        reader = ResultStore(tmp_path, budget=StoreBudget(max_entries=1))
+        writer.put(_digest("first"), b"one")
+        writer.put(_digest("second"), b"two")
+        assert reader.get(_digest("second")) == b"two"
+        assert reader.stats()["entries"] == 1

@@ -1,0 +1,122 @@
+"""Multi-process writers on one store directory: the cross-replica contract.
+
+These tests fork real processes (the same isolation serve replicas have)
+against a single store directory and assert the three properties the
+serving layer leans on:
+
+* first write wins — exactly one process stores each digest;
+* no torn reads — a ``get`` returns the exact expected bytes or ``None``,
+  never a prefix or a mix;
+* the budget holds — no process ever observes the shared index over its
+  entry/byte caps, even mid-churn.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+
+import pytest
+
+from repro.serve import ResultStore, StoreBudget
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="fork-based multi-process store test"
+)
+
+_PROCESSES = 4
+_DIGESTS = 24
+
+
+def _digest(label: object) -> str:
+    return ResultStore.key_digest({"label": str(label)})
+
+
+def _payload(digest: str) -> bytes:
+    # Deterministic payload per digest so any reader can verify the bytes.
+    return f'{{"digest":"{digest}","pad":"{"x" * 64}"}}\n'.encode()
+
+
+def _race_writer(directory, worker, queue):
+    store = ResultStore(directory)
+    torn = []
+    for item in range(_DIGESTS):
+        digest = _digest(item)
+        store.put(digest, _payload(digest))
+        found = store.get(digest)
+        if found is not None and found != _payload(digest):
+            torn.append(digest)
+    queue.put((worker, store.stats()["writes"], torn))
+
+
+def _churn_writer(directory, worker, queue):
+    budget = StoreBudget(max_entries=6, max_bytes=6 * 200)
+    store = ResultStore(directory, budget=budget)
+    torn = []
+    max_entries = 0
+    max_bytes = 0
+    for item in range(_DIGESTS):
+        digest = _digest((worker, item))
+        store.put(digest, _payload(digest))
+        # Read back a digest some *other* worker may be writing/evicting.
+        other = _digest(((worker + 1) % _PROCESSES, item))
+        found = store.get(other)
+        if found is not None and found != _payload(other):
+            torn.append(other)
+        stats = store.stats()
+        max_entries = max(max_entries, stats["entries"])
+        max_bytes = max(max_bytes, stats["bytes"])
+    queue.put((worker, max_entries, max_bytes, torn))
+
+
+def _run_workers(target, directory):
+    context = multiprocessing.get_context("fork")
+    queue = context.Queue()
+    workers = [
+        context.Process(target=target, args=(directory, worker, queue))
+        for worker in range(_PROCESSES)
+    ]
+    for process in workers:
+        process.start()
+    results = [queue.get(timeout=60) for _ in workers]
+    for process in workers:
+        process.join(timeout=60)
+        assert process.exitcode == 0
+    return results
+
+
+def test_first_write_wins_across_processes(tmp_path):
+    results = _run_workers(_race_writer, tmp_path / "store")
+    assert len(results) == _PROCESSES
+    for _worker, _writes, torn in results:
+        assert torn == []
+    # Every digest was stored by exactly one process.
+    assert sum(writes for _, writes, _ in results) == _DIGESTS
+    survivor = ResultStore(tmp_path / "store")
+    assert len(survivor) == _DIGESTS
+    for item in range(_DIGESTS):
+        digest = _digest(item)
+        assert survivor.get(digest) == _payload(digest)
+
+
+def test_budget_holds_under_concurrent_churn(tmp_path):
+    directory = tmp_path / "store"
+    results = _run_workers(_churn_writer, directory)
+    assert len(results) == _PROCESSES
+    for _worker, max_entries, max_bytes, torn in results:
+        assert torn == []
+        assert max_entries <= 6
+        assert max_bytes <= 6 * 200
+    # The surviving directory is consistent: within budget, no tmp debris,
+    # and every remaining entry holds its exact expected bytes.
+    assert not list(directory.glob("*.tmp"))
+    survivor = ResultStore(
+        directory, budget=StoreBudget(max_entries=6, max_bytes=6 * 200)
+    )
+    stats = survivor.stats()
+    assert stats["entries"] <= 6 and stats["bytes"] <= 6 * 200
+    for worker in range(_PROCESSES):
+        for item in range(_DIGESTS):
+            digest = _digest((worker, item))
+            found = survivor.get(digest)
+            assert found is None or found == _payload(digest)
