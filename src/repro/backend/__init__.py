@@ -1,0 +1,144 @@
+"""Pluggable array backends for the hot kernels — registry and selection.
+
+The three hottest kernels (the evaluator's schedule-energy batch, the
+storage trajectory scan, and the fleet's bin-union energy sweep riding the
+first) execute through one narrow seam, :class:`~repro.backend.base.ArrayBackend`.
+This package hosts the registry of implementations and the selection
+logic:
+
+* ``numpy`` — the default and authoritative reference (bit-identical to
+  the pre-seam code by construction);
+* ``numba`` — optional JIT-compiled kernel bodies; import-guarded, listed
+  only when the package is installed;
+* ``float32`` — a reduced-precision policy for throughput-bound fleet
+  runs where only survival statistics are the product.
+
+Selection precedence is **explicit argument > ``REPRO_ARRAY_BACKEND``
+environment variable > ``"numpy"``** — :func:`resolve_backend` implements
+it and every consumer (``EnergyEvaluator(backend=...)``,
+``trajectory(backend=...)``, ``FleetRunner(array_backend=...)``, the CLI's
+``--array-backend``) funnels through it.  Backend choice is an execution
+policy: it must never enter spec digests, store keys or checkpoint run
+keys (the row-identity contract), and it does not — specs carry no backend
+field.
+
+Instances are memoized per name: the numba backend's compilation state
+survives across evaluators, and repeated resolution is a dict hit.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.backend.base import ArrayBackend, NumpyBackend
+from repro.backend.float32_backend import Float32Backend
+from repro.backend.numba_backend import NumbaBackend, numba_available, numba_version
+from repro.errors import ConfigError
+from repro.registry import Registry
+
+__all__ = [
+    "ARRAY_BACKENDS",
+    "ARRAY_BACKEND_ENV",
+    "ArrayBackend",
+    "Float32Backend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "active_backend_info",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is given.
+ARRAY_BACKEND_ENV = "REPRO_ARRAY_BACKEND"
+
+#: Default backend name — the reference implementation.
+DEFAULT_BACKEND = "numpy"
+
+#: The user-extensible named-factory registry of array backends.
+ARRAY_BACKENDS = Registry("array backend")
+ARRAY_BACKENDS.register("numpy", NumpyBackend)
+ARRAY_BACKENDS.register("float32", Float32Backend)
+ARRAY_BACKENDS.register("numba", NumbaBackend)
+
+
+def register_backend(name: str, factory=None):
+    """Register a third-party backend factory; usable as a decorator."""
+    return ARRAY_BACKENDS.register(name, factory)
+
+
+#: Memoized instances (JIT compilation state must outlive one evaluator).
+_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def resolve_backend(backend: "ArrayBackend | str | None" = None) -> ArrayBackend:
+    """Resolve a backend selection to a (memoized) :class:`ArrayBackend`.
+
+    Args:
+        backend: an :class:`ArrayBackend` instance (returned as-is), a
+            registered name, or ``None`` — which consults the
+            ``REPRO_ARRAY_BACKEND`` environment variable and falls back to
+            the ``numpy`` default.
+
+    Raises:
+        ConfigError: unknown name, a backend whose dependency is missing
+            (the numba backend without the numba package), or a non-string
+            selection; environment-sourced failures name the variable.
+    """
+    if isinstance(backend, ArrayBackend):
+        return backend
+    from_env = False
+    if backend is None:
+        backend = os.environ.get(ARRAY_BACKEND_ENV) or DEFAULT_BACKEND
+        from_env = backend != DEFAULT_BACKEND
+    if not isinstance(backend, str):
+        raise ConfigError(
+            f"array backend must be a name or an ArrayBackend, got {type(backend).__name__}"
+        )
+    cached = _INSTANCES.get(backend)
+    if cached is not None:
+        return cached
+    try:
+        instance = ARRAY_BACKENDS.create(backend)
+    except ConfigError as error:
+        if from_env:
+            raise ConfigError(f"{ARRAY_BACKEND_ENV}: {error}") from error
+        raise
+    if not isinstance(instance, ArrayBackend):
+        raise ConfigError(
+            f"array backend {backend!r} factory returned "
+            f"{type(instance).__name__}, not an ArrayBackend"
+        )
+    _INSTANCES[backend] = instance
+    return instance
+
+
+def available_backends() -> list[str]:
+    """Registered backend names whose dependencies are actually present.
+
+    The numba backend is *silently* absent here when the package is not
+    installed — only an explicit request for it raises.
+    """
+    names = []
+    for name in ARRAY_BACKENDS.names():
+        if name == "numba" and not numba_available():
+            continue
+        names.append(name)
+    return names
+
+
+def active_backend_info(backend: "ArrayBackend | str | None" = None) -> dict[str, object]:
+    """Machine-readable identity of the active backend.
+
+    Used by ``GET /healthz`` and the benchmark/run-package environment
+    stamp.  Includes the installed numba version whenever the package is
+    present (metadata lookup — numba itself is not imported), so a numpy
+    run on a numba-capable host is distinguishable from one where the
+    numba leg was impossible.
+    """
+    resolved = resolve_backend(backend)
+    info: dict[str, object] = {"name": resolved.name, "precision": resolved.precision}
+    version = numba_version()
+    if version is not None:
+        info["numba"] = version
+    return info

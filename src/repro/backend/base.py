@@ -1,0 +1,133 @@
+"""The array-backend seam: one narrow interface under the three hot kernels.
+
+The repo's batch engine funnels essentially all of its floating-point work
+through two dense primitives:
+
+* the **power breakdown** — the ``(rows, points)`` dynamic/static matrices
+  of :meth:`~repro.power.compiled.CompiledPowerTable.breakdown_components`
+  that ``EnergyEvaluator._schedule_energy_batch`` (and through it the
+  emulator's ``evaluate_energy_bins`` and the fleet's cross-vehicle bin
+  sweep) accumulates into per-revolution energies;
+* the **storage ledger scan** — the sequential deposit/withdraw/leak
+  recurrence of :func:`repro.scavenger.storage.trajectory` that turns
+  per-step harvest/load arrays into a state-of-charge trajectory.
+
+An :class:`ArrayBackend` implements exactly those two primitives.  The
+``numpy`` backend below is the default and the *authoritative reference*:
+it delegates verbatim to the existing compiled-table expressions and the
+storage module's reference scan, so selecting it is bit-identical to not
+having a seam at all.  Alternative backends (``numba`` JIT, the ``float32``
+precision policy) are promoted through the existing scalar<->batch
+equivalence suites — see :mod:`repro.backend` for selection and registry.
+
+Backends are an **execution policy, never an input**: a backend choice must
+not enter scenario/fleet digests, store keys or checkpoint run keys (the
+row-identity contract), which is why :class:`ScenarioSpec` and
+:class:`FleetSpec` carry no backend field and selection happens at the
+evaluator/runner/CLI layer only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ArrayBackend", "NumpyBackend"]
+
+
+class ArrayBackend:
+    """Interface of one array-execution backend for the hot kernels.
+
+    Attributes:
+        name: registry name of the backend (``"numpy"``, ``"numba"``, ...).
+        precision: ``"float64"`` or ``"float32"`` — consumers with a
+            bit-identity contract (per-joule report/balance kinds) refuse
+            reduced-precision backends.
+        dtype: the numpy dtype of accumulation arrays the kernels allocate.
+    """
+
+    name = "abstract"
+    precision = "float64"
+    dtype = np.float64
+
+    def breakdown_components(
+        self,
+        table,
+        rows: np.ndarray,
+        supply_v,
+        temperature_c,
+        process_dynamic,
+        process_leakage,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Dynamic and static power of ``rows`` x points, each ``(R, P)``.
+
+        Semantics are defined by
+        :meth:`~repro.power.compiled.CompiledPowerTable.breakdown_components`
+        (activity factors are applied later, per phase, by the evaluator's
+        accumulation loop — they never reach this seam).
+        """
+        raise NotImplementedError
+
+    def trajectory_scan(
+        self,
+        stored: np.ndarray,
+        required: np.ndarray,
+        load: np.ndarray,
+        leak_amounts: np.ndarray,
+        charge_j: float,
+        active: bool,
+        capacity_j: float,
+        restart_j: float,
+    ) -> tuple:
+        """The storage ledger recurrence over N steps.
+
+        Inputs are the *hoisted* per-step quantities (post-efficiency
+        deposits, pre-efficiency withdrawals, leak energies) prepared by
+        :func:`repro.scavenger.storage.trajectory`; semantics are defined by
+        the reference scan in that module (restart hysteresis, brown-out
+        accounting, capacity/zero clipping via the shared step primitives).
+
+        Returns ``(charge_out, active_out, banked_out, drawn_out,
+        attempted, withdrew, brownout_events, final_charge_j)``.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human summary (benchmark tables, error messages)."""
+        return f"{self.name} ({self.precision})"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: the existing numpy expressions, verbatim.
+
+    Both primitives delegate to the code that defines their semantics — the
+    compiled table's vectorized expressions and the storage module's
+    reference scan — so this backend is bit-identical to the pre-seam
+    behavior by construction, not by test.  It is the floor every other
+    backend is benchmarked and equivalence-gated against.
+    """
+
+    name = "numpy"
+    precision = "float64"
+    dtype = np.float64
+
+    def breakdown_components(
+        self, table, rows, supply_v, temperature_c, process_dynamic, process_leakage
+    ) -> tuple[np.ndarray, np.ndarray]:
+        return table.breakdown_components(
+            rows,
+            supply_v,
+            temperature_c,
+            process_dynamic=process_dynamic,
+            process_leakage=process_leakage,
+        )
+
+    def trajectory_scan(
+        self, stored, required, load, leak_amounts, charge_j, active, capacity_j, restart_j
+    ) -> tuple:
+        # Imported lazily: the storage module resolves backends at call time,
+        # so a top-level import here would be circular.
+        from repro.scavenger.storage import reference_scan
+
+        return reference_scan(
+            stored, required, load, leak_amounts, charge_j, active, capacity_j, restart_j
+        )

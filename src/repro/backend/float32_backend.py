@@ -1,0 +1,62 @@
+"""The ``float32`` precision policy: trade per-joule precision for bandwidth.
+
+Throughput-bound fleet runs spend their time moving the dense ``(rows,
+points)`` power matrices and the per-step ledger arrays through memory;
+where only survival/brown-out statistics are the product, halving the
+element width halves that traffic.  This backend keeps the authoritative
+float64 expressions for the *entry* math (the compiled-table evaluation)
+and demotes the dense products and the ledger recurrence to float32.
+
+It is a **reduced-precision** backend: results are close to float64
+(pinned-tolerance tested) but not bit-identical, so per-joule study kinds
+(``report``, ``balance``) refuse it, and replicas sharing a
+content-addressed result store must not mix it with float64 runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+
+__all__ = ["Float32Backend"]
+
+
+class Float32Backend(ArrayBackend):
+    """Float32 dense matrices and ledger scan over the float64 entry math."""
+
+    name = "float32"
+    precision = "float32"
+    dtype = np.float32
+
+    def breakdown_components(
+        self, table, rows, supply_v, temperature_c, process_dynamic, process_leakage
+    ) -> tuple[np.ndarray, np.ndarray]:
+        dynamic, static = table.breakdown_components(
+            rows,
+            supply_v,
+            temperature_c,
+            process_dynamic=process_dynamic,
+            process_leakage=process_leakage,
+        )
+        return dynamic.astype(np.float32), static.astype(np.float32)
+
+    def trajectory_scan(
+        self, stored, required, load, leak_amounts, charge_j, active, capacity_j, restart_j
+    ) -> tuple:
+        from repro.scavenger.storage import reference_scan
+
+        # Cast the per-step arrays and the running charge once at the seam;
+        # NEP-50 promotion keeps every step of the recurrence in float32
+        # (python-float parameters like the capacity are weakly typed).
+        return reference_scan(
+            np.asarray(stored, dtype=np.float32),
+            np.asarray(required, dtype=np.float32),
+            np.asarray(load, dtype=np.float32),
+            np.asarray(leak_amounts, dtype=np.float32),
+            np.float32(charge_j),
+            active,
+            capacity_j,
+            restart_j,
+            dtype=np.float32,
+        )

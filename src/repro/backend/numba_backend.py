@@ -1,0 +1,233 @@
+"""The optional ``numba`` backend: JIT-compiled bodies for both hot kernels.
+
+Import-guarded end to end: without the ``numba`` package this module still
+imports (availability is probed through ``importlib.util.find_spec``, the
+package itself is only imported when the backend is actually constructed),
+the backend is absent from :func:`repro.backend.available_backends`, and
+explicitly requesting it raises a one-line
+:class:`~repro.errors.ConfigError` with the install hint.
+
+The JIT kernels mirror the numpy expressions *operation for operation* —
+same voltage selection, same factor order, same ``min``/``max`` clipping —
+so the storage scan is bitwise identical to the reference (pure IEEE
+add/sub/min) and the power breakdown matches within libm round-off; the
+1e-9 scalar<->batch equivalence suites are the promotion gate, run under
+``REPRO_ARRAY_BACKEND=numba`` in CI.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+
+from repro.backend.base import ArrayBackend
+from repro.errors import ConfigError
+
+__all__ = ["NumbaBackend", "numba_available", "numba_version"]
+
+#: Compiled dispatchers, built once per process on first use (compilation
+#: costs seconds; instances resolved through the registry are memoized, so
+#: the cost is paid at most once per kernel shape).
+_KERNELS: dict[str, object] = {}
+
+
+def numba_available() -> bool:
+    """True when the numba package is importable (without importing it)."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def numba_version() -> str | None:
+    """The installed numba version, or None — via metadata, not import."""
+    if not numba_available():
+        return None
+    try:
+        from importlib.metadata import version
+
+        return version("numba")
+    except Exception:  # pragma: no cover - metadata-less installs
+        return None
+
+
+def _kernels():
+    """Build (or fetch) the JIT-compiled kernel pair."""
+    kernels = _KERNELS.get("pair")
+    if kernels is not None:
+        return kernels
+    import numba
+
+    @numba.njit(cache=False)
+    def breakdown(
+        rows,
+        supply,
+        temperature,
+        process_dynamic,
+        process_leakage,
+        dynamic_reference_w,
+        dynamic_reference_v,
+        frequency_scale,
+        leakage_reference_w,
+        leakage_reference_t,
+        leakage_reference_v,
+        doubling_celsius,
+        dibl_coefficient,
+        rail_voltage_v,
+        tracks_core_supply,
+    ):
+        row_count = rows.shape[0]
+        point_count = supply.shape[0]
+        dynamic = np.empty((row_count, point_count))
+        static = np.empty((row_count, point_count))
+        for i in range(row_count):
+            row = rows[i]
+            for p in range(point_count):
+                voltage = supply[p] if tracks_core_supply[row] else rail_voltage_v[row]
+                dynamic[i, p] = (
+                    dynamic_reference_w[row]
+                    * (voltage / dynamic_reference_v[row]) ** 2
+                    * frequency_scale[row]
+                    * process_dynamic[p]
+                )
+                temperature_factor = 2.0 ** (
+                    (temperature[p] - leakage_reference_t[row]) / doubling_celsius[row]
+                )
+                reference_v = leakage_reference_v[row]
+                voltage_factor = max(
+                    0.0,
+                    1.0 + dibl_coefficient[row] * (voltage - reference_v) / reference_v,
+                )
+                static[i, p] = (
+                    leakage_reference_w[row]
+                    * temperature_factor
+                    * voltage_factor
+                    * process_leakage[p]
+                )
+        return dynamic, static
+
+    @numba.njit(cache=False)
+    def scan(stored, required, load, leak_amounts, charge, active, capacity, restart):
+        count = stored.shape[0]
+        charge_out = np.empty(count)
+        active_out = np.empty(count, dtype=np.bool_)
+        banked_out = np.empty(count)
+        drawn_out = np.zeros(count)
+        attempted = np.zeros(count, dtype=np.bool_)
+        withdrew = np.zeros(count, dtype=np.bool_)
+        brownouts = 0
+        for i in range(count):
+            if not active and charge >= restart:
+                active = True
+            banked = min(stored[i], capacity - charge)
+            charge = charge + banked
+            banked_out[i] = banked
+            if active:
+                attempted[i] = True
+                if required[i] > charge:
+                    charge = 0.0
+                    active = False
+                    brownouts += 1
+                else:
+                    charge = charge - required[i]
+                    withdrew[i] = True
+                    drawn_out[i] = load[i]
+            loss = min(charge, leak_amounts[i])
+            charge = charge - loss
+            charge_out[i] = charge
+            active_out[i] = active
+        return (
+            charge_out,
+            active_out,
+            banked_out,
+            drawn_out,
+            attempted,
+            withdrew,
+            brownouts,
+            charge,
+        )
+
+    kernels = (breakdown, scan)
+    _KERNELS["pair"] = kernels
+    return kernels
+
+
+def _as_points(values, count: int) -> np.ndarray:
+    """Normalize a scalar-or-array condition column to a ``(P,)`` array."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim == 0:
+        return np.full(count, float(array))
+    return np.ascontiguousarray(array)
+
+
+class NumbaBackend(ArrayBackend):
+    """JIT-compiled kernel bodies behind the same seam semantics."""
+
+    name = "numba"
+    precision = "float64"
+    dtype = np.float64
+
+    def __init__(self) -> None:
+        if not numba_available():
+            raise ConfigError(
+                "array backend 'numba' requires the numba package "
+                "(pip install numba); available backends exclude it until then"
+            )
+
+    def breakdown_components(
+        self, table, rows, supply_v, temperature_c, process_dynamic, process_leakage
+    ) -> tuple[np.ndarray, np.ndarray]:
+        breakdown, _scan = _kernels()
+        rows = np.ascontiguousarray(np.asarray(rows, dtype=np.intp))
+        # The point axis is defined by the condition columns, not the rows.
+        supply = np.atleast_1d(np.ascontiguousarray(np.asarray(supply_v, dtype=np.float64)))
+        count = supply.shape[0]
+        return breakdown(
+            rows,
+            supply,
+            _as_points(temperature_c, count),
+            _as_points(process_dynamic, count),
+            _as_points(process_leakage, count),
+            table.dynamic_reference_w,
+            table.dynamic_reference_v,
+            table.frequency_scale,
+            table.leakage_reference_w,
+            table.leakage_reference_t,
+            table.leakage_reference_v,
+            table.doubling_celsius,
+            table.dibl_coefficient,
+            table.rail_voltage_v,
+            table.tracks_core_supply,
+        )
+
+    def trajectory_scan(
+        self, stored, required, load, leak_amounts, charge_j, active, capacity_j, restart_j
+    ) -> tuple:
+        _breakdown, scan = _kernels()
+        (
+            charge_out,
+            active_out,
+            banked_out,
+            drawn_out,
+            attempted,
+            withdrew,
+            brownouts,
+            final_charge,
+        ) = scan(
+            np.ascontiguousarray(stored),
+            np.ascontiguousarray(required),
+            np.ascontiguousarray(load),
+            np.ascontiguousarray(leak_amounts),
+            float(charge_j),
+            bool(active),
+            float(capacity_j),
+            float(restart_j),
+        )
+        return (
+            charge_out,
+            active_out,
+            banked_out,
+            drawn_out,
+            attempted,
+            withdrew,
+            int(brownouts),
+            float(final_charge),
+        )

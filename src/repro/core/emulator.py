@@ -1022,13 +1022,16 @@ class NodeEmulator:
             load[idle] = self.node.pmu.referred_to_storage(
                 sleep_power[idle] * durations[idle]
             )
+            # initial_charge_j=None replays the element's own (already
+            # validated) initial charge without the per-call range check;
+            # the scan runs on the evaluator's array backend.
             traj = trajectory(
                 self.storage,
                 harvest,
                 load,
                 durations,
-                initial_charge_j=self.storage.initial_charge_j,
                 initially_active=not self.storage.is_depleted,
+                backend=self.evaluator.backend,
             )
         else:
             traj, sleep_power = self._integrate_stepwise(

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.core.emulator import EmulationResult, NodeEmulator
 from repro.core.evaluator import EnergyEvaluator
 from repro.core.quantize import (
@@ -238,6 +239,7 @@ def _cohort_vehicle_outcome(
     bins: dict,
     standstill: dict,
     buckets: int,
+    array_backend=None,
 ) -> dict[str, object]:
     """One vehicle through the shared-cohort fast path (pure array work).
 
@@ -273,13 +275,16 @@ def _cohort_vehicle_outcome(
     idle = ~table.is_round
     load[idle] = node.pmu.referred_to_storage(sleep_power_w * table.durations[idle])
 
+    # initial_charge_j=None replays the element's own (construction-time
+    # validated) initial charge — the per-call range check is skipped in
+    # this per-vehicle hot loop.
     traj = trajectory(
         storage,
         harvest,
         load,
         table.durations,
-        initial_charge_j=storage.initial_charge_j,
         initially_active=not storage.is_depleted,
+        backend=array_backend,
     )
 
     result = EmulationResult(
@@ -372,16 +377,16 @@ _SHARED_TABLES: dict[str, _CohortTable] = {}
 _SHARED_BINS: dict[str, dict] = {}
 _SHARED_STANDSTILL: dict[str, dict[int, float]] = {}
 
-#: Per-worker-process component memo, keyed like ``_group_key``.
-_WORKER_COMPONENTS: dict[str, tuple] = {}
+#: Per-worker-process component memo, keyed by (group key, array backend).
+_WORKER_COMPONENTS: dict[tuple[str, str], tuple] = {}
 
 
-def _worker_components(spec: ScenarioSpec):
+def _worker_components(spec: ScenarioSpec, array_backend: str):
     """The (node, database, evaluator) triple of one worker-side vehicle."""
-    key = _group_key(spec)
+    key = (_group_key(spec), array_backend)
     cached = _WORKER_COMPONENTS.get(key)
     if cached is None:
-        cached = spec.build_components()
+        cached = spec.build_components(backend=array_backend)
         _WORKER_COMPONENTS[key] = cached
     return cached
 
@@ -398,9 +403,10 @@ def _process_vehicle(payload) -> dict[str, object]:
         buckets,
         record_interval_s,
         idle_step_s,
+        array_backend,
     ) = payload
     spec = ScenarioSpec.from_dict(document)
-    node, database, evaluator = _worker_components(spec)
+    node, database, evaluator = _worker_components(spec, array_backend)
     table = _SHARED_TABLES.get(cohort_key)
     bins = _SHARED_BINS.get(group_key, {})
     if table is not None and not table.fallback:
@@ -414,6 +420,7 @@ def _process_vehicle(payload) -> dict[str, object]:
             bins,
             _SHARED_STANDSTILL.get(group_key, {}),
             buckets,
+            array_backend=evaluator.backend,
         )
     return _emulate_vehicle_outcome(
         vehicle_index,
@@ -466,6 +473,14 @@ class FleetRunner:
             ``get(key, builder)`` (the serving layer's bounded LRU); groups
             then reuse evaluators/compiled tables across runs, observable
             through ``evaluator_builds``/``evaluator_cache_hits``.
+        array_backend: array-backend selection for the hot kernels (a name,
+            an :class:`~repro.backend.base.ArrayBackend`, or ``None`` for
+            argument > ``REPRO_ARRAY_BACKEND`` > numpy).  An execution
+            policy only: it never enters the fleet digest or
+            :meth:`checkpoint_key`, and the default numpy backend is
+            bit-identical to the pre-seam runner.  Callers sharing one
+            ``evaluator_cache`` across runs should use one backend per
+            process — the cache key is (rightly) backend-free.
     """
 
     def __init__(
@@ -484,6 +499,7 @@ class FleetRunner:
         progress=None,
         should_stop=None,
         evaluator_cache=None,
+        array_backend=None,
     ) -> None:
         if not isinstance(fleet, FleetSpec):
             raise ConfigError(f"a fleet runner needs a FleetSpec, got {type(fleet).__name__}")
@@ -507,6 +523,7 @@ class FleetRunner:
         self.idle_step_s = idle_step_s
         self.checkpoint = checkpoint
         self.max_chunks = max_chunks
+        self.array_backend = resolve_backend(array_backend)
         self.progress = progress
         self.should_stop = should_stop
         self._evaluator_cache = evaluator_cache
@@ -529,12 +546,12 @@ class FleetRunner:
         """One group's (node, database, evaluator) — via the shared LRU if given."""
         if self._evaluator_cache is None:
             self.evaluator_builds += 1
-            return spec.build_components()
+            return spec.build_components(backend=self.array_backend)
         built: list[bool] = []
 
         def builder():
             built.append(True)
-            return spec.build_components()
+            return spec.build_components(backend=self.array_backend)
 
         components = self._evaluator_cache.get(spec.evaluator_group_key(), builder)
         if built:
@@ -664,6 +681,7 @@ class FleetRunner:
                     bins[gkey],
                     standstill[gkey],
                     buckets,
+                    array_backend=self.array_backend,
                 )
             return _emulate_vehicle_outcome(
                 vehicle.index,
@@ -690,6 +708,7 @@ class FleetRunner:
                 buckets,
                 self.record_interval_s,
                 self.idle_step_s,
+                self.array_backend.name,
             )
 
         if self.backend == "process":
@@ -746,6 +765,7 @@ class FleetRunner:
             "survival_buckets": buckets,
             "workers": self.workers or 1,
             "backend": self.backend,
+            "array_backend": self.array_backend.name,
             "engine_backend": report.backend,
             "wall_time_s": report.wall_time_s,
             "vehicle_wall_times_s": report.item_wall_times_s,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.errors import ConfigurationError, EmulationError
 
 # ---------------------------------------------------------------------------
@@ -277,6 +278,67 @@ class StorageTrajectory:
         return len(self.charge_j)
 
 
+def reference_scan(
+    stored,
+    required,
+    load,
+    leak_amounts,
+    charge,
+    active: bool,
+    capacity: float,
+    restart: float,
+    dtype=np.float64,
+):
+    """The authoritative storage ledger recurrence (the ONE copy of the math).
+
+    Inputs are the hoisted per-step quantities prepared by
+    :func:`trajectory`; every step applies the shared module-level step
+    primitives in the exact order of the mutating :class:`StorageElement`
+    replay, so the scan is bitwise identical to stepping the element
+    (property-tested).  Array backends either delegate here (numpy — the
+    default), run it at reduced precision (``dtype=np.float32``), or mirror
+    it operation for operation in compiled code (numba, gated by the same
+    property suite) — the ledger math itself is never forked.
+
+    Returns ``(charge_out, active_out, banked_out, drawn_out, attempted,
+    withdrew, brownout_events, final_charge)``.
+    """
+    count = len(stored)
+    charge_out = np.empty(count, dtype=dtype)
+    active_out = np.empty(count, dtype=bool)
+    banked_out = np.empty(count, dtype=dtype)
+    drawn_out = np.zeros(count, dtype=dtype)
+    attempted = np.zeros(count, dtype=bool)
+    withdrew = np.zeros(count, dtype=bool)
+    brownouts = 0
+    for i in range(count):
+        if not active and charge >= restart:
+            active = True
+        charge, banked_out[i] = deposit_step(charge, stored[i], capacity)
+        if active:
+            attempted[i] = True
+            charge, success = withdraw_step(charge, required[i])
+            if success:
+                withdrew[i] = True
+                drawn_out[i] = load[i]
+            else:
+                active = False
+                brownouts += 1
+        charge, _loss = leak_step(charge, leak_amounts[i])
+        charge_out[i] = charge
+        active_out[i] = active
+    return (
+        charge_out,
+        active_out,
+        banked_out,
+        drawn_out,
+        attempted,
+        withdrew,
+        brownouts,
+        charge,
+    )
+
+
 def trajectory(
     storage: StorageElement,
     harvest_j,
@@ -284,6 +346,7 @@ def trajectory(
     leak_s,
     initial_charge_j: float | None = None,
     initially_active: bool | None = None,
+    backend=None,
 ) -> StorageTrajectory:
     """Pure, array-based replay of the storage ledger over N steps.
 
@@ -309,9 +372,17 @@ def trajectory(
         leak_s: per-step self-discharge duration in seconds, ``(N,)`` or a
             scalar broadcast over the window.
         initial_charge_j: starting charge; defaults to the element's
-            ``initial_charge_j``.
+            ``initial_charge_j``.  Only an *explicitly passed* value is
+            range-checked here — the default is already validated by
+            :meth:`StorageElement.__post_init__`, so tight fleet loops that
+            replay the element's own initial charge skip the redundant
+            check by passing ``None``.
         initially_active: starting activity; defaults to the brown-out test
             on the starting charge (``charge >= minimum_operating_j``).
+        backend: optional array-backend selection for the scan (an
+            :class:`~repro.backend.base.ArrayBackend`, a registered name, or
+            ``None`` for argument > ``REPRO_ARRAY_BACKEND`` > numpy).  The
+            default numpy backend runs :func:`reference_scan` verbatim.
 
     Returns:
         A :class:`StorageTrajectory` with per-step charge/activity/flows.
@@ -329,13 +400,16 @@ def trajectory(
     if np.any(leak < 0.0):
         raise EmulationError("duration must be non-negative")
 
-    charge = (
-        storage.initial_charge_j if initial_charge_j is None else float(initial_charge_j)
-    )
-    if not 0.0 <= charge <= storage.capacity_j:
-        raise EmulationError(
-            "the initial charge must lie within the storage capacity"
-        )
+    if initial_charge_j is None:
+        # Validated once at element construction; revalidating per call
+        # would charge every vehicle of a fleet loop for the same check.
+        charge = storage.initial_charge_j
+    else:
+        charge = float(initial_charge_j)
+        if not 0.0 <= charge <= storage.capacity_j:
+            raise EmulationError(
+                "the initial charge must lie within the storage capacity"
+            )
     active = (
         charge >= storage.minimum_operating_j
         if initially_active is None
@@ -349,29 +423,18 @@ def trajectory(
     required = load / storage.discharge_efficiency
     leak_amounts = storage.self_discharge_w * leak
 
-    charge_out = np.empty(count)
-    active_out = np.empty(count, dtype=bool)
-    banked_out = np.empty(count)
-    drawn_out = np.zeros(count)
-    attempted = np.zeros(count, dtype=bool)
-    withdrew = np.zeros(count, dtype=bool)
-    brownouts = 0
-    for i in range(count):
-        if not active and charge >= restart:
-            active = True
-        charge, banked_out[i] = deposit_step(charge, stored[i], capacity)
-        if active:
-            attempted[i] = True
-            charge, success = withdraw_step(charge, required[i])
-            if success:
-                withdrew[i] = True
-                drawn_out[i] = load[i]
-            else:
-                active = False
-                brownouts += 1
-        charge, _loss = leak_step(charge, leak_amounts[i])
-        charge_out[i] = charge
-        active_out[i] = active
+    (
+        charge_out,
+        active_out,
+        banked_out,
+        drawn_out,
+        attempted,
+        withdrew,
+        brownouts,
+        final_charge,
+    ) = resolve_backend(backend).trajectory_scan(
+        stored, required, load, leak_amounts, charge, active, capacity, restart
+    )
     return StorageTrajectory(
         charge_j=charge_out,
         active=active_out,
@@ -379,6 +442,6 @@ def trajectory(
         drawn_j=drawn_out,
         attempted=attempted,
         withdrew=withdrew,
-        brownout_events=brownouts,
-        final_charge_j=float(charge),
+        brownout_events=int(brownouts),
+        final_charge_j=float(final_charge),
     )

@@ -454,18 +454,22 @@ class ScenarioSpec:
             )
         )
 
-    def build_components(self) -> tuple:
+    def build_components(self, backend=None) -> tuple:
         """Build the ``(node, database, evaluator)`` triple of this scenario.
 
         The shareable unit behind :meth:`evaluator_group_key`: callers memo
         the result under that key (study evaluator cache, process-worker
-        memos, fleet groups).
+        memos, fleet groups).  ``backend`` selects the evaluator's array
+        backend — an execution policy threaded to
+        :class:`~repro.core.evaluator.EnergyEvaluator`, deliberately NOT
+        part of :meth:`evaluator_group_key` (backends must never enter
+        digests or store keys).
         """
         from repro.core.evaluator import EnergyEvaluator
 
         node = self.build_node()
         database = self.build_database()
-        return node, database, EnergyEvaluator(node, database)
+        return node, database, EnergyEvaluator(node, database, backend=backend)
 
     def operating_point(self) -> OperatingPoint:
         """The :class:`OperatingPoint` described by the environment fields."""

@@ -20,6 +20,7 @@ either duplicate compilation or a global build bottleneck.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
 from repro.errors import ConfigError
@@ -66,6 +67,8 @@ class EvaluatorLRU:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.build_wall_time_s = 0.0
+        self.last_build_wall_time_s = 0.0
 
     def __len__(self) -> int:
         with self._lock:
@@ -106,6 +109,7 @@ class EvaluatorLRU:
             with self._lock:
                 self.hits += 1
             return flight.value
+        started = time.perf_counter()
         try:
             value = builder()
         except BaseException as error:
@@ -114,7 +118,10 @@ class EvaluatorLRU:
                 del self._inflight[key]
             flight.done.set()
             raise
+        elapsed = time.perf_counter() - started
         with self._lock:
+            self.build_wall_time_s += elapsed
+            self.last_build_wall_time_s = elapsed
             flight.value = value
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -130,8 +137,14 @@ class EvaluatorLRU:
         with self._lock:
             self._entries.clear()
 
-    def stats(self) -> dict[str, int]:
-        """Observable cache state: capacity, size and lifetime counters."""
+    def stats(self) -> dict[str, int | float]:
+        """Observable cache state: capacity, size and lifetime counters.
+
+        ``build_wall_time_s`` is the cumulative wall time spent inside
+        successful builders (the "how much compilation is this replica
+        paying" signal); ``last_build_wall_time_s`` is the most recent
+        successful build alone.
+        """
         with self._lock:
             return {
                 "capacity": self.capacity,
@@ -139,4 +152,6 @@ class EvaluatorLRU:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "build_wall_time_s": self.build_wall_time_s,
+                "last_build_wall_time_s": self.last_build_wall_time_s,
             }

@@ -1,0 +1,125 @@
+"""Array-backend registry and selection: precedence, guards, memoization."""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+from repro.backend import (
+    ARRAY_BACKEND_ENV,
+    ARRAY_BACKENDS,
+    ArrayBackend,
+    NumpyBackend,
+    active_backend_info,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.backend.numba_backend import numba_available, numba_version
+from repro.errors import ConfigError
+
+NUMBA_INSTALLED = importlib.util.find_spec("numba") is not None
+
+
+class TestRegistry:
+    def test_built_in_names(self):
+        assert set(ARRAY_BACKENDS.names()) >= {"numpy", "float32", "numba"}
+
+    def test_available_backends_always_include_the_reference(self):
+        names = available_backends()
+        assert "numpy" in names
+        assert "float32" in names
+
+    def test_numba_listed_only_when_installed(self):
+        assert ("numba" in available_backends()) == NUMBA_INSTALLED
+        assert numba_available() == NUMBA_INSTALLED
+
+    def test_register_backend_is_the_registry_front_door(self):
+        class Custom(NumpyBackend):
+            name = "custom-for-test"
+
+        register_backend("custom-for-test", Custom)
+        try:
+            assert resolve_backend("custom-for-test").name == "custom-for-test"
+        finally:
+            ARRAY_BACKENDS.unregister("custom-for-test")
+            from repro.backend import _INSTANCES
+
+            _INSTANCES.pop("custom-for-test", None)
+
+
+class TestResolvePrecedence:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        assert resolve_backend(None).name == "numpy"
+
+    def test_environment_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        assert resolve_backend(None).name == "float32"
+
+    def test_explicit_argument_wins_over_environment(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_instance_passthrough(self):
+        backend = NumpyBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_named_resolution_is_memoized(self):
+        assert resolve_backend("numpy") is resolve_backend("numpy")
+        assert resolve_backend("float32") is resolve_backend("float32")
+
+    def test_empty_environment_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "")
+        assert resolve_backend(None).name == "numpy"
+
+
+class TestResolveErrors:
+    def test_unknown_name(self):
+        with pytest.raises(ConfigError, match="unknown array backend 'bogus'"):
+            resolve_backend("bogus")
+
+    def test_environment_sourced_failure_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "bogus")
+        with pytest.raises(ConfigError, match=ARRAY_BACKEND_ENV):
+            resolve_backend(None)
+
+    def test_non_string_selection(self):
+        with pytest.raises(ConfigError, match="must be a name or an ArrayBackend"):
+            resolve_backend(123)
+
+    @pytest.mark.skipif(NUMBA_INSTALLED, reason="numba is installed here")
+    def test_numba_without_the_package_is_a_one_line_config_error(self):
+        with pytest.raises(ConfigError, match="requires the numba package"):
+            resolve_backend("numba")
+
+
+class TestActiveBackendInfo:
+    def test_reports_name_and_precision(self, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        info = active_backend_info()
+        assert info["name"] == "numpy"
+        assert info["precision"] == "float64"
+
+    def test_follows_the_environment(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        info = active_backend_info()
+        assert info["name"] == "float32"
+        assert info["precision"] == "float32"
+
+    def test_numba_version_mirrors_installation(self):
+        info = active_backend_info()
+        assert ("numba" in info) == NUMBA_INSTALLED
+        if NUMBA_INSTALLED:
+            assert info["numba"] == numba_version()
+
+
+class TestBackendShape:
+    @pytest.mark.parametrize("name", ["numpy", "float32"])
+    def test_describe_names_backend_and_precision(self, name):
+        backend = resolve_backend(name)
+        described = backend.describe()
+        assert name in described
+        assert backend.precision in described
+        assert isinstance(backend, ArrayBackend)

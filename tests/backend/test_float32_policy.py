@@ -1,0 +1,97 @@
+"""The float32 precision policy: allowed where stats are the product, refused
+where joules are.
+
+Satellite contract of the backend seam: a throughput-bound fleet run may
+trade per-joule precision for bandwidth — its product is survival
+statistics — and must stay within a pinned tolerance of the float64 run.
+The per-joule study kinds (``balance``, ``report``) ARE joule figures, so a
+reduced-precision ambient backend is refused with a one-line
+``ConfigError`` instead of silently degrading the reported numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import ARRAY_BACKEND_ENV
+from repro.errors import ConfigError
+from repro.fleet import FleetRunner, FleetSpec
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.study import Study
+
+#: Pinned fleet-statistics tolerances of the float32 policy.
+SURVIVAL_ATOL = 0.02  # absolute, on the [0, 1] survival fractions
+RATE_RTOL = 0.05  # relative, on per-hour/percentage aggregates
+
+
+def _fleet(vehicles: int = 8, seed: int = 9) -> FleetSpec:
+    base = ScenarioSpec(
+        name="float32-policy",
+        drive_cycle={"name": "urban", "params": {"repetitions": 1}},
+    )
+    return FleetSpec.from_base(base, vehicles=vehicles, seed=seed, chunk_vehicles=4)
+
+
+class TestFleetUnderFloat32:
+    def test_survival_statistics_within_pinned_tolerance(self):
+        reference = FleetRunner(_fleet()).run()
+        float32 = FleetRunner(_fleet(), array_backend="float32").run()
+
+        assert float32.metadata["array_backend"] == "float32"
+        assert reference.metadata["array_backend"] == "numpy"
+        assert len(float32) == len(reference)
+
+        ours = np.array([row["surviving_pct"] for row in float32.survival])
+        theirs = np.array([row["surviving_pct"] for row in reference.survival])
+        np.testing.assert_allclose(
+            ours, theirs, rtol=0.0, atol=100.0 * SURVIVAL_ATOL
+        )
+
+        for key, value in reference.summary.items():
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                continue
+            np.testing.assert_allclose(
+                float32.summary[key],
+                value,
+                rtol=RATE_RTOL,
+                atol=SURVIVAL_ATOL,
+                err_msg=f"summary[{key!r}]",
+            )
+
+    def test_vehicle_identity_is_backend_free(self):
+        """Same population either way: backend never reaches the digests."""
+        reference = FleetRunner(_fleet())
+        float32 = FleetRunner(_fleet(), array_backend="float32")
+        assert reference.checkpoint_key() == float32.checkpoint_key()
+        assert (
+            reference.fleet.document_digest() == float32.fleet.document_digest()
+        )
+
+
+class TestPerJouleRefusal:
+    @pytest.mark.parametrize("kind", ["balance", "report"])
+    def test_refused_under_ambient_float32(self, kind, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        study = Study(ScenarioSpec(name="refused"))
+        with pytest.raises(ConfigError, match="per-joule") as excinfo:
+            study.run(kind)
+        # One-line refusal: the CLI prints `error: <message>` verbatim.
+        assert "\n" not in str(excinfo.value)
+        assert "float32" in str(excinfo.value)
+
+    @pytest.mark.parametrize("kind", ["balance", "report"])
+    def test_allowed_under_default_backend(self, kind, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        result = Study(ScenarioSpec(name="allowed")).run(kind)
+        assert len(result.rows) == 1
+
+    def test_emulate_kind_is_not_refused(self, monkeypatch):
+        """Emulation products are trajectories/statistics, not joule tables."""
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        spec = ScenarioSpec(
+            name="emulate-ok",
+            drive_cycle={"name": "urban", "params": {"repetitions": 1}},
+        )
+        result = Study(spec).run("emulate")
+        assert len(result.rows) == 1

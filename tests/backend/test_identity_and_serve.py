@@ -1,0 +1,146 @@
+"""Row-identity contract and the serve/stamp surfaces of the backend seam.
+
+Backend selection is an execution policy: store keys, digests, checkpoint
+run keys and deterministic result documents must be byte-identical across
+backends, while the *observability* surfaces (``/healthz`` stats, the
+benchmark/run-package environment stamp) must say which backend ran.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import pytest
+
+from repro.backend import ARRAY_BACKEND_ENV, active_backend_info
+from repro.cli import main
+from repro.fleet import FleetRunner, FleetSpec
+from repro.runpkg import environment_stamp
+from repro.scenario.spec import ScenarioSpec
+from repro.serve.jobs import JobManager, fleet_result_document
+
+NUMBA_INSTALLED = importlib.util.find_spec("numba") is not None
+
+
+def _fleet(vehicles: int = 6, seed: int = 4) -> FleetSpec:
+    base = ScenarioSpec(
+        name="identity",
+        drive_cycle={"name": "urban", "params": {"repetitions": 1}},
+    )
+    return FleetSpec.from_base(base, vehicles=vehicles, seed=seed, chunk_vehicles=3)
+
+
+class TestRowIdentity:
+    def test_checkpoint_key_ignores_backend(self):
+        default = FleetRunner(_fleet()).checkpoint_key()
+        float32 = FleetRunner(_fleet(), array_backend="float32").checkpoint_key()
+        assert default == float32
+        assert "array_backend" not in repr(default)
+
+    def test_spec_documents_carry_no_backend(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        spec = ScenarioSpec(name="identity")
+        assert "backend" not in spec.to_json()
+        assert "float32" not in spec.to_json()
+        fleet = _fleet()
+        assert "array_backend" not in fleet.to_json()
+
+    def test_fleet_document_digest_ignores_backend(self, monkeypatch):
+        reference = _fleet().document_digest()
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        assert _fleet().document_digest() == reference
+
+    def test_fleet_result_document_drops_the_backend_tag(self):
+        result = FleetRunner(_fleet(), array_backend="float32").run()
+        assert result.metadata["array_backend"] == "float32"
+        document = fleet_result_document(result)
+        assert "array_backend" not in document["metadata"]
+        # The store key is content-addressed over this document, so two
+        # replicas on different backends dedupe to one entry.
+        reference = fleet_result_document(FleetRunner(_fleet()).run())
+        assert document["metadata"] == reference["metadata"]
+
+
+class TestServeStats:
+    def test_healthz_stats_report_the_active_backend(self):
+        manager = JobManager(evaluator_capacity=2)
+        try:
+            stats = manager.stats()
+        finally:
+            manager.shutdown()
+        assert stats["array_backend"]["name"] == "numpy"
+        assert stats["array_backend"]["precision"] == "float64"
+        cache = stats["evaluator_cache"]
+        assert cache["build_wall_time_s"] == 0.0
+        assert cache["last_build_wall_time_s"] == 0.0
+
+    def test_stats_follow_the_environment(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        manager = JobManager(evaluator_capacity=2)
+        try:
+            stats = manager.stats()
+        finally:
+            manager.shutdown()
+        assert stats["array_backend"]["name"] == "float32"
+
+
+class TestEnvironmentStamp:
+    def test_stamp_names_the_backend(self, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        stamp = environment_stamp()
+        assert stamp["array_backend"] == "numpy"
+        assert ("numba" in stamp) == NUMBA_INSTALLED
+
+    def test_stamp_follows_the_environment(self, monkeypatch):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "float32")
+        assert environment_stamp()["array_backend"] == "float32"
+
+    def test_stamp_matches_active_backend_info(self):
+        stamp = environment_stamp()
+        info = active_backend_info()
+        assert stamp["array_backend"] == info["name"]
+        assert stamp.get("numba") == info.get("numba")
+
+
+class TestCliSelection:
+    def test_unknown_backend_fails_with_one_line_error(self, capsys, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        assert main(["--array-backend", "bogus", "architectures"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "unknown array backend" in err
+
+    def test_selection_reaches_the_environment(self, capsys, monkeypatch):
+        # setenv (not delenv): the CLI writes the variable itself, so the
+        # monkeypatch must own the key for teardown to restore it.
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "")
+        assert main(["--array-backend", "float32", "architectures"]) == 0
+        import os
+
+        assert os.environ[ARRAY_BACKEND_ENV] == "float32"
+
+    @pytest.mark.skipif(NUMBA_INSTALLED, reason="numba is installed here")
+    def test_numba_without_wheels_is_an_actionable_error(self, capsys, monkeypatch):
+        monkeypatch.delenv(ARRAY_BACKEND_ENV, raising=False)
+        assert main(["--array-backend", "numba", "architectures"]) == 1
+        assert "requires the numba package" in capsys.readouterr().err
+
+    def test_per_joule_refusal_surfaces_as_cli_error(
+        self, capsys, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv(ARRAY_BACKEND_ENV, "")
+        scenario = tmp_path / "scenario.json"
+        scenario.write_text(ScenarioSpec(name="cli-refusal").to_json())
+        code = main(
+            [
+                "--array-backend",
+                "float32",
+                "run",
+                "--scenario",
+                str(scenario),
+                "--kind",
+                "balance",
+            ]
+        )
+        assert code == 1
+        assert "per-joule" in capsys.readouterr().err

@@ -27,13 +27,18 @@ class TestLRUSemantics:
         cache = EvaluatorLRU(capacity=2)
         value = cache.get("a", lambda: object())
         assert cache.get("a", lambda: object()) is value
-        assert cache.stats() == {
+        stats = cache.stats()
+        build_total = stats.pop("build_wall_time_s")
+        build_last = stats.pop("last_build_wall_time_s")
+        assert stats == {
             "capacity": 2,
             "size": 1,
             "hits": 1,
             "misses": 1,
             "evictions": 0,
         }
+        assert build_total >= 0.0
+        assert build_total == build_last  # exactly one build ran
 
     def test_capacity_evicts_least_recently_used(self):
         cache = EvaluatorLRU(capacity=2)
@@ -65,6 +70,42 @@ class TestLRUSemantics:
         assert "a" not in cache
         # The failure is not sticky: the next call retries the build.
         assert cache.get("a", lambda: "ok") == "ok"
+
+
+class TestBuildTiming:
+    def test_wall_time_accumulates_across_builds(self):
+        cache = EvaluatorLRU(capacity=4)
+
+        def slow():
+            time.sleep(0.01)
+            return "built"
+
+        cache.get("a", slow)
+        after_first = cache.stats()
+        assert after_first["build_wall_time_s"] >= 0.01
+        assert after_first["last_build_wall_time_s"] >= 0.01
+
+        cache.get("b", lambda: "fast")
+        after_second = cache.stats()
+        # Total keeps growing; "last" tracks the most recent build only.
+        assert after_second["build_wall_time_s"] > after_first["build_wall_time_s"]
+        assert after_second["last_build_wall_time_s"] < after_first["last_build_wall_time_s"]
+
+    def test_hits_and_failed_builds_do_not_count(self):
+        cache = EvaluatorLRU(capacity=4)
+        cache.get("a", lambda: "A")
+        baseline = cache.stats()["build_wall_time_s"]
+        cache.get("a", lambda: "A")  # hit: no build
+        assert cache.stats()["build_wall_time_s"] == baseline
+
+        def boom():
+            time.sleep(0.01)
+            raise ValueError("build failed")
+
+        with pytest.raises(ValueError, match="build failed"):
+            cache.get("b", boom)
+        # Only successful builds count toward the wall-time signal.
+        assert cache.stats()["build_wall_time_s"] == baseline
 
 
 class TestSingleFlight:
