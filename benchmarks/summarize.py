@@ -1,0 +1,116 @@
+"""Collate ``benchmarks/results/*.timing.json`` into one trajectory table.
+
+Every benchmark that calls :func:`benchmarks.conftest.emit_timing` leaves a
+``<name>.timing.json`` behind — wall times, speedup factors, and the
+environment stamp that makes the numbers comparable across commits.  This
+script merges them into a single table (one row per measured speedup, with
+the slowest/fastest wall time of its benchmark alongside) and a combined
+``summary.json`` so a perf trajectory across PRs is one artifact diff, not
+a directory crawl.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/summarize.py
+    PYTHONPATH=src python benchmarks/summarize.py --results-dir benchmarks/results
+
+Exit status is non-zero when no timing artifacts are found (an empty
+summary usually means the benchmarks did not run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.reporting.export import rows_to_csv
+from repro.reporting.tables import render_table
+
+
+def load_timings(results_dir: Path) -> list[dict]:
+    """All ``*.timing.json`` documents under ``results_dir``, sorted by bench."""
+    documents = []
+    for path in sorted(results_dir.glob("*.timing.json")):
+        with path.open(encoding="utf-8") as handle:
+            document = json.load(handle)
+        document.setdefault("bench", path.name.removesuffix(".timing.json"))
+        documents.append(document)
+    return documents
+
+
+def trajectory_rows(documents: list[dict]) -> list[dict]:
+    """One row per measured speedup (benches without speedups still get one)."""
+    rows = []
+    for document in documents:
+        wall_times = document.get("wall_times_s") or {}
+        speedups = document.get("speedups") or {}
+        environment = document.get("environment") or {}
+        base = {
+            "bench": document["bench"],
+            "slowest_s": max(wall_times.values(), default=None),
+            "fastest_s": min(wall_times.values(), default=None),
+            "python": environment.get("python"),
+            "numpy": environment.get("numpy"),
+            "cpu_count": environment.get("cpu_count"),
+        }
+        if not speedups:
+            rows.append({**base, "metric": "-", "speedup_x": None})
+            continue
+        for metric, value in sorted(speedups.items()):
+            rows.append({**base, "metric": metric, "speedup_x": value})
+    return rows
+
+
+def summarize(results_dir: Path, output: Path | None) -> int:
+    documents = load_timings(results_dir)
+    if not documents:
+        print(f"no *.timing.json artifacts under {results_dir}", file=sys.stderr)
+        return 1
+    rows = trajectory_rows(documents)
+    print(
+        render_table(
+            rows,
+            columns=[
+                "bench",
+                "metric",
+                "speedup_x",
+                "fastest_s",
+                "slowest_s",
+                "python",
+                "numpy",
+                "cpu_count",
+            ],
+            title=f"Benchmark trajectory ({len(documents)} bench(es))",
+        )
+    )
+    if output is not None:
+        payload = {"benches": documents, "rows": rows}
+        output.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        rows_to_csv(rows, output.with_suffix(".csv"))
+        print(f"\nwrote {output} and {output.with_suffix('.csv')}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding *.timing.json artifacts (default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="write the merged summary JSON (and CSV twin) here; "
+        "default: <results-dir>/summary.json",
+    )
+    args = parser.parse_args(argv)
+    output = args.output if args.output is not None else args.results_dir / "summary.json"
+    return summarize(args.results_dir, output)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -643,6 +643,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         f"{metadata['wall_time_s']:.2f} s on {metadata['workers']} worker(s) "
         f"({metadata['backend']} backend)"
     )
+    fast = metadata.get("fast_path_vehicles", 0)
+    fallback = metadata.get("fallback_vehicles", 0)
+    path_line = f"fast path: {fast} vehicle(s); fallback: {fallback} vehicle(s)"
+    reasons = metadata.get("fallback_reasons") or {}
+    if reasons:
+        path_line += " (" + ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items())) + ")"
+    print(path_line)
     if metadata["resumed_chunks"]:
         print(
             f"resumed {metadata['resumed_chunks']} chunk(s) "

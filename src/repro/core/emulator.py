@@ -746,15 +746,23 @@ class NodeEmulator:
 
     # -- array-based integration core ------------------------------------------------
 
+    #: Sentinel for :meth:`_collect_cycle`: "walk with the emulator's own
+    #: thermal model" (``None`` must stay expressible — it means constant
+    #: temperature regardless of ``self.thermal_model``).
+    _OWN_THERMAL = object()
+
     def _collect_cycle(
-        self, cycle: DriveCycle, idle_step_s: float
+        self, cycle: DriveCycle, idle_step_s: float, thermal_model=_OWN_THERMAL
     ) -> tuple[list, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Materialize the cycle as per-unit arrays (one walk, thermal replay).
 
         Returns ``(units, is_round, durations, speeds, ends, temps)``.  The
         thermal model is advanced through the whole cycle here — exactly the
         trajectory the old per-revolution loop produced — and left at its
-        end-of-cycle state.
+        end-of-cycle state.  ``thermal_model`` overrides the emulator's own
+        model for this walk (the fleet runner replays one freshly-built model
+        per thermal cohort through a shared probe emulator); the default
+        keeps ``self.thermal_model``.
         """
         units = list(iter_wheel_rounds(cycle, self.node.wheel, idle_step_s=idle_step_s))
         count = len(units)
@@ -763,7 +771,9 @@ class NodeEmulator:
         speeds = np.zeros(count)
         ends = np.empty(count)
         temps = np.empty(count)
-        thermal = self.thermal_model
+        thermal = (
+            self.thermal_model if thermal_model is self._OWN_THERMAL else thermal_model
+        )
         temperature_c = (
             thermal.current_celsius if thermal is not None else self.base_point.temperature_c
         )
@@ -780,6 +790,30 @@ class NodeEmulator:
                 temperature_c = thermal.advance(float(durations[i]), speeds[i] / 3.6)
             temps[i] = temperature_c
         return units, is_round, durations, speeds, ends, temps
+
+    def materialize_cycle(
+        self,
+        cycle: DriveCycle,
+        idle_step_s: float = 1.0,
+        thermal_model: TyreThermalModel | None = None,
+    ) -> tuple[list, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """One cycle walk as per-unit arrays — the reusable cohort pass.
+
+        Returns ``(units, is_round, durations, speeds, ends, temps)``,
+        exactly the arrays :meth:`emulate` integrates: the same wheel-round
+        walk, and — when ``thermal_model`` is given — the same thermal
+        trajectory a per-vehicle ``emulate()`` with that model would
+        produce, advance call for advance call.  The fleet runner replays
+        this once per (cycle, speed-scale, ambient-bin) cohort through a
+        shared probe emulator instead of once per vehicle; ``thermal_model``
+        should be freshly built (or reset) — the walk starts from its
+        current state and leaves it at the end-of-cycle state.
+
+        With ``thermal_model=None`` the walk is isothermal at the base
+        point's temperature even if the emulator owns a thermal model (an
+        explicit request for the constant-temperature arrays).
+        """
+        return self._collect_cycle(cycle, idle_step_s, thermal_model=thermal_model)
 
     def _resolve_round_energies(
         self,

@@ -24,6 +24,16 @@ SPEED_QUANTUM_KMH = 0.5
 #: Temperatures within half a degree of a whole-degree center share an entry.
 TEMPERATURE_QUANTUM_C = 1.0
 
+#: Ambient-temperature quantum of the fleet's thermal cohorts.  Vehicles
+#: whose ambient falls within half a quantum of a bin center share one
+#: replayed :class:`~repro.conditions.temperature.TyreThermalModel`
+#: trajectory (the fleet runner's third cohort axis, next to cycle and speed
+#: scale).  Kept an integer multiple of :data:`TEMPERATURE_QUANTUM_C` so
+#: every ambient bin center is itself a temperature bin center — a thermal
+#: trajectory that never heats (zero rise) then lands in exactly the
+#: temperature bin a constant-ambient vehicle would use.
+AMBIENT_QUANTUM_C = 2.0
+
 
 def speed_bin(speed_kmh: float) -> int:
     """The quantized speed bin of ``speed_kmh`` (banker's rounding, like the cache)."""
@@ -58,3 +68,21 @@ def temperature_bins(temperatures_c):
 def temperature_bin_center_c(bin_index: int) -> float:
     """The representative (evaluation) temperature of one quantized bin."""
     return bin_index * TEMPERATURE_QUANTUM_C
+
+
+def ambient_bin(temperature_c: float) -> int:
+    """The quantized ambient bin of ``temperature_c`` (banker's rounding).
+
+    The fleet's thermal cohort axis: vehicle ambients are snapped to the bin
+    center *at materialization* (so each vehicle's scenario carries the
+    center, not the raw draw), which is what lets one per-cohort thermal
+    replay be bitwise identical to every member vehicle's own
+    ``emulate()`` — floating point offers no way to share a trajectory
+    across distinct ambients exactly.
+    """
+    return round(temperature_c / AMBIENT_QUANTUM_C)
+
+
+def ambient_bin_center_c(bin_index: int) -> float:
+    """The representative (replay) ambient temperature of one ambient bin."""
+    return bin_index * AMBIENT_QUANTUM_C

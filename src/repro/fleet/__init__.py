@@ -29,7 +29,13 @@ from repro.fleet.distributions import (
     DistributionSpec,
     register_distribution,
 )
-from repro.fleet.spec import FLEET_TARGETS, FleetSpec, default_fleet_distributions, load_fleet
+from repro.fleet.spec import (
+    FLEET_TARGETS,
+    FleetSpec,
+    ThermalSpec,
+    default_fleet_distributions,
+    load_fleet,
+)
 from repro.fleet.aggregate import FleetResult
 from repro.fleet.runner import FleetRunner, run_fleet
 
@@ -40,6 +46,7 @@ __all__ = [
     "register_distribution",
     "FLEET_TARGETS",
     "FleetSpec",
+    "ThermalSpec",
     "default_fleet_distributions",
     "load_fleet",
     "FleetResult",

@@ -258,10 +258,15 @@ class CorrelatedNormalDistribution(Distribution):
 
     so pairwise correlation between vehicles is exactly ``c`` while each
     marginal stays N(mean, std).
+
+    ``mean`` defaults to zero: the fleet's ``ambient_offset_c`` axis
+    distributes *offsets around the base scenario's ambient*, where a
+    zero-centered draw is the natural parameterization (the absolute
+    ``temperature_c`` axis keeps passing an explicit mean).
     """
 
-    mean: float
     std: float
+    mean: float = 0.0
     correlation: float = 0.5
 
     def __post_init__(self) -> None:

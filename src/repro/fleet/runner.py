@@ -13,12 +13,24 @@ runner shares all of that across the population:
   speed scale) share one materialized cycle: the per-unit arrays, the
   quantized speed-bin classification, the per-round bin indices and the
   state-log sampling walk are computed once per cohort, not per vehicle.
+  Thermal fleets (``FleetSpec.thermal``) add the quantized ambient as a
+  third cohort axis: the in-tyre
+  :class:`~repro.conditions.temperature.TyreThermalModel` is replayed once
+  per (cycle, speed-scale, ambient-bin) cohort — ambients are snapped to
+  the shared :func:`~repro.core.quantize.ambient_bin` centers at
+  materialization — producing a per-unit temperature trajectory next to
+  the speed/duration arrays, so the fast path survives thermally
+  realistic populations instead of demoting every vehicle to ``emulate()``.
 * **One cross-vehicle sweep** — the union of quantized
   (speed, temperature, phase-pattern) energy bins over all vehicles of a
-  group is evaluated in ONE vectorized batch call
+  group — per-unit trajectory temperatures included — is evaluated in ONE
+  vectorized batch call
   (:meth:`~repro.core.emulator.NodeEmulator.evaluate_energy_bins`) before
   any emulation starts; the batch kernel is bitwise-identical to the
-  per-miss path, so shared bins cannot change results.
+  per-miss path, so shared bins cannot change results.  After the sweep
+  the per-cohort demand side is gathered ONCE — a full per-unit load
+  vector for thermal cohorts, a per-(cohort, temperature-bin) energy
+  gather for constant ones — instead of being rebuilt per vehicle.
 
 Each vehicle then reduces to pure array work — its own harvest sweep, load
 referral and :func:`~repro.scavenger.storage.trajectory` kernel — streamed
@@ -29,9 +41,14 @@ contracts guarantee it; the throughput benchmark asserts it), which is what
 makes the aggregates independent of worker counts and backends.
 
 Cycles the shared path cannot cover — a speed bin whose schedule cannot be
-built (feasibility straddles) — fall back to the ordinary per-vehicle
+built (feasibility straddles), or a thermal trajectory that leaves the
+modelled temperature range — fall back to the ordinary per-vehicle
 ``emulate()`` with the shared bins seeded into its cache, so error timing
-and results stay exactly those of the scalar path.
+and results stay exactly those of the scalar path.  Every vehicle outcome
+is tagged with the path it took (and the fallback reason), surfaced as
+``fast_path_vehicles`` / ``fallback_vehicles`` / ``fallback_reasons`` on the
+result metadata — a fast-path regression shows up as a counter, not as a
+silent slowdown.
 """
 
 from __future__ import annotations
@@ -39,13 +56,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.backend import resolve_backend
+from repro.conditions.operating_point import TEMPERATURE_RANGE_C
 from repro.core.emulator import EmulationResult, NodeEmulator
 from repro.core.evaluator import EnergyEvaluator
 from repro.core.quantize import (
+    AMBIENT_QUANTUM_C,
     SPEED_QUANTUM_KMH,
     TEMPERATURE_QUANTUM_C,
+    ambient_bin,
     temperature_bin,
     temperature_bin_center_c,
+    temperature_bins,
 )
 from repro.errors import ConfigError, EmulationError, ScheduleError
 from repro.fleet.aggregate import (
@@ -53,7 +74,7 @@ from repro.fleet.aggregate import (
     FleetAccumulator,
     FleetResult,
 )
-from repro.fleet.spec import FleetSpec, FleetVehicle
+from repro.fleet.spec import FleetSpec, FleetVehicle, ThermalSpec
 from repro.scavenger.storage import scaled_storage, trajectory
 from repro.scenario.checkpoint import CheckpointStore
 from repro.scenario.engine import ChunkedEngine
@@ -72,13 +93,28 @@ def _group_key(spec: ScenarioSpec) -> str:
     return spec.evaluator_group_key()
 
 
-def _cohort_key(vehicle: FleetVehicle) -> str:
-    """The cycle-materialization key: (group, cycle reference, speed scale)."""
+def _cohort_key(vehicle: FleetVehicle, thermal: ThermalSpec | None = None) -> str:
+    """The cycle-materialization key: (group, cycle reference, speed scale).
+
+    Thermal fleets add the quantized ambient bin: the replayed temperature
+    trajectory is a function of the ambient, so only vehicles in one
+    ambient bin (whose ambients were snapped to the *same* bin-center float
+    at materialization) can share one trajectory bitwise.
+    """
+    if thermal is None:
+        return repr(
+            (
+                _group_key(vehicle.scenario),
+                vehicle.scenario.drive_cycle,
+                vehicle.speed_scale,
+            )
+        )
     return repr(
         (
             _group_key(vehicle.scenario),
             vehicle.scenario.drive_cycle,
             vehicle.speed_scale,
+            ambient_bin(vehicle.scenario.temperature_c),
         )
     )
 
@@ -86,16 +122,26 @@ def _cohort_key(vehicle: FleetVehicle) -> str:
 class _CohortTable:
     """Shared per-cohort cycle materialization (read-only after build).
 
-    Holds everything about one (cycle, speed scale) pairing that does not
-    depend on the individual vehicle: the per-unit arrays of the walked
-    cycle, the per-round quantized bin structure, and the state-log sampling
-    walk.  ``fallback`` marks cohorts whose bin classification hit a
-    schedule that cannot be built — their vehicles run the ordinary
+    Holds everything about one (cycle, speed scale[, ambient bin]) pairing
+    that does not depend on the individual vehicle: the per-unit arrays of
+    the walked cycle, the per-round quantized bin structure, the replayed
+    temperature trajectory (thermal cohorts), and the state-log sampling
+    walk.  ``fallback`` marks cohorts the fast path cannot cover —
+    ``fallback_reason`` says why (``"schedule"``: a bin straddles the node's
+    feasibility limit; ``"temperature-range"``: the thermal trajectory
+    leaves the modelled range) — their vehicles run the ordinary
     per-vehicle ``emulate()`` so errors surface at exactly the simulated
     instant the scalar path raises them.
+
+    After the cross-vehicle sweep the runner attaches the precomputed
+    demand side: ``unit_load`` (thermal cohorts — the full per-unit load
+    vector, identical for every member vehicle) or ``energies_by_temp_bin``
+    (constant cohorts — one gathered energy array per temperature bin seen
+    in the population, replacing the per-vehicle list comprehension).
     """
 
     __slots__ = (
+        "group_key",
         "cycle_name",
         "duration_s",
         "is_round",
@@ -108,11 +154,31 @@ class _CohortTable:
         "sample_times",
         "sample_units",
         "fallback",
+        "fallback_reason",
+        "thermal",
+        "temps",
+        "unit_temp_bins",
+        "unit_bin_inverse",
+        "triples",
+        "round_triple",
+        "unit_load",
+        "energies_by_temp_bin",
+        "seen_temp_bins",
     )
 
     def __init__(self) -> None:
         self.fallback = False
+        self.fallback_reason = None
+        self.thermal = False
         self.unique_bins = []
+        self.temps = None
+        self.unit_temp_bins = None
+        self.unit_bin_inverse = None
+        self.triples = []
+        self.round_triple = None
+        self.unit_load = None
+        self.energies_by_temp_bin = {}
+        self.seen_temp_bins = set()
 
 
 def _build_cohort_table(
@@ -120,52 +186,120 @@ def _build_cohort_table(
     cycle,
     record_interval_s: float,
     idle_step_s: float,
+    thermal_model=None,
 ) -> _CohortTable:
     """Materialize one cohort's cycle through the probe emulator.
 
-    The probe supplies the exact walk (`_collect_cycle`) and speed-bin
+    The probe supplies the exact walk (`materialize_cycle`) and speed-bin
     classification (`_speed_key_for`) the per-vehicle emulator would run, so
-    the table can never drift from what ``emulate()`` does.
+    the table can never drift from what ``emulate()`` does.  ``thermal_model``
+    — a freshly built model at the cohort's bin-center ambient — switches the
+    walk to the thermal replay: the per-unit temperature trajectory is kept
+    on the table and the bin structure spans full
+    (speed, temperature, phase-pattern) triples instead of pinning one
+    temperature bin per vehicle.
     """
     table = _CohortTable()
     table.cycle_name = cycle.name
     table.duration_s = cycle.duration_s
-    units, is_round, durations, speeds, ends, _temps = probe._collect_cycle(cycle, idle_step_s)
+    units, is_round, durations, speeds, ends, temps = probe.materialize_cycle(
+        cycle, idle_step_s, thermal_model=thermal_model
+    )
     table.is_round = is_round
     table.durations = durations
     table.speeds = speeds
     table.ends = ends
     table.round_indices = np.flatnonzero(is_round)
+    table.thermal = thermal_model is not None
 
-    # Per-round quantized bin structure: one (speed key, pattern) entry per
-    # distinct bin, plus the per-round index into that list.  Schedules are
-    # built once per entry (pattern-addressed), for the cross-vehicle sweep.
     node = probe.node
-    positions: dict[tuple, int] = {}
-    unique: list[tuple[tuple, tuple, float, object]] = []
-    inverse = np.empty(len(table.round_indices), dtype=np.intp)
-    for position, i in enumerate(table.round_indices):
-        unit = units[i]
-        pattern = node.phase_pattern(unit.index)
-        speed_key, eval_speed, _use_bin = probe._speed_key_for(unit.speed_kmh, unit.index, pattern)
-        ukey = (speed_key, pattern)
-        slot = positions.get(ukey)
-        if slot is None:
-            try:
-                schedule = node.schedule_for_pattern(eval_speed, *pattern)
-            except ScheduleError:
-                # The bin straddles the node's feasibility limit (or the
-                # speed is unsustainable): this cohort's vehicles take the
-                # per-vehicle emulate() path, which raises — or recovers —
-                # with the scalar path's exact timing.
-                table.fallback = True
-                return table
-            slot = len(unique)
-            positions[ukey] = slot
-            unique.append((speed_key, pattern, eval_speed, schedule))
-        inverse[position] = slot
-    table.unique_bins = unique
-    table.inverse = inverse
+    if table.thermal:
+        low_t, high_t = TEMPERATURE_RANGE_C
+        if not bool(np.all((temps >= low_t) & (temps <= high_t))):
+            # Self-heating pushed the trajectory out of the modelled range:
+            # the per-vehicle emulate() path raises on the exact offending
+            # unit (stepwise-loop timing), which the fast path cannot
+            # reproduce — every member vehicle falls back.
+            table.fallback = True
+            table.fallback_reason = "temperature-range"
+            return table
+        table.temps = temps
+        # Per-unit temperature bins for the standstill sweep — the same
+        # np.unique(temperature_bins(...)) walk emulate()'s pure kernel runs.
+        table.unit_temp_bins, table.unit_bin_inverse = np.unique(
+            temperature_bins(temps), return_inverse=True
+        )
+
+        # Per-round (speed, temperature, pattern) triple structure: one
+        # entry per distinct triple, plus the per-round index into that
+        # list.  Schedules are shared per (speed key, pattern) — triples
+        # differing only in temperature reuse one schedule object, which
+        # groups them into one vectorized accumulation in the sweep.
+        positions: dict[tuple, int] = {}
+        built: dict[tuple, object] = {}
+        triples: list[tuple[tuple, float, float, object]] = []
+        round_triple = np.empty(len(table.round_indices), dtype=np.intp)
+        for position, i in enumerate(table.round_indices):
+            unit = units[i]
+            pattern = node.phase_pattern(unit.index)
+            speed_key, eval_speed, _use_bin = probe._speed_key_for(
+                unit.speed_kmh, unit.index, pattern
+            )
+            temp_bin = temperature_bin(float(temps[i]))
+            key = (speed_key, temp_bin, *pattern)
+            slot = positions.get(key)
+            if slot is None:
+                schedule_key = (speed_key, pattern)
+                schedule = built.get(schedule_key)
+                if schedule is None:
+                    try:
+                        schedule = node.schedule_for_pattern(eval_speed, *pattern)
+                    except ScheduleError:
+                        table.fallback = True
+                        table.fallback_reason = "schedule"
+                        return table
+                    built[schedule_key] = schedule
+                slot = len(triples)
+                positions[key] = slot
+                triples.append(
+                    (key, eval_speed, temperature_bin_center_c(temp_bin), schedule)
+                )
+            round_triple[position] = slot
+        table.triples = triples
+        table.round_triple = round_triple
+    else:
+        # Per-round quantized bin structure: one (speed key, pattern) entry
+        # per distinct bin, plus the per-round index into that list.
+        # Schedules are built once per entry (pattern-addressed), for the
+        # cross-vehicle sweep.
+        positions = {}
+        unique: list[tuple[tuple, tuple, float, object]] = []
+        inverse = np.empty(len(table.round_indices), dtype=np.intp)
+        for position, i in enumerate(table.round_indices):
+            unit = units[i]
+            pattern = node.phase_pattern(unit.index)
+            speed_key, eval_speed, _use_bin = probe._speed_key_for(
+                unit.speed_kmh, unit.index, pattern
+            )
+            ukey = (speed_key, pattern)
+            slot = positions.get(ukey)
+            if slot is None:
+                try:
+                    schedule = node.schedule_for_pattern(eval_speed, *pattern)
+                except ScheduleError:
+                    # The bin straddles the node's feasibility limit (or the
+                    # speed is unsustainable): this cohort's vehicles take
+                    # the per-vehicle emulate() path, which raises — or
+                    # recovers — with the scalar path's exact timing.
+                    table.fallback = True
+                    table.fallback_reason = "schedule"
+                    return table
+                slot = len(unique)
+                positions[ukey] = slot
+                unique.append((speed_key, pattern, eval_speed, schedule))
+            inverse[position] = slot
+        table.unique_bins = unique
+        table.inverse = inverse
 
     # State-log sampling walk: the exact accumulation emulate() performs
     # when recording the log, shared by every vehicle of the cohort (sample
@@ -229,6 +363,36 @@ def _vehicle_row(
     return row
 
 
+def _thermal_unit_load(
+    table: _CohortTable, node, bins: dict, standstill: dict
+) -> np.ndarray:
+    """The per-unit load vector of one thermal cohort (vehicle-independent).
+
+    Element for element what ``emulate()``'s pure kernel computes: referred
+    revolution energies gathered from the shared bins at each round's
+    trajectory temperature, and referred sleep energy at each idle unit's
+    temperature bin (the same ``np.unique`` gather as
+    ``_standstill_power_sweep``).  Nothing here depends on the vehicle —
+    scavenger size and storage scale enter elsewhere — so the vector is
+    computed once per cohort and shared read-only.
+    """
+    count = len(table.is_round)
+    load = np.zeros(count)
+    if table.round_indices.size:
+        energies_unique = np.array(
+            [bins[key][0] for key, _speed, _temp, _schedule in table.triples]
+        )
+        load[table.round_indices] = node.pmu.referred_to_storage(
+            energies_unique[table.round_triple]
+        )
+    per_bin = np.array([standstill[int(b)] for b in table.unit_temp_bins])
+    sleep_power = per_bin[table.unit_bin_inverse]
+    idle = ~table.is_round
+    load[idle] = node.pmu.referred_to_storage(sleep_power[idle] * table.durations[idle])
+    load.setflags(write=False)
+    return load
+
+
 def _cohort_vehicle_outcome(
     vehicle_index: int,
     spec: ScenarioSpec,
@@ -247,11 +411,11 @@ def _cohort_vehicle_outcome(
     for operation — harvest sweep, bin gather, load referral, trajectory
     kernel, summary — against the cohort's shared cycle table and the
     group's shared bin store, so the figures are bit-identical to a naive
-    per-vehicle ``emulate()``.
+    per-vehicle ``emulate()`` (with the fleet's thermal model, for thermal
+    cohorts).
     """
     scavenger = spec.build_scavenger()
     storage = scaled_storage(spec.build_storage(), storage_scale)
-    temp_bin = temperature_bin(spec.temperature_c)
 
     # Supply side: every wheel round's harvest in one vectorized sweep.
     count = len(table.is_round)
@@ -261,19 +425,36 @@ def _cohort_vehicle_outcome(
     if np.any(harvest < 0.0):
         raise EmulationError("cannot deposit negative energy")
 
-    # Demand side: gather the shared bins at this vehicle's temperature.
-    energies_unique = np.array(
-        [
-            bins[(speed_key, temp_bin, *pattern)][0]
-            for speed_key, pattern, _eval_speed, _schedule in table.unique_bins
-        ]
-    )
-    load = np.zeros(count)
-    if round_indices.size:
-        load[round_indices] = node.pmu.referred_to_storage(energies_unique[table.inverse])
-    sleep_power_w = standstill[temp_bin]
-    idle = ~table.is_round
-    load[idle] = node.pmu.referred_to_storage(sleep_power_w * table.durations[idle])
+    # Demand side.  Thermal cohorts: the whole load vector is a function of
+    # the cohort (trajectory temperatures, shared bins, group node), not of
+    # the vehicle — precomputed once after the sweep and reused read-only.
+    if table.thermal:
+        load = table.unit_load
+        if load is None:  # pragma: no cover - post-sweep tables always carry it
+            load = _thermal_unit_load(table, node, bins, standstill)
+    else:
+        # Constant-temperature cohorts: gather the shared bins at this
+        # vehicle's temperature.  The per-bin energy gather is precomputed
+        # per (cohort, temperature bin) after the sweep; the inline
+        # comprehension remains as the defensive path for bins the
+        # discovery pass never saw.
+        temp_bin = temperature_bin(spec.temperature_c)
+        energies_unique = table.energies_by_temp_bin.get(temp_bin)
+        if energies_unique is None:
+            energies_unique = np.array(
+                [
+                    bins[(speed_key, temp_bin, *pattern)][0]
+                    for speed_key, pattern, _eval_speed, _schedule in table.unique_bins
+                ]
+            )
+        load = np.zeros(count)
+        if round_indices.size:
+            load[round_indices] = node.pmu.referred_to_storage(
+                energies_unique[table.inverse]
+            )
+        sleep_power_w = standstill[temp_bin]
+        idle = ~table.is_round
+        load[idle] = node.pmu.referred_to_storage(sleep_power_w * table.durations[idle])
 
     # initial_charge_j=None replays the element's own (construction-time
     # validated) initial charge — the per-call range check is skipped in
@@ -324,6 +505,7 @@ def _emulate_vehicle_outcome(
     buckets: int,
     record_interval_s: float,
     idle_step_s: float,
+    thermal: ThermalSpec | None = None,
 ) -> dict[str, object]:
     """One vehicle through the ordinary per-vehicle ``emulate()`` path.
 
@@ -331,6 +513,9 @@ def _emulate_vehicle_outcome(
     processes without the fork-inherited shared tables); shared bins — when
     available — still seed the emulator's cache, and the outcome is
     bit-identical to the fast path by the emulator's byte-identity contract.
+    Thermal fleets hand their :class:`~repro.fleet.spec.ThermalSpec` down so
+    the fallback drives the same in-tyre model — built at the vehicle's
+    (bin-centered) ambient — that the cohort replay used.
     """
     cycle = spec.build_drive_cycle()
     if cycle is None:  # pragma: no cover - FleetSpec validation prevents it
@@ -343,6 +528,7 @@ def _emulate_vehicle_outcome(
         spec.build_scavenger(),
         storage,
         base_point=spec.operating_point(),
+        thermal_model=thermal.build(spec.temperature_c) if thermal is not None else None,
         evaluator=evaluator,
     )
     if bins:
@@ -404,13 +590,21 @@ def _process_vehicle(payload) -> dict[str, object]:
         record_interval_s,
         idle_step_s,
         array_backend,
+        thermal_document,
+        force_fallback,
     ) = payload
     spec = ScenarioSpec.from_dict(document)
+    thermal = (
+        ThermalSpec.coerce(thermal_document) if thermal_document is not None else None
+    )
     node, database, evaluator = _worker_components(spec, array_backend)
     table = _SHARED_TABLES.get(cohort_key)
     bins = _SHARED_BINS.get(group_key, {})
-    if table is not None and not table.fallback:
-        return _cohort_vehicle_outcome(
+    usable = table is not None and not table.fallback
+    if usable and table.thermal and table.unit_load is None:
+        usable = False  # pragma: no cover - post-sweep tables always carry it
+    if usable and not force_fallback:
+        outcome = _cohort_vehicle_outcome(
             vehicle_index,
             spec,
             speed_scale,
@@ -422,7 +616,15 @@ def _process_vehicle(payload) -> dict[str, object]:
             buckets,
             array_backend=evaluator.backend,
         )
-    return _emulate_vehicle_outcome(
+        outcome["path"] = "cohort"
+        return outcome
+    if force_fallback:
+        reason = "forced"
+    elif table is None:
+        reason = "no-shared-table"
+    else:
+        reason = table.fallback_reason or "schedule"
+    outcome = _emulate_vehicle_outcome(
         vehicle_index,
         spec,
         speed_scale,
@@ -434,7 +636,11 @@ def _process_vehicle(payload) -> dict[str, object]:
         buckets,
         record_interval_s,
         idle_step_s,
+        thermal=thermal,
     )
+    outcome["path"] = "fallback"
+    outcome["fallback_reason"] = reason
+    return outcome
 
 
 class FleetRunner:
@@ -481,6 +687,12 @@ class FleetRunner:
             bit-identical to the pre-seam runner.  Callers sharing one
             ``evaluator_cache`` across runs should use one backend per
             process — the cache key is (rightly) backend-free.
+        force_fallback: route EVERY vehicle through the per-vehicle
+            ``emulate()`` fallback (reason ``"forced"``) even where the
+            cohort fast path applies.  A benchmarking/debug knob — the
+            results are bit-identical either way (that is the fast path's
+            contract), only slower; like ``array_backend`` it is an
+            execution policy and never enters :meth:`checkpoint_key`.
     """
 
     def __init__(
@@ -500,6 +712,7 @@ class FleetRunner:
         should_stop=None,
         evaluator_cache=None,
         array_backend=None,
+        force_fallback: bool = False,
     ) -> None:
         if not isinstance(fleet, FleetSpec):
             raise ConfigError(f"a fleet runner needs a FleetSpec, got {type(fleet).__name__}")
@@ -524,6 +737,7 @@ class FleetRunner:
         self.checkpoint = checkpoint
         self.max_chunks = max_chunks
         self.array_backend = resolve_backend(array_backend)
+        self.force_fallback = bool(force_fallback)
         self.progress = progress
         self.should_stop = should_stop
         self._evaluator_cache = evaluator_cache
@@ -571,6 +785,7 @@ class FleetRunner:
         the vehicle order exactly, so the cross-vehicle sweep sees the same
         bin sequence an eagerly materialized population would produce.
         """
+        thermal = self.fleet.thermal
         groups: dict[str, tuple] = {}
         probes: dict[str, NodeEmulator] = {}
         tables: dict[str, _CohortTable] = {}
@@ -584,7 +799,7 @@ class FleetRunner:
                     groups[gkey] = self._components_for(spec)
                     standstill[gkey] = {}
                     pending[gkey] = {}
-                ckey = _cohort_key(vehicle)
+                ckey = _cohort_key(vehicle, thermal)
                 table = tables.get(ckey)
                 if table is None:
                     node, database, evaluator = groups[gkey]
@@ -600,10 +815,41 @@ class FleetRunner:
                         )
                         probes[gkey] = probe
                     cycle = spec.build_drive_cycle().scaled(vehicle.speed_scale)
+                    # Thermal cohorts replay a freshly built model at the
+                    # cohort's bin-center ambient — which IS the vehicle's
+                    # (materialization-snapped) ambient, so the replayed
+                    # trajectory equals each member vehicle's own.
                     table = _build_cohort_table(
-                        probe, cycle, self.record_interval_s, self.idle_step_s
+                        probe,
+                        cycle,
+                        self.record_interval_s,
+                        self.idle_step_s,
+                        thermal_model=(
+                            thermal.build(spec.temperature_c)
+                            if thermal is not None
+                            else None
+                        ),
                     )
+                    table.group_key = gkey
                     tables[ckey] = table
+                    if table.thermal and not table.fallback:
+                        # Trajectory-driven demand: the bin union spans the
+                        # cohort's (speed, temperature, pattern) triples, and
+                        # the standstill memo must cover every unit's
+                        # trajectory temperature, not one ambient pin.
+                        group_pending = pending[gkey]
+                        for key, eval_speed, temp_center, schedule in table.triples:
+                            if key not in group_pending:
+                                group_pending[key] = (eval_speed, temp_center, schedule)
+                        group_standstill = standstill[gkey]
+                        for raw_bin in table.unit_temp_bins:
+                            unit_bin = int(raw_bin)
+                            if unit_bin not in group_standstill:
+                                group_standstill[unit_bin] = probe._standstill_power(
+                                    temperature_bin_center_c(unit_bin)
+                                )
+                if table.thermal:
+                    continue
                 temp_bin = temperature_bin(spec.temperature_c)
                 if temp_bin not in standstill[gkey]:
                     standstill[gkey][temp_bin] = probes[gkey]._standstill_power(
@@ -611,6 +857,7 @@ class FleetRunner:
                     )
                 if table.fallback:
                     continue
+                table.seen_temp_bins.add(temp_bin)
                 group_pending = pending[gkey]
                 for speed_key, pattern, eval_speed, schedule in table.unique_bins:
                     key = (speed_key, temp_bin, *pattern)
@@ -626,6 +873,29 @@ class FleetRunner:
         bins: dict[str, dict] = {}
         for gkey, group_pending in pending.items():
             bins[gkey] = probes[gkey].evaluate_energy_bins(group_pending)
+
+        # Post-sweep gather precompute: the per-vehicle demand side is a
+        # pure gather over the swept bins, so hoist it out of the per-vehicle
+        # kernel — the full per-unit load vector for thermal cohorts (it is
+        # vehicle-independent), one energy array per (cohort, temperature
+        # bin) for constant ones.
+        for table in tables.values():
+            if table.fallback:
+                continue
+            node = groups[table.group_key][0]
+            group_bins = bins[table.group_key]
+            if table.thermal:
+                table.unit_load = _thermal_unit_load(
+                    table, node, group_bins, standstill[table.group_key]
+                )
+            else:
+                for temp_bin in sorted(table.seen_temp_bins):
+                    table.energies_by_temp_bin[temp_bin] = np.array(
+                        [
+                            group_bins[(speed_key, temp_bin, *pattern)][0]
+                            for speed_key, pattern, _eval_speed, _schedule in table.unique_bins
+                        ]
+                    )
         return groups, tables, bins, standstill
 
     # -- execution ----------------------------------------------------------
@@ -664,14 +934,17 @@ class FleetRunner:
             keep_vehicle_rows=self.keep_vehicle_rows,
         )
         buckets = self.survival_buckets
+        thermal = fleet.thermal
+        thermal_document = thermal.to_dict() if thermal is not None else None
+        force_fallback = self.force_fallback
 
         def kernel(vehicle: FleetVehicle) -> dict[str, object]:
             spec = vehicle.scenario
             gkey = _group_key(spec)
             node, database, evaluator = groups[gkey]
-            table = tables[_cohort_key(vehicle)]
-            if not table.fallback:
-                return _cohort_vehicle_outcome(
+            table = tables[_cohort_key(vehicle, thermal)]
+            if not table.fallback and not force_fallback:
+                outcome = _cohort_vehicle_outcome(
                     vehicle.index,
                     spec,
                     vehicle.speed_scale,
@@ -683,7 +956,9 @@ class FleetRunner:
                     buckets,
                     array_backend=self.array_backend,
                 )
-            return _emulate_vehicle_outcome(
+                outcome["path"] = "cohort"
+                return outcome
+            outcome = _emulate_vehicle_outcome(
                 vehicle.index,
                 spec,
                 vehicle.speed_scale,
@@ -695,7 +970,13 @@ class FleetRunner:
                 buckets,
                 self.record_interval_s,
                 self.idle_step_s,
+                thermal=thermal,
             )
+            outcome["path"] = "fallback"
+            outcome["fallback_reason"] = (
+                "forced" if force_fallback else (table.fallback_reason or "schedule")
+            )
+            return outcome
 
         def payload(vehicle: FleetVehicle):
             return (
@@ -703,12 +984,14 @@ class FleetRunner:
                 vehicle.index,
                 vehicle.speed_scale,
                 vehicle.storage_scale,
-                _cohort_key(vehicle),
+                _cohort_key(vehicle, thermal),
                 _group_key(vehicle.scenario),
                 buckets,
                 self.record_interval_s,
                 self.idle_step_s,
                 self.array_backend.name,
+                thermal_document,
+                force_fallback,
             )
 
         if self.backend == "process":
@@ -723,11 +1006,31 @@ class FleetRunner:
             _SHARED_BINS.update(bins)
             _SHARED_STANDSTILL.clear()
             _SHARED_STANDSTILL.update(standstill)
+        # Path observability: every outcome is tagged with the path it took,
+        # so a fast-path regression (new fallback reason, demoted cohort)
+        # shows up as a counter instead of a silent slowdown.  Outcomes
+        # replayed from a pre-tagging checkpoint journal carry no tag and
+        # are counted as untagged.
+        path_counts = {"cohort": 0, "fallback": 0, "untagged": 0}
+        fallback_reasons: dict[str, int] = {}
+
+        def sink(_index, outcome) -> None:
+            path = outcome.get("path")
+            if path == "cohort":
+                path_counts["cohort"] += 1
+            elif path == "fallback":
+                path_counts["fallback"] += 1
+                reason = outcome.get("fallback_reason") or "unspecified"
+                fallback_reasons[reason] = fallback_reasons.get(reason, 0) + 1
+            else:
+                path_counts["untagged"] += 1
+            accumulator.add(outcome)
+
         try:
             report = self._engine.run_chunks(
                 fleet.iter_chunks(),
                 kernel,
-                lambda _index, outcome: accumulator.add(outcome),
+                sink,
                 checkpoint=store,
                 max_new_chunks=self.max_chunks,
                 process_worker=_process_vehicle,
@@ -756,9 +1059,18 @@ class FleetRunner:
             "groups": len(groups),
             "cohorts": len(tables),
             "fallback_cohorts": sum(1 for table in tables.values() if table.fallback),
+            "fast_path_vehicles": path_counts["cohort"],
+            "fallback_vehicles": path_counts["fallback"],
+            "untagged_vehicles": path_counts["untagged"],
+            "fallback_reasons": {
+                reason: fallback_reasons[reason] for reason in sorted(fallback_reasons)
+            },
+            "force_fallback": force_fallback,
+            "thermal": thermal_document,
             "shared_energy_bins": shared_bin_count,
             "speed_quantum_kmh": SPEED_QUANTUM_KMH,
             "temperature_quantum_c": TEMPERATURE_QUANTUM_C,
+            "ambient_quantum_c": AMBIENT_QUANTUM_C if thermal is not None else None,
             "scale_quantum": fleet.scale_quantum,
             "evaluator_builds": self.evaluator_builds,
             "evaluator_cache_hits": self.evaluator_cache_hits,

@@ -40,6 +40,8 @@ from typing import Mapping
 import numpy as np
 
 from repro.conditions.operating_point import TEMPERATURE_RANGE_C
+from repro.conditions.temperature import TyreThermalModel
+from repro.core.quantize import ambient_bin, ambient_bin_center_c
 from repro.errors import ConfigError
 from repro.fleet.distributions import DistributionSpec
 from repro.scenario.spec import ComponentRef, ScenarioSpec
@@ -47,15 +49,21 @@ from repro.scenario.spec import ComponentRef, ScenarioSpec
 #: The per-vehicle axes a fleet may distribute.  ``speed_scale`` multiplies
 #: the drive-cycle speeds and the cruising speed, ``temperature_c`` replaces
 #: the ambient temperature (clipped to the modelled range),
-#: ``drive_cycle`` draws each vehicle's cycle from a categorical mix, and
+#: ``drive_cycle`` draws each vehicle's cycle from a categorical mix,
 #: ``scavenger_size`` / ``storage_capacity`` are multiplicative tolerance
-#: factors on the base scavenger size and storage capacity.
+#: factors on the base scavenger size and storage capacity, and
+#: ``ambient_offset_c`` adds a per-vehicle offset to the *base* scenario's
+#: ambient temperature (mutually exclusive with ``temperature_c``; the
+#: natural axis for zero-mean climate spreads around one deployment site).
+#: New targets are appended, never inserted: chunks sample targets in this
+#: fixed order, so appending can never perturb the draws of earlier targets.
 FLEET_TARGETS = (
     "speed_scale",
     "temperature_c",
     "drive_cycle",
     "scavenger_size",
     "storage_capacity",
+    "ambient_offset_c",
 )
 
 
@@ -85,6 +93,80 @@ def default_fleet_distributions(base: ScenarioSpec) -> dict[str, DistributionSpe
         "scavenger_size": DistributionSpec("gaussian-tolerance", (("rel_std", 0.05),)),
         "storage_capacity": DistributionSpec("gaussian-tolerance", (("rel_std", 0.05),)),
     }
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """Declarative in-tyre thermal model of a thermal fleet (plain data).
+
+    Names the :class:`~repro.conditions.temperature.TyreThermalModel`
+    parameters *without* the ambient: the ambient is per vehicle (the
+    ``temperature_c`` / ``ambient_offset_c`` axes), and :meth:`build`
+    instantiates the stateful model for one vehicle's ambient.
+
+    Setting a thermal spec on a fleet changes its materialization contract:
+    sampled ambients are snapped to the shared ambient-bin centers
+    (:func:`repro.core.quantize.ambient_bin`), because a thermal trajectory
+    is a function of its exact ambient — only vehicles sharing the *same*
+    float ambient can share one replayed trajectory bitwise.
+    """
+
+    rise_coefficient: float = 0.045
+    max_rise_c: float = 55.0
+    time_constant_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        for name in ("rise_coefficient", "max_rise_c", "time_constant_s"):
+            value = getattr(self, name)
+            if (
+                not isinstance(value, (int, float))
+                or isinstance(value, bool)
+                or not math.isfinite(value)
+            ):
+                raise ConfigError(f"thermal {name} must be a finite number, got {value!r}")
+            object.__setattr__(self, name, float(value))
+        if self.rise_coefficient < 0.0:
+            raise ConfigError("thermal rise_coefficient must be non-negative")
+        if self.max_rise_c < 0.0:
+            raise ConfigError("thermal max_rise_c must be non-negative")
+        if self.time_constant_s <= 0.0:
+            raise ConfigError("thermal time_constant_s must be positive")
+
+    @classmethod
+    def coerce(cls, value: object) -> "ThermalSpec":
+        """Accept a ``ThermalSpec`` or its ``to_dict`` document."""
+        if isinstance(value, ThermalSpec):
+            return value
+        if isinstance(value, Mapping):
+            known = {"rise_coefficient", "max_rise_c", "time_constant_s"}
+            unknown = set(value) - known
+            if unknown:
+                raise ConfigError(
+                    f"fleet thermal has unknown field(s) {sorted(unknown)}; "
+                    f"known fields: {sorted(known)}"
+                )
+            return cls(**value)
+        raise ConfigError(
+            f"fleet thermal must be a ThermalSpec or its document, "
+            f"got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        """Plain-dict form, JSON-serializable and accepted by :meth:`coerce`."""
+        return {
+            "rise_coefficient": self.rise_coefficient,
+            "max_rise_c": self.max_rise_c,
+            "time_constant_s": self.time_constant_s,
+        }
+
+    def build(self, ambient_celsius: float) -> TyreThermalModel:
+        """A fresh stateful thermal model at one vehicle's ambient."""
+        return TyreThermalModel(
+            ambient_celsius=ambient_celsius,
+            rise_coefficient=self.rise_coefficient,
+            max_rise_c=self.max_rise_c,
+            time_constant_s=self.time_constant_s,
+        )
 
 
 @dataclass(frozen=True)
@@ -139,6 +221,15 @@ class FleetSpec:
             :class:`~repro.fleet.distributions.DistributionSpec` references
             (stored as a sorted tuple of pairs so equal documents compare
             equal).
+        thermal: optional :class:`ThermalSpec`.  When set, every vehicle
+            drives a :class:`~repro.conditions.temperature.TyreThermalModel`
+            at its ambient instead of a constant temperature, and sampled
+            ambients are snapped to the shared ambient-bin centers
+            (:func:`repro.core.quantize.ambient_bin`) so vehicles in one
+            ambient bin share one replayed trajectory — the fleet runner's
+            thermal cohort axis.  Omitted from the document when ``None``,
+            so pre-thermal fleet documents (and their digests, which seed
+            the materialization streams) are byte-for-byte unchanged.
     """
 
     name: str = "fleet"
@@ -148,6 +239,7 @@ class FleetSpec:
     scale_quantum: float = 0.05
     chunk_vehicles: int = 64
     distributions: tuple[tuple[str, DistributionSpec], ...] = ()
+    thermal: ThermalSpec | None = None
 
     # -- validation ---------------------------------------------------------
 
@@ -214,6 +306,15 @@ class FleetSpec:
             "distributions",
             tuple(sorted(normalized.items())),
         )
+        if "ambient_offset_c" in normalized and "temperature_c" in normalized:
+            raise ConfigError(
+                "fleet distributions 'ambient_offset_c' and 'temperature_c' are "
+                "mutually exclusive: distribute offsets around the base ambient "
+                "OR absolute ambients, not both"
+            )
+
+        if self.thermal is not None:
+            set_attr(self, "thermal", ThermalSpec.coerce(self.thermal))
 
         if self.base.storage is None:
             raise ConfigError("fleet base scenario must name a storage element")
@@ -233,6 +334,7 @@ class FleetSpec:
         seed: int = 2011,
         name: str | None = None,
         chunk_vehicles: int = 64,
+        thermal: ThermalSpec | None = None,
     ) -> "FleetSpec":
         """A fleet around ``base`` with the default population distributions."""
         return cls(
@@ -242,6 +344,7 @@ class FleetSpec:
             seed=seed,
             chunk_vehicles=chunk_vehicles,
             distributions=tuple(default_fleet_distributions(base).items()),
+            thermal=thermal,
         )
 
     def distribution_for(self, target: str) -> DistributionSpec | None:
@@ -256,8 +359,13 @@ class FleetSpec:
     # -- serialization ------------------------------------------------------
 
     def to_dict(self) -> dict[str, object]:
-        """Plain-dict form, JSON-serializable and accepted by :meth:`from_dict`."""
-        return {
+        """Plain-dict form, JSON-serializable and accepted by :meth:`from_dict`.
+
+        ``thermal`` is OMITTED when unset (not serialized as ``null``): the
+        document digest seeds every materialization stream, so adding an
+        always-present key would silently redraw every existing fleet.
+        """
+        document: dict[str, object] = {
             "name": self.name,
             "vehicles": self.vehicles,
             "seed": self.seed,
@@ -268,6 +376,9 @@ class FleetSpec:
                 target: spec.to_dict() for target, spec in self.distributions
             },
         }
+        if self.thermal is not None:
+            document["thermal"] = self.thermal.to_dict()
+        return document
 
     @classmethod
     def from_dict(cls, document: Mapping[str, object]) -> "FleetSpec":
@@ -282,6 +393,7 @@ class FleetSpec:
             "chunk_vehicles",
             "base",
             "distributions",
+            "thermal",
         }
         unknown = set(document) - known
         if unknown:
@@ -429,11 +541,27 @@ class FleetSpec:
                     round(scale / self.scale_quantum) * self.scale_quantum,
                     self.scale_quantum,
                 )
-            temperature = (
-                float(np.clip(samples["temperature_c"][offset], low_t, high_t))
-                if "temperature_c" in samples
-                else self.base.temperature_c
-            )
+            if "temperature_c" in samples:
+                temperature = float(np.clip(samples["temperature_c"][offset], low_t, high_t))
+            elif "ambient_offset_c" in samples:
+                temperature = float(
+                    np.clip(
+                        self.base.temperature_c + float(samples["ambient_offset_c"][offset]),
+                        low_t,
+                        high_t,
+                    )
+                )
+            else:
+                temperature = self.base.temperature_c
+            if self.thermal is not None:
+                # Thermal fleets snap the ambient to its bin center: a
+                # replayed trajectory is a function of its exact float
+                # ambient, so only bin-centered ambients let one
+                # per-(cohort, ambient-bin) replay be bitwise identical to
+                # every member vehicle's own emulate().  The bounds of the
+                # modelled range are themselves bin centers, so the snap
+                # never leaves the range.
+                temperature = ambient_bin_center_c(ambient_bin(temperature))
             size_factor = (
                 float(samples["scavenger_size"][offset])
                 if "scavenger_size" in samples
@@ -515,9 +643,16 @@ class FleetSpec:
         distributed = ", ".join(
             f"{target}={spec.describe()}" for target, spec in self.distributions
         )
+        thermal = (
+            f"; thermal(tau={self.thermal.time_constant_s:g}s, "
+            f"rise<={self.thermal.max_rise_c:g}C)"
+            if self.thermal is not None
+            else ""
+        )
         return (
             f"{self.vehicles} vehicles around [{self.base.describe()}]"
             + (f"; {distributed}" if distributed else "")
+            + thermal
         )
 
 

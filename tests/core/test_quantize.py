@@ -3,7 +3,10 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.conditions.operating_point import TEMPERATURE_RANGE_C
 from repro.core import emulator as emulator_module
 from repro.core import quantize
 from repro.core.emulator import NodeEmulator
@@ -29,6 +32,51 @@ class TestQuantize:
             bin_index = quantize.temperature_bin(temperature)
             center = quantize.temperature_bin_center_c(bin_index)
             assert abs(center - temperature) <= quantize.TEMPERATURE_QUANTUM_C / 2 + 1e-12
+
+    def test_ambient_quantum_is_a_temperature_quantum_multiple(self):
+        # The fleet fast path relies on ambient bin centers BEING temperature
+        # bin centers (a cohort's standstill sweep reuses the temperature
+        # memo); a non-integer ratio would break that identity.
+        ratio = quantize.AMBIENT_QUANTUM_C / quantize.TEMPERATURE_QUANTUM_C
+        assert ratio == int(ratio)
+        assert ratio >= 1
+
+    @given(temperature=st.floats(min_value=-40.0, max_value=125.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_ambient_bin_round_trip_property(self, temperature):
+        bin_index = quantize.ambient_bin(temperature)
+        center = quantize.ambient_bin_center_c(bin_index)
+        # Center stays within half a quantum of the sample...
+        assert abs(center - temperature) <= quantize.AMBIENT_QUANTUM_C / 2 + 1e-12
+        # ...and re-binning the center is a fixed point (snapping is
+        # idempotent — materializing a cohort at the center loses nothing).
+        assert quantize.ambient_bin(center) == bin_index
+        assert quantize.ambient_bin_center_c(quantize.ambient_bin(center)) == center
+
+    @given(temperature=st.floats(min_value=-40.0, max_value=125.0, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_ambient_center_is_a_temperature_center(self, temperature):
+        # Every ambient bin center must itself be an exact temperature bin
+        # center, so the cohort standstill memo indexed by temperature_bin
+        # answers for snapped ambients too.
+        center = quantize.ambient_bin_center_c(quantize.ambient_bin(temperature))
+        temp_bin = quantize.temperature_bin(center)
+        assert quantize.temperature_bin_center_c(temp_bin) == center
+
+    @given(
+        temperature=st.floats(
+            min_value=TEMPERATURE_RANGE_C[0],
+            max_value=TEMPERATURE_RANGE_C[1],
+            allow_nan=False,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_clipped_ambient_center_stays_in_model_range(self, temperature):
+        # Snapping a clipped ambient must never leave the model range —
+        # otherwise the thermal cohort would spuriously fall back.
+        low, high = TEMPERATURE_RANGE_C
+        center = quantize.ambient_bin_center_c(quantize.ambient_bin(temperature))
+        assert low <= center <= high
 
     def test_upper_edge_rounds_into_the_bin_below(self):
         # Every speed strictly below the upper edge rounds into the bin, so

@@ -166,6 +166,13 @@ class TestRoundTrip:
             st.sampled_from([t for t in FLEET_TARGETS if t != "drive_cycle"]),
             _distribution_strategy(),
             max_size=4,
+        ).map(
+            # temperature_c and ambient_offset_c are mutually exclusive axes.
+            lambda d: (
+                {k: v for k, v in d.items() if k != "ambient_offset_c"}
+                if "temperature_c" in d
+                else d
+            )
         ),
         temperature=st.floats(min_value=-40.0, max_value=125.0, allow_nan=False),
     )
